@@ -1,0 +1,232 @@
+//! One benchmark per paper table/figure: each measures the full pipeline
+//! that produces a representative point of that figure (model assembly →
+//! solve → metric), so regressions in any layer show up here.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use performa_core::{blowup, telco, ClusterModel};
+use performa_dist::{fit, Exponential, HyperExponential, TruncatedPowerTail};
+use performa_sim::{
+    ClusterSim, ClusterSimConfig, ExactModelConfig, ExactModelSim, FailureStrategy, StopCriterion,
+};
+
+fn tpt_model(t: u32, rho: f64, delta: f64) -> ClusterModel {
+    ClusterModel::builder()
+        .servers(2)
+        .peak_rate(2.0)
+        .degradation(delta)
+        .up(Exponential::with_mean(90.0).unwrap())
+        .down(TruncatedPowerTail::with_mean(t, 1.4, 0.2, 10.0).unwrap())
+        .utilization(rho)
+        .build()
+        .unwrap()
+}
+
+fn hyp2_model(n: usize, rho: f64) -> ClusterModel {
+    let tpt = TruncatedPowerTail::with_mean(10, 1.4, 0.2, 10.0).unwrap();
+    ClusterModel::builder()
+        .servers(n)
+        .peak_rate(2.0)
+        .degradation(0.2)
+        .up(Exponential::with_mean(90.0).unwrap())
+        .down(fit::hyp2_matching(&tpt).unwrap())
+        .utilization(rho)
+        .build()
+        .unwrap()
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+
+    // Figure 1: normalized mean queue length at one utilization point
+    // (T = 10, rho = 0.7 — inside the worst blow-up region).
+    g.bench_function("fig1_normalized_mean_point", |b| {
+        b.iter(|| {
+            let sol = tpt_model(black_box(10), 0.7, 0.2).solve().unwrap();
+            black_box(sol.normalized_mean_queue_length())
+        })
+    });
+
+    // Figure 2: full pmf out to q = 10^4 (reuses one solve).
+    let fig2 = tpt_model(9, 0.7, 0.2).solve().unwrap();
+    g.bench_function("fig2_pmf_10k", |b| {
+        b.iter(|| black_box(fig2.queue_length_pmf_range(black_box(10_001))))
+    });
+
+    // Figure 3: Pr(Q >= 500) evaluation.
+    let fig3 = tpt_model(10, 0.7, 0.2).solve().unwrap();
+    g.bench_function("fig3_tail_at_500", |b| {
+        b.iter(|| black_box(fig3.at_least_probability(black_box(500))))
+    });
+
+    // Figure 4: 3-moment HYP-2 fit + solve.
+    g.bench_function("fig4_hyp2_fit_and_solve", |b| {
+        b.iter(|| {
+            let tpt = TruncatedPowerTail::with_mean(10, 1.4, 0.2, 10.0).unwrap();
+            let h = fit::hyp2_matching(&tpt).unwrap();
+            let sol = ClusterModel::builder()
+                .servers(2)
+                .peak_rate(2.0)
+                .degradation(0.2)
+                .up(Exponential::with_mean(90.0).unwrap())
+                .down(h)
+                .utilization(0.7)
+                .build()
+                .unwrap()
+                .solve()
+                .unwrap();
+            black_box(sol.normalized_mean_queue_length())
+        })
+    });
+
+    // Figure 5: availability sweep point (rescaled UP/DOWN, fixed cycle).
+    g.bench_function("fig5_availability_point", |b| {
+        b.iter(|| {
+            let a = black_box(0.5);
+            let tpt = TruncatedPowerTail::with_mean(10, 1.4, 0.2, (1.0 - a) * 100.0).unwrap();
+            let sol = ClusterModel::builder()
+                .servers(2)
+                .peak_rate(2.0)
+                .degradation(0.2)
+                .up(Exponential::with_mean(a * 100.0).unwrap())
+                .down(fit::hyp2_matching(&tpt).unwrap())
+                .arrival_rate(1.8)
+                .build()
+                .unwrap()
+                .solve()
+                .unwrap();
+            black_box(sol.normalized_mean_queue_length())
+        })
+    });
+
+    // Figure 6: the N = 5 cluster (21 lumped phases).
+    g.bench_function("fig6_n5_tail_point", |b| {
+        b.iter(|| {
+            let sol = hyp2_model(5, black_box(0.75)).solve().unwrap();
+            black_box(sol.at_least_probability(500))
+        })
+    });
+
+    // Figure 7: short exact-model + multiprocessor simulation runs.
+    let m = tpt_model(5, 0.5, 0.2);
+    let exact = ExactModelSim::new(ExactModelConfig {
+        servers: 2,
+        nu_p: 2.0,
+        delta: 0.2,
+        up: m.up().clone(),
+        down: m.down().clone(),
+        lambda: m.arrival_rate(),
+        stop: StopCriterion::Cycles(500),
+        warmup_time: 100.0,
+    })
+    .unwrap();
+    g.bench_function("fig7_exact_model_sim_500cycles", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(exact.run(seed).mean_queue_length)
+        })
+    });
+
+    let phys = ClusterSim::new(ClusterSimConfig {
+        servers: 2,
+        nu_p: 2.0,
+        delta: 0.2,
+        up: m.up().clone(),
+        down: m.down().clone(),
+        task: Exponential::with_mean(0.5).unwrap().into(),
+        lambda: m.arrival_rate(),
+        strategy: FailureStrategy::ResumeBack,
+        stop: StopCriterion::Cycles(500),
+        warmup_time: 100.0,
+        resume_penalty: 0.0,
+        detection_delay: None,
+    })
+    .unwrap();
+    g.bench_function("fig7_multiprocessor_sim_500cycles", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(phys.run(seed).mean_queue_length)
+        })
+    });
+
+    // Figure 8: one crash-fault strategy simulation run.
+    let crash = tpt_model(10, 0.5, 0.0);
+    let fig8 = ClusterSim::new(ClusterSimConfig {
+        servers: 2,
+        nu_p: 2.0,
+        delta: 0.0,
+        up: crash.up().clone(),
+        down: crash.down().clone(),
+        task: Exponential::with_mean(0.5).unwrap().into(),
+        lambda: crash.arrival_rate(),
+        strategy: FailureStrategy::RestartBack,
+        stop: StopCriterion::Cycles(500),
+        warmup_time: 100.0,
+        resume_penalty: 0.0,
+        detection_delay: None,
+    })
+    .unwrap();
+    g.bench_function("fig8_restart_sim_500cycles", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(fig8.run(seed).mean_queue_length)
+        })
+    });
+
+    // Figure 9: hyperexponential task times.
+    let fig9 = ClusterSim::new(ClusterSimConfig {
+        servers: 2,
+        nu_p: 2.0,
+        delta: 0.0,
+        up: crash.up().clone(),
+        down: crash.down().clone(),
+        task: HyperExponential::balanced(0.5, 21.2).unwrap().into(),
+        lambda: crash.arrival_rate(),
+        strategy: FailureStrategy::ResumeBack,
+        stop: StopCriterion::Cycles(500),
+        warmup_time: 100.0,
+        resume_penalty: 0.0,
+        detection_delay: None,
+    })
+    .unwrap();
+    g.bench_function("fig9_hyp2_tasks_sim_500cycles", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(fig9.run(seed).mean_queue_length)
+        })
+    });
+
+    // Table 1: duality construction + verification.
+    g.bench_function("table1_duality", |b| {
+        let m = tpt_model(5, 0.5, 0.0);
+        b.iter(|| {
+            let t = telco::duality_table(black_box(&m));
+            let dual = telco::dual_source(&m).unwrap().aggregate(2).unwrap();
+            black_box((t.len(), dual.dim()))
+        })
+    });
+
+    // Blow-up boundary table (Eqs. 3-5).
+    g.bench_function("blowup_table", |b| {
+        let m = hyp2_model(5, 0.5);
+        b.iter(|| {
+            let t = blowup::utilization_thresholds(black_box(&m));
+            let r = blowup::region(&m);
+            black_box((t, r))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_figures
+}
+criterion_main!(benches);

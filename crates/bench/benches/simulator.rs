@@ -1,0 +1,122 @@
+//! Simulator throughput benchmarks: virtual-time progress per wall-clock
+//! second for both simulators, across failure strategies and task-time
+//! distributions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use performa_dist::{Exponential, HyperExponential, TruncatedPowerTail};
+use performa_sim::{
+    ClusterSim, ClusterSimConfig, ExactModelConfig, ExactModelSim, FailureStrategy, StopCriterion,
+};
+
+fn bench_exact_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exact_model_sim");
+    for &rho in &[0.3f64, 0.7] {
+        let cfg = ExactModelConfig {
+            servers: 2,
+            nu_p: 2.0,
+            delta: 0.2,
+            up: Exponential::with_mean(90.0).unwrap().into(),
+            down: TruncatedPowerTail::with_mean(5, 1.4, 0.2, 10.0)
+                .unwrap()
+                .into(),
+            lambda: rho * 3.68,
+            stop: StopCriterion::Time(20_000.0),
+            warmup_time: 0.0,
+        };
+        let sim = ExactModelSim::new(cfg).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("20k_time_units_rho", format!("{rho}")),
+            &sim,
+            |b, sim| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(sim.run(seed).completed_tasks)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_cluster_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_sim_strategies");
+    g.sample_size(10);
+    for s in FailureStrategy::ALL {
+        let cfg = ClusterSimConfig {
+            servers: 2,
+            nu_p: 2.0,
+            delta: 0.0,
+            up: Exponential::with_mean(90.0).unwrap().into(),
+            down: TruncatedPowerTail::with_mean(5, 1.4, 0.2, 10.0)
+                .unwrap()
+                .into(),
+            task: Exponential::with_mean(0.5).unwrap().into(),
+            lambda: 2.0,
+            strategy: s,
+            stop: StopCriterion::Time(20_000.0),
+            warmup_time: 0.0,
+            resume_penalty: 0.0,
+            detection_delay: None,
+        };
+        let sim = ClusterSim::new(cfg).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(s.label()), &sim, |b, sim| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(sim.run(seed).completed_tasks)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_task_distributions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_sim_task_dists");
+    g.sample_size(10);
+    let dists: Vec<(&str, performa_dist::Dist)> = vec![
+        ("exponential", Exponential::with_mean(0.5).unwrap().into()),
+        (
+            "hyp2_var5.3",
+            HyperExponential::balanced(0.5, 21.2).unwrap().into(),
+        ),
+        (
+            "erlang4",
+            performa_dist::Erlang::with_mean(4, 0.5).unwrap().into(),
+        ),
+    ];
+    for (label, task) in dists {
+        let cfg = ClusterSimConfig {
+            servers: 2,
+            nu_p: 2.0,
+            delta: 0.2,
+            up: Exponential::with_mean(90.0).unwrap().into(),
+            down: Exponential::with_mean(10.0).unwrap().into(),
+            task,
+            lambda: 2.0,
+            strategy: FailureStrategy::ResumeBack,
+            stop: StopCriterion::Time(20_000.0),
+            warmup_time: 0.0,
+            resume_penalty: 0.0,
+            detection_delay: None,
+        };
+        let sim = ClusterSim::new(cfg).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(label), &sim, |b, sim| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(sim.run(seed).completed_tasks)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_exact_model, bench_cluster_strategies, bench_task_distributions
+}
+criterion_main!(benches);

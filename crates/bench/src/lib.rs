@@ -1,0 +1,6 @@
+//! Criterion benchmark host crate: all content lives in `benches/`.
+//!
+//! See `benches/figures.rs` (per-figure pipelines), `benches/solver.rs`
+//! (G-algorithm / aggregation / truncation ablations) and
+//! `benches/simulator.rs` (event-loop throughput).
+#![forbid(unsafe_code)]

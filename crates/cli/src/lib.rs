@@ -1,0 +1,593 @@
+//! Implementation of the `performa` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `solve` — exact analytic solution of one cluster configuration,
+//! * `blowup` — blow-up thresholds, regions and tail exponents,
+//! * `sweep` — CSV series of a metric over a parameter range,
+//! * `simulate` — discrete-event simulation with failure strategies,
+//! * `sensitivity` — local parameter sensitivities.
+//!
+//! Distributions are written as compact specs:
+//! `exp:MEAN`, `erlang:K:MEAN`, `hyp2:MEAN:SCV`,
+//! `tpt:T:ALPHA:THETA:MEAN`, `pareto:ALPHA:MEAN` (simulation only),
+//! `weibull:SHAPE:MEAN` (simulation only).
+//!
+//! The parsing layer is dependency-free and fully unit-tested; `main`
+//! is a thin wrapper.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use performa_core::{blowup, sensitivity, ClusterModel};
+use performa_dist::{
+    Dist, Erlang, Exponential, HyperExponential, Moments, Pareto, TruncatedPowerTail, Weibull,
+};
+use performa_sim::{
+    replicate, ClusterSim, ClusterSimConfig, FailureStrategy, StopCriterion,
+};
+
+/// CLI usage text.
+pub const USAGE: &str = "\
+performa — performability models for multi-server systems
+
+USAGE:
+  performa <COMMAND> [--key value ...]
+
+COMMANDS:
+  solve        exact analytic solution of one configuration
+  blowup       blow-up thresholds, regions, tail exponents
+  sweep        metric series over a parameter range (CSV on stdout)
+  simulate     discrete-event simulation (physical cluster)
+  sensitivity  local parameter sensitivities at the operating point
+
+COMMON MODEL OPTIONS (with defaults):
+  --servers 2            number of nodes N
+  --peak-rate 2.0        per-server service rate nu_p
+  --delta 0.2            degradation factor (0 = crash)
+  --up exp:90            UP distribution spec
+  --down tpt:10:1.4:0.2:10   DOWN/repair distribution spec
+  --rho 0.5              utilization (or --lambda RATE)
+
+DISTRIBUTION SPECS:
+  exp:MEAN | erlang:K:MEAN | hyp2:MEAN:SCV | tpt:T:ALPHA:THETA:MEAN
+  pareto:ALPHA:MEAN (simulate only) | weibull:SHAPE:MEAN (simulate only)
+
+SOLVE OPTIONS:    --tail K (report Pr(Q >= K))   --deadline D (report Pr(S > D))
+SWEEP OPTIONS:    --param rho|lambda|delta|availability  --from F --to T --steps N
+                  --metric mean|normalized|tail:K
+SIMULATE OPTIONS: --task exp:0.5  --strategy discard|resume-front|resume-back|
+                  restart-front|restart-back  --cycles 20000 --reps 5 --seed 0
+                  --resume-penalty W (checkpoint-restore work)
+                  --detection-delay SPEC (crash detection latency; default ideal)
+";
+
+/// Errors surfaced to the terminal with usage help.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<performa_core::CoreError> for CliError {
+    fn from(e: performa_core::CoreError) -> Self {
+        CliError(format!("model error: {e}"))
+    }
+}
+
+impl From<performa_dist::DistError> for CliError {
+    fn from(e: performa_dist::DistError) -> Self {
+        CliError(format!("distribution error: {e}"))
+    }
+}
+
+impl From<performa_sim::SimError> for CliError {
+    fn from(e: performa_sim::SimError) -> Self {
+        CliError(format!("simulator error: {e}"))
+    }
+}
+
+/// Result alias for CLI operations.
+pub type Result<T> = std::result::Result<T, CliError>;
+
+/// Parsed `--key value` arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    map: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `--key value` pairs; rejects dangling keys and stray
+    /// positional words.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self> {
+        let mut map = HashMap::new();
+        let mut it = raw.into_iter().peekable();
+        while let Some(tok) = it.next() {
+            let key = tok
+                .strip_prefix("--")
+                .ok_or_else(|| CliError(format!("expected --option, got `{tok}`")))?;
+            let val = it
+                .next()
+                .ok_or_else(|| CliError(format!("option --{key} needs a value")))?;
+            map.insert(key.to_string(), val);
+        }
+        Ok(Args { map })
+    }
+
+    /// Typed lookup with default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T> {
+        match self.map.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError(format!("cannot parse --{key} value `{v}`"))),
+        }
+    }
+
+    /// String lookup with default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.map
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Whether the option was supplied.
+    pub fn has(&self, key: &str) -> bool {
+        self.map.contains_key(key)
+    }
+}
+
+/// Parses a distribution spec (see [`USAGE`]).
+pub fn parse_dist(spec: &str) -> Result<Dist> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let num = |s: &str| -> Result<f64> {
+        s.parse()
+            .map_err(|_| CliError(format!("bad number `{s}` in spec `{spec}`")))
+    };
+    match parts.as_slice() {
+        ["exp", m] => Ok(Exponential::with_mean(num(m)?)?.into()),
+        ["erlang", k, m] => {
+            let k: u32 = k
+                .parse()
+                .map_err(|_| CliError(format!("bad stage count in `{spec}`")))?;
+            Ok(Erlang::with_mean(k, num(m)?)?.into())
+        }
+        ["hyp2", m, scv] => Ok(HyperExponential::balanced(num(m)?, num(scv)?)?.into()),
+        ["tpt", t, a, th, m] => {
+            let t: u32 = t
+                .parse()
+                .map_err(|_| CliError(format!("bad truncation level in `{spec}`")))?;
+            Ok(TruncatedPowerTail::with_mean(t, num(a)?, num(th)?, num(m)?)?.into())
+        }
+        ["pareto", a, m] => Ok(Pareto::with_mean(num(a)?, num(m)?)?.into()),
+        ["weibull", k, m] => Ok(Weibull::with_mean(num(k)?, num(m)?)?.into()),
+        _ => Err(CliError(format!(
+            "unknown distribution spec `{spec}` (see --help)"
+        ))),
+    }
+}
+
+/// Builds the cluster model from common options.
+pub fn build_model(args: &Args) -> Result<ClusterModel> {
+    let up = parse_dist(&args.get_str("up", "exp:90"))?;
+    let down = parse_dist(&args.get_str("down", "tpt:10:1.4:0.2:10"))?;
+    let mut b = ClusterModel::builder()
+        .servers(args.get("servers", 2usize)?)
+        .peak_rate(args.get("peak-rate", 2.0)?)
+        .degradation(args.get("delta", 0.2)?)
+        .up(up)
+        .down(down);
+    if args.has("lambda") {
+        b = b.arrival_rate(args.get("lambda", 0.0)?);
+    } else {
+        b = b.utilization(args.get("rho", 0.5)?);
+    }
+    Ok(b.build()?)
+}
+
+fn parse_strategy(s: &str) -> Result<FailureStrategy> {
+    FailureStrategy::ALL
+        .iter()
+        .copied()
+        .find(|f| f.label() == s)
+        .ok_or_else(|| CliError(format!("unknown strategy `{s}`")))
+}
+
+/// Runs a subcommand, writing human output to `out`.
+pub fn run<W: std::io::Write>(command: &str, args: &Args, out: &mut W) -> Result<()> {
+    let io = |e: std::io::Error| CliError(format!("output error: {e}"));
+    match command {
+        "solve" => {
+            let m = build_model(args)?;
+            let sol = m.solve()?;
+            writeln!(out, "servers          : {}", m.servers()).map_err(io)?;
+            writeln!(out, "availability     : {:.6}", m.availability()).map_err(io)?;
+            writeln!(out, "capacity         : {:.6}", m.capacity()).map_err(io)?;
+            writeln!(out, "arrival rate     : {:.6}", m.arrival_rate()).map_err(io)?;
+            writeln!(out, "utilization      : {:.6}", m.utilization()).map_err(io)?;
+            writeln!(out, "region           : {:?}", blowup::region(&m)).map_err(io)?;
+            writeln!(out, "mean queue length: {:.6}", sol.mean_queue_length()).map_err(io)?;
+            writeln!(
+                out,
+                "normalized (M/M/1): {:.6}",
+                sol.normalized_mean_queue_length()
+            )
+            .map_err(io)?;
+            writeln!(out, "P(empty)         : {:.6}", sol.empty_probability()).map_err(io)?;
+            if let Ok(idc) = m.service_process().map_err(CliError::from).and_then(|p| {
+                p.asymptotic_idc()
+                    .map_err(|e| CliError(format!("IDC failure: {e}")))
+            }) {
+                writeln!(out, "service IDC(inf) : {:.3}", idc).map_err(io)?;
+            }
+            if args.has("tail") {
+                let k = args.get("tail", 500usize)?;
+                writeln!(out, "Pr(Q >= {k})     : {:.6e}", sol.at_least_probability(k))
+                    .map_err(io)?;
+            }
+            if args.has("deadline") {
+                let d = args.get("deadline", 1.0)?;
+                writeln!(
+                    out,
+                    "Pr(S > {d})      : {:.6e}",
+                    sol.delay_violation_probability(d)
+                )
+                .map_err(io)?;
+            }
+            Ok(())
+        }
+        "blowup" => {
+            let m = build_model(args)?;
+            writeln!(out, "capacity nu_bar = {:.6}", m.capacity()).map_err(io)?;
+            writeln!(out, "operating rho   = {:.6}", m.utilization()).map_err(io)?;
+            writeln!(out, "region          = {:?}", blowup::region(&m)).map_err(io)?;
+            writeln!(out, "{:>3} {:>12} {:>12} {:>10}", "i", "nu_i", "rho_i", "beta_i")
+                .map_err(io)?;
+            let alpha = args.get("alpha", 1.4)?;
+            for i in 1..=m.servers() {
+                writeln!(
+                    out,
+                    "{:>3} {:>12.6} {:>12.6} {:>10.3}",
+                    i,
+                    blowup::degraded_rate(&m, i),
+                    blowup::degraded_rate(&m, i) / m.capacity(),
+                    blowup::queue_tail_exponent(i, alpha)
+                )
+                .map_err(io)?;
+            }
+            writeln!(
+                out,
+                "stability needs A > {:.6}",
+                blowup::stability_availability_bound(&m)
+            )
+            .map_err(io)?;
+            Ok(())
+        }
+        "sweep" => {
+            let param = args.get_str("param", "rho");
+            let from = args.get("from", 0.05)?;
+            let to = args.get("to", 0.95)?;
+            let steps = args.get("steps", 20usize)?;
+            if steps == 0 || from >= to {
+                return Err(CliError("need --from < --to and --steps > 0".into()));
+            }
+            let metric = args.get_str("metric", "normalized");
+            writeln!(out, "{param},{metric}").map_err(io)?;
+            for i in 0..=steps {
+                let x = from + (to - from) * i as f64 / steps as f64;
+                let m = model_at(args, &param, x)?;
+                let value = match m.solve() {
+                    Ok(sol) => metric_value(&sol, &metric)?,
+                    Err(_) => f64::NAN, // unstable probe points print NaN
+                };
+                writeln!(out, "{x:.6},{value:.8e}").map_err(io)?;
+            }
+            Ok(())
+        }
+        "sensitivity" => {
+            let m = build_model(args)?;
+            let s = sensitivity::sensitivities(&m)?;
+            writeln!(out, "dE[Q]/d(lambda)      = {:+.6}", s.wrt_arrival_rate).map_err(io)?;
+            writeln!(out, "dE[Q]/d(availability)= {:+.6}", s.wrt_availability).map_err(io)?;
+            writeln!(out, "dE[Q]/d(delta)       = {:+.6}", s.wrt_degradation).map_err(io)?;
+            writeln!(out, "dE[Q]/d(nu_p)        = {:+.6}", s.wrt_peak_rate).map_err(io)?;
+            writeln!(
+                out,
+                "distance to blow-up  = {:+.6} (utilization units)",
+                s.distance_to_threshold
+            )
+            .map_err(io)?;
+            Ok(())
+        }
+        "simulate" => {
+            let m = build_model(args)?;
+            let cfg = ClusterSimConfig {
+                servers: m.servers(),
+                nu_p: m.peak_rate(),
+                delta: m.degradation(),
+                up: m.up().clone(),
+                down: m.down().clone(),
+                task: parse_dist(&args.get_str(
+                    "task",
+                    &format!("exp:{}", 1.0 / m.peak_rate()),
+                ))?,
+                lambda: m.arrival_rate(),
+                strategy: parse_strategy(&args.get_str("strategy", "resume-back"))?,
+                stop: StopCriterion::Cycles(args.get("cycles", 20_000u64)?),
+                warmup_time: args.get("warmup", 1_000.0)?,
+                resume_penalty: args.get("resume-penalty", 0.0)?,
+                detection_delay: if args.has("detection-delay") {
+                    Some(parse_dist(&args.get_str("detection-delay", "exp:1"))?)
+                } else {
+                    None
+                },
+            };
+            let sim = ClusterSim::new(cfg)?;
+            let reps = args.get("reps", 5u64)?;
+            let seed = args.get("seed", 0u64)?;
+            let threads = std::thread::available_parallelism().map_or(2, |n| n.get());
+            let ci = replicate::replicated_ci(reps, seed, threads, |s| {
+                sim.run(s).mean_queue_length
+            });
+            let detail = sim.run(seed);
+            writeln!(out, "mean queue length : {:.4} ± {:.4} (95% CI, {reps} reps)", ci.mean, ci.half_width)
+                .map_err(io)?;
+            writeln!(out, "mean system time  : {:.4}", detail.mean_system_time).map_err(io)?;
+            if let Some(p99) = detail.system_time_quantile(0.99) {
+                writeln!(out, "p99 system time   : {:.4}", p99).map_err(io)?;
+            }
+            writeln!(out, "completed tasks   : {}", detail.completed_tasks).map_err(io)?;
+            writeln!(out, "discarded tasks   : {}", detail.discarded_tasks).map_err(io)?;
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{USAGE}").map_err(io)?;
+            Ok(())
+        }
+        other => Err(CliError(format!("unknown command `{other}`\n\n{USAGE}"))),
+    }
+}
+
+/// Rebuilds the model with sweep parameter `param` set to `x`.
+fn model_at(args: &Args, param: &str, x: f64) -> Result<ClusterModel> {
+    match param {
+        "rho" => {
+            let base = build_model(args)?;
+            Ok(base.with_utilization(x)?)
+        }
+        "lambda" => {
+            let base = build_model(args)?;
+            Ok(base.with_arrival_rate(x)?)
+        }
+        "delta" => {
+            let up = parse_dist(&args.get_str("up", "exp:90"))?;
+            let down = parse_dist(&args.get_str("down", "tpt:10:1.4:0.2:10"))?;
+            let mut b = ClusterModel::builder()
+                .servers(args.get("servers", 2usize)?)
+                .peak_rate(args.get("peak-rate", 2.0)?)
+                .degradation(x)
+                .up(up)
+                .down(down);
+            if args.has("lambda") {
+                b = b.arrival_rate(args.get("lambda", 0.0)?);
+            } else {
+                b = b.utilization(args.get("rho", 0.5)?);
+            }
+            Ok(b.build()?)
+        }
+        "availability" => {
+            // Cycle-preserving availability sweep: rescale both periods.
+            let base = build_model(args)?;
+            let cycle = base.mttf() + base.mttr();
+            let up_spec = args.get_str("up", "exp:90");
+            let down_spec = args.get_str("down", "tpt:10:1.4:0.2:10");
+            let up = rescale_spec(&up_spec, x * cycle)?;
+            let down = rescale_spec(&down_spec, (1.0 - x) * cycle)?;
+            let mut b = ClusterModel::builder()
+                .servers(args.get("servers", 2usize)?)
+                .peak_rate(args.get("peak-rate", 2.0)?)
+                .degradation(args.get("delta", 0.2)?)
+                .up(up)
+                .down(down);
+            if args.has("lambda") {
+                b = b.arrival_rate(args.get("lambda", 0.0)?);
+            } else {
+                b = b.utilization(args.get("rho", 0.5)?);
+            }
+            Ok(b.build()?)
+        }
+        other => Err(CliError(format!(
+            "unknown sweep parameter `{other}` (rho|lambda|delta|availability)"
+        ))),
+    }
+}
+
+/// Re-parses a distribution spec with its mean replaced.
+fn rescale_spec(spec: &str, new_mean: f64) -> Result<Dist> {
+    let d = parse_dist(spec)?;
+    let factor = new_mean / d.mean();
+    let parts: Vec<&str> = spec.split(':').collect();
+    let rebuilt = match parts.as_slice() {
+        ["exp", _] => format!("exp:{new_mean}"),
+        ["erlang", k, _] => format!("erlang:{k}:{new_mean}"),
+        ["hyp2", _, scv] => format!("hyp2:{new_mean}:{scv}"),
+        ["tpt", t, a, th, _] => format!("tpt:{t}:{a}:{th}:{new_mean}"),
+        _ => {
+            return Err(CliError(format!(
+                "cannot rescale spec `{spec}` by {factor}"
+            )))
+        }
+    };
+    parse_dist(&rebuilt)
+}
+
+/// Metric selector for `sweep`.
+fn metric_value(sol: &performa_core::ClusterSolution, metric: &str) -> Result<f64> {
+    if metric == "mean" {
+        return Ok(sol.mean_queue_length());
+    }
+    if metric == "normalized" {
+        return Ok(sol.normalized_mean_queue_length());
+    }
+    if let Some(k) = metric.strip_prefix("tail:") {
+        let k: usize = k
+            .parse()
+            .map_err(|_| CliError(format!("bad tail level in metric `{metric}`")))?;
+        return Ok(sol.at_least_probability(k));
+    }
+    Err(CliError(format!(
+        "unknown metric `{metric}` (mean|normalized|tail:K)"
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(pairs: &[(&str, &str)]) -> Args {
+        let raw: Vec<String> = pairs
+            .iter()
+            .flat_map(|(k, v)| [format!("--{k}"), v.to_string()])
+            .collect();
+        Args::parse(raw).unwrap()
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let a = args(&[("servers", "3"), ("rho", "0.4")]);
+        assert_eq!(a.get("servers", 0usize).unwrap(), 3);
+        assert!((a.get("rho", 0.0_f64).unwrap() - 0.4).abs() < 1e-12);
+        assert_eq!(a.get("missing", 7u32).unwrap(), 7);
+        assert!(a.has("rho"));
+        assert!(!a.has("nope"));
+
+        assert!(Args::parse(vec!["positional".into()]).is_err());
+        assert!(Args::parse(vec!["--dangling".into()]).is_err());
+        let bad = args(&[("servers", "many")]);
+        assert!(bad.get("servers", 0usize).is_err());
+    }
+
+    #[test]
+    fn dist_specs() {
+        assert!((parse_dist("exp:10").unwrap().mean() - 10.0).abs() < 1e-12);
+        assert!((parse_dist("erlang:4:2").unwrap().mean() - 2.0).abs() < 1e-12);
+        let h = parse_dist("hyp2:10:5").unwrap();
+        assert!((h.mean() - 10.0).abs() < 1e-9);
+        assert!((h.scv() - 5.0).abs() < 1e-6);
+        let t = parse_dist("tpt:9:1.4:0.2:10").unwrap();
+        assert!((t.mean() - 10.0).abs() < 1e-9);
+        assert!((parse_dist("pareto:1.4:10").unwrap().mean() - 10.0).abs() < 1e-9);
+        assert!((parse_dist("weibull:0.7:3").unwrap().mean() - 3.0).abs() < 1e-9);
+
+        assert!(parse_dist("exp").is_err());
+        assert!(parse_dist("exp:abc").is_err());
+        assert!(parse_dist("nope:1").is_err());
+        assert!(parse_dist("erlang:x:1").is_err());
+    }
+
+    #[test]
+    fn solve_command_prints_metrics() {
+        let a = args(&[("rho", "0.7"), ("down", "tpt:9:1.4:0.2:10"), ("tail", "500")]);
+        let mut buf = Vec::new();
+        run("solve", &a, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("mean queue length"));
+        assert!(s.contains("Region(1)"));
+        assert!(s.contains("Pr(Q >= 500)"));
+    }
+
+    #[test]
+    fn blowup_command_lists_thresholds() {
+        let a = args(&[]);
+        let mut buf = Vec::new();
+        run("blowup", &a, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("0.217") || s.contains("0.2174"));
+        assert!(s.contains("0.608") || s.contains("0.6087"));
+    }
+
+    #[test]
+    fn sweep_outputs_csv() {
+        let a = args(&[("param", "rho"), ("from", "0.2"), ("to", "0.8"), ("steps", "3"),
+                       ("metric", "mean")]);
+        let mut buf = Vec::new();
+        run("sweep", &a, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = s.trim().lines().collect();
+        assert_eq!(lines.len(), 5); // header + 4 points
+        assert!(lines[0].starts_with("rho,"));
+        // Values increase with rho.
+        let v1: f64 = lines[1].split(',').nth(1).unwrap().parse().unwrap();
+        let v4: f64 = lines[4].split(',').nth(1).unwrap().parse().unwrap();
+        assert!(v4 > v1);
+    }
+
+    #[test]
+    fn sweep_handles_unstable_points_as_nan() {
+        let a = args(&[("param", "lambda"), ("from", "1.0"), ("to", "10.0"),
+                       ("steps", "3"), ("metric", "mean")]);
+        let mut buf = Vec::new();
+        run("sweep", &a, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("NaN"));
+    }
+
+    #[test]
+    fn availability_sweep_preserves_cycle() {
+        let a = args(&[("param", "availability"), ("from", "0.5"), ("to", "0.95"),
+                       ("steps", "2"), ("metric", "normalized"), ("lambda", "1.8"),
+                       ("down", "hyp2:10:20")]);
+        let mut buf = Vec::new();
+        run("sweep", &a, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = s.trim().lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Normalized mean decreases with availability.
+        let first: f64 = lines[1].split(',').nth(1).unwrap().parse().unwrap();
+        let last: f64 = lines[3].split(',').nth(1).unwrap().parse().unwrap();
+        assert!(first > last);
+    }
+
+    #[test]
+    fn sensitivity_command_runs() {
+        let a = args(&[("rho", "0.5"), ("down", "tpt:5:1.4:0.2:10")]);
+        let mut buf = Vec::new();
+        run("sensitivity", &a, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("dE[Q]/d(lambda)"));
+        assert!(s.contains("distance to blow-up"));
+    }
+
+    #[test]
+    fn simulate_command_runs_small() {
+        let a = args(&[("rho", "0.4"), ("cycles", "300"), ("reps", "2"),
+                       ("strategy", "discard"), ("delta", "0.0"),
+                       ("down", "tpt:3:1.4:0.5:10")]);
+        let mut buf = Vec::new();
+        run("simulate", &a, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("mean queue length"));
+        assert!(s.contains("completed tasks"));
+    }
+
+    #[test]
+    fn unknown_command_and_strategy() {
+        let mut buf = Vec::new();
+        assert!(run("frobnicate", &args(&[]), &mut buf).is_err());
+        assert!(parse_strategy("yolo").is_err());
+        assert!(parse_strategy("resume-back").is_ok());
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let mut buf = Vec::new();
+        run("help", &args(&[]), &mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("USAGE"));
+    }
+}

@@ -1,0 +1,27 @@
+//! `performa` command-line entry point (see `performa_cli` for the
+//! implementation and `--help` for usage).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else {
+        eprintln!("{}", performa_cli::USAGE);
+        return ExitCode::FAILURE;
+    };
+    let args = match performa_cli::Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut out = std::io::stdout();
+    match performa_cli::run(&command, &args, &mut out) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! End-to-end tests of the compiled `performa` binary.
+
+use std::process::Command;
+
+fn performa(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_performa"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let (ok, _, err) = performa(&[]);
+    assert!(!ok);
+    assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn help_succeeds() {
+    let (ok, out, _) = performa(&["help"]);
+    assert!(ok);
+    assert!(out.contains("COMMANDS"));
+}
+
+#[test]
+fn solve_default_model() {
+    let (ok, out, _) = performa(&["solve"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("mean queue length"));
+    assert!(out.contains("capacity         : 3.680000"));
+}
+
+#[test]
+fn solve_rejects_bad_spec_with_helpful_error() {
+    let (ok, _, err) = performa(&["solve", "--down", "gamma:1:2"]);
+    assert!(!ok);
+    assert!(err.contains("unknown distribution spec"));
+}
+
+#[test]
+fn solve_rejects_oversaturated_load() {
+    let (ok, _, err) = performa(&["solve", "--lambda", "10"]);
+    assert!(!ok);
+    assert!(err.contains("unstable"));
+}
+
+#[test]
+fn sweep_pipes_csv() {
+    let (ok, out, _) = performa(&[
+        "sweep", "--param", "rho", "--from", "0.3", "--to", "0.7", "--steps", "2",
+        "--metric", "tail:100", "--down", "tpt:5:1.4:0.2:10",
+    ]);
+    assert!(ok, "{out}");
+    let lines: Vec<&str> = out.trim().lines().collect();
+    assert_eq!(lines.len(), 4);
+    assert!(lines[0].contains("tail:100"));
+}
+
+#[test]
+fn blowup_matches_paper_thresholds() {
+    let (ok, out, _) = performa(&["blowup"]);
+    assert!(ok);
+    assert!(out.contains("0.2173") || out.contains("0.217391"));
+}
+
+#[test]
+fn unknown_option_value_is_reported() {
+    let (ok, _, err) = performa(&["solve", "--servers", "two"]);
+    assert!(!ok);
+    assert!(err.contains("cannot parse --servers"));
+}

@@ -1,0 +1,297 @@
+//! Blow-up point analysis (paper Sect. 3).
+//!
+//! With a high-variance repair distribution, long repair periods occur with
+//! non-negligible probability. While `i` servers sit in such LONG repairs
+//! simultaneously, the cluster's effective capacity drops to `ν_i`
+//! (Eq. 3). Whenever the arrival rate exceeds `ν_i`, those episodes create
+//! temporary oversaturation whose durations inherit the repair-time power
+//! tail — producing a *blow-up*: a qualitative jump of the mean queue
+//! length and queue tail at the utilization thresholds `ρ_i = ν_i/ν̄`
+//! (Eq. 4), with queue-length tail exponent `β_i = i(α−1)+1`.
+//!
+//! This module computes the threshold rates, the region a configuration
+//! falls in, the same boundaries expressed in availability (Eq. 5), and
+//! the predicted tail exponents.
+
+use crate::model::ClusterModel;
+
+/// The qualitative operating regime of a cluster configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlowupRegion {
+    /// `λ < ν_N`: even all `N` servers in LONG repair keep up with the
+    /// arrivals; queue-length tails stay geometric and the model is
+    /// insensitive to the repair-time shape beyond its mean.
+    Insensitive,
+    /// `ν_i < λ < ν_{i−1}`: at least `i` simultaneous LONG repairs cause
+    /// oversaturation episodes; the queue-length pmf gains a (truncated)
+    /// power tail with exponent `β_i = i(α−1)+1`. Lower `i` = heavier
+    /// blow-up (the paper's rightmost region is `i = 1`).
+    Region(usize),
+}
+
+/// Effective service rate while `i` of the `N` servers are in a LONG
+/// repair period (paper Eq. 3):
+/// `ν_i = (N−i)·ν_p·(A + δ(1−A)) + i·δ·ν_p`.
+///
+/// `ν_0 = ν̄` is the long-run capacity; `ν_N = N·δ·ν_p`.
+///
+/// # Panics
+///
+/// Panics if `i > N`.
+pub fn degraded_rate(model: &ClusterModel, i: usize) -> f64 {
+    let n = model.servers();
+    assert!(i <= n, "cannot have {i} of {n} servers in long repair");
+    let a = model.availability();
+    let nu_p = model.peak_rate();
+    let delta = model.degradation();
+    (n - i) as f64 * nu_p * (a + delta * (1.0 - a)) + i as f64 * delta * nu_p
+}
+
+/// The utilization thresholds `ρ_i = ν_i/ν̄` for `i = 1..=N`, returned in
+/// increasing order `ρ_N < … < ρ_1` (the vertical dotted lines of the
+/// paper's Figure 1).
+///
+/// # Example
+///
+/// ```
+/// use performa_core::{blowup, ClusterModel};
+/// use performa_dist::Exponential;
+///
+/// let m = ClusterModel::builder()
+///     .servers(2).peak_rate(2.0).degradation(0.2)
+///     .up(Exponential::with_mean(90.0)?)
+///     .down(Exponential::with_mean(10.0)?)
+///     .utilization(0.5)
+///     .build()?;
+/// let t = blowup::utilization_thresholds(&m);
+/// assert!((t[0] - 0.2174).abs() < 1e-3); // the paper's 21.7 %
+/// assert!((t[1] - 0.6087).abs() < 1e-3); // and 60.9 %
+/// # Ok::<(), performa_core::CoreError>(())
+/// ```
+pub fn utilization_thresholds(model: &ClusterModel) -> Vec<f64> {
+    let nu_bar = model.capacity();
+    (1..=model.servers())
+        .rev()
+        .map(|i| degraded_rate(model, i) / nu_bar)
+        .collect()
+}
+
+/// Determines which blow-up region the model's current arrival rate falls
+/// in (paper Eq. 4).
+pub fn region(model: &ClusterModel) -> BlowupRegion {
+    let lambda = model.arrival_rate();
+    let n = model.servers();
+    if lambda <= degraded_rate(model, n) {
+        return BlowupRegion::Insensitive;
+    }
+    // Find the smallest i with ν_i < λ (ties resolve to the deeper region).
+    for i in 1..=n {
+        if lambda > degraded_rate(model, i) {
+            return BlowupRegion::Region(i);
+        }
+    }
+    BlowupRegion::Region(n)
+}
+
+/// Predicted power-tail exponent of the queue-length pmf in blow-up region
+/// `i`, for repair tail exponent `alpha`: `β_i = i(α−1)+1`.
+///
+/// # Panics
+///
+/// Panics if `i == 0` (region 0 has a geometric, not power-law, tail).
+pub fn queue_tail_exponent(i: usize, alpha: f64) -> f64 {
+    assert!(i > 0, "region 0 has no power-law tail");
+    i as f64 * (alpha - 1.0) + 1.0
+}
+
+/// Availability interval `(A_lo, A_hi)` for blow-up region `i` at fixed
+/// arrival rate (paper Eq. 5):
+///
+/// ```text
+/// (λ − N·ν_p·δ) / ((N−i+1)·ν_p·(1−δ))  <  A  <  (λ − N·ν_p·δ) / ((N−i)·ν_p·(1−δ))
+/// ```
+///
+/// clipped to `[0, 1]`. Since `ν_i` grows with `A`, *low* availability
+/// lands in the deep regions (small `i`); for `i = N` the upper bound is 1
+/// (the `A < …` constraint is vacuous because `ν_N` does not depend on
+/// `A`). The lower bound of region 1 coincides with the stability bound
+/// (`ν_0 = ν̄`). Returns `None` when the region does not exist for this
+/// arrival rate, which per the paper happens iff `λ ≤ N·ν_p·δ` (then even
+/// fully-degraded capacity carries the load) or the interval is empty
+/// after clipping.
+///
+/// # Panics
+///
+/// Panics if `i == 0` or `i > N`, or if `δ = 1` (no degradation ⇒ no
+/// blow-up structure in `A`).
+pub fn availability_interval(model: &ClusterModel, i: usize) -> Option<(f64, f64)> {
+    let n = model.servers();
+    assert!(i >= 1 && i <= n, "region index {i} out of 1..={n}");
+    let delta = model.degradation();
+    assert!(
+        delta < 1.0,
+        "delta = 1 removes degradation; no blow-up regions exist"
+    );
+    let lambda = model.arrival_rate();
+    let nu_p = model.peak_rate();
+    let excess = lambda - n as f64 * nu_p * delta;
+    if excess <= 0.0 {
+        return None;
+    }
+    let denom = nu_p * (1.0 - delta);
+    // λ < ν_{i−1}(A)  ⇔  A > excess/((N−i+1)·denom)
+    let lo = excess / ((n - i + 1) as f64 * denom);
+    // ν_i(A) < λ  ⇔  A < excess/((N−i)·denom); vacuous for i = N.
+    let hi = if i == n {
+        1.0
+    } else {
+        excess / ((n - i) as f64 * denom)
+    };
+    let lo = lo.clamp(0.0, 1.0);
+    let hi = hi.clamp(0.0, 1.0);
+    if hi <= lo {
+        None
+    } else {
+        Some((lo, hi))
+    }
+}
+
+/// Minimum availability for stability at the model's arrival rate:
+/// `λ < ν̄(A)` ⇔ `A > (λ/(N·ν_p) − δ)/(1 − δ)` (the vertical asymptote in
+/// the paper's Figure 5).
+///
+/// Returns `0.0` when the cluster is stable even at `A = 0` and values
+/// above `1.0` when no availability can stabilize it.
+///
+/// # Panics
+///
+/// Panics if `δ = 1` and the load exceeds the (constant) capacity.
+pub fn stability_availability_bound(model: &ClusterModel) -> f64 {
+    let n = model.servers() as f64;
+    let nu_p = model.peak_rate();
+    let delta = model.degradation();
+    let ratio = model.arrival_rate() / (n * nu_p);
+    if delta >= 1.0 {
+        assert!(
+            ratio < 1.0,
+            "delta = 1: capacity is constant and below the offered load"
+        );
+        return 0.0;
+    }
+    ((ratio - delta) / (1.0 - delta)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClusterModel;
+    use performa_dist::Exponential;
+
+    fn model(n: usize, delta: f64, lambda: f64) -> ClusterModel {
+        ClusterModel::builder()
+            .servers(n)
+            .peak_rate(2.0)
+            .degradation(delta)
+            .up(Exponential::with_mean(90.0).unwrap())
+            .down(Exponential::with_mean(10.0).unwrap())
+            .arrival_rate(lambda)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn paper_figure1_thresholds() {
+        // N = 2, νp = 2, δ = 0.2, A = 0.9: the paper quotes 21.7 % and
+        // 60.9 %.
+        let m = model(2, 0.2, 1.0);
+        assert!((degraded_rate(&m, 0) - 3.68).abs() < 1e-12);
+        assert!((degraded_rate(&m, 1) - 2.24).abs() < 1e-12);
+        assert!((degraded_rate(&m, 2) - 0.8).abs() < 1e-12);
+        let t = utilization_thresholds(&m);
+        assert_eq!(t.len(), 2);
+        assert!((t[0] - 0.2174).abs() < 1e-4);
+        assert!((t[1] - 0.6087).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rates_are_monotone() {
+        let m = model(5, 0.2, 1.0);
+        for i in 1..=5 {
+            assert!(degraded_rate(&m, i) < degraded_rate(&m, i - 1));
+        }
+    }
+
+    #[test]
+    fn region_classification() {
+        // ν2 = 0.8, ν1 = 2.24, ν̄ = 3.68.
+        assert_eq!(region(&model(2, 0.2, 0.5)), BlowupRegion::Insensitive);
+        assert_eq!(region(&model(2, 0.2, 1.5)), BlowupRegion::Region(2));
+        assert_eq!(region(&model(2, 0.2, 3.0)), BlowupRegion::Region(1));
+    }
+
+    #[test]
+    fn crash_cluster_always_blows_up() {
+        // δ = 0 ⇒ ν_N = 0 ⇒ any positive load is in some blow-up region.
+        let m = model(2, 0.0, 0.1);
+        assert_ne!(region(&m), BlowupRegion::Insensitive);
+    }
+
+    #[test]
+    fn tail_exponents() {
+        assert!((queue_tail_exponent(1, 1.4) - 1.4).abs() < 1e-15);
+        assert!((queue_tail_exponent(2, 1.4) - 1.8).abs() < 1e-15);
+        assert!((queue_tail_exponent(3, 1.4) - 2.2).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "region 0")]
+    fn exponent_region_zero_panics() {
+        let _ = queue_tail_exponent(0, 1.4);
+    }
+
+    #[test]
+    fn availability_intervals_partition() {
+        // Paper Fig. 5 setting: λ = 1.8, νp = 2, δ = 0.2, N = 2.
+        let m = model(2, 0.2, 1.8);
+        let r1 = availability_interval(&m, 1).unwrap();
+        let r2 = availability_interval(&m, 2).unwrap();
+        // Region 1 (worst) sits at low availability, starting exactly at
+        // the stability bound 0.3125 and handing over to region 2 at
+        // A = (1.8 − 0.8)/(1·2·0.8) = 0.625.
+        assert!((r1.0 - 0.3125).abs() < 1e-12);
+        assert!((r1.1 - 0.625).abs() < 1e-12);
+        assert!((r2.0 - r1.1).abs() < 1e-12);
+        // Region 2 extends all the way to A = 1: the paper notes the model
+        // is "at least in the intermediate blow-up region" for any A < 1.
+        assert!((r2.1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_blowup_when_load_below_degraded_capacity() {
+        // λ ≤ N·νp·δ = 0.8: blow-up region 1 vanishes.
+        let m = model(2, 0.2, 0.7);
+        assert!(availability_interval(&m, 1).is_none());
+        assert!(availability_interval(&m, 2).is_none());
+    }
+
+    #[test]
+    fn stability_bound_matches_paper_figure5() {
+        // λ = 1.8 ⇒ A > (1.8/4 − 0.2)/0.8 = 0.3125 (paper: "about 31 %").
+        let m = model(2, 0.2, 1.8);
+        assert!((stability_availability_bound(&m) - 0.3125).abs() < 1e-12);
+        // Light load: stable even at A = 0.
+        let m = model(2, 0.2, 0.5);
+        assert_eq!(stability_availability_bound(&m), 0.0);
+    }
+
+    #[test]
+    fn thresholds_scale_with_n() {
+        let m = model(5, 0.2, 1.0);
+        let t = utilization_thresholds(&m);
+        assert_eq!(t.len(), 5);
+        for w in t.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(t[4] < 1.0);
+    }
+}

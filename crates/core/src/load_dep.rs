@@ -1,0 +1,248 @@
+//! The load-dependent cluster variant of paper Sect. 2.4: when fewer than
+//! `N` tasks are present, not every server can be busy, so the attainable
+//! service rate at level `j < N` is the sum of the `j` *fastest* per-server
+//! rates in the current phase configuration (the dispatcher prefers
+//! operational servers).
+//!
+//! The plain [`crate::ClusterModel`] ignores this effect — paper Eq. (2)
+//! "is always assumed to be exactly true" — and is therefore a (slightly
+//! pessimistic) bound; this module implements the exact correction with a
+//! level-dependent QBD boundary, which the simulator validates (Fig. 7).
+
+use performa_linalg::{Matrix, Vector};
+use performa_markov::aggregate::occupancy_states;
+use performa_qbd::{mm1, LevelDependentQbd, LevelDependentSolution as LdSolution};
+
+use crate::model::ClusterModel;
+use crate::{CoreError, Result};
+
+/// Load-dependent refinement of a [`ClusterModel`].
+#[derive(Debug, Clone)]
+pub struct LoadDependentCluster {
+    model: ClusterModel,
+}
+
+impl LoadDependentCluster {
+    /// Wraps a cluster model.
+    pub fn new(model: ClusterModel) -> Self {
+        LoadDependentCluster { model }
+    }
+
+    /// The underlying (load-independent) model.
+    pub fn model(&self) -> &ClusterModel {
+        &self.model
+    }
+
+    /// Builds the level-dependent QBD: levels `0..N` carry reduced service
+    /// rates, level `N` and above are the homogeneous M/MMPP/1 blocks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors from the layers below.
+    pub fn to_qbd(&self) -> Result<LevelDependentQbd> {
+        let n = self.model.servers();
+        let lambda = self.model.arrival_rate();
+        let single = self.model.server_model()?.modulator();
+        let m1 = single.dim();
+        let states = occupancy_states(m1, n);
+        let dim = states.len();
+
+        let full = self.model.service_process()?;
+        debug_assert_eq!(full.dim(), dim);
+        let q = full.generator().clone();
+        let li = Matrix::identity(dim) * lambda;
+
+        // Per-level service-rate diagonal: with j tasks, the j fastest
+        // servers (by their current phase rate) are busy.
+        let rate_at_level = |j: usize| -> Vector {
+            let mut out = Vector::zeros(dim);
+            for (si, v) in states.iter().enumerate() {
+                let mut per_server: Vec<f64> = Vec::with_capacity(n);
+                for (phase, &count) in v.iter().enumerate() {
+                    for _ in 0..count {
+                        per_server.push(single.rates()[phase]);
+                    }
+                }
+                per_server.sort_by(|a, b| b.partial_cmp(a).expect("rates are finite"));
+                out[si] = per_server.iter().take(j).sum();
+            }
+            out
+        };
+
+        let mut up = Vec::with_capacity(n);
+        let mut local = Vec::with_capacity(n);
+        let mut down = Vec::with_capacity(n.saturating_sub(1));
+        for j in 0..n {
+            let lj = Matrix::diag(rate_at_level(j).as_slice());
+            up.push(li.clone());
+            local.push(&(&q - &li) - &lj);
+            if j > 0 {
+                // down[j−1] maps level j → j−1 and therefore carries the
+                // level-j service rates.
+                down.push(lj);
+            }
+        }
+
+        let l_full = Matrix::diag(full.rates().as_slice());
+        let a1 = &(&q - &li) - &l_full;
+        Ok(LevelDependentQbd::new(up, local, down, li, a1, l_full)?)
+    }
+
+    /// Solves the load-dependent model.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Unstable`] when the load exceeds capacity; solver
+    /// errors otherwise.
+    pub fn solve(&self) -> Result<LoadDependentSolution> {
+        if self.model.arrival_rate() >= self.model.capacity() {
+            return Err(CoreError::Unstable {
+                lambda: self.model.arrival_rate(),
+                capacity: self.model.capacity(),
+            });
+        }
+        let sol = self.to_qbd()?.solve()?;
+        Ok(LoadDependentSolution {
+            model: self.model.clone(),
+            inner: sol,
+        })
+    }
+}
+
+/// Stationary solution of the load-dependent cluster.
+#[derive(Debug, Clone)]
+pub struct LoadDependentSolution {
+    model: ClusterModel,
+    inner: LdSolution,
+}
+
+impl LoadDependentSolution {
+    /// Mean number of tasks in the system.
+    pub fn mean_queue_length(&self) -> f64 {
+        self.inner.mean_queue_length()
+    }
+
+    /// Mean queue length normalized by M/M/1 at equal utilization.
+    pub fn normalized_mean_queue_length(&self) -> f64 {
+        self.mean_queue_length() / mm1::mean_queue_length(self.model.utilization())
+    }
+
+    /// Probability of exactly `n` tasks.
+    pub fn queue_length_pmf(&self, n: usize) -> f64 {
+        self.inner.level_probability(n)
+    }
+
+    /// Tail probability `Pr(Q > k)`.
+    pub fn tail_probability(&self, k: usize) -> f64 {
+        self.inner.tail_probability(k)
+    }
+
+    /// Diagnostic: total probability mass (1 up to round-off).
+    pub fn total_probability(&self) -> f64 {
+        self.inner.total_probability()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClusterModel;
+    use performa_dist::{Exponential, TruncatedPowerTail};
+
+    fn model(rho: f64) -> ClusterModel {
+        ClusterModel::builder()
+            .servers(2)
+            .peak_rate(2.0)
+            .degradation(0.2)
+            .up(Exponential::with_mean(90.0).unwrap())
+            .down(Exponential::with_mean(10.0).unwrap())
+            .utilization(rho)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn mass_conserved() {
+        let sol = LoadDependentCluster::new(model(0.5)).solve().unwrap();
+        assert!((sol.total_probability() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn load_dependence_reduces_queue_length() {
+        // The load-independent model over-serves at small queue lengths
+        // (it lets idle capacity work), so it is a *lower* bound on the
+        // mean queue length: the load-dependent exact model must be
+        // larger, but only slightly (paper Fig. 7).
+        for rho in [0.3, 0.6, 0.8] {
+            let li = model(rho).solve().unwrap().mean_queue_length();
+            let ld = LoadDependentCluster::new(model(rho))
+                .solve()
+                .unwrap()
+                .mean_queue_length();
+            assert!(ld > li, "rho={rho}: load-dep {ld} <= load-indep {li}");
+            // The correction is bounded: less than the ~N extra tasks that
+            // can sit in service positions.
+            assert!(ld < li + 2.0, "rho={rho}: gap too large ({li} vs {ld})");
+        }
+    }
+
+    #[test]
+    fn effect_vanishes_at_high_load() {
+        // Relative difference shrinks as rho → 1 (queue rarely below N).
+        let rel = |rho: f64| {
+            let li = model(rho).solve().unwrap().mean_queue_length();
+            let ld = LoadDependentCluster::new(model(rho))
+                .solve()
+                .unwrap()
+                .mean_queue_length();
+            (ld - li) / li
+        };
+        assert!(rel(0.9) < rel(0.3));
+    }
+
+    #[test]
+    fn single_server_load_dependence_is_trivial() {
+        // N = 1: no level below N except the empty queue, whose service
+        // rate is zero in both variants ⇒ identical results.
+        let m = ClusterModel::builder()
+            .servers(1)
+            .peak_rate(2.0)
+            .degradation(0.2)
+            .up(Exponential::with_mean(90.0).unwrap())
+            .down(Exponential::with_mean(10.0).unwrap())
+            .utilization(0.6)
+            .build()
+            .unwrap();
+        let li = m.solve().unwrap().mean_queue_length();
+        let ld = LoadDependentCluster::new(m).solve().unwrap().mean_queue_length();
+        assert!((li - ld).abs() < 1e-9, "{li} vs {ld}");
+    }
+
+    #[test]
+    fn works_with_tpt_repairs() {
+        let m = ClusterModel::builder()
+            .servers(2)
+            .peak_rate(2.0)
+            .degradation(0.2)
+            .up(Exponential::with_mean(90.0).unwrap())
+            .down(TruncatedPowerTail::with_mean(5, 1.4, 0.2, 10.0).unwrap())
+            .utilization(0.5)
+            .build()
+            .unwrap();
+        let sol = LoadDependentCluster::new(m).solve().unwrap();
+        assert!((sol.total_probability() - 1.0).abs() < 1e-9);
+        assert!(sol.mean_queue_length() > 0.0);
+        assert!(sol.tail_probability(0) < 1.0);
+        assert!(sol.queue_length_pmf(0) > 0.0);
+        assert!(sol.normalized_mean_queue_length() > 1.0);
+    }
+
+    #[test]
+    fn unstable_rejected() {
+        let m = model(0.5).with_arrival_rate(4.0).unwrap();
+        assert!(matches!(
+            LoadDependentCluster::new(m).solve(),
+            Err(CoreError::Unstable { .. })
+        ));
+    }
+}

@@ -1,0 +1,263 @@
+//! Parameter sensitivity of the performability metrics.
+//!
+//! The paper's central warning is that the metrics react *discontinuously*
+//! at blow-up boundaries, so local sensitivities are exactly what a
+//! designer needs to know: how much does the mean queue length move per
+//! unit of availability, degradation factor, capacity or load — and is
+//! the configuration close to a boundary where these derivatives explode?
+//!
+//! Derivatives are computed by central finite differences on the exact
+//! analytic solution (each probe is a full matrix-geometric solve, so the
+//! values are exact up to the differencing error).
+
+use crate::blowup;
+use crate::model::ClusterModel;
+use crate::{CoreError, Result};
+
+/// Relative step used for central differences.
+const REL_STEP: f64 = 1e-4;
+
+/// Local sensitivities of the mean queue length at a model's operating
+/// point, each expressed as a raw partial derivative.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sensitivities {
+    /// `∂E[Q]/∂λ` — per unit of arrival rate.
+    pub wrt_arrival_rate: f64,
+    /// `∂E[Q]/∂A` — per unit of per-node availability, holding the
+    /// UP+DOWN cycle length constant (the paper's Fig. 5 sweep direction).
+    pub wrt_availability: f64,
+    /// `∂E[Q]/∂δ` — per unit of degradation factor.
+    pub wrt_degradation: f64,
+    /// `∂E[Q]/∂ν_p` — per unit of peak service rate.
+    pub wrt_peak_rate: f64,
+    /// Distance (in utilization) to the nearest blow-up threshold;
+    /// negative when the operating point sits above (deeper than) every
+    /// threshold... see [`distance_to_blowup`].
+    pub distance_to_threshold: f64,
+}
+
+fn mean_ql(model: &ClusterModel) -> Result<f64> {
+    Ok(model.solve()?.mean_queue_length())
+}
+
+/// Rebuilds the model with availability `a` (cycle length preserved) by
+/// rescaling both period means. Requires both periods to stay valid.
+fn with_availability(model: &ClusterModel, a: f64) -> Result<ClusterModel> {
+    if !(0.0 < a && a < 1.0) {
+        return Err(CoreError::InvalidParameter {
+            message: format!("availability {a} must lie in (0, 1)"),
+        });
+    }
+    let cycle = model.mttf() + model.mttr();
+    let up_scale = a * cycle / model.mttf();
+    let down_scale = (1.0 - a) * cycle / model.mttr();
+    // Rescale by rebuilding the distributions via their ME representation
+    // is non-trivial for arbitrary families; instead exploit that every
+    // analytic family here exposes a mean-scaling constructor through
+    // `Dist`. We scale exponentially-represented means by rebuilding with
+    // scaled matrix-exponential rate matrices.
+    let up = scale_dist(model.up(), up_scale)?;
+    let down = scale_dist(model.down(), down_scale)?;
+    ClusterModel::builder()
+        .servers(model.servers())
+        .peak_rate(model.peak_rate())
+        .degradation(model.degradation())
+        .up(up)
+        .down(down)
+        .arrival_rate(model.arrival_rate())
+        .build()
+}
+
+/// Scales a phase-type distribution's time axis by `factor` (mean scales
+/// by `factor`, shape preserved exactly).
+fn scale_dist(d: &performa_dist::Dist, factor: f64) -> Result<performa_dist::Dist> {
+    use performa_dist::{Dist, Erlang, Exponential, HyperExponential, Moments};
+    let scaled = match d {
+        Dist::Exponential(e) => Exponential::new(e.rate() / factor)
+            .map(Dist::Exponential)
+            .map_err(CoreError::from)?,
+        Dist::Erlang(e) => Erlang::new(e.stages(), e.rate() / factor)
+            .map(Dist::Erlang)
+            .map_err(CoreError::from)?,
+        Dist::HyperExponential(h) => {
+            let rates: Vec<f64> = h.rates().iter().map(|r| r / factor).collect();
+            HyperExponential::new(h.probs(), &rates)
+                .map(Dist::HyperExponential)
+                .map_err(CoreError::from)?
+        }
+        Dist::TruncatedPowerTail(t) => performa_dist::TruncatedPowerTail::with_mean(
+            t.truncation(),
+            t.alpha(),
+            t.theta(),
+            t.mean() * factor,
+        )
+        .map(Dist::TruncatedPowerTail)
+        .map_err(CoreError::from)?,
+        other => {
+            return Err(CoreError::InvalidParameter {
+                message: format!(
+                    "cannot scale non-phase-type family `{}`",
+                    other.family()
+                ),
+            })
+        }
+    };
+    Ok(scaled)
+}
+
+/// Signed utilization distance to the nearest blow-up threshold:
+/// positive = the operating point is below the nearest threshold (safe
+/// side), negative = above it. Magnitudes below ~0.05 deserve attention.
+pub fn distance_to_blowup(model: &ClusterModel) -> f64 {
+    let rho = model.utilization();
+    let thresholds = blowup::utilization_thresholds(model);
+    let mut best = f64::INFINITY;
+    for &t in &thresholds {
+        let d = t - rho;
+        if d.abs() < best.abs() {
+            best = d;
+        }
+    }
+    best
+}
+
+/// Computes all local sensitivities at the model's operating point.
+///
+/// # Errors
+///
+/// Propagates solver errors; also fails if a probe point is unstable
+/// (operating too close to saturation for the chosen step) or the period
+/// distributions cannot be rescaled.
+pub fn sensitivities(model: &ClusterModel) -> Result<Sensitivities> {
+    // λ
+    let l = model.arrival_rate();
+    let dl = l * REL_STEP;
+    let d_lambda = (mean_ql(&model.with_arrival_rate(l + dl)?)?
+        - mean_ql(&model.with_arrival_rate(l - dl)?)?)
+        / (2.0 * dl);
+
+    // A (cycle-preserving)
+    let a = model.availability();
+    let da = (a.min(1.0 - a)) * REL_STEP;
+    let d_avail = (mean_ql(&with_availability(model, a + da)?)?
+        - mean_ql(&with_availability(model, a - da)?)?)
+        / (2.0 * da);
+
+    // δ — at fixed λ (capacity changes with δ).
+    let delta = model.degradation();
+    let dd = REL_STEP.max(delta * REL_STEP);
+    let (lo, hi) = if delta - dd < 0.0 {
+        (delta, delta + dd)
+    } else if delta + dd > 1.0 {
+        (delta - dd, delta)
+    } else {
+        (delta - dd, delta + dd)
+    };
+    let rebuild_delta = |d: f64| -> Result<ClusterModel> {
+        ClusterModel::builder()
+            .servers(model.servers())
+            .peak_rate(model.peak_rate())
+            .degradation(d)
+            .up(model.up().clone())
+            .down(model.down().clone())
+            .arrival_rate(model.arrival_rate())
+            .build()
+    };
+    let d_delta = (mean_ql(&rebuild_delta(hi)?)? - mean_ql(&rebuild_delta(lo)?)?) / (hi - lo);
+
+    // ν_p — at fixed λ.
+    let nu = model.peak_rate();
+    let dn = nu * REL_STEP;
+    let rebuild_nu = |v: f64| -> Result<ClusterModel> {
+        ClusterModel::builder()
+            .servers(model.servers())
+            .peak_rate(v)
+            .degradation(model.degradation())
+            .up(model.up().clone())
+            .down(model.down().clone())
+            .arrival_rate(model.arrival_rate())
+            .build()
+    };
+    let d_nu = (mean_ql(&rebuild_nu(nu + dn)?)? - mean_ql(&rebuild_nu(nu - dn)?)?) / (2.0 * dn);
+
+    Ok(Sensitivities {
+        wrt_arrival_rate: d_lambda,
+        wrt_availability: d_avail,
+        wrt_degradation: d_delta,
+        wrt_peak_rate: d_nu,
+        distance_to_threshold: distance_to_blowup(model),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use performa_dist::{Exponential, TruncatedPowerTail};
+
+    fn model(rho: f64) -> ClusterModel {
+        ClusterModel::builder()
+            .servers(2)
+            .peak_rate(2.0)
+            .degradation(0.2)
+            .up(Exponential::with_mean(90.0).unwrap())
+            .down(TruncatedPowerTail::with_mean(6, 1.4, 0.2, 10.0).unwrap())
+            .utilization(rho)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn signs_are_physical() {
+        let s = sensitivities(&model(0.5)).unwrap();
+        assert!(s.wrt_arrival_rate > 0.0, "more load, more queue");
+        assert!(s.wrt_availability < 0.0, "more availability, less queue");
+        assert!(s.wrt_degradation < 0.0, "higher delta = faster degraded service");
+        assert!(s.wrt_peak_rate < 0.0, "faster servers, less queue");
+    }
+
+    #[test]
+    fn sensitivities_explode_near_blowup() {
+        let calm = sensitivities(&model(0.45)).unwrap();
+        let hot = sensitivities(&model(0.605)).unwrap();
+        assert!(
+            hot.wrt_arrival_rate > 5.0 * calm.wrt_arrival_rate,
+            "calm {} vs hot {}",
+            calm.wrt_arrival_rate,
+            hot.wrt_arrival_rate
+        );
+        assert!(hot.distance_to_threshold.abs() < 0.01);
+    }
+
+    #[test]
+    fn distance_to_blowup_signs() {
+        // Just below rho_1 = 0.6087: positive small. Just above: negative.
+        assert!(distance_to_blowup(&model(0.60)) > 0.0);
+        assert!(distance_to_blowup(&model(0.62)) < 0.0);
+        // Near rho_2 = 0.2174.
+        let d = distance_to_blowup(&model(0.21));
+        assert!(d > 0.0 && d < 0.01);
+    }
+
+    #[test]
+    fn availability_rescale_preserves_cycle_and_shape() {
+        let m = model(0.5);
+        let m2 = with_availability(&m, 0.8).unwrap();
+        assert!((m2.availability() - 0.8).abs() < 1e-9);
+        assert!((m2.mttf() + m2.mttr() - 100.0).abs() < 1e-9);
+        // Repair stays a TPT with the same truncation and alpha.
+        match m2.down() {
+            performa_dist::Dist::TruncatedPowerTail(t) => {
+                assert_eq!(t.truncation(), 6);
+                assert!((t.alpha() - 1.4).abs() < 1e-12);
+            }
+            other => panic!("family changed: {}", other.family()),
+        }
+    }
+
+    #[test]
+    fn rescale_rejects_bad_availability() {
+        let m = model(0.5);
+        assert!(with_availability(&m, 0.0).is_err());
+        assert!(with_availability(&m, 1.0).is_err());
+    }
+}

@@ -1,0 +1,159 @@
+//! The cluster ↔ teletraffic duality of paper Sect. 2.3.
+//!
+//! The M/MMPP/1 cluster queue is, after renaming, the *N-Burst* MMPP/M/1
+//! traffic model of Schwefel & Lipsky: servers become ON/OFF traffic
+//! sources, UP periods become ON periods, availability becomes the
+//! complement of the burst parameter. This module computes the dual
+//! parameter set and renders the paper's comparison table
+//! programmatically (experiment `table1`).
+
+use performa_markov::OnOffSource;
+
+use crate::model::ClusterModel;
+use crate::Result;
+
+/// Parameters of the N-Burst traffic model dual to a cluster model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelcoParams {
+    /// Number of ON/OFF sources (= number of servers).
+    pub sources: usize,
+    /// Peak rate `λ_p` during ON (= service rate during UP `ν_p`).
+    pub peak_rate: f64,
+    /// Burst parameter `b` = fraction of time OFF (= `1 − A`).
+    pub burstiness: f64,
+    /// Mean ON duration (= MTTF).
+    pub mean_on: f64,
+    /// Mean OFF duration (= MTTR).
+    pub mean_off: f64,
+    /// Aggregate mean arrival rate `λ = N·λ_p·(1−b)` (= `ν̄` for crash
+    /// faults, δ = 0).
+    pub aggregate_rate: f64,
+}
+
+/// Computes the dual N-Burst parameters of a cluster model.
+pub fn dual_params(model: &ClusterModel) -> TelcoParams {
+    let a = model.availability();
+    TelcoParams {
+        sources: model.servers(),
+        peak_rate: model.peak_rate(),
+        burstiness: 1.0 - a,
+        mean_on: model.mttf(),
+        mean_off: model.mttr(),
+        aggregate_rate: model.servers() as f64 * model.peak_rate() * a,
+    }
+}
+
+/// Builds the dual [`OnOffSource`] whose `N`-fold aggregate is the
+/// MMPP/M/1 arrival process corresponding to the cluster's service
+/// process (crash-fault view).
+///
+/// # Errors
+///
+/// Propagates construction errors from the Markov layer.
+pub fn dual_source(model: &ClusterModel) -> Result<OnOffSource> {
+    let up = model
+        .up()
+        .to_matrix_exp()
+        .expect("cluster models enforce phase-type periods");
+    let down = model
+        .down()
+        .to_matrix_exp()
+        .expect("cluster models enforce phase-type periods");
+    Ok(OnOffSource::new(up, down, model.peak_rate())?)
+}
+
+/// One row of the paper's Sect. 2.3 comparison table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DualityRow {
+    /// Quantity name.
+    pub quantity: &'static str,
+    /// Value/formula on the cluster side.
+    pub cluster: String,
+    /// Value/formula on the telco side.
+    pub telco: String,
+}
+
+/// Renders the paper's cluster-vs-telco comparison table for a concrete
+/// model (numbers substituted).
+pub fn duality_table(model: &ClusterModel) -> Vec<DualityRow> {
+    let p = dual_params(model);
+    vec![
+        DualityRow {
+            quantity: "queueing model",
+            cluster: "M/MMPP/1".into(),
+            telco: "MMPP/M/1".into(),
+        },
+        DualityRow {
+            quantity: "entities",
+            cluster: format!("{} servers", model.servers()),
+            telco: format!("{} sources", p.sources),
+        },
+        DualityRow {
+            quantity: "peak rate",
+            cluster: format!("service during UP nu_p = {}", model.peak_rate()),
+            telco: format!("arrival during ON lambda_p = {}", p.peak_rate),
+        },
+        DualityRow {
+            quantity: "duty cycle",
+            cluster: format!("availability A = {:.4}", model.availability()),
+            telco: format!("burstiness b = {:.4} (A = 1 - b)", p.burstiness),
+        },
+        DualityRow {
+            quantity: "mean aggregate rate",
+            cluster: format!("nu_bar = N*nu_p*A = {:.4}", p.aggregate_rate),
+            telco: format!("lambda = N*lambda_p*(1-b) = {:.4}", p.aggregate_rate),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClusterModel;
+    use performa_dist::{Exponential, TruncatedPowerTail};
+
+    fn model() -> ClusterModel {
+        ClusterModel::builder()
+            .servers(2)
+            .peak_rate(2.0)
+            .degradation(0.0)
+            .up(Exponential::with_mean(90.0).unwrap())
+            .down(TruncatedPowerTail::with_mean(5, 1.4, 0.2, 10.0).unwrap())
+            .utilization(0.5)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn dual_parameters() {
+        let p = dual_params(&model());
+        assert_eq!(p.sources, 2);
+        assert_eq!(p.peak_rate, 2.0);
+        assert!((p.burstiness - 0.1).abs() < 1e-9);
+        assert!((p.mean_on - 90.0).abs() < 1e-9);
+        assert!((p.mean_off - 10.0).abs() < 1e-9);
+        assert!((p.aggregate_rate - 3.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dual_source_modulator_matches_service_process() {
+        // For crash faults the dual source aggregate is exactly the
+        // cluster's service MMPP.
+        let m = model();
+        let service = m.service_process().unwrap();
+        let arrivals = dual_source(&m).unwrap().aggregate(2).unwrap();
+        assert!(service
+            .generator()
+            .max_abs_diff(arrivals.generator())
+            < 1e-12);
+        assert_eq!(service.rates().as_slice(), arrivals.rates().as_slice());
+    }
+
+    #[test]
+    fn table_has_all_rows() {
+        let t = duality_table(&model());
+        assert_eq!(t.len(), 5);
+        assert!(t.iter().any(|r| r.cluster.contains("M/MMPP/1")));
+        assert!(t.iter().any(|r| r.telco.contains("lambda_p")));
+    }
+}

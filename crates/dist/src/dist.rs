@@ -1,0 +1,229 @@
+use crate::{
+    Deterministic, DistributionFn, Erlang, Exponential, HyperExponential, LogNormal, MatrixExp,
+    Moments, Pareto, Sampler, TruncatedPowerTail, Uniform, Weibull,
+};
+
+/// A closed sum type over every distribution family in the crate.
+///
+/// The simulator and the experiment binaries configure UP, DOWN and task
+/// durations through this enum; the analytic model additionally requires
+/// the distribution to be phase-type (see [`Dist::to_matrix_exp`]).
+///
+/// # Example
+///
+/// ```
+/// use performa_dist::{Dist, Exponential, Moments, TruncatedPowerTail};
+///
+/// let up: Dist = Exponential::with_mean(90.0)?.into();
+/// let down: Dist = TruncatedPowerTail::with_mean(10, 1.4, 0.2, 10.0)?.into();
+/// assert!(up.to_matrix_exp().is_some());
+/// assert!(down.scv() > up.scv());
+/// # Ok::<(), performa_dist::DistError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Dist {
+    /// Exponential distribution.
+    Exponential(Exponential),
+    /// Erlang-k distribution.
+    Erlang(Erlang),
+    /// Hyperexponential mixture.
+    HyperExponential(HyperExponential),
+    /// Truncated power-tail distribution.
+    TruncatedPowerTail(TruncatedPowerTail),
+    /// Point mass.
+    Deterministic(Deterministic),
+    /// Continuous uniform.
+    Uniform(Uniform),
+    /// Pareto power tail.
+    Pareto(Pareto),
+    /// Weibull.
+    Weibull(Weibull),
+    /// Log-normal.
+    LogNormal(LogNormal),
+}
+
+macro_rules! dispatch {
+    ($self:expr, $inner:ident => $expr:expr) => {
+        match $self {
+            Dist::Exponential($inner) => $expr,
+            Dist::Erlang($inner) => $expr,
+            Dist::HyperExponential($inner) => $expr,
+            Dist::TruncatedPowerTail($inner) => $expr,
+            Dist::Deterministic($inner) => $expr,
+            Dist::Uniform($inner) => $expr,
+            Dist::Pareto($inner) => $expr,
+            Dist::Weibull($inner) => $expr,
+            Dist::LogNormal($inner) => $expr,
+        }
+    };
+}
+
+impl Dist {
+    /// Phase-type / matrix-exponential representation, if the family has
+    /// one. `None` for the simulation-only families (deterministic,
+    /// uniform, Pareto, Weibull, log-normal).
+    pub fn to_matrix_exp(&self) -> Option<MatrixExp> {
+        match self {
+            Dist::Exponential(d) => Some(d.to_matrix_exp()),
+            Dist::Erlang(d) => Some(d.to_matrix_exp()),
+            Dist::HyperExponential(d) => Some(d.to_matrix_exp()),
+            Dist::TruncatedPowerTail(d) => Some(d.to_matrix_exp()),
+            _ => None,
+        }
+    }
+
+    /// Short human-readable family label (used in experiment output).
+    pub fn family(&self) -> &'static str {
+        match self {
+            Dist::Exponential(_) => "exponential",
+            Dist::Erlang(_) => "erlang",
+            Dist::HyperExponential(_) => "hyperexponential",
+            Dist::TruncatedPowerTail(_) => "tpt",
+            Dist::Deterministic(_) => "deterministic",
+            Dist::Uniform(_) => "uniform",
+            Dist::Pareto(_) => "pareto",
+            Dist::Weibull(_) => "weibull",
+            Dist::LogNormal(_) => "lognormal",
+        }
+    }
+}
+
+impl Moments for Dist {
+    fn mean(&self) -> f64 {
+        dispatch!(self, d => d.mean())
+    }
+    fn variance(&self) -> f64 {
+        dispatch!(self, d => d.variance())
+    }
+    fn raw_moment(&self, k: u32) -> f64 {
+        dispatch!(self, d => d.raw_moment(k))
+    }
+}
+
+impl DistributionFn for Dist {
+    fn cdf(&self, x: f64) -> f64 {
+        dispatch!(self, d => d.cdf(x))
+    }
+    fn sf(&self, x: f64) -> f64 {
+        dispatch!(self, d => d.sf(x))
+    }
+    fn pdf(&self, x: f64) -> f64 {
+        dispatch!(self, d => d.pdf(x))
+    }
+}
+
+impl Sampler for Dist {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        dispatch!(self, d => d.sample(rng))
+    }
+}
+
+impl From<Exponential> for Dist {
+    fn from(d: Exponential) -> Self {
+        Dist::Exponential(d)
+    }
+}
+impl From<Erlang> for Dist {
+    fn from(d: Erlang) -> Self {
+        Dist::Erlang(d)
+    }
+}
+impl From<HyperExponential> for Dist {
+    fn from(d: HyperExponential) -> Self {
+        Dist::HyperExponential(d)
+    }
+}
+impl From<TruncatedPowerTail> for Dist {
+    fn from(d: TruncatedPowerTail) -> Self {
+        Dist::TruncatedPowerTail(d)
+    }
+}
+impl From<Deterministic> for Dist {
+    fn from(d: Deterministic) -> Self {
+        Dist::Deterministic(d)
+    }
+}
+impl From<Uniform> for Dist {
+    fn from(d: Uniform) -> Self {
+        Dist::Uniform(d)
+    }
+}
+impl From<Pareto> for Dist {
+    fn from(d: Pareto) -> Self {
+        Dist::Pareto(d)
+    }
+}
+impl From<Weibull> for Dist {
+    fn from(d: Weibull) -> Self {
+        Dist::Weibull(d)
+    }
+}
+impl From<LogNormal> for Dist {
+    fn from(d: LogNormal) -> Self {
+        Dist::LogNormal(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conversions_and_dispatch() {
+        let d: Dist = Exponential::new(2.0).unwrap().into();
+        assert_eq!(d.family(), "exponential");
+        assert_eq!(d.mean(), 0.5);
+        assert!(d.to_matrix_exp().is_some());
+
+        let d: Dist = Pareto::new(1.5, 1.0).unwrap().into();
+        assert_eq!(d.family(), "pareto");
+        assert!(d.to_matrix_exp().is_none());
+        assert!(d.mean().is_finite());
+        assert_eq!(d.variance(), f64::INFINITY);
+    }
+
+    #[test]
+    fn enum_samples_all_families() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let dists: Vec<Dist> = vec![
+            Exponential::new(1.0).unwrap().into(),
+            Erlang::new(2, 1.0).unwrap().into(),
+            HyperExponential::new(&[0.5, 0.5], &[1.0, 2.0]).unwrap().into(),
+            TruncatedPowerTail::with_mean(3, 1.4, 0.5, 1.0).unwrap().into(),
+            Deterministic::new(1.0).unwrap().into(),
+            Uniform::new(0.0, 2.0).unwrap().into(),
+            Pareto::new(2.0, 1.0).unwrap().into(),
+            Weibull::new(1.5, 1.0).unwrap().into(),
+            LogNormal::new(0.0, 1.0).unwrap().into(),
+        ];
+        for d in &dists {
+            let x = d.sample(&mut rng);
+            assert!(x.is_finite() && x >= 0.0, "{}: sample {x}", d.family());
+            // CDF is sane at the sample point.
+            let c = d.cdf(x);
+            assert!((0.0..=1.0).contains(&c), "{}: cdf {c}", d.family());
+        }
+    }
+
+    #[test]
+    fn cdf_sf_consistency_across_families() {
+        let dists: Vec<Dist> = vec![
+            Exponential::new(0.7).unwrap().into(),
+            Erlang::new(3, 1.3).unwrap().into(),
+            Uniform::new(1.0, 4.0).unwrap().into(),
+            Weibull::new(0.9, 2.0).unwrap().into(),
+        ];
+        for d in &dists {
+            for &x in &[0.5, 1.5, 3.0] {
+                assert!(
+                    (d.cdf(x) + d.sf(x) - 1.0).abs() < 1e-12,
+                    "{} at {x}",
+                    d.family()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,199 @@
+use performa_linalg::{Matrix, Vector};
+
+use crate::error::require_positive;
+use crate::{DistError, DistributionFn, MatrixExp, Moments, Result};
+
+/// The Erlang-`k` distribution: the sum of `k` i.i.d. exponentials with
+/// rate `rate` per stage.
+///
+/// Erlangs sit on the *low-variance* side (`scv = 1/k ≤ 1`) and are used in
+/// the test-suite and ablation experiments as the counterpoint to the
+/// high-variance repair distributions the paper studies.
+///
+/// # Example
+///
+/// ```
+/// use performa_dist::{Erlang, Moments};
+///
+/// let e = Erlang::with_mean(4, 2.0)?; // 4 stages, overall mean 2
+/// assert!((e.mean() - 2.0).abs() < 1e-12);
+/// assert!((e.scv() - 0.25).abs() < 1e-12);
+/// # Ok::<(), performa_dist::DistError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Erlang {
+    stages: u32,
+    rate: f64,
+}
+
+impl Erlang {
+    /// Creates an Erlang distribution with `stages` phases of rate `rate`.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidParameter`] if `stages == 0` or `rate` is not
+    /// finite positive.
+    pub fn new(stages: u32, rate: f64) -> Result<Self> {
+        if stages == 0 {
+            return Err(DistError::InvalidParameter {
+                name: "stages",
+                value: 0.0,
+                constraint: ">= 1",
+            });
+        }
+        require_positive("rate", rate)?;
+        Ok(Erlang { stages, rate })
+    }
+
+    /// Creates an Erlang with `stages` phases and the given overall mean.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Erlang::new`].
+    pub fn with_mean(stages: u32, mean: f64) -> Result<Self> {
+        require_positive("mean", mean)?;
+        Erlang::new(stages, stages as f64 / mean)
+    }
+
+    /// Number of stages `k`.
+    pub fn stages(&self) -> u32 {
+        self.stages
+    }
+
+    /// Per-stage rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Bidiagonal phase-type representation (stage chain).
+    pub fn to_matrix_exp(&self) -> MatrixExp {
+        let k = self.stages as usize;
+        let mut b = Matrix::zeros(k, k);
+        for i in 0..k {
+            b[(i, i)] = self.rate;
+            if i + 1 < k {
+                b[(i, i + 1)] = -self.rate;
+            }
+        }
+        MatrixExp::new(Vector::basis(k, 0), b)
+            .expect("Erlang chain is always a valid representation")
+    }
+}
+
+impl Moments for Erlang {
+    fn mean(&self) -> f64 {
+        self.stages as f64 / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        self.stages as f64 / (self.rate * self.rate)
+    }
+
+    fn raw_moment(&self, k: u32) -> f64 {
+        // E[X^m] = (k)(k+1)…(k+m−1) / λ^m for Erlang-k with stage rate λ.
+        let mut m = 1.0;
+        for i in 0..k {
+            m *= (self.stages + i) as f64 / self.rate;
+        }
+        m
+    }
+}
+
+impl DistributionFn for Erlang {
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        // 1 − Σ_{n<k} e^{−λx}(λx)ⁿ/n!
+        let lx = self.rate * x;
+        let mut term = (-lx).exp();
+        let mut sum = term;
+        for n in 1..self.stages {
+            term *= lx / n as f64;
+            sum += term;
+        }
+        (1.0 - sum).clamp(0.0, 1.0)
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        let k = self.stages;
+        let lx = self.rate * x;
+        // λ (λx)^{k−1} e^{−λx} / (k−1)!
+        let mut v = self.rate * (-lx).exp();
+        for n in 1..k {
+            v *= lx / n as f64;
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_stage_is_exponential() {
+        let e = Erlang::new(1, 2.0).unwrap();
+        assert_eq!(e.mean(), 0.5);
+        assert!((e.scv() - 1.0).abs() < 1e-15);
+        let exp = crate::Exponential::new(2.0).unwrap();
+        for &x in &[0.1, 1.0, 3.0] {
+            assert!((e.cdf(x) - exp.cdf(x)).abs() < 1e-14);
+            assert!((e.pdf(x) - exp.pdf(x)).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        assert!(Erlang::new(0, 1.0).is_err());
+        assert!(Erlang::new(2, 0.0).is_err());
+        assert!(Erlang::with_mean(2, -1.0).is_err());
+    }
+
+    #[test]
+    fn moments_match_formulas() {
+        let e = Erlang::new(3, 1.5).unwrap();
+        assert!((e.mean() - 2.0).abs() < 1e-15);
+        assert!((e.variance() - 3.0 / 2.25).abs() < 1e-15);
+        // E[X²] = var + mean² = 4/3·... check against raw_moment.
+        assert!((e.raw_moment(2) - (e.variance() + 4.0)).abs() < 1e-12);
+        // E[X³] = k(k+1)(k+2)/λ³ = 3·4·5/3.375
+        assert!((e.raw_moment(3) - 60.0 / 3.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let e = Erlang::new(5, 2.0).unwrap();
+        let mut prev = 0.0;
+        for i in 0..100 {
+            let x = i as f64 * 0.1;
+            let c = e.cdf(x);
+            assert!((0.0..=1.0).contains(&c));
+            assert!(c >= prev - 1e-15);
+            prev = c;
+        }
+        assert!(e.cdf(50.0) > 0.999999);
+    }
+
+    #[test]
+    fn matrix_exp_agrees_with_closed_form() {
+        let e = Erlang::new(4, 3.0).unwrap();
+        let me = e.to_matrix_exp();
+        assert!((me.mean() - e.mean()).abs() < 1e-12);
+        assert!((me.raw_moment(2) - e.raw_moment(2)).abs() < 1e-11);
+        for &x in &[0.2, 1.0, 2.0] {
+            assert!((me.sf(x) - e.sf(x)).abs() < 1e-10, "x={x}");
+        }
+    }
+
+    #[test]
+    fn pdf_integrates_to_one_numerically() {
+        let e = Erlang::new(3, 2.0).unwrap();
+        let dx = 1e-3;
+        let total: f64 = (0..20_000).map(|i| e.pdf(i as f64 * dx) * dx).sum();
+        assert!((total - 1.0).abs() < 1e-3);
+    }
+}

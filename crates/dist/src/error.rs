@@ -1,0 +1,127 @@
+use std::fmt;
+
+/// Errors produced when constructing or fitting distributions.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DistError {
+    /// A parameter was outside its documented domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+        /// The documented constraint, e.g. `"> 0"`.
+        constraint: &'static str,
+    },
+    /// A moment set cannot be realized by the requested family.
+    InfeasibleMoments {
+        /// Explanation of the violated feasibility condition.
+        message: String,
+    },
+    /// A matrix-exponential representation failed validation.
+    InvalidRepresentation {
+        /// Explanation of the defect.
+        message: String,
+    },
+    /// An underlying linear-algebra operation failed.
+    Linalg(performa_linalg::LinalgError),
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "parameter `{name}` = {value} violates constraint {constraint}"),
+            DistError::InfeasibleMoments { message } => {
+                write!(f, "infeasible moment set: {message}")
+            }
+            DistError::InvalidRepresentation { message } => {
+                write!(f, "invalid matrix-exponential representation: {message}")
+            }
+            DistError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DistError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<performa_linalg::LinalgError> for DistError {
+    fn from(e: performa_linalg::LinalgError) -> Self {
+        DistError::Linalg(e)
+    }
+}
+
+/// Validates that `value` is strictly positive and finite.
+pub(crate) fn require_positive(name: &'static str, value: f64) -> Result<(), DistError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(())
+    } else {
+        Err(DistError::InvalidParameter {
+            name,
+            value,
+            constraint: "finite and > 0",
+        })
+    }
+}
+
+/// Validates that `value` lies in the open interval `(0, 1)`.
+pub(crate) fn require_open_unit(name: &'static str, value: f64) -> Result<(), DistError> {
+    if value.is_finite() && value > 0.0 && value < 1.0 {
+        Ok(())
+    } else {
+        Err(DistError::InvalidParameter {
+            name,
+            value,
+            constraint: "in (0, 1)",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = DistError::InvalidParameter {
+            name: "rate",
+            value: -1.0,
+            constraint: "> 0",
+        };
+        assert!(e.to_string().contains("rate"));
+
+        let e = DistError::InfeasibleMoments {
+            message: "c2 < 1".into(),
+        };
+        assert!(e.to_string().contains("c2 < 1"));
+    }
+
+    #[test]
+    fn linalg_error_wraps_with_source() {
+        use std::error::Error;
+        let inner = performa_linalg::LinalgError::Singular { pivot: 0 };
+        let e = DistError::from(inner);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn validators() {
+        assert!(require_positive("x", 1.0).is_ok());
+        assert!(require_positive("x", 0.0).is_err());
+        assert!(require_positive("x", f64::NAN).is_err());
+        assert!(require_positive("x", f64::INFINITY).is_err());
+        assert!(require_open_unit("p", 0.5).is_ok());
+        assert!(require_open_unit("p", 1.0).is_err());
+        assert!(require_open_unit("p", 0.0).is_err());
+    }
+}

@@ -1,0 +1,156 @@
+use performa_linalg::{Matrix, Vector};
+
+use crate::error::require_positive;
+use crate::{DistributionFn, MatrixExp, Moments, Result};
+
+/// The exponential distribution with rate `λ` (mean `1/λ`).
+///
+/// The memoryless baseline of every model in the paper: task service times,
+/// UP durations, and the `T = 1` degenerate case of the truncated power-tail
+/// repair distribution.
+///
+/// # Example
+///
+/// ```
+/// use performa_dist::{Exponential, Moments, DistributionFn};
+///
+/// let e = Exponential::with_mean(10.0)?;
+/// assert_eq!(e.rate(), 0.1);
+/// assert!((e.sf(10.0) - (-1.0f64).exp()).abs() < 1e-12);
+/// # Ok::<(), performa_dist::DistError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given rate.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::DistError::InvalidParameter`] unless `rate` is finite and
+    /// positive.
+    pub fn new(rate: f64) -> Result<Self> {
+        require_positive("rate", rate)?;
+        Ok(Exponential { rate })
+    }
+
+    /// Creates an exponential distribution with the given mean.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::DistError::InvalidParameter`] unless `mean` is finite and
+    /// positive.
+    pub fn with_mean(mean: f64) -> Result<Self> {
+        require_positive("mean", mean)?;
+        Ok(Exponential { rate: 1.0 / mean })
+    }
+
+    /// The rate parameter `λ`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// One-phase matrix-exponential representation `⟨[1], [λ]⟩`.
+    pub fn to_matrix_exp(&self) -> MatrixExp {
+        MatrixExp::new(
+            Vector::from(vec![1.0]),
+            Matrix::from_rows(&[&[self.rate]]),
+        )
+        .expect("a positive rate is always a valid representation")
+    }
+}
+
+impl Moments for Exponential {
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+
+    fn raw_moment(&self, k: u32) -> f64 {
+        // E[X^k] = k! / λ^k
+        let mut m = 1.0;
+        for i in 1..=k {
+            m *= i as f64 / self.rate;
+        }
+        m
+    }
+}
+
+impl DistributionFn for Exponential {
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.rate * x).exp()
+        }
+    }
+
+    fn sf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            1.0
+        } else {
+            (-self.rate * x).exp()
+        }
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.rate * (-self.rate * x).exp()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let e = Exponential::new(4.0).unwrap();
+        assert_eq!(e.rate(), 4.0);
+        assert_eq!(e.mean(), 0.25);
+        assert_eq!(Exponential::with_mean(0.25).unwrap().rate(), 4.0);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-1.0).is_err());
+        assert!(Exponential::new(f64::NAN).is_err());
+        assert!(Exponential::with_mean(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn moments() {
+        let e = Exponential::new(2.0).unwrap();
+        assert!((e.raw_moment(1) - 0.5).abs() < 1e-15);
+        assert!((e.raw_moment(2) - 0.5).abs() < 1e-15);
+        assert!((e.raw_moment(3) - 0.75).abs() < 1e-15);
+        assert!((e.scv() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn distribution_functions() {
+        let e = Exponential::new(1.0).unwrap();
+        assert_eq!(e.cdf(0.0), 0.0);
+        assert_eq!(e.sf(-5.0), 1.0);
+        assert!((e.cdf(1.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-15);
+        assert!((e.pdf(0.0) - 1.0).abs() < 1e-15);
+        assert_eq!(e.pdf(-1.0), 0.0);
+    }
+
+    #[test]
+    fn matrix_exp_agrees() {
+        let e = Exponential::new(3.0).unwrap();
+        let me = e.to_matrix_exp();
+        assert!((me.mean() - e.mean()).abs() < 1e-14);
+        assert!((me.sf(0.7) - e.sf(0.7)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,201 @@
+//! Moment fitting: the 3-moment HYP-2 fit of the paper's Sect. 3.2.
+//!
+//! Figure 4 of the paper replaces a T-phase TPT repair distribution with a
+//! 2-phase hyperexponential whose first **three** moments match, showing
+//! that blow-up behaviour survives under the weaker assumption. This module
+//! implements that fit in closed form with explicit feasibility checks.
+
+use crate::{DistError, HyperExponential, Moments, Result};
+
+/// Fits a 2-phase hyperexponential to the first three raw moments.
+///
+/// With `u_k := m_k / k!` the mixture `p·Exp(1/x) + (1−p)·Exp(1/y)` has
+/// `u_k = p·xᵏ + (1−p)·yᵏ`, so `x` and `y` are the roots of the quadratic
+/// `t² − c₁·t − c₀` with
+///
+/// ```text
+/// c₁ = (u₃ − u₁u₂) / (u₂ − u₁²),   c₀ = u₂ − c₁·u₁ .
+/// ```
+///
+/// # Errors
+///
+/// [`DistError::InfeasibleMoments`] when the moment set cannot be realized
+/// by a HYP-2, i.e. unless
+///
+/// * all moments are finite positive,
+/// * `m₂ ≥ 2·m₁²` (squared coefficient of variation ≥ 1), and
+/// * `m₃ ≥ 1.5·m₂²/m₁` (the HYP-2 third-moment lower bound).
+///
+/// # Example
+///
+/// ```
+/// use performa_dist::{fit::hyp2_from_moments, Moments, TruncatedPowerTail};
+///
+/// let tpt = TruncatedPowerTail::with_mean(9, 1.4, 0.2, 10.0)?;
+/// let h = hyp2_from_moments(tpt.raw_moment(1), tpt.raw_moment(2), tpt.raw_moment(3))?;
+/// assert!((h.mean() - tpt.mean()).abs() < 1e-8);
+/// assert!((h.raw_moment(3) / tpt.raw_moment(3) - 1.0).abs() < 1e-8);
+/// # Ok::<(), performa_dist::DistError>(())
+/// ```
+pub fn hyp2_from_moments(m1: f64, m2: f64, m3: f64) -> Result<HyperExponential> {
+    for (name, m) in [("m1", m1), ("m2", m2), ("m3", m3)] {
+        if !(m.is_finite() && m > 0.0) {
+            return Err(DistError::InfeasibleMoments {
+                message: format!("{name} = {m} must be finite and positive"),
+            });
+        }
+    }
+    let scv = m2 / (m1 * m1) - 1.0;
+    if scv < 1.0 - 1e-12 {
+        return Err(DistError::InfeasibleMoments {
+            message: format!(
+                "squared coefficient of variation {scv:.6} < 1: a hyperexponential cannot \
+                 have sub-exponential variability"
+            ),
+        });
+    }
+    let m3_bound = 1.5 * m2 * m2 / m1;
+    if m3 < m3_bound * (1.0 - 1e-12) {
+        return Err(DistError::InfeasibleMoments {
+            message: format!("m3 = {m3:.6e} below the HYP-2 lower bound {m3_bound:.6e}"),
+        });
+    }
+
+    let u1 = m1;
+    let u2 = m2 / 2.0;
+    let u3 = m3 / 6.0;
+
+    let denom = u2 - u1 * u1;
+    if denom.abs() < 1e-300 {
+        // Exactly exponential: return a (degenerate) balanced two-phase
+        // representation with equal rates so downstream code that expects
+        // two phases keeps working.
+        let rate = 1.0 / m1;
+        return HyperExponential::new(&[0.5, 0.5], &[rate, rate]);
+    }
+    let c1 = (u3 - u1 * u2) / denom;
+    let c0 = u2 - c1 * u1;
+    let disc = c1 * c1 + 4.0 * c0;
+    if disc < 0.0 {
+        return Err(DistError::InfeasibleMoments {
+            message: format!("negative discriminant {disc:.6e} in the mean-time quadratic"),
+        });
+    }
+    let sqrt_disc = disc.sqrt();
+    let x = 0.5 * (c1 + sqrt_disc); // slow phase mean
+    let y = 0.5 * (c1 - sqrt_disc); // fast phase mean
+    if !(x > 0.0 && y > 0.0) {
+        return Err(DistError::InfeasibleMoments {
+            message: format!("fitted phase means x = {x:.6e}, y = {y:.6e} must be positive"),
+        });
+    }
+    let p_slow = (u1 - y) / (x - y);
+    if !(0.0..=1.0).contains(&p_slow) {
+        return Err(DistError::InfeasibleMoments {
+            message: format!("fitted mixing probability {p_slow:.6e} outside [0, 1]"),
+        });
+    }
+    HyperExponential::new(&[p_slow, 1.0 - p_slow], &[1.0 / x, 1.0 / y])
+}
+
+/// Fits a HYP-2 to the first three moments of an arbitrary distribution.
+///
+/// This is the exact operation used for the paper's Figure 4 (TPT → HYP-2).
+///
+/// # Example
+///
+/// ```
+/// use performa_dist::{fit, Moments, TruncatedPowerTail};
+///
+/// let tpt = TruncatedPowerTail::with_mean(10, 1.4, 0.2, 10.0)?;
+/// let h = fit::hyp2_matching(&tpt)?;
+/// assert!((h.mean() - tpt.mean()).abs() < 1e-8);
+/// assert!((h.variance() / tpt.variance() - 1.0).abs() < 1e-8);
+/// # Ok::<(), performa_dist::DistError>(())
+/// ```
+///
+/// # Errors
+///
+/// See [`hyp2_from_moments`].
+pub fn hyp2_matching<D: Moments>(dist: &D) -> Result<HyperExponential> {
+    hyp2_from_moments(dist.raw_moment(1), dist.raw_moment(2), dist.raw_moment(3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Moments, TruncatedPowerTail};
+
+    #[test]
+    fn roundtrip_from_hyp2() {
+        let orig = HyperExponential::new(&[0.2, 0.8], &[0.05, 2.0]).unwrap();
+        let fitted = hyp2_matching(&orig).unwrap();
+        for k in 1..=3 {
+            let a = orig.raw_moment(k);
+            let b = fitted.raw_moment(k);
+            assert!((a / b - 1.0).abs() < 1e-10, "moment {k}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fits_paper_tpt_settings() {
+        // The exact fits behind Figure 4: TPT(T, alpha=1.4, theta=0.2),
+        // MTTR = 10.
+        for &t in &[5u32, 9, 10] {
+            let tpt = TruncatedPowerTail::with_mean(t, 1.4, 0.2, 10.0).unwrap();
+            let h = hyp2_matching(&tpt).unwrap();
+            for k in 1..=3 {
+                let rel = h.raw_moment(k) / tpt.raw_moment(k) - 1.0;
+                assert!(rel.abs() < 1e-8, "T={t} moment {k}: rel err {rel}");
+            }
+            // The fitted slow phase must be much slower than the mean
+            // (that's what creates the blow-up behaviour).
+            let slow_mean = 1.0 / h.rates()[0].min(h.rates()[1]);
+            assert!(slow_mean > 5.0 * tpt.mean(), "T={t}: slow mean {slow_mean}");
+        }
+    }
+
+    #[test]
+    fn rejects_low_variance() {
+        // Erlang-2 moments: scv = 0.5 < 1.
+        let e = crate::Erlang::new(2, 1.0).unwrap();
+        let err = hyp2_matching(&e).unwrap_err();
+        assert!(matches!(err, DistError::InfeasibleMoments { .. }));
+    }
+
+    #[test]
+    fn rejects_third_moment_below_bound() {
+        // m1 = 1, m2 = 4 (scv = 3), but m3 far below 1.5·m2²/m1 = 24.
+        let err = hyp2_from_moments(1.0, 4.0, 10.0).unwrap_err();
+        assert!(matches!(err, DistError::InfeasibleMoments { .. }));
+    }
+
+    #[test]
+    fn rejects_nonpositive_moments() {
+        assert!(hyp2_from_moments(0.0, 1.0, 1.0).is_err());
+        assert!(hyp2_from_moments(1.0, -1.0, 1.0).is_err());
+        assert!(hyp2_from_moments(1.0, 2.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn exponential_moments_yield_valid_fit() {
+        // m_k = k! (unit exponential) sits exactly on both boundaries.
+        let h = hyp2_from_moments(1.0, 2.0, 6.0).unwrap();
+        assert!((h.mean() - 1.0).abs() < 1e-9);
+        assert!((h.scv() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn high_variance_fit_is_extreme_mixture() {
+        let h = hyp2_from_moments(10.0, 10_000.0, 5.0e7).unwrap();
+        // scv = 99: expect one very slow, rarely visited phase.
+        let (p_slow, slow_rate) = if h.rates()[0] < h.rates()[1] {
+            (h.probs()[0], h.rates()[0])
+        } else {
+            (h.probs()[1], h.rates()[1])
+        };
+        assert!(p_slow < 0.2);
+        assert!(1.0 / slow_rate > 100.0);
+        assert!((h.raw_moment(2) - 10_000.0).abs() / 10_000.0 < 1e-9);
+    }
+}

@@ -1,0 +1,266 @@
+use performa_linalg::{Matrix, Vector};
+
+use crate::{DistError, DistributionFn, MatrixExp, Moments, Result};
+
+/// A hyperexponential distribution: a probabilistic mixture of exponentials.
+///
+/// With entrance probabilities `p_j` and rates `λ_j`, the reliability
+/// function is `R(x) = Σ p_j e^{−λ_j x}`. Hyperexponentials always have
+/// `scv ≥ 1`; the paper motivates them as repair-time models (different
+/// fault severities each with its own exponential repair stage) and uses the
+/// 2-phase special case (HYP-2) fitted to three moments in Sect. 3.2.
+///
+/// # Example
+///
+/// ```
+/// use performa_dist::{HyperExponential, Moments};
+///
+/// // 90 % fast repairs (mean 1), 10 % slow repairs (mean 91):
+/// let h = HyperExponential::new(&[0.9, 0.1], &[1.0, 1.0 / 91.0])?;
+/// assert!((h.mean() - 10.0).abs() < 1e-12);
+/// assert!(h.scv() > 1.0);
+/// # Ok::<(), performa_dist::DistError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HyperExponential {
+    probs: Vec<f64>,
+    rates: Vec<f64>,
+}
+
+impl HyperExponential {
+    /// Creates a hyperexponential from phase probabilities and rates.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidParameter`] if the slices are empty or differ in
+    /// length, probabilities are negative / do not sum to 1, or any rate is
+    /// not finite positive.
+    pub fn new(probs: &[f64], rates: &[f64]) -> Result<Self> {
+        if probs.is_empty() || probs.len() != rates.len() {
+            return Err(DistError::InvalidParameter {
+                name: "probs/rates",
+                value: probs.len() as f64,
+                constraint: "non-empty slices of equal length",
+            });
+        }
+        for &p in probs {
+            if !(p.is_finite() && p >= 0.0) {
+                return Err(DistError::InvalidParameter {
+                    name: "probs",
+                    value: p,
+                    constraint: ">= 0 and finite",
+                });
+            }
+        }
+        let sum: f64 = probs.iter().sum();
+        if (sum - 1.0).abs() > 1e-10 {
+            return Err(DistError::InvalidParameter {
+                name: "probs",
+                value: sum,
+                constraint: "summing to 1",
+            });
+        }
+        for &r in rates {
+            if !(r.is_finite() && r > 0.0) {
+                return Err(DistError::InvalidParameter {
+                    name: "rates",
+                    value: r,
+                    constraint: "finite and > 0",
+                });
+            }
+        }
+        Ok(HyperExponential {
+            probs: probs.to_vec(),
+            rates: rates.to_vec(),
+        })
+    }
+
+    /// The *balanced-means* 2-phase hyperexponential with a given mean and
+    /// squared coefficient of variation (`scv > 1`): each phase contributes
+    /// half the mean (`p₁/λ₁ = p₂/λ₂`). A standard parsimonious
+    /// high-variance model.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidParameter`] if `mean <= 0` or `scv <= 1`.
+    pub fn balanced(mean: f64, scv: f64) -> Result<Self> {
+        crate::error::require_positive("mean", mean)?;
+        if !(scv.is_finite() && scv > 1.0) {
+            return Err(DistError::InvalidParameter {
+                name: "scv",
+                value: scv,
+                constraint: "> 1 (use Exponential for scv = 1)",
+            });
+        }
+        let x = ((scv - 1.0) / (scv + 1.0)).sqrt();
+        let p1 = 0.5 * (1.0 + x);
+        let p2 = 1.0 - p1;
+        let l1 = 2.0 * p1 / mean;
+        let l2 = 2.0 * p2 / mean;
+        HyperExponential::new(&[p1, p2], &[l1, l2])
+    }
+
+    /// Number of phases.
+    pub fn phases(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Phase entrance probabilities.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Phase rates.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Diagonal phase-type representation `⟨p, diag(λ)⟩`.
+    pub fn to_matrix_exp(&self) -> MatrixExp {
+        MatrixExp::new(
+            Vector::from(self.probs.clone()),
+            Matrix::diag(&self.rates),
+        )
+        .expect("validated parameters always yield a valid representation")
+    }
+}
+
+impl Moments for HyperExponential {
+    fn mean(&self) -> f64 {
+        self.probs
+            .iter()
+            .zip(&self.rates)
+            .map(|(p, l)| p / l)
+            .sum()
+    }
+
+    fn variance(&self) -> f64 {
+        let m = self.mean();
+        self.raw_moment(2) - m * m
+    }
+
+    fn raw_moment(&self, k: u32) -> f64 {
+        let mut factorial = 1.0;
+        for i in 2..=k {
+            factorial *= i as f64;
+        }
+        factorial
+            * self
+                .probs
+                .iter()
+                .zip(&self.rates)
+                .map(|(p, l)| p / l.powi(k as i32))
+                .sum::<f64>()
+    }
+}
+
+impl DistributionFn for HyperExponential {
+    fn cdf(&self, x: f64) -> f64 {
+        1.0 - self.sf(x)
+    }
+
+    fn sf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 1.0;
+        }
+        self.probs
+            .iter()
+            .zip(&self.rates)
+            .map(|(p, l)| p * (-l * x).exp())
+            .sum()
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        self.probs
+            .iter()
+            .zip(&self.rates)
+            .map(|(p, l)| p * l * (-l * x).exp())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(HyperExponential::new(&[], &[]).is_err());
+        assert!(HyperExponential::new(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(HyperExponential::new(&[0.5, 0.4], &[1.0, 2.0]).is_err());
+        assert!(HyperExponential::new(&[0.5, 0.5], &[1.0, -2.0]).is_err());
+        assert!(HyperExponential::new(&[-0.5, 1.5], &[1.0, 2.0]).is_err());
+        assert!(HyperExponential::new(&[0.5, 0.5], &[1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn single_phase_is_exponential() {
+        let h = HyperExponential::new(&[1.0], &[3.0]).unwrap();
+        assert!((h.mean() - 1.0 / 3.0).abs() < 1e-15);
+        assert!((h.scv() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moments_formula() {
+        let h = HyperExponential::new(&[0.25, 0.75], &[0.5, 5.0]).unwrap();
+        let m1 = 0.25 / 0.5 + 0.75 / 5.0;
+        let m2 = 2.0 * (0.25 / 0.25 + 0.75 / 25.0);
+        assert!((h.mean() - m1).abs() < 1e-15);
+        assert!((h.raw_moment(2) - m2).abs() < 1e-15);
+        assert!(h.scv() > 1.0);
+    }
+
+    #[test]
+    fn balanced_matches_target_mean_and_scv() {
+        for &(mean, scv) in &[(10.0, 5.0), (1.0, 25.0), (3.0, 1.5)] {
+            let h = HyperExponential::balanced(mean, scv).unwrap();
+            assert!((h.mean() - mean).abs() < 1e-10, "mean {mean} scv {scv}");
+            assert!((h.scv() - scv).abs() < 1e-8, "mean {mean} scv {scv}");
+        }
+    }
+
+    #[test]
+    fn balanced_rejects_low_scv() {
+        assert!(HyperExponential::balanced(1.0, 1.0).is_err());
+        assert!(HyperExponential::balanced(1.0, 0.5).is_err());
+        assert!(HyperExponential::balanced(-1.0, 2.0).is_err());
+    }
+
+    #[test]
+    fn distribution_functions_are_mixtures() {
+        let h = HyperExponential::new(&[0.3, 0.7], &[1.0, 4.0]).unwrap();
+        let x = 0.8;
+        let sf = 0.3 * (-0.8f64).exp() + 0.7 * (-3.2f64).exp();
+        assert!((h.sf(x) - sf).abs() < 1e-15);
+        assert!((h.cdf(x) - (1.0 - sf)).abs() < 1e-15);
+        let pdf = 0.3 * (-0.8f64).exp() + 0.7 * 4.0 * (-3.2f64).exp();
+        assert!((h.pdf(x) - pdf).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scv_always_at_least_one() {
+        // Any mixture of exponentials has scv >= 1.
+        let cases = [
+            (vec![0.5, 0.5], vec![1.0, 1.0]),
+            (vec![0.1, 0.9], vec![0.1, 10.0]),
+            (vec![0.2, 0.3, 0.5], vec![1.0, 2.0, 3.0]),
+        ];
+        for (p, r) in cases {
+            let h = HyperExponential::new(&p, &r).unwrap();
+            assert!(h.scv() >= 1.0 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn matrix_exp_agrees() {
+        let h = HyperExponential::new(&[0.2, 0.3, 0.5], &[0.5, 2.0, 8.0]).unwrap();
+        let me = h.to_matrix_exp();
+        assert_eq!(me.dim(), 3);
+        assert!((me.mean() - h.mean()).abs() < 1e-12);
+        assert!((me.raw_moment(3) - h.raw_moment(3)).abs() < 1e-9);
+        assert!(me.is_phase_type());
+    }
+}

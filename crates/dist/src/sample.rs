@@ -1,0 +1,319 @@
+//! Random-variate generation for the discrete-event simulator.
+
+use rand::Rng;
+
+use crate::{
+    Deterministic, Erlang, Exponential, HyperExponential, LogNormal, MatrixExp, Pareto,
+    TruncatedPowerTail, Uniform, Weibull,
+};
+
+/// Draws a standard normal variate via the Box–Muller transform.
+///
+/// Implemented locally so the workspace needs no `rand_distr` dependency.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling the open interval.
+    let u1: f64 = loop {
+        let u: f64 = rng.gen();
+        if u > 0.0 {
+            break u;
+        }
+    };
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Inverse-CDF exponential sampling, shared by several families.
+#[inline]
+fn sample_exp<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    let u: f64 = loop {
+        let u: f64 = rng.gen();
+        if u > 0.0 {
+            break u;
+        }
+    };
+    -u.ln() / rate
+}
+
+/// Random-variate generation.
+///
+/// Every distribution family in this crate that can be sampled path-wise
+/// implements `Sampler`. The trait is object-safe so the simulator can hold
+/// heterogeneous boxed samplers.
+pub trait Sampler {
+    /// Draws one variate.
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64;
+}
+
+impl Sampler for Exponential {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        sample_exp(rng, self.rate())
+    }
+}
+
+impl Sampler for Erlang {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        (0..self.stages()).map(|_| sample_exp(rng, self.rate())).sum()
+    }
+}
+
+impl Sampler for HyperExponential {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (p, l) in self.probs().iter().zip(self.rates()) {
+            acc += p;
+            if u < acc {
+                return sample_exp(rng, *l);
+            }
+        }
+        // Floating-point slack: fall through to the last phase.
+        sample_exp(rng, *self.rates().last().expect("non-empty by validation"))
+    }
+}
+
+impl Sampler for TruncatedPowerTail {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        self.as_hyper_exponential().sample(rng)
+    }
+}
+
+impl Sampler for Deterministic {
+    fn sample(&self, _rng: &mut dyn rand::RngCore) -> f64 {
+        self.value()
+    }
+}
+
+impl Sampler for Uniform {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        let u: f64 = rng.gen();
+        self.low() + u * (self.high() - self.low())
+    }
+}
+
+impl Sampler for Pareto {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        let u: f64 = loop {
+            let u: f64 = rng.gen();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        self.xm() * u.powf(-1.0 / self.alpha())
+    }
+}
+
+impl Sampler for Weibull {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        let u: f64 = loop {
+            let u: f64 = rng.gen();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        self.scale() * (-u.ln()).powf(1.0 / self.shape())
+    }
+}
+
+impl Sampler for LogNormal {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        (self.mu() + self.sigma() * standard_normal(rng)).exp()
+    }
+}
+
+impl Sampler for MatrixExp {
+    /// Path-wise phase-process sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the representation is not phase-type
+    /// (see [`MatrixExp::is_phase_type`]); check before sampling.
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        assert!(
+            self.is_phase_type(),
+            "only phase-type representations can be sampled path-wise"
+        );
+        let n = self.dim();
+        let p = self.entrance();
+        // Choose the entry phase.
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        let mut phase = n - 1;
+        for i in 0..n {
+            acc += p[i];
+            if u < acc {
+                phase = i;
+                break;
+            }
+        }
+        let b = self.rate_matrix();
+        let exit = self.exit_rates();
+        let mut total = 0.0;
+        loop {
+            let hold_rate = b[(phase, phase)];
+            total += sample_exp(rng, hold_rate);
+            // Exit with probability exit[phase]/hold_rate, else jump.
+            let u: f64 = rng.gen();
+            let mut acc = exit[phase] / hold_rate;
+            if u < acc {
+                return total;
+            }
+            let mut next = phase;
+            for j in 0..n {
+                if j == phase {
+                    continue;
+                }
+                acc += (-b[(phase, j)]).max(0.0) / hold_rate;
+                if u < acc {
+                    next = j;
+                    break;
+                }
+            }
+            if next == phase {
+                // Numerical slack: treat as exit.
+                return total;
+            }
+            phase = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Moments;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_mean<S: Sampler>(s: &S, n: usize, seed: u64) -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let x = s.sample(&mut rng);
+            assert!(x.is_finite() && x >= 0.0, "sample {x} out of range");
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        (mean, sumsq / n as f64 - mean * mean)
+    }
+
+    #[test]
+    fn exponential_sample_mean_converges() {
+        let e = Exponential::new(2.0).unwrap();
+        let (m, v) = sample_mean(&e, 200_000, 1);
+        assert!((m - 0.5).abs() < 0.01);
+        assert!((v - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn erlang_sample_matches_moments() {
+        let e = Erlang::new(4, 2.0).unwrap();
+        let (m, v) = sample_mean(&e, 100_000, 2);
+        assert!((m - 2.0).abs() < 0.03);
+        assert!((v - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn hyperexp_sample_matches_moments() {
+        let h = HyperExponential::new(&[0.3, 0.7], &[0.5, 5.0]).unwrap();
+        let (m, _) = sample_mean(&h, 200_000, 3);
+        assert!((m - h.mean()).abs() < 0.02);
+    }
+
+    #[test]
+    fn deterministic_and_uniform() {
+        let d = Deterministic::new(7.0).unwrap();
+        let (m, v) = sample_mean(&d, 100, 4);
+        assert_eq!(m, 7.0);
+        assert!(v.abs() < 1e-12);
+
+        let u = Uniform::new(1.0, 3.0).unwrap();
+        let (m, v) = sample_mean(&u, 100_000, 5);
+        assert!((m - 2.0).abs() < 0.01);
+        assert!((v - 1.0 / 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn pareto_tail_index_recovered() {
+        // Median of Pareto = xm * 2^{1/alpha}; robust against infinite variance.
+        let p = Pareto::new(1.4, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut v: Vec<f64> = (0..100_001).map(|_| p.sample(&mut rng)).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = v[50_000];
+        assert!((median - 2.0f64.powf(1.0 / 1.4)).abs() < 0.02);
+    }
+
+    #[test]
+    fn weibull_and_lognormal_means() {
+        let w = Weibull::with_mean(0.8, 5.0).unwrap();
+        let (m, _) = sample_mean(&w, 200_000, 7);
+        assert!((m - 5.0).abs() < 0.08);
+
+        let ln = LogNormal::with_mean_scv(10.0, 2.0).unwrap();
+        let (m, _) = sample_mean(&ln, 200_000, 8);
+        assert!((m - 10.0).abs() < 0.25);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let z = standard_normal(&mut rng);
+            sum += z;
+            sumsq += z * z;
+        }
+        assert!((sum / n as f64).abs() < 0.01);
+        assert!((sumsq / n as f64 - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn tpt_sampling_matches_analytic_mean() {
+        let t = TruncatedPowerTail::with_mean(5, 1.4, 0.5, 10.0).unwrap();
+        let (m, _) = sample_mean(&t, 400_000, 10);
+        // High variance: generous tolerance.
+        assert!((m - 10.0).abs() < 0.5, "sample mean {m}");
+    }
+
+    #[test]
+    fn matrix_exp_phase_sampling_erlang() {
+        let me = Erlang::new(3, 1.5).unwrap().to_matrix_exp();
+        let (m, v) = sample_mean(&me, 100_000, 11);
+        assert!((m - 2.0).abs() < 0.03);
+        assert!((v - 3.0 / 2.25).abs() < 0.05);
+    }
+
+    #[test]
+    fn matrix_exp_phase_sampling_hyperexp() {
+        let me = HyperExponential::new(&[0.4, 0.6], &[1.0, 4.0])
+            .unwrap()
+            .to_matrix_exp();
+        let (m, _) = sample_mean(&me, 100_000, 12);
+        assert!((m - 0.55).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "phase-type")]
+    fn non_ph_sampling_panics() {
+        use performa_linalg::{Matrix, Vector};
+        let me = MatrixExp::new(Vector::from(vec![1.0]), Matrix::from_rows(&[&[-1.0]])).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = me.sample(&mut rng);
+    }
+
+    #[test]
+    fn sampler_is_object_safe() {
+        let boxed: Vec<Box<dyn Sampler>> = vec![
+            Box::new(Exponential::new(1.0).unwrap()),
+            Box::new(Deterministic::new(1.0).unwrap()),
+        ];
+        let mut rng = StdRng::seed_from_u64(13);
+        for s in &boxed {
+            let _ = s.sample(&mut rng);
+        }
+    }
+}

@@ -1,0 +1,531 @@
+//! Simulation-oriented scalar distribution families.
+//!
+//! These are not matrix-exponential and therefore only feed the
+//! discrete-event simulator (paper Sect. 4 explores nonexponential task
+//! times and general UP/DOWN durations): [`Deterministic`], [`Uniform`],
+//! [`Pareto`] (the untruncated power-tail reference), [`Weibull`], and
+//! [`LogNormal`].
+
+use crate::error::require_positive;
+use crate::{DistError, DistributionFn, Moments, Result};
+
+/// The degenerate distribution concentrated at a single point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Deterministic {
+    value: f64,
+}
+
+impl Deterministic {
+    /// Creates a point mass at `value` (must be finite and non-negative).
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidParameter`] if `value` is negative or non-finite.
+    pub fn new(value: f64) -> Result<Self> {
+        if !(value.is_finite() && value >= 0.0) {
+            return Err(DistError::InvalidParameter {
+                name: "value",
+                value,
+                constraint: ">= 0 and finite",
+            });
+        }
+        Ok(Deterministic { value })
+    }
+
+    /// The point of the unit mass.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+impl Moments for Deterministic {
+    fn mean(&self) -> f64 {
+        self.value
+    }
+    fn variance(&self) -> f64 {
+        0.0
+    }
+    fn raw_moment(&self, k: u32) -> f64 {
+        self.value.powi(k as i32)
+    }
+}
+
+impl DistributionFn for Deterministic {
+    fn cdf(&self, x: f64) -> f64 {
+        if x >= self.value {
+            1.0
+        } else {
+            0.0
+        }
+    }
+    fn pdf(&self, _x: f64) -> f64 {
+        // No density; callers should use the CDF.
+        f64::NAN
+    }
+}
+
+/// The continuous uniform distribution on `[low, high]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    low: f64,
+    high: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[low, high]`.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidParameter`] unless `0 ≤ low < high < ∞`.
+    pub fn new(low: f64, high: f64) -> Result<Self> {
+        if !(low.is_finite() && high.is_finite() && low >= 0.0 && high > low) {
+            return Err(DistError::InvalidParameter {
+                name: "low/high",
+                value: high - low,
+                constraint: "0 <= low < high, both finite",
+            });
+        }
+        Ok(Uniform { low, high })
+    }
+
+    /// Lower endpoint.
+    pub fn low(&self) -> f64 {
+        self.low
+    }
+
+    /// Upper endpoint.
+    pub fn high(&self) -> f64 {
+        self.high
+    }
+}
+
+impl Moments for Uniform {
+    fn mean(&self) -> f64 {
+        0.5 * (self.low + self.high)
+    }
+    fn variance(&self) -> f64 {
+        let w = self.high - self.low;
+        w * w / 12.0
+    }
+    fn raw_moment(&self, k: u32) -> f64 {
+        // (b^{k+1} − a^{k+1}) / ((k+1)(b − a))
+        let kk = k as i32;
+        (self.high.powi(kk + 1) - self.low.powi(kk + 1))
+            / ((k as f64 + 1.0) * (self.high - self.low))
+    }
+}
+
+impl DistributionFn for Uniform {
+    fn cdf(&self, x: f64) -> f64 {
+        ((x - self.low) / (self.high - self.low)).clamp(0.0, 1.0)
+    }
+    fn pdf(&self, x: f64) -> f64 {
+        if x >= self.low && x <= self.high {
+            1.0 / (self.high - self.low)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The Pareto (pure power-tail) distribution with shape `alpha` and scale
+/// `xm`: `Pr(X > x) = (xm/x)^α` for `x ≥ xm`.
+///
+/// The untruncated reference for the paper's TPT repair times; its `k`-th
+/// moment is infinite when `k ≥ α`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    alpha: f64,
+    xm: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidParameter`] unless `alpha > 0` and `xm > 0`.
+    pub fn new(alpha: f64, xm: f64) -> Result<Self> {
+        require_positive("alpha", alpha)?;
+        require_positive("xm", xm)?;
+        Ok(Pareto { alpha, xm })
+    }
+
+    /// Creates a Pareto with given shape and mean (requires `alpha > 1`).
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidParameter`] if `alpha <= 1` (infinite mean) or
+    /// `mean <= 0`.
+    pub fn with_mean(alpha: f64, mean: f64) -> Result<Self> {
+        require_positive("mean", mean)?;
+        if alpha <= 1.0 {
+            return Err(DistError::InvalidParameter {
+                name: "alpha",
+                value: alpha,
+                constraint: "> 1 for a finite mean",
+            });
+        }
+        Pareto::new(alpha, mean * (alpha - 1.0) / alpha)
+    }
+
+    /// Tail exponent `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Scale (minimum value) `xm`.
+    pub fn xm(&self) -> f64 {
+        self.xm
+    }
+}
+
+impl Moments for Pareto {
+    fn mean(&self) -> f64 {
+        if self.alpha <= 1.0 {
+            f64::INFINITY
+        } else {
+            self.alpha * self.xm / (self.alpha - 1.0)
+        }
+    }
+    fn variance(&self) -> f64 {
+        if self.alpha <= 2.0 {
+            f64::INFINITY
+        } else {
+            let m = self.mean();
+            self.raw_moment(2) - m * m
+        }
+    }
+    fn raw_moment(&self, k: u32) -> f64 {
+        let kf = k as f64;
+        if self.alpha <= kf {
+            f64::INFINITY
+        } else {
+            self.alpha * self.xm.powi(k as i32) / (self.alpha - kf)
+        }
+    }
+}
+
+impl DistributionFn for Pareto {
+    fn cdf(&self, x: f64) -> f64 {
+        if x < self.xm {
+            0.0
+        } else {
+            1.0 - (self.xm / x).powf(self.alpha)
+        }
+    }
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.xm {
+            0.0
+        } else {
+            self.alpha * self.xm.powf(self.alpha) / x.powf(self.alpha + 1.0)
+        }
+    }
+}
+
+/// The Weibull distribution with shape `k` and scale `λ`:
+/// `Pr(X > x) = exp(−(x/λ)^k)`.
+///
+/// Sub-exponential (heavy-ish) tails for `k < 1`; a common empirical repair
+/// model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    shape: f64,
+    scale: f64,
+}
+
+impl Weibull {
+    /// Creates a Weibull distribution.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidParameter`] unless both parameters are finite
+    /// positive.
+    pub fn new(shape: f64, scale: f64) -> Result<Self> {
+        require_positive("shape", shape)?;
+        require_positive("scale", scale)?;
+        Ok(Weibull { shape, scale })
+    }
+
+    /// Creates a Weibull with given shape and mean.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Weibull::new`].
+    pub fn with_mean(shape: f64, mean: f64) -> Result<Self> {
+        require_positive("shape", shape)?;
+        require_positive("mean", mean)?;
+        let scale = mean / gamma_fn(1.0 + 1.0 / shape);
+        Weibull::new(shape, scale)
+    }
+
+    /// Shape parameter `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Scale parameter `λ`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl Moments for Weibull {
+    fn mean(&self) -> f64 {
+        self.scale * gamma_fn(1.0 + 1.0 / self.shape)
+    }
+    fn variance(&self) -> f64 {
+        let m = self.mean();
+        self.raw_moment(2) - m * m
+    }
+    fn raw_moment(&self, k: u32) -> f64 {
+        self.scale.powi(k as i32) * gamma_fn(1.0 + k as f64 / self.shape)
+    }
+}
+
+impl DistributionFn for Weibull {
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-(x / self.scale).powf(self.shape)).exp()
+        }
+    }
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let z = x / self.scale;
+        (self.shape / self.scale) * z.powf(self.shape - 1.0) * (-z.powf(self.shape)).exp()
+    }
+}
+
+/// The log-normal distribution: `ln X ~ Normal(mu, sigma²)`.
+///
+/// Another empirically popular repair-time model with moderate-to-heavy
+/// right tails.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal from the parameters of the underlying normal.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidParameter`] unless `sigma > 0` and `mu` finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self> {
+        if !mu.is_finite() {
+            return Err(DistError::InvalidParameter {
+                name: "mu",
+                value: mu,
+                constraint: "finite",
+            });
+        }
+        require_positive("sigma", sigma)?;
+        Ok(LogNormal { mu, sigma })
+    }
+
+    /// Creates a log-normal with the given mean and squared coefficient of
+    /// variation.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidParameter`] unless `mean > 0` and `scv > 0`.
+    pub fn with_mean_scv(mean: f64, scv: f64) -> Result<Self> {
+        require_positive("mean", mean)?;
+        require_positive("scv", scv)?;
+        let sigma2 = (1.0 + scv).ln();
+        let mu = mean.ln() - 0.5 * sigma2;
+        LogNormal::new(mu, sigma2.sqrt())
+    }
+
+    /// Location of the underlying normal.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Scale of the underlying normal.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl Moments for LogNormal {
+    fn mean(&self) -> f64 {
+        (self.mu + 0.5 * self.sigma * self.sigma).exp()
+    }
+    fn variance(&self) -> f64 {
+        let s2 = self.sigma * self.sigma;
+        (s2.exp() - 1.0) * (2.0 * self.mu + s2).exp()
+    }
+    fn raw_moment(&self, k: u32) -> f64 {
+        let kf = k as f64;
+        (kf * self.mu + 0.5 * kf * kf * self.sigma * self.sigma).exp()
+    }
+}
+
+impl DistributionFn for LogNormal {
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            0.5 * (1.0 + erf((x.ln() - self.mu) / (self.sigma * std::f64::consts::SQRT_2)))
+        }
+    }
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let z = (x.ln() - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (x * self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+}
+
+/// Gamma function via the Lanczos approximation (g = 7, 9 terms).
+///
+/// Accurate to ~15 significant digits for positive arguments, which covers
+/// every use in this crate (Weibull moments).
+pub(crate) fn gamma_fn(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.5203681218851,
+        -1259.1392167224028,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.984_369_578_019_572e-6,
+        1.5056327351493116e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma_fn(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = COEF[0];
+        let t = x + G + 0.5;
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+/// Error function via the Abramowitz–Stegun 7.1.26 rational approximation
+/// (absolute error < 1.5e−7, ample for plotting and tests).
+pub(crate) fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let d = Deterministic::new(5.0).unwrap();
+        assert_eq!(d.mean(), 5.0);
+        assert_eq!(d.variance(), 0.0);
+        assert_eq!(d.raw_moment(3), 125.0);
+        assert_eq!(d.cdf(4.9), 0.0);
+        assert_eq!(d.cdf(5.0), 1.0);
+        assert!(Deterministic::new(-1.0).is_err());
+        assert!(Deterministic::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn uniform() {
+        let u = Uniform::new(2.0, 6.0).unwrap();
+        assert_eq!(u.mean(), 4.0);
+        assert!((u.variance() - 16.0 / 12.0).abs() < 1e-14);
+        assert!((u.raw_moment(2) - (u.variance() + 16.0)).abs() < 1e-12);
+        assert_eq!(u.cdf(2.0), 0.0);
+        assert_eq!(u.cdf(6.0), 1.0);
+        assert_eq!(u.cdf(4.0), 0.5);
+        assert_eq!(u.pdf(3.0), 0.25);
+        assert_eq!(u.pdf(7.0), 0.0);
+        assert!(Uniform::new(3.0, 3.0).is_err());
+        assert!(Uniform::new(-1.0, 2.0).is_err());
+    }
+
+    #[test]
+    fn pareto_moments_and_tail() {
+        let p = Pareto::with_mean(1.4, 10.0).unwrap();
+        assert!((p.mean() - 10.0).abs() < 1e-12);
+        assert_eq!(p.variance(), f64::INFINITY);
+        assert_eq!(p.raw_moment(2), f64::INFINITY);
+        // Exact power-law tail.
+        let x = 100.0;
+        assert!((p.sf(x) - (p.xm() / x).powf(1.4)).abs() < 1e-15);
+        assert!(Pareto::with_mean(1.0, 10.0).is_err());
+    }
+
+    #[test]
+    fn weibull_mean_and_exponential_special_case() {
+        // Shape 1 is exponential.
+        let w = Weibull::new(1.0, 2.0).unwrap();
+        assert!((w.mean() - 2.0).abs() < 1e-12);
+        assert!((w.scv() - 1.0).abs() < 1e-10);
+        let e = crate::Exponential::with_mean(2.0).unwrap();
+        use crate::DistributionFn as _;
+        for &x in &[0.5, 2.0, 5.0] {
+            assert!((w.cdf(x) - e.cdf(x)).abs() < 1e-12);
+        }
+        // with_mean hits the target.
+        let w = Weibull::with_mean(0.5, 10.0).unwrap();
+        assert!((w.mean() - 10.0).abs() < 1e-9);
+        assert!(w.scv() > 1.0); // shape < 1 is high variance
+    }
+
+    #[test]
+    fn lognormal_with_mean_scv() {
+        let ln = LogNormal::with_mean_scv(10.0, 5.3).unwrap();
+        assert!((ln.mean() - 10.0).abs() < 1e-10);
+        assert!((ln.scv() - 5.3).abs() < 1e-9);
+        // Median = exp(mu) < mean for right-skewed lognormal.
+        assert!(ln.mu().exp() < ln.mean());
+        // CDF at the median is 1/2 (within erf approximation error).
+        assert!((ln.cdf(ln.mu().exp()) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gamma_function_known_values() {
+        assert!((gamma_fn(1.0) - 1.0).abs() < 1e-12);
+        assert!((gamma_fn(2.0) - 1.0).abs() < 1e-12);
+        assert!((gamma_fn(5.0) - 24.0).abs() < 1e-10);
+        assert!((gamma_fn(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-10);
+        assert!((gamma_fn(1.5) - 0.5 * std::f64::consts::PI.sqrt()).abs() < 1e-11);
+    }
+
+    #[test]
+    fn erf_known_values() {
+        assert!(erf(0.0).abs() < 1e-8);
+        assert!((erf(1.0) - 0.8427007929).abs() < 2e-7);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 2e-7);
+        assert!(erf(5.0) > 0.999999);
+    }
+
+    #[test]
+    fn pdfs_integrate_to_one() {
+        let w = Weibull::new(0.7, 3.0).unwrap();
+        let dx = 1e-3;
+        let total: f64 = (1..200_000).map(|i| w.pdf(i as f64 * dx) * dx).sum();
+        assert!((total - 1.0).abs() < 5e-3, "weibull integral {total}");
+
+        let ln = LogNormal::new(0.0, 0.5).unwrap();
+        let total: f64 = (1..50_000).map(|i| ln.pdf(i as f64 * dx) * dx).sum();
+        assert!((total - 1.0).abs() < 2e-3, "lognormal integral {total}");
+    }
+}

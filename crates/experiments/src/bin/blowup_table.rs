@@ -1,0 +1,54 @@
+//! Blow-up boundary table (paper Eqs. 3–5): threshold rates ν_i,
+//! utilization thresholds ρ_i, availability intervals, and predicted
+//! queue-tail exponents β_i for a range of cluster sizes.
+
+use performa_core::blowup;
+use performa_experiments::{params, tpt_cluster_with, write_csv};
+
+fn main() {
+    println!("# Blow-up boundary placement (Eqs. 3-5), nu_p=2, delta=0.2, A=0.9, alpha=1.4");
+    println!();
+
+    let mut rows = Vec::new();
+    for n in [1usize, 2, 3, 5, 10] {
+        let model = tpt_cluster_with(n, params::DELTA, 5, 0.5);
+        println!("N = {n}: capacity nu_bar = {:.4}", model.capacity());
+        println!(
+            "  {:>3} {:>12} {:>12} {:>10}",
+            "i", "nu_i", "rho_i", "beta_i"
+        );
+        for i in 1..=n {
+            let nu_i = blowup::degraded_rate(&model, i);
+            let rho_i = nu_i / model.capacity();
+            let beta = blowup::queue_tail_exponent(i, params::ALPHA);
+            println!("  {i:>3} {nu_i:>12.4} {rho_i:>12.4} {beta:>10.3}");
+            rows.push(vec![n as f64, i as f64, nu_i, rho_i, beta]);
+        }
+        println!();
+    }
+    write_csv(
+        "blowup_thresholds.csv",
+        "n,i,nu_i,rho_i,beta_i",
+        &rows,
+    );
+
+    // Availability-domain boundaries for the Figure 5 setting.
+    let m = tpt_cluster_with(2, params::DELTA, 5, 0.5)
+        .with_arrival_rate(1.8)
+        .expect("positive");
+    println!("# Availability regions at lambda = 1.8 (Fig. 5 setting):");
+    println!(
+        "  stability: A > {:.4}",
+        blowup::stability_availability_bound(&m)
+    );
+    for i in 1..=2 {
+        match blowup::availability_interval(&m, i) {
+            Some((lo, hi)) => println!("  region {i}: {lo:.4} < A < {hi:.4}"),
+            None => println!("  region {i}: does not exist at this load"),
+        }
+    }
+    println!(
+        "  region classification at A = 0.9: {:?}",
+        blowup::region(&m)
+    );
+}

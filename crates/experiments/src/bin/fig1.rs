@@ -1,0 +1,67 @@
+//! Figure 1: normalized mean queue length of the 2-node TPT-repair cluster
+//! versus utilization, for truncation levels T = 1, 5, 9, 10.
+//!
+//! Expected shape (paper): the T = 1 (exponential) curve grows smoothly;
+//! T = 9, 10 show blow-ups at ρ ≈ 21.7 % and ≈ 60.9 %, reaching ~100×
+//! the M/M/1 mean in the rightmost region.
+
+use performa_experiments::{ascii_plot_logy, base_thresholds, print_row, rho_grid, tpt_cluster, write_csv};
+
+fn main() {
+    let ts: Vec<u32> = vec![1, 5, 9, 10];
+    let thresholds = base_thresholds();
+    let grid = rho_grid(0.02, 0.98, 48, &thresholds);
+
+    println!(
+        "# Figure 1: M/2-Burst/1, UP=90 DOWN=10, nu_p=2.0, delta=0.2, alpha=1.4, theta=0.2"
+    );
+    println!(
+        "# blow-up thresholds: rho_2 = {:.4}, rho_1 = {:.4}",
+        thresholds[0], thresholds[1]
+    );
+    println!(
+        "# columns: rho, then normalized mean queue length for T = {:?}",
+        ts
+    );
+
+    let mut rows = Vec::new();
+    for &rho in &grid {
+        let mut row = vec![rho];
+        for &t in &ts {
+            let sol = tpt_cluster(t, rho).solve().expect("stable for rho < 1");
+            row.push(sol.normalized_mean_queue_length());
+        }
+        print_row(&row);
+        rows.push(row);
+    }
+    write_csv(
+        "fig1_normalized_mean_vs_rho.csv",
+        "rho,T1,T5,T9,T10",
+        &rows,
+    );
+
+    // Terminal rendition of the figure (log-y, like the paper's plot).
+    let series: Vec<(&str, Vec<f64>)> = ts
+        .iter()
+        .enumerate()
+        .map(|(c, t)| -> (&str, Vec<f64>) {
+            let name: &str = match t {
+                1 => "T=1",
+                5 => "T=5",
+                9 => "T=9",
+                _ => "T=10",
+            };
+            (name, rows.iter().map(|r| r[c + 1]).collect())
+        })
+        .collect();
+    println!(
+        "{}",
+        ascii_plot_logy(
+            "# Figure 1 (normalized mean queue length vs rho, log-y):",
+            &grid,
+            &series,
+            64,
+            16,
+        )
+    );
+}

@@ -1,0 +1,29 @@
+//! Figure 3: tail probability Pr(Q ≥ 500) versus utilization for the
+//! 2-node TPT-repair cluster, T ∈ {1, 5, 9, 10}.
+//!
+//! Expected shape (paper): for larger T the two blow-up points are clearly
+//! visible as jumps; the exponential case (T = 1) only shows
+//! non-negligible tail mass for ρ close to 1.
+
+use performa_experiments::{base_thresholds, print_row, rho_grid, tpt_cluster, write_csv};
+
+fn main() {
+    let ts: Vec<u32> = vec![1, 5, 9, 10];
+    let k = 500;
+    let grid = rho_grid(0.02, 0.98, 48, &base_thresholds());
+
+    println!("# Figure 3: Pr(Q >= {k}) vs rho, TPT repair, T = {ts:?}");
+    println!("# columns: rho, then Pr(Q >= {k}) for each T");
+
+    let mut rows = Vec::new();
+    for &rho in &grid {
+        let mut row = vec![rho];
+        for &t in &ts {
+            let sol = tpt_cluster(t, rho).solve().expect("stable");
+            row.push(sol.at_least_probability(k));
+        }
+        print_row(&row);
+        rows.push(row);
+    }
+    write_csv("fig3_tail_probability_vs_rho.csv", "rho,T1,T5,T9,T10", &rows);
+}

@@ -1,0 +1,61 @@
+//! Figure 5: normalized mean queue length of the 2-node HYP-2 cluster
+//! versus the availability A of the individual nodes, at fixed arrival
+//! rate λ = 1.8 and fixed UP+DOWN cycle length 100.
+//!
+//! Expected shape (paper): vertical asymptote at the stability bound
+//! A ≈ 31.25 %; monotone decrease toward A = 1; for any A < 1 the model
+//! is at least in the intermediate blow-up region.
+
+use performa_core::blowup;
+use performa_experiments::{ascii_plot_logy, hyp2_cluster_with_availability, print_row, write_csv};
+
+fn main() {
+    let t = 10; // HYP-2 matched to TPT T = 10 moments
+    let lambda = 1.8;
+    let cycle = 100.0;
+
+    // The stability bound A > (λ/(N·νp) − δ)/(1−δ).
+    let probe = hyp2_cluster_with_availability(t, cycle, 0.9, lambda);
+    let a_min = blowup::stability_availability_bound(&probe);
+    println!("# Figure 5: lambda = {lambda}, cycle = {cycle}, HYP-2 repair (TPT T={t} moments)");
+    println!("# stability bound: A > {a_min:.4} (paper: ~31%)");
+    let r1 = blowup::availability_interval(&probe, 1);
+    let r2 = blowup::availability_interval(&probe, 2);
+    println!("# blow-up region 1 (worst): A in {r1:?}");
+    println!("# blow-up region 2:        A in {r2:?}");
+    println!("# columns: A, normalized mean queue length");
+
+    let mut rows = Vec::new();
+    let steps = 60;
+    for i in 0..=steps {
+        // Sweep from just above the bound to just below 1.
+        let a = a_min + 0.004 + (0.999 - a_min - 0.004) * i as f64 / steps as f64;
+        let model = hyp2_cluster_with_availability(t, cycle, a, lambda);
+        match model.solve() {
+            Ok(sol) => {
+                let row = vec![a, sol.normalized_mean_queue_length()];
+                print_row(&row);
+                rows.push(row);
+            }
+            Err(e) => println!("# A = {a:.4}: {e}"),
+        }
+    }
+    write_csv(
+        "fig5_normalized_mean_vs_availability.csv",
+        "availability,normalized_mean",
+        &rows,
+    );
+
+    let xs: Vec<f64> = rows.iter().map(|r| r[0]).collect();
+    let ys: Vec<f64> = rows.iter().map(|r| r[1]).collect();
+    println!(
+        "{}",
+        ascii_plot_logy(
+            "# Figure 5 (normalized mean vs availability, log-y):",
+            &xs,
+            &[("HYP-2 repair", ys)],
+            64,
+            14,
+        )
+    );
+}

@@ -1,0 +1,339 @@
+//! Shared infrastructure for the per-figure experiment binaries.
+//!
+//! Every binary regenerates one table or figure of the DSN 2007 paper
+//! (see DESIGN.md for the index), printing the plotted series as aligned
+//! columns and writing a CSV under `results/`.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use performa_core::ClusterModel;
+use performa_dist::{fit, Exponential, HyperExponential, Moments, TruncatedPowerTail};
+
+/// The paper's shared base parameters (Sect. 3, figure captions).
+pub mod params {
+    /// TPT tail exponent `α`.
+    pub const ALPHA: f64 = 1.4;
+    /// TPT geometric parameter `θ` (Figures 1–4, 8, 9).
+    pub const THETA: f64 = 0.2;
+    /// Mean UP duration (`ON = 90`).
+    pub const UP_MEAN: f64 = 90.0;
+    /// Mean DOWN duration (`OFF = 10`).
+    pub const DOWN_MEAN: f64 = 10.0;
+    /// Peak per-server service rate `ν_p`.
+    pub const NU_P: f64 = 2.0;
+    /// Degradation factor `δ` for the non-crash experiments.
+    pub const DELTA: f64 = 0.2;
+    /// Cluster size for Figures 1–5 and 7–9.
+    pub const N: usize = 2;
+}
+
+/// Builds the paper's TPT-repair cluster model at utilization `rho`.
+///
+/// # Panics
+///
+/// Panics on invalid parameters — experiment binaries use fixed, valid
+/// settings.
+pub fn tpt_cluster(t: u32, rho: f64) -> ClusterModel {
+    tpt_cluster_with(params::N, params::DELTA, t, rho)
+}
+
+/// TPT cluster with explicit size and degradation.
+///
+/// # Panics
+///
+/// See [`tpt_cluster`].
+pub fn tpt_cluster_with(n: usize, delta: f64, t: u32, rho: f64) -> ClusterModel {
+    ClusterModel::builder()
+        .servers(n)
+        .peak_rate(params::NU_P)
+        .degradation(delta)
+        .up(Exponential::with_mean(params::UP_MEAN).expect("valid"))
+        .down(
+            TruncatedPowerTail::with_mean(t, params::ALPHA, params::THETA, params::DOWN_MEAN)
+                .expect("valid"),
+        )
+        .utilization(rho)
+        .build()
+        .expect("paper parameters are valid")
+}
+
+/// The HYP-2 repair distribution moment-matched to the paper's TPT with
+/// truncation `t` (Figure 4/5/6 construction).
+///
+/// # Panics
+///
+/// Panics if the fit is infeasible (never for `t ≥ 2` with the paper's
+/// parameters).
+pub fn hyp2_matched_to_tpt(t: u32) -> HyperExponential {
+    let tpt = TruncatedPowerTail::with_mean(t, params::ALPHA, params::THETA, params::DOWN_MEAN)
+        .expect("valid");
+    fit::hyp2_matching(&tpt).expect("paper TPT moments are HYP-2 feasible")
+}
+
+/// Builds the HYP-2-repair cluster (3-moment matched to TPT `t`) at
+/// utilization `rho`.
+///
+/// # Panics
+///
+/// See [`hyp2_matched_to_tpt`].
+pub fn hyp2_cluster(n: usize, delta: f64, t: u32, rho: f64) -> ClusterModel {
+    ClusterModel::builder()
+        .servers(n)
+        .peak_rate(params::NU_P)
+        .degradation(delta)
+        .up(Exponential::with_mean(params::UP_MEAN).expect("valid"))
+        .down(hyp2_matched_to_tpt(t))
+        .utilization(rho)
+        .build()
+        .expect("paper parameters are valid")
+}
+
+/// A HYP-2 cluster with a *rescaled* UP/DOWN pair: availability `a` with
+/// the cycle length `UP+DOWN` kept constant (Figure 5's sweep).
+///
+/// # Panics
+///
+/// Panics on invalid parameters.
+pub fn hyp2_cluster_with_availability(t: u32, cycle: f64, a: f64, lambda: f64) -> ClusterModel {
+    let up_mean = a * cycle;
+    let down_mean = (1.0 - a) * cycle;
+    // Re-fit the HYP-2 to the TPT shape rescaled to the new mean: the
+    // paper scales the repair-time distribution, preserving its relative
+    // variability.
+    let tpt = TruncatedPowerTail::with_mean(t, params::ALPHA, params::THETA, down_mean)
+        .expect("valid");
+    let hyp = fit::hyp2_matching(&tpt).expect("feasible");
+    ClusterModel::builder()
+        .servers(params::N)
+        .peak_rate(params::NU_P)
+        .degradation(params::DELTA)
+        .up(Exponential::with_mean(up_mean).expect("valid"))
+        .down(hyp)
+        .arrival_rate(lambda)
+        .build()
+        .expect("valid")
+}
+
+/// Returns `value` for `--key value` style CLI arguments, else the
+/// default. Used by the simulation binaries to scale run length.
+pub fn arg_or<T: std::str::FromStr>(key: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len().saturating_sub(1) {
+        if args[i] == key {
+            if let Ok(v) = args[i + 1].parse() {
+                return v;
+            }
+        }
+    }
+    default
+}
+
+/// Writes a CSV file under `results/`, creating the directory if needed.
+///
+/// # Panics
+///
+/// Panics on I/O failure (experiment binaries want loud failures).
+pub fn write_csv(name: &str, header: &str, rows: &[Vec<f64>]) {
+    let mut path = PathBuf::from("results");
+    std::fs::create_dir_all(&path).expect("create results dir");
+    path.push(name);
+    let mut f = std::fs::File::create(&path).expect("create csv");
+    writeln!(f, "{header}").expect("write header");
+    for row in rows {
+        let line = row
+            .iter()
+            .map(|v| format!("{v:.10e}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        writeln!(f, "{line}").expect("write row");
+    }
+    eprintln!("wrote results/{name}");
+}
+
+/// Prints one aligned numeric row to stdout.
+pub fn print_row(cols: &[f64]) {
+    let line = cols
+        .iter()
+        .map(|v| format!("{v:>14.6e}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    println!("{line}");
+}
+
+/// Geometrically spaced utilization grid on `(lo, hi)` with extra
+/// refinement near the paper's blow-up thresholds.
+pub fn rho_grid(lo: f64, hi: f64, steps: usize, refine_at: &[f64]) -> Vec<f64> {
+    let mut grid: Vec<f64> = (0..=steps)
+        .map(|i| lo + (hi - lo) * i as f64 / steps as f64)
+        .collect();
+    for &r in refine_at {
+        for eps in [-0.02, -0.005, 0.005, 0.02] {
+            let v = r + eps;
+            if v > lo && v < hi {
+                grid.push(v);
+            }
+        }
+    }
+    grid.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    grid.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+    grid
+}
+
+/// Convenience: the paper's blow-up thresholds for the base 2-server
+/// setting (ρ₂ ≈ 0.217, ρ₁ ≈ 0.609).
+pub fn base_thresholds() -> Vec<f64> {
+    performa_core::blowup::utilization_thresholds(&tpt_cluster(1, 0.5))
+}
+
+/// Mean service time at full speed, `1/ν_p` — the paper's task-time mean.
+pub fn task_mean() -> f64 {
+    1.0 / params::NU_P
+}
+
+
+/// Renders a log-y ASCII chart of one or more series sharing the x grid.
+///
+/// Each series is drawn with its own glyph; points outside the y-range
+/// are clamped to the border rows. Intended for quick visual checks of
+/// the figure shapes straight in the terminal.
+pub fn ascii_plot_logy(
+    title: &str,
+    xs: &[f64],
+    series: &[(&str, Vec<f64>)],
+    width: usize,
+    height: usize,
+) -> String {
+    assert!(width >= 16 && height >= 6, "plot area too small");
+    let glyphs = ['*', '+', 'o', 'x', '#', '@'];
+    let mut ymin = f64::INFINITY;
+    let mut ymax = f64::NEG_INFINITY;
+    for (_, ys) in series {
+        for &y in ys {
+            if y.is_finite() && y > 0.0 {
+                ymin = ymin.min(y);
+                ymax = ymax.max(y);
+            }
+        }
+    }
+    if !ymin.is_finite() || ymin == ymax {
+        return format!("{title}\n(no positive finite data to plot)\n");
+    }
+    let (ly0, ly1) = (ymin.log10(), ymax.log10());
+    let (x0, x1) = (xs[0], *xs.last().expect("non-empty grid"));
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, ys)) in series.iter().enumerate() {
+        let g = glyphs[si % glyphs.len()];
+        for (&x, &y) in xs.iter().zip(ys) {
+            if !(y.is_finite() && y > 0.0) {
+                continue;
+            }
+            let cx = ((x - x0) / (x1 - x0) * (width - 1) as f64).round() as usize;
+            let fy = (y.log10() - ly0) / (ly1 - ly0);
+            let cy = height - 1 - (fy * (height - 1) as f64).round() as usize;
+            grid[cy.min(height - 1)][cx.min(width - 1)] = g;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (ri, row) in grid.iter().enumerate() {
+        let label = if ri == 0 {
+            format!("{ymax:9.2e} |")
+        } else if ri == height - 1 {
+            format!("{ymin:9.2e} |")
+        } else {
+            format!("{:>9} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>10} {:-<width$}\n", "+", "", width = width));
+    out.push_str(&format!("{:>11}{:<w2$}{:>w2$}\n", x0, "", x1, w2 = width / 2));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| format!("{} {}", glyphs[i % glyphs.len()], name))
+        .collect();
+    out.push_str(&format!("  legend: {}\n", legend.join("   ")));
+    out
+}
+
+/// Sanity helper used by several binaries: HYP-2 fit quality against the
+/// source TPT (max relative moment error over m1..m3).
+pub fn fit_error(t: u32) -> f64 {
+    let tpt = TruncatedPowerTail::with_mean(t, params::ALPHA, params::THETA, params::DOWN_MEAN)
+        .expect("valid");
+    let h = hyp2_matched_to_tpt(t);
+    (1..=3)
+        .map(|k| ((h.raw_moment(k) / tpt.raw_moment(k)) - 1.0).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use performa_core::blowup;
+
+    #[test]
+    fn base_model_reproduces_paper_constants() {
+        let m = tpt_cluster(10, 0.5);
+        assert!((m.availability() - 0.9).abs() < 1e-12);
+        assert!((m.capacity() - 3.68).abs() < 1e-12);
+        let t = blowup::utilization_thresholds(&m);
+        assert!((t[0] - 0.21739).abs() < 1e-4);
+        assert!((t[1] - 0.60869).abs() < 1e-4);
+    }
+
+    #[test]
+    fn hyp2_fit_is_tight() {
+        for t in [5u32, 9, 10] {
+            assert!(fit_error(t) < 1e-8, "T={t}: {}", fit_error(t));
+        }
+    }
+
+    #[test]
+    fn rho_grid_is_sorted_and_refined() {
+        let g = rho_grid(0.05, 0.95, 10, &[0.6087]);
+        assert!(g.windows(2).all(|w| w[0] < w[1]));
+        assert!(g.iter().any(|&r| (r - 0.6137).abs() < 1e-9));
+        assert!(g.len() > 11);
+    }
+
+    #[test]
+    fn availability_sweep_model() {
+        let m = hyp2_cluster_with_availability(9, 100.0, 0.9, 1.8);
+        assert!((m.availability() - 0.9).abs() < 1e-9);
+        assert!((m.mttf() + m.mttr() - 100.0).abs() < 1e-9);
+        assert!((m.arrival_rate() - 1.8).abs() < 1e-12);
+    }
+
+
+    #[test]
+    fn ascii_plot_renders_series() {
+        let xs: Vec<f64> = (1..=20).map(|i| i as f64 / 20.0).collect();
+        let a: Vec<f64> = xs.iter().map(|x| (10.0 * x).exp()).collect();
+        let b: Vec<f64> = xs.iter().map(|_| 1.0).collect();
+        let plot = ascii_plot_logy("demo", &xs, &[("up", a), ("flat", b)], 40, 10);
+        assert!(plot.contains("demo"));
+        assert!(plot.contains('*'));
+        assert!(plot.contains('+'));
+        assert!(plot.contains("legend"));
+        // 10 grid rows + title + axis + labels + legend.
+        assert!(plot.lines().count() >= 13);
+    }
+
+    #[test]
+    fn ascii_plot_handles_empty_data() {
+        let plot = ascii_plot_logy("empty", &[0.0, 1.0], &[("z", vec![0.0, 0.0])], 30, 8);
+        assert!(plot.contains("no positive finite data"));
+    }
+
+    #[test]
+    fn arg_or_returns_default_without_flag() {
+        assert_eq!(arg_or("--not-set", 5u64), 5);
+    }
+}

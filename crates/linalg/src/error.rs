@@ -1,0 +1,109 @@
+use std::fmt;
+
+/// Errors produced by the linear-algebra kernel.
+///
+/// All routines validate their inputs (`C-VALIDATE`) and report failures
+/// through this type rather than panicking, except for plain shape mismatches
+/// in operator overloads (`+`, `*`, …) which panic like the standard numeric
+/// types do.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes.
+    ShapeMismatch {
+        /// Human-readable operation name, e.g. `"solve"`.
+        op: &'static str,
+        /// Shape of the left operand (rows, cols).
+        left: (usize, usize),
+        /// Shape of the right operand (rows, cols).
+        right: (usize, usize),
+    },
+    /// A square matrix was required but a rectangular one was supplied.
+    NotSquare {
+        /// Shape encountered (rows, cols).
+        shape: (usize, usize),
+    },
+    /// The matrix is singular to working precision (zero pivot at `pivot`).
+    Singular {
+        /// Index of the failing pivot.
+        pivot: usize,
+    },
+    /// An iterative routine failed to converge within its iteration budget.
+    NoConvergence {
+        /// Routine name.
+        op: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Residual at the final iterate.
+        residual: f64,
+    },
+    /// An argument was out of its documented domain.
+    InvalidArgument {
+        /// Explanation of the violated precondition.
+        message: String,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, left, right } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::NotSquare { shape } => {
+                write!(f, "square matrix required, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular to working precision (pivot {pivot})")
+            }
+            LinalgError::NoConvergence {
+                op,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{op} did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            LinalgError::InvalidArgument { message } => {
+                write!(f, "invalid argument: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LinalgError::ShapeMismatch {
+            op: "solve",
+            left: (2, 3),
+            right: (4, 1),
+        };
+        let s = e.to_string();
+        assert!(s.contains("solve"));
+        assert!(s.contains("2x3"));
+
+        let e = LinalgError::Singular { pivot: 7 };
+        assert!(e.to_string().contains("pivot 7"));
+
+        let e = LinalgError::NoConvergence {
+            op: "power_iteration",
+            iterations: 100,
+            residual: 1e-3,
+        };
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<LinalgError>();
+    }
+}

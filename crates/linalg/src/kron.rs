@@ -1,0 +1,179 @@
+//! Kronecker products and sums.
+//!
+//! The aggregation of `N` independent Markov-modulated servers in the
+//! reproduced paper is expressed through Kronecker sums of the single-server
+//! generator: `Q_N = Q₁ ⊕ Q₁ ⊕ … ⊕ Q₁` and likewise for the rate matrix
+//! `L_N` (paper Sect. 2.2).
+
+use crate::Matrix;
+
+/// Kronecker (tensor) product `A ⊗ B`.
+///
+/// The result has shape `(a.nrows·b.nrows) × (a.ncols·b.ncols)` with
+/// `(A ⊗ B)[(i·p + k, j·q + l)] = A[(i,j)] · B[(k,l)]` where `(p, q)` is the
+/// shape of `B`.
+///
+/// # Example
+///
+/// ```
+/// use performa_linalg::{Matrix, kron::kron_product};
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+/// let b = Matrix::from_rows(&[&[3.0], &[4.0]]);
+/// let p = kron_product(&a, &b);
+/// assert_eq!(p.shape(), (2, 2));
+/// assert_eq!(p[(1, 1)], 8.0);
+/// ```
+pub fn kron_product(a: &Matrix, b: &Matrix) -> Matrix {
+    let (ar, ac) = a.shape();
+    let (br, bc) = b.shape();
+    let mut out = Matrix::zeros(ar * br, ac * bc);
+    for i in 0..ar {
+        for j in 0..ac {
+            let aij = a[(i, j)];
+            if aij == 0.0 {
+                continue;
+            }
+            for k in 0..br {
+                for l in 0..bc {
+                    out[(i * br + k, j * bc + l)] = aij * b[(k, l)];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Kronecker sum `A ⊕ B = A ⊗ I_b + I_a ⊗ B` of two square matrices.
+///
+/// For generators of independent Markov chains, the Kronecker sum is the
+/// generator of the joint chain.
+///
+/// # Panics
+///
+/// Panics if `a` or `b` is not square.
+pub fn kron_sum(a: &Matrix, b: &Matrix) -> Matrix {
+    assert!(a.is_square(), "kron_sum: left operand must be square");
+    assert!(b.is_square(), "kron_sum: right operand must be square");
+    let ia = Matrix::identity(a.nrows());
+    let ib = Matrix::identity(b.nrows());
+    kron_product(a, &ib) + kron_product(&ia, b)
+}
+
+/// `N`-fold Kronecker sum `A^{⊕N} = A ⊕ A ⊕ … ⊕ A`.
+///
+/// `kron_sum_power(a, 1)` is a copy of `a`.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or `n == 0`.
+pub fn kron_sum_power(a: &Matrix, n: usize) -> Matrix {
+    assert!(n > 0, "kron_sum_power: n must be positive");
+    assert!(a.is_square(), "kron_sum_power: operand must be square");
+    let mut acc = a.clone();
+    for _ in 1..n {
+        acc = kron_sum(&acc, a);
+    }
+    acc
+}
+
+/// `N`-fold Kronecker product `A^{⊗N}`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn kron_product_power(a: &Matrix, n: usize) -> Matrix {
+    assert!(n > 0, "kron_product_power: n must be positive");
+    let mut acc = a.clone();
+    for _ in 1..n {
+        acc = kron_product(&acc, a);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn product_shape_and_entries() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[0.0, 5.0], &[6.0, 7.0]]);
+        let p = kron_product(&a, &b);
+        assert_eq!(p.shape(), (4, 4));
+        // Top-left block is 1·B, bottom-right is 4·B.
+        assert_eq!(p[(0, 1)], 5.0);
+        assert_eq!(p[(3, 2)], 24.0);
+        assert_eq!(p[(3, 3)], 28.0);
+    }
+
+    #[test]
+    fn product_with_identity() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let p = kron_product(&a, &Matrix::identity(1));
+        assert_eq!(p, a);
+    }
+
+    #[test]
+    fn sum_of_generators_is_generator() {
+        // Two-state generator; row sums zero.
+        let q = Matrix::from_rows(&[&[-1.0, 1.0], &[2.0, -2.0]]);
+        let qq = kron_sum(&q, &q);
+        assert_eq!(qq.shape(), (4, 4));
+        for i in 0..4 {
+            assert!(qq.row(i).iter().sum::<f64>().abs() < 1e-14);
+        }
+        // Off-diagonals non-negative.
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    assert!(qq[(i, j)] >= 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sum_power_matches_iterated_sum() {
+        let q = Matrix::from_rows(&[&[-1.0, 1.0], &[0.5, -0.5]]);
+        let three = kron_sum_power(&q, 3);
+        let manual = kron_sum(&kron_sum(&q, &q), &q);
+        assert!(three.max_abs_diff(&manual) < 1e-15);
+        assert_eq!(kron_sum_power(&q, 1), q);
+    }
+
+    #[test]
+    fn diag_kron_sum_adds_rates() {
+        // Kronecker sum of diagonal rate matrices = sums of the per-server
+        // rates — exactly the paper's aggregated service-rate construction.
+        let l = Matrix::diag(&[2.0, 0.4]);
+        let l2 = kron_sum(&l, &l);
+        assert_eq!(l2.diagonal().as_slice(), &[4.0, 2.4, 2.4, 0.8]);
+    }
+
+    #[test]
+    fn product_power() {
+        let a = Matrix::identity(2) * 2.0;
+        let p = kron_product_power(&a, 3);
+        assert_eq!(p.shape(), (8, 8));
+        assert_eq!(p[(0, 0)], 8.0);
+    }
+
+    #[test]
+    fn mixed_product_property() {
+        // (A⊗B)(C⊗D) = (AC)⊗(BD)
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]);
+        let b = Matrix::from_rows(&[&[2.0, 0.0], &[1.0, 1.0]]);
+        let c = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 0.0]]);
+        let d = Matrix::from_rows(&[&[0.0, 1.0], &[2.0, 1.0]]);
+        let lhs = kron_product(&a, &b) * kron_product(&c, &d);
+        let rhs = kron_product(&(&a * &c), &(&b * &d));
+        assert!(lhs.max_abs_diff(&rhs) < 1e-14);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be square")]
+    fn sum_rejects_rectangular() {
+        let _ = kron_sum(&Matrix::zeros(2, 3), &Matrix::identity(2));
+    }
+}

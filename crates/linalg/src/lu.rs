@@ -1,0 +1,400 @@
+//! LU factorization with partial pivoting, linear solves, and inverses.
+//!
+//! The QBD solver repeatedly solves systems of the form `X · A = B` (row
+//! vectors acting from the left, as is conventional in matrix-analytic
+//! methods) and `A · X = B`. Both directions are provided on the factored
+//! form [`Lu`], so a factorization can be reused across many right-hand
+//! sides (`C-INTERMEDIATE`).
+
+use crate::{LinalgError, Matrix, Result, Vector};
+
+/// An LU factorization `P·A = L·U` of a square matrix with partial pivoting.
+///
+/// # Example
+///
+/// ```
+/// use performa_linalg::{Matrix, Vector, lu::Lu};
+///
+/// let a = Matrix::from_rows(&[&[4.0, 3.0], &[6.0, 3.0]]);
+/// let lu = Lu::factor(&a)?;
+/// let x = lu.solve_vec(&Vector::from(vec![10.0, 12.0]))?;
+/// // A x = b  =>  x = [1, 2]
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 2.0).abs() < 1e-12);
+/// # Ok::<(), performa_linalg::LinalgError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined L (unit lower, below diagonal) and U (upper) factors.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row stored in position `i`.
+    perm: Vec<usize>,
+    /// Parity of the permutation (+1.0 or -1.0), for determinants.
+    sign: f64,
+}
+
+impl Lu {
+    /// Factors a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is rectangular.
+    /// * [`LinalgError::Singular`] if a pivot is exactly zero (the matrix is
+    ///   singular to working precision).
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.nrows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivoting: pick the largest magnitude entry in column k.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val == 0.0 {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                if factor != 0.0 {
+                    for j in (k + 1)..n {
+                        let ukj = lu[(k, j)];
+                        lu[(i, j)] -= factor * ukj;
+                    }
+                }
+            }
+        }
+
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.nrows()
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Solves `A · x = b` for a single right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::ShapeMismatch`] if `b.len() != dim()`.
+    #[allow(clippy::needless_range_loop)] // substitution kernels read best indexed
+    pub fn solve_vec(&self, b: &Vector) -> Result<Vector> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "solve_vec",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        // Apply permutation, then forward/back substitution.
+        let mut x: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Ok(Vector::from(x))
+    }
+
+    /// Solves `A · X = B` column by column.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::ShapeMismatch`] if `B.nrows() != dim()`.
+    pub fn solve_mat(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.nrows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "solve_mat",
+                left: (n, n),
+                right: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.ncols());
+        for j in 0..b.ncols() {
+            let col = self.solve_vec(&b.col(j))?;
+            for i in 0..n {
+                out[(i, j)] = col[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Solves `x · A = b` (row-vector system) for a single right-hand side.
+    ///
+    /// This is the natural direction for stationary-vector computations.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::ShapeMismatch`] if `b.len() != dim()`.
+    #[allow(clippy::needless_range_loop)] // substitution kernels read best indexed
+    pub fn solve_left_vec(&self, b: &Vector) -> Result<Vector> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "solve_left_vec",
+                left: (1, b.len()),
+                right: (n, n),
+            });
+        }
+        // x·A = b  <=>  Aᵀ·xᵀ = bᵀ. With P·A = L·U:  Aᵀ = Uᵀ·Lᵀ·P, so solve
+        // Uᵀ·y = b (forward), Lᵀ·z = y (backward), then x = P·z scattered.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut acc = b[i];
+            for j in 0..i {
+                acc -= self.lu[(j, i)] * y[j];
+            }
+            y[i] = acc / self.lu[(i, i)];
+        }
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(j, i)] * y[j];
+            }
+            y[i] = acc;
+        }
+        let mut x = vec![0.0; n];
+        for i in 0..n {
+            x[self.perm[i]] = y[i];
+        }
+        Ok(Vector::from(x))
+    }
+
+    /// Solves `X · A = B` row by row.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::ShapeMismatch`] if `B.ncols() != dim()`.
+    pub fn solve_left_mat(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.ncols() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "solve_left_mat",
+                left: b.shape(),
+                right: (n, n),
+            });
+        }
+        let mut out = Matrix::zeros(b.nrows(), n);
+        for i in 0..b.nrows() {
+            let row = self.solve_left_vec(&Vector::from(b.row(i)))?;
+            out.row_mut(i).copy_from_slice(row.as_slice());
+        }
+        Ok(out)
+    }
+
+    /// Computes the inverse of the original matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors (cannot occur for a valid factorization).
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve_mat(&Matrix::identity(self.dim()))
+    }
+}
+
+/// Convenience: solves `A · x = b` with a fresh factorization.
+///
+/// # Errors
+///
+/// See [`Lu::factor`] and [`Lu::solve_vec`].
+pub fn solve(a: &Matrix, b: &Vector) -> Result<Vector> {
+    Lu::factor(a)?.solve_vec(b)
+}
+
+/// Convenience: computes `A⁻¹` with a fresh factorization.
+///
+/// # Errors
+///
+/// See [`Lu::factor`].
+pub fn inverse(a: &Matrix) -> Result<Matrix> {
+    Lu::factor(a)?.inverse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn solve_2x2() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let b = Vector::from(vec![5.0, 10.0]);
+        let x = solve(&a, &b).unwrap();
+        assert!(approx(x[0], 1.0, 1e-12));
+        assert!(approx(x[1], 3.0, 1e-12));
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero in the (0,0) position forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = solve(&a, &Vector::from(vec![2.0, 3.0])).unwrap();
+        assert_eq!(x.as_slice(), &[3.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_is_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(
+            Lu::factor(&a),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn not_square_is_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(Lu::factor(&a), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 2.0, 0.5],
+            &[2.0, 5.0, 1.0],
+            &[0.5, 1.0, 3.0],
+        ]);
+        let ainv = inverse(&a).unwrap();
+        let prod = &a * &ainv;
+        assert!(prod.max_abs_diff(&Matrix::identity(3)) < 1e-12);
+    }
+
+    #[test]
+    fn determinant() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        assert!(approx(lu.det(), -2.0, 1e-12));
+
+        // Permutation parity: swapping rows flips the determinant sign.
+        let b = Matrix::from_rows(&[&[3.0, 4.0], &[1.0, 2.0]]);
+        assert!(approx(Lu::factor(&b).unwrap().det(), 2.0, 1e-12));
+    }
+
+    #[test]
+    fn left_solve_matches_transpose_solve() {
+        let a = Matrix::from_rows(&[
+            &[3.0, 1.0, 0.0],
+            &[1.0, 4.0, 2.0],
+            &[0.0, 2.0, 5.0],
+        ]);
+        let b = Vector::from(vec![1.0, 2.0, 3.0]);
+        let x = Lu::factor(&a).unwrap().solve_left_vec(&b).unwrap();
+        // Verify x·A = b directly.
+        let xa = a.vec_mul(&x);
+        assert!(xa.max_abs_diff(&b) < 1e-12);
+    }
+
+    #[test]
+    fn left_solve_with_pivoting() {
+        let a = Matrix::from_rows(&[
+            &[0.0, 2.0, 1.0],
+            &[1.0, 0.0, 3.0],
+            &[4.0, 1.0, 0.0],
+        ]);
+        let b = Vector::from(vec![5.0, -1.0, 2.5]);
+        let x = Lu::factor(&a).unwrap().solve_left_vec(&b).unwrap();
+        assert!(a.vec_mul(&x).max_abs_diff(&b) < 1e-12);
+    }
+
+    #[test]
+    fn solve_mat_multiple_rhs() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[2.0, 4.0], &[8.0, 12.0]]);
+        let x = Lu::factor(&a).unwrap().solve_mat(&b).unwrap();
+        assert_eq!(x, Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 3.0]]));
+    }
+
+    #[test]
+    fn solve_left_mat_rows() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let x = Lu::factor(&a).unwrap().solve_left_mat(&b).unwrap();
+        let back = &x * &a;
+        assert!(back.max_abs_diff(&b) < 1e-12);
+    }
+
+    #[test]
+    fn shape_mismatch_reported() {
+        let lu = Lu::factor(&Matrix::identity(2)).unwrap();
+        assert!(matches!(
+            lu.solve_vec(&Vector::zeros(3)),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            lu.solve_left_vec(&Vector::zeros(3)),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            lu.solve_mat(&Matrix::zeros(3, 2)),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            lu.solve_left_mat(&Matrix::zeros(2, 3)),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn larger_random_like_system() {
+        // Deterministic pseudo-random matrix, diagonally dominated so it is
+        // comfortably non-singular.
+        let n = 25;
+        let a = Matrix::from_fn(n, n, |i, j| {
+            let h = ((i * 31 + j * 17 + 7) % 97) as f64 / 97.0 - 0.5;
+            if i == j {
+                h + (n as f64)
+            } else {
+                h
+            }
+        });
+        let x_true = Vector::from((0..n).map(|i| (i as f64) / 3.0 - 1.0).collect::<Vec<_>>());
+        let b = a.mul_vec(&x_true);
+        let x = solve(&a, &b).unwrap();
+        assert!(x.max_abs_diff(&x_true) < 1e-10);
+    }
+}

@@ -1,0 +1,193 @@
+//! Spectral utilities: matrix powers and spectral-radius estimation.
+//!
+//! The matrix-geometric tail `π_n = π₁ Rⁿ⁻¹` requires fast matrix powers
+//! (`Pr(Q > 500)` needs `R⁵⁰⁰`), and stability / decay-rate diagnostics use
+//! the spectral radius `sp(R)` — the geometric decay rate of the
+//! queue-length distribution outside power-law regions.
+
+use crate::{LinalgError, Matrix, Result, Vector};
+
+/// Computes `Aᵏ` by binary exponentiation (`A⁰ = I`).
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn matrix_power(a: &Matrix, k: usize) -> Matrix {
+    assert!(a.is_square(), "matrix_power: operand must be square");
+    let mut result = Matrix::identity(a.nrows());
+    if k == 0 {
+        return result;
+    }
+    let mut base = a.clone();
+    let mut k = k;
+    loop {
+        if k & 1 == 1 {
+            result = &result * &base;
+        }
+        k >>= 1;
+        if k == 0 {
+            break;
+        }
+        base = &base * &base;
+    }
+    result
+}
+
+/// Options for [`spectral_radius`].
+#[derive(Debug, Clone, Copy)]
+pub struct PowerIterationOptions {
+    /// Maximum iterations before reporting non-convergence.
+    pub max_iterations: usize,
+    /// Relative tolerance on successive eigenvalue estimates.
+    pub tolerance: f64,
+}
+
+impl Default for PowerIterationOptions {
+    fn default() -> Self {
+        PowerIterationOptions {
+            max_iterations: 20_000,
+            tolerance: 1e-12,
+        }
+    }
+}
+
+/// Estimates the spectral radius of a non-negative square matrix by power
+/// iteration with default options.
+///
+/// For the sub-stochastic matrices arising in QBD theory (the `R` and `G`
+/// matrices) the dominant eigenvalue is real and non-negative
+/// (Perron–Frobenius), which makes the power iteration reliable.
+///
+/// # Errors
+///
+/// * [`LinalgError::NotSquare`] for rectangular input.
+/// * [`LinalgError::NoConvergence`] if the iteration stalls (e.g. complex
+///   dominant pair on a general matrix).
+pub fn spectral_radius(a: &Matrix) -> Result<f64> {
+    spectral_radius_with(a, PowerIterationOptions::default())
+}
+
+/// Estimates the spectral radius with explicit options. See
+/// [`spectral_radius`].
+///
+/// # Errors
+///
+/// Same as [`spectral_radius`].
+pub fn spectral_radius_with(a: &Matrix, opts: PowerIterationOptions) -> Result<f64> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    let n = a.nrows();
+    if n == 0 {
+        return Ok(0.0);
+    }
+    // Exact early-outs for the trivial cases.
+    if a.max_abs() == 0.0 {
+        return Ok(0.0);
+    }
+    if n == 1 {
+        return Ok(a[(0, 0)].abs());
+    }
+
+    // Slightly perturbed deterministic start vector to avoid landing in an
+    // invariant subspace.
+    let mut v = Vector::from(
+        (0..n)
+            .map(|i| 1.0 + (i as f64 + 1.0) * 1e-3)
+            .collect::<Vec<_>>(),
+    );
+    v.scale_mut(1.0 / v.norm_one());
+    let mut lambda = 0.0_f64;
+    for it in 0..opts.max_iterations {
+        let w = a.mul_vec(&v);
+        let norm = w.norm_one();
+        if norm == 0.0 {
+            // v was annihilated: nilpotent direction; restart from a basis
+            // vector not yet tried. For nilpotent matrices the radius is 0.
+            return Ok(0.0);
+        }
+        let new_lambda = norm / v.norm_one();
+        let mut w = w;
+        w.scale_mut(1.0 / norm);
+        let diff = (new_lambda - lambda).abs();
+        lambda = new_lambda;
+        v = w;
+        if diff <= opts.tolerance * lambda.max(1e-300) && it > 2 {
+            return Ok(lambda);
+        }
+    }
+    Err(LinalgError::NoConvergence {
+        op: "spectral_radius",
+        iterations: opts.max_iterations,
+        residual: lambda,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_zero_is_identity() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[0.0, 2.0]]);
+        assert_eq!(matrix_power(&a, 0), Matrix::identity(2));
+    }
+
+    #[test]
+    fn power_matches_repeated_multiplication() {
+        let a = Matrix::from_rows(&[&[0.5, 0.25], &[0.1, 0.3]]);
+        let mut manual = Matrix::identity(2);
+        for _ in 0..7 {
+            manual = &manual * &a;
+        }
+        assert!(matrix_power(&a, 7).max_abs_diff(&manual) < 1e-15);
+    }
+
+    #[test]
+    fn power_of_diagonal() {
+        let d = Matrix::diag(&[2.0, 3.0]);
+        let d5 = matrix_power(&d, 5);
+        assert_eq!(d5[(0, 0)], 32.0);
+        assert_eq!(d5[(1, 1)], 243.0);
+    }
+
+    #[test]
+    fn radius_of_stochastic_matrix_is_one() {
+        let p = Matrix::from_rows(&[&[0.9, 0.1], &[0.4, 0.6]]);
+        let r = spectral_radius(&p).unwrap();
+        assert!((r - 1.0).abs() < 1e-9, "got {r}");
+    }
+
+    #[test]
+    fn radius_of_substochastic_matrix() {
+        // Known eigenvalues: diag(0.5, 0.2) => radius 0.5.
+        let p = Matrix::diag(&[0.5, 0.2]);
+        assert!((spectral_radius(&p).unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn radius_of_zero_matrix() {
+        assert_eq!(spectral_radius(&Matrix::zeros(3, 3)).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn radius_of_1x1() {
+        let a = Matrix::from_rows(&[&[-0.7]]);
+        assert_eq!(spectral_radius(&a).unwrap(), 0.7);
+    }
+
+    #[test]
+    fn radius_known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        assert!((spectral_radius(&a).unwrap() - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rectangular_rejected() {
+        assert!(matches!(
+            spectral_radius(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+}

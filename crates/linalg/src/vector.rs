@@ -1,0 +1,297 @@
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense `f64` vector.
+///
+/// Used both as a row vector (stationary probability vectors acting on
+/// matrices from the left) and as a column vector (the all-ones vector `ε`
+/// and its products). The orientation is determined by the operation, not the
+/// type, matching the conventions of the matrix-analytic literature.
+///
+/// # Example
+///
+/// ```
+/// use performa_linalg::Vector;
+///
+/// let p = Vector::from(vec![0.25, 0.75]);
+/// assert!((p.sum() - 1.0).abs() < 1e-15);
+/// assert_eq!(p.dot(&Vector::ones(2)), 1.0);
+/// ```
+#[derive(Clone, PartialEq, Default)]
+pub struct Vector(Vec<f64>);
+
+impl Vector {
+    /// Creates a vector of `n` zeros.
+    pub fn zeros(n: usize) -> Self {
+        Vector(vec![0.0; n])
+    }
+
+    /// Creates the all-ones vector `ε` of length `n`.
+    pub fn ones(n: usize) -> Self {
+        Vector(vec![1.0; n])
+    }
+
+    /// Creates the `i`-th standard basis vector of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    pub fn basis(n: usize, i: usize) -> Self {
+        assert!(i < n, "basis index {i} out of bounds for length {n}");
+        let mut v = Vector::zeros(n);
+        v[i] = 1.0;
+        v
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` when the vector has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Borrow of the underlying slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// Mutable borrow of the underlying slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.0
+    }
+
+    /// Consumes the vector, returning the underlying `Vec`.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.0
+    }
+
+    /// Sum of the entries.
+    pub fn sum(&self) -> f64 {
+        self.0.iter().sum()
+    }
+
+    /// Dot product with another vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn dot(&self, other: &Vector) -> f64 {
+        assert_eq!(self.len(), other.len(), "length mismatch in dot product");
+        self.0.iter().zip(&other.0).map(|(a, b)| a * b).sum()
+    }
+
+    /// Largest absolute entry; `0.0` for an empty vector.
+    pub fn norm_inf(&self) -> f64 {
+        self.0.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
+    }
+
+    /// Sum of absolute entries.
+    pub fn norm_one(&self) -> f64 {
+        self.0.iter().map(|v| v.abs()).sum()
+    }
+
+    /// Returns a copy scaled by `s`.
+    pub fn scaled(&self, s: f64) -> Vector {
+        Vector(self.0.iter().map(|v| v * s).collect())
+    }
+
+    /// In-place scaling.
+    pub fn scale_mut(&mut self, s: f64) {
+        for v in &mut self.0 {
+            *v *= s;
+        }
+    }
+
+    /// Normalizes the entries to sum to one (useful for probability vectors).
+    ///
+    /// Returns the original sum. If the sum is zero the vector is unchanged
+    /// and `0.0` is returned.
+    pub fn normalize_sum(&mut self) -> f64 {
+        let s = self.sum();
+        if s != 0.0 {
+            self.scale_mut(1.0 / s);
+        }
+        s
+    }
+
+    /// Maximum absolute difference to another vector of the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn max_abs_diff(&self, other: &Vector) -> f64 {
+        assert_eq!(self.len(), other.len(), "length mismatch in max_abs_diff");
+        self.0
+            .iter()
+            .zip(&other.0)
+            .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()))
+    }
+
+    /// Returns `true` if every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.0.iter().all(|v| v.is_finite())
+    }
+
+    /// Iterator over the entries.
+    pub fn iter(&self) -> std::slice::Iter<'_, f64> {
+        self.0.iter()
+    }
+}
+
+impl From<Vec<f64>> for Vector {
+    fn from(v: Vec<f64>) -> Self {
+        Vector(v)
+    }
+}
+
+impl From<&[f64]> for Vector {
+    fn from(v: &[f64]) -> Self {
+        Vector(v.to_vec())
+    }
+}
+
+impl FromIterator<f64> for Vector {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        Vector(iter.into_iter().collect())
+    }
+}
+
+impl IntoIterator for Vector {
+    type Item = f64;
+    type IntoIter = std::vec::IntoIter<f64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Vector {
+    type Item = &'a f64;
+    type IntoIter = std::slice::Iter<'a, f64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl Index<usize> for Vector {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        &self.0[i]
+    }
+}
+
+impl IndexMut<usize> for Vector {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.0[i]
+    }
+}
+
+impl Add<&Vector> for &Vector {
+    type Output = Vector;
+    fn add(self, rhs: &Vector) -> Vector {
+        assert_eq!(self.len(), rhs.len(), "length mismatch in vector addition");
+        Vector(self.0.iter().zip(&rhs.0).map(|(a, b)| a + b).collect())
+    }
+}
+
+impl Sub<&Vector> for &Vector {
+    type Output = Vector;
+    fn sub(self, rhs: &Vector) -> Vector {
+        assert_eq!(self.len(), rhs.len(), "length mismatch in vector subtraction");
+        Vector(self.0.iter().zip(&rhs.0).map(|(a, b)| a - b).collect())
+    }
+}
+
+impl Mul<f64> for &Vector {
+    type Output = Vector;
+    fn mul(self, rhs: f64) -> Vector {
+        self.scaled(rhs)
+    }
+}
+
+impl fmt::Debug for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Vector").field(&self.0).finish()
+    }
+}
+
+impl fmt::Display for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.6}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        assert_eq!(Vector::zeros(3).len(), 3);
+        assert_eq!(Vector::ones(4).sum(), 4.0);
+        let b = Vector::basis(3, 1);
+        assert_eq!(b.as_slice(), &[0.0, 1.0, 0.0]);
+        assert!(Vector::zeros(0).is_empty());
+    }
+
+    #[test]
+    fn dot_and_norms() {
+        let a = Vector::from(vec![1.0, -2.0, 3.0]);
+        let b = Vector::from(vec![4.0, 5.0, 6.0]);
+        assert_eq!(a.dot(&b), 12.0);
+        assert_eq!(a.norm_inf(), 3.0);
+        assert_eq!(a.norm_one(), 6.0);
+    }
+
+    #[test]
+    fn normalize() {
+        let mut v = Vector::from(vec![2.0, 6.0]);
+        let s = v.normalize_sum();
+        assert_eq!(s, 8.0);
+        assert_eq!(v.as_slice(), &[0.25, 0.75]);
+
+        let mut z = Vector::zeros(2);
+        assert_eq!(z.normalize_sum(), 0.0);
+        assert_eq!(z.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Vector::from(vec![1.0, 2.0]);
+        let b = Vector::from(vec![3.0, 4.0]);
+        assert_eq!((&a + &b).as_slice(), &[4.0, 6.0]);
+        assert_eq!((&b - &a).as_slice(), &[2.0, 2.0]);
+        assert_eq!((&a * 2.0).as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn iteration_and_collect() {
+        let v: Vector = (0..3).map(|i| i as f64).collect();
+        assert_eq!(v.as_slice(), &[0.0, 1.0, 2.0]);
+        let total: f64 = (&v).into_iter().sum();
+        assert_eq!(total, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_mismatch_panics() {
+        let _ = Vector::zeros(2).dot(&Vector::zeros(3));
+    }
+
+    #[test]
+    fn display_formats() {
+        let v = Vector::from(vec![0.5, 1.5]);
+        assert_eq!(format!("{v}"), "[0.500000, 1.500000]");
+    }
+}

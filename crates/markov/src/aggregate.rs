@@ -1,0 +1,371 @@
+//! Aggregation of `N` independent, statistically identical servers into a
+//! single modulating process (paper Sect. 2.2).
+//!
+//! Two equivalent constructions are provided:
+//!
+//! * [`kronecker`] — the textbook `Q_N = Q₁^{⊕N}` Kronecker-sum form whose
+//!   state space grows as `m^N` (`m` = phases per server);
+//! * [`lumped`] — the reduced *occupancy* form over multisets of phases,
+//!   valid because identical servers are exchangeable; its state space is
+//!   `C(N + m − 1, m − 1)`, which is what makes `N = 5` with multi-phase
+//!   repair distributions tractable (paper Fig. 6).
+//!
+//! Both produce an [`Mmpp`]; the test-suite verifies they agree on the
+//! stationary law of the aggregate service rate.
+
+use performa_linalg::{kron, Matrix, Vector};
+
+use crate::{MarkovError, Mmpp, Result, ServerModel};
+
+/// Builds the `N`-server modulator by Kronecker sums: `Q_N = Q₁^{⊕N}`,
+/// `L_N = L₁^{⊕N}` (paper Sect. 2.2).
+///
+/// The state space is `m^N`; prefer [`lumped`] for anything beyond small
+/// `m·N`.
+///
+/// # Errors
+///
+/// [`MarkovError::InvalidParameter`] if `n == 0`.
+pub fn kronecker(server: &ServerModel, n: usize) -> Result<Mmpp> {
+    if n == 0 {
+        return Err(MarkovError::InvalidParameter {
+            message: "cluster must contain at least one server".into(),
+        });
+    }
+    let single = server.modulator();
+    let q = kron::kron_sum_power(single.generator(), n);
+    let l = kron::kron_sum_power(&single.rate_matrix(), n);
+    Mmpp::new(q, l.diagonal())
+}
+
+/// Enumerates all occupancy vectors of `n` indistinguishable servers over
+/// `m` phases: non-negative integer vectors of length `m` summing to `n`,
+/// in reverse-lexicographic order (so for `n = 1` state `i` is exactly
+/// phase `i`, matching the single-server modulator).
+///
+/// The number of such vectors is `C(n + m − 1, m − 1)`.
+pub fn occupancy_states(m: usize, n: usize) -> Vec<Vec<u32>> {
+    fn rec(m: usize, n: u32, prefix: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+        if m == 1 {
+            prefix.push(n);
+            out.push(prefix.clone());
+            prefix.pop();
+            return;
+        }
+        for k in (0..=n).rev() {
+            prefix.push(k);
+            rec(m - 1, n - k, prefix, out);
+            prefix.pop();
+        }
+    }
+    let mut out = Vec::new();
+    if m == 0 {
+        return out;
+    }
+    rec(m, n as u32, &mut Vec::with_capacity(m), &mut out);
+    out
+}
+
+/// Builds the `N`-server modulator on the reduced occupancy state space.
+///
+/// A lumped state is the multiset of per-server phases, represented as an
+/// occupancy vector `v` with `Σ v_i = N`. Because servers are independent
+/// and identical, the per-state dynamics are
+///
+/// * transition `v → v − e_i + e_j` at rate `v_i · Q₁[i,j]` for `i ≠ j`,
+/// * aggregate service rate `r(v) = Σ v_i · r_i`.
+///
+/// This is an exact (strong) lumping of the Kronecker construction.
+///
+/// # Errors
+///
+/// [`MarkovError::InvalidParameter`] if `n == 0`.
+pub fn lumped(server: &ServerModel, n: usize) -> Result<Mmpp> {
+    if n == 0 {
+        return Err(MarkovError::InvalidParameter {
+            message: "cluster must contain at least one server".into(),
+        });
+    }
+    let single = server.modulator();
+    let m = single.dim();
+    let q1 = single.generator();
+    let r1 = single.rates();
+
+    let states = occupancy_states(m, n);
+    let index: std::collections::HashMap<Vec<u32>, usize> = states
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.clone(), i))
+        .collect();
+
+    let dim = states.len();
+    let mut q = Matrix::zeros(dim, dim);
+    let mut rates = Vector::zeros(dim);
+
+    for (si, v) in states.iter().enumerate() {
+        let mut total_out = 0.0;
+        for i in 0..m {
+            if v[i] == 0 {
+                continue;
+            }
+            rates[si] += v[i] as f64 * r1[i];
+            for j in 0..m {
+                if i == j {
+                    continue;
+                }
+                let rate = v[i] as f64 * q1[(i, j)];
+                if rate == 0.0 {
+                    continue;
+                }
+                let mut w = v.clone();
+                w[i] -= 1;
+                w[j] += 1;
+                let sj = index[&w];
+                q[(si, sj)] += rate;
+                total_out += rate;
+            }
+        }
+        q[(si, si)] = -total_out;
+    }
+
+    Mmpp::new(q, rates)
+}
+
+/// Builds the lumped `N`-server modulator together with the matrix of
+/// **failure-transition rates**: `F[(s, s')]` is the rate at which the
+/// occupancy state `s` jumps to `s'` through one server moving from an UP
+/// phase into a DOWN phase.
+///
+/// `F` is a sub-matrix of the off-diagonal part of the lumped generator.
+/// It is the ingredient for the paper's Sect. 2.4 *Discard-as-MAP*
+/// extension, where a node crash removes the task it was serving —
+/// a "service" event fired by a failure transition.
+///
+/// # Errors
+///
+/// [`MarkovError::InvalidParameter`] if `n == 0`.
+pub fn lumped_with_failures(server: &ServerModel, n: usize) -> Result<(Mmpp, Matrix)> {
+    let mmpp = lumped(server, n)?;
+    let single = server.modulator();
+    let m = single.dim();
+    let nu = server.up().dim();
+    let q1 = single.generator();
+
+    let states = occupancy_states(m, n);
+    let index: std::collections::HashMap<Vec<u32>, usize> = states
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.clone(), i))
+        .collect();
+
+    let dim = states.len();
+    let mut f = Matrix::zeros(dim, dim);
+    for (si, v) in states.iter().enumerate() {
+        for i in 0..nu {
+            if v[i] == 0 {
+                continue;
+            }
+            // UP phase i → DOWN phase j (j >= nu).
+            for j in nu..m {
+                let rate = v[i] as f64 * q1[(i, j)];
+                if rate == 0.0 {
+                    continue;
+                }
+                let mut w = v.clone();
+                w[i] -= 1;
+                w[j] += 1;
+                f[(si, index[&w])] += rate;
+            }
+        }
+    }
+    Ok((mmpp, f))
+}
+
+/// Number of lumped states for `n` servers with `m` phases each:
+/// the binomial coefficient `C(n + m − 1, m − 1)`.
+pub fn lumped_state_count(m: usize, n: usize) -> usize {
+    // Small arguments only; compute multiplicatively to avoid overflow.
+    let k = m.saturating_sub(1);
+    let mut num = 1.0_f64;
+    for i in 1..=k {
+        num *= (n + i) as f64 / i as f64;
+    }
+    num.round() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use performa_dist::{Exponential, HyperExponential, TruncatedPowerTail};
+
+    fn server(delta: f64) -> ServerModel {
+        let up = Exponential::with_mean(90.0).unwrap().to_matrix_exp();
+        let down = Exponential::with_mean(10.0).unwrap().to_matrix_exp();
+        ServerModel::new(up, down, 2.0, delta).unwrap()
+    }
+
+    fn tpt_server(t: u32) -> ServerModel {
+        let up = Exponential::with_mean(90.0).unwrap().to_matrix_exp();
+        let down = TruncatedPowerTail::with_mean(t, 1.4, 0.2, 10.0)
+            .unwrap()
+            .to_matrix_exp();
+        ServerModel::new(up, down, 2.0, 0.2).unwrap()
+    }
+
+    #[test]
+    fn occupancy_enumeration() {
+        let s = occupancy_states(2, 2);
+        assert_eq!(s, vec![vec![2, 0], vec![1, 1], vec![0, 2]]);
+        assert_eq!(occupancy_states(3, 2).len(), 6);
+        assert_eq!(occupancy_states(1, 5), vec![vec![5]]);
+        assert!(occupancy_states(0, 3).is_empty());
+        // Every vector sums to n.
+        for v in occupancy_states(4, 3) {
+            assert_eq!(v.iter().sum::<u32>(), 3);
+        }
+    }
+
+    #[test]
+    fn state_count_formula() {
+        assert_eq!(lumped_state_count(2, 2), 3);
+        assert_eq!(lumped_state_count(3, 2), 6);
+        assert_eq!(lumped_state_count(11, 2), occupancy_states(11, 2).len());
+        assert_eq!(lumped_state_count(3, 5), occupancy_states(3, 5).len());
+        assert_eq!(lumped_state_count(1, 7), 1);
+    }
+
+    #[test]
+    fn zero_servers_rejected() {
+        assert!(kronecker(&server(0.2), 0).is_err());
+        assert!(lumped(&server(0.2), 0).is_err());
+    }
+
+    #[test]
+    fn single_server_equals_modulator() {
+        let s = server(0.2);
+        let single = s.modulator();
+        for agg in [kronecker(&s, 1).unwrap(), lumped(&s, 1).unwrap()] {
+            assert_eq!(agg.dim(), single.dim());
+            assert!(agg
+                .generator()
+                .max_abs_diff(single.generator())
+                < 1e-14);
+        }
+    }
+
+    #[test]
+    fn two_server_mean_rate_matches_formula() {
+        // ν̄ = N·νp·(A + δ(1−A)) = 2·2·0.92 = 3.68.
+        let s = server(0.2);
+        for agg in [kronecker(&s, 2).unwrap(), lumped(&s, 2).unwrap()] {
+            assert!((agg.mean_rate().unwrap() - 3.68).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn kronecker_and_lumped_have_same_rate_distribution() {
+        // Aggregate by service-rate value: the stationary probability of
+        // each distinct rate must agree between both constructions.
+        let s = tpt_server(3);
+        let n = 2;
+        let full = kronecker(&s, n).unwrap();
+        let lump = lumped(&s, n).unwrap();
+        assert!(full.dim() > lump.dim());
+
+        let collect = |m: &Mmpp| -> std::collections::BTreeMap<u64, f64> {
+            let pi = m.steady_state().unwrap();
+            let mut acc = std::collections::BTreeMap::new();
+            for i in 0..m.dim() {
+                // Quantize the rate to build a key.
+                let key = (m.rates()[i] * 1e9).round() as u64;
+                *acc.entry(key).or_insert(0.0) += pi[i];
+            }
+            acc
+        };
+        let a = collect(&full);
+        let b = collect(&lump);
+        assert_eq!(a.len(), b.len());
+        for (k, v) in &a {
+            let w = b.get(k).expect("rate value present in both");
+            assert!((v - w).abs() < 1e-9, "rate key {k}: {v} vs {w}");
+        }
+    }
+
+    #[test]
+    fn lumped_scales_to_five_servers() {
+        // HYP-2 repair: 3 phases per server; N = 5 ⇒ 21 lumped states
+        // versus 243 Kronecker states.
+        let up = Exponential::with_mean(90.0).unwrap().to_matrix_exp();
+        let down = HyperExponential::balanced(10.0, 30.0)
+            .unwrap()
+            .to_matrix_exp();
+        let s = ServerModel::new(up, down, 2.0, 0.2).unwrap();
+        let agg = lumped(&s, 5).unwrap();
+        assert_eq!(agg.dim(), 21);
+        let expected = 5.0 * s.mean_service_rate();
+        assert!((agg.mean_rate().unwrap() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crash_cluster_rate_levels() {
+        // δ = 0, N = 2, exponential periods: rates are {0, 2, 4}.
+        let s = server(0.0);
+        let agg = lumped(&s, 2).unwrap();
+        let mut rates: Vec<f64> = agg.rates().as_slice().to_vec();
+        rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(rates, vec![0.0, 2.0, 4.0]);
+    }
+
+
+    #[test]
+    fn failure_matrix_is_part_of_generator() {
+        let s = tpt_server(3);
+        let (mmpp, f) = lumped_with_failures(&s, 2).unwrap();
+        let q = mmpp.generator();
+        // F is non-negative, zero diagonal, bounded by Q off-diagonal.
+        for i in 0..f.nrows() {
+            assert_eq!(f[(i, i)], 0.0);
+            for j in 0..f.ncols() {
+                assert!(f[(i, j)] >= 0.0);
+                if i != j {
+                    assert!(f[(i, j)] <= q[(i, j)] + 1e-12);
+                }
+            }
+        }
+        // Total stationary failure rate = N * A / MTTF (each server fails
+        // once per cycle on average).
+        let pi = mmpp.steady_state().unwrap();
+        let total: f64 = pi.dot(&f.row_sums());
+        let expect = 2.0 * 0.9 / 90.0;
+        assert!((total - expect).abs() < 1e-9, "{total} vs {expect}");
+    }
+
+    #[test]
+    fn failure_matrix_zero_rows_for_all_down_state() {
+        let s = server(0.0);
+        let (mmpp, f) = lumped_with_failures(&s, 2).unwrap();
+        // The all-DOWN occupancy state has no UP server left to fail.
+        let states = occupancy_states(2, 2);
+        let all_down = states.iter().position(|v| v[0] == 0).unwrap();
+        assert_eq!(f.row(all_down).iter().sum::<f64>(), 0.0);
+        assert_eq!(f.nrows(), mmpp.dim());
+    }
+
+    #[test]
+    fn stationary_occupancy_is_binomial() {
+        // With exponential UP/DOWN the number of UP servers is binomial
+        // with parameter A in steady state.
+        let s = server(0.2);
+        let agg = lumped(&s, 4).unwrap();
+        let pi = agg.steady_state().unwrap();
+        let states = occupancy_states(2, 4);
+        let a: f64 = 0.9;
+        for (i, v) in states.iter().enumerate() {
+            let k = v[0] as usize; // servers in UP phase (phase order: UP first)
+            let binom = [1.0, 4.0, 6.0, 4.0, 1.0][k]
+                * a.powi(k as i32)
+                * (1.0 - a).powi(4 - k as i32);
+            assert!((pi[i] - binom).abs() < 1e-9, "occupancy {v:?}");
+        }
+    }
+}

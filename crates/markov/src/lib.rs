@@ -1,0 +1,59 @@
+//! Markov-chain machinery: CTMCs, Markovian arrival processes (MAPs),
+//! Markov-modulated Poisson processes (MMPPs), and the paper's multi-server
+//! modulator constructions.
+//!
+//! The reproduced paper (Schwefel & Antonios, DSN 2007) models each cluster
+//! node as an ON/OFF (UP/DOWN) process with matrix-exponential period
+//! distributions. With exponential task times the whole `N`-node cluster
+//! collapses to a single server whose service process is an MMPP:
+//!
+//! * [`ctmc`] — generator validation and stationary distributions,
+//! * [`Map`] — Markovian arrival processes `(D₀, D₁)`; [`Mmpp`] is the
+//!   diagonal-`D₁` special case,
+//! * [`ServerModel`] — the single-server UP/DOWN modulator `⟨Q₁, L₁⟩` of
+//!   paper Sect. 2.2,
+//! * [`aggregate`] — `N`-server aggregation by Kronecker sums (`Q₁^{⊕N}`)
+//!   and by the reduced *occupancy* (lumped) state space that exploits the
+//!   exchangeability of identical servers,
+//! * [`OnOffSource`] — the dual teletraffic "N-Burst" arrival model of
+//!   paper Sect. 2.3,
+//! * [`transient`] — transient distributions and (interval) reward
+//!   metrics by uniformization, for performability measures at finite
+//!   horizons.
+//!
+//! # Example: the paper's 2-node cluster modulator
+//!
+//! ```
+//! use performa_dist::{Exponential, TruncatedPowerTail};
+//! use performa_markov::{aggregate, ServerModel};
+//!
+//! let up = Exponential::with_mean(90.0)?.to_matrix_exp();
+//! let down = TruncatedPowerTail::with_mean(10, 1.4, 0.2, 10.0)?.to_matrix_exp();
+//! let server = ServerModel::new(up, down, 2.0, 0.2)?;
+//! let cluster = aggregate::lumped(&server, 2)?;
+//! // Long-run average service rate ν̄ = N·νp·(A + δ(1−A)) = 3.68.
+//! assert!((cluster.mean_rate()? - 3.68).abs() < 1e-9);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod ctmc;
+pub mod transient;
+
+mod error;
+mod map;
+mod mmpp;
+mod onoff;
+mod server;
+
+pub use error::MarkovError;
+pub use map::Map;
+pub use mmpp::Mmpp;
+pub use onoff::OnOffSource;
+pub use server::ServerModel;
+
+/// Result alias for fallible Markov-model operations.
+pub type Result<T> = std::result::Result<T, MarkovError>;

@@ -1,0 +1,181 @@
+use performa_dist::{MatrixExp, Moments};
+
+use crate::{Mmpp, Result, ServerModel};
+
+/// An ON/OFF teletraffic source — the dual of the cluster server model
+/// (paper Sect. 2.3).
+///
+/// The paper observes that the cluster's M/MMPP/1 queue is, up to renaming,
+/// the *N-Burst* MMPP/M/1 traffic model of Schwefel & Lipsky: a source that
+/// emits at peak rate `λ_p` while ON and is silent while OFF corresponds
+/// exactly to a server that serves at `ν_p` while UP and is (crash-)failed
+/// while DOWN. The parameter dictionary is:
+///
+/// | Cluster (M/MMPP/1)              | Telco N-Burst (MMPP/M/1)        |
+/// |---------------------------------|---------------------------------|
+/// | number of servers `N`           | number of sources `N`           |
+/// | service rate during UP `ν_p`    | arrival rate during ON `λ_p`    |
+/// | availability `A`                | `1 − b` (burstiness complement) |
+/// | avg service rate `ν̄ = N·ν_p·A` | avg arrival rate `λ = N·λ_p·(1−b)` |
+///
+/// A degraded rate `δ·ν_p` corresponds to a background Poisson stream in
+/// the traffic picture.
+///
+/// # Example
+///
+/// ```
+/// use performa_dist::Exponential;
+/// use performa_markov::OnOffSource;
+///
+/// let on = Exponential::with_mean(90.0)?.to_matrix_exp();
+/// let off = Exponential::with_mean(10.0)?.to_matrix_exp();
+/// let src = OnOffSource::new(on, off, 1.5)?;
+/// assert!((src.burstiness() - 0.1).abs() < 1e-12);
+/// let agg = src.aggregate(3)?;
+/// assert!((agg.mean_rate()? - 3.0 * 1.5 * 0.9).abs() < 1e-9);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnOffSource {
+    /// Internally an ON/OFF source *is* a crash-fault server (δ = 0).
+    inner: ServerModel,
+}
+
+impl OnOffSource {
+    /// Creates an ON/OFF source with matrix-exponential ON and OFF periods
+    /// and peak rate `peak_rate` while ON.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServerModel::new`] (positive peak rate, phase-type
+    /// periods).
+    pub fn new(on: MatrixExp, off: MatrixExp, peak_rate: f64) -> Result<Self> {
+        Ok(OnOffSource {
+            inner: ServerModel::new(on, off, peak_rate, 0.0)?,
+        })
+    }
+
+    /// The ON-period distribution.
+    pub fn on(&self) -> &MatrixExp {
+        self.inner.up()
+    }
+
+    /// The OFF-period distribution.
+    pub fn off(&self) -> &MatrixExp {
+        self.inner.down()
+    }
+
+    /// Peak emission rate `λ_p` during ON periods.
+    pub fn peak_rate(&self) -> f64 {
+        self.inner.nu_p()
+    }
+
+    /// The burst parameter `b`: the long-run fraction of time the source is
+    /// OFF (paper Sect. 2.3).
+    pub fn burstiness(&self) -> f64 {
+        1.0 - self.inner.availability()
+    }
+
+    /// Long-run mean emission rate `κ = λ_p·(1 − b)` of one source.
+    pub fn mean_rate(&self) -> f64 {
+        self.peak_rate() * (1.0 - self.burstiness())
+    }
+
+    /// Single-source MMPP.
+    pub fn modulator(&self) -> Mmpp {
+        self.inner.modulator()
+    }
+
+    /// Aggregated `N`-source MMPP (the *N-Burst* arrival process), built on
+    /// the reduced occupancy state space.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::MarkovError::InvalidParameter`] if `n == 0`.
+    pub fn aggregate(&self, n: usize) -> Result<Mmpp> {
+        crate::aggregate::lumped(&self.inner, n)
+    }
+
+    /// Reinterprets a cluster server model as its dual traffic source
+    /// (crash-fault view: the degraded rate is dropped).
+    pub fn from_server(server: &ServerModel) -> Self {
+        OnOffSource {
+            inner: ServerModel::new(
+                server.up().clone(),
+                server.down().clone(),
+                server.nu_p(),
+                0.0,
+            )
+            .expect("a valid server model remains valid with delta = 0"),
+        }
+    }
+
+    /// Mean ON duration.
+    pub fn mean_on(&self) -> f64 {
+        self.inner.up().mean()
+    }
+
+    /// Mean OFF duration.
+    pub fn mean_off(&self) -> f64 {
+        self.inner.down().mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use performa_dist::{Exponential, TruncatedPowerTail};
+
+    fn src() -> OnOffSource {
+        let on = Exponential::with_mean(90.0).unwrap().to_matrix_exp();
+        let off = Exponential::with_mean(10.0).unwrap().to_matrix_exp();
+        OnOffSource::new(on, off, 1.5).unwrap()
+    }
+
+    #[test]
+    fn parameters() {
+        let s = src();
+        assert!((s.burstiness() - 0.1).abs() < 1e-12);
+        assert!((s.mean_rate() - 1.35).abs() < 1e-12);
+        assert!((s.mean_on() - 90.0).abs() < 1e-12);
+        assert!((s.mean_off() - 10.0).abs() < 1e-12);
+        assert_eq!(s.peak_rate(), 1.5);
+    }
+
+    #[test]
+    fn aggregate_rate_scales_linearly() {
+        let s = src();
+        for n in 1..=4 {
+            let agg = s.aggregate(n).unwrap();
+            assert!(
+                (agg.mean_rate().unwrap() - n as f64 * 1.35).abs() < 1e-9,
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn duality_with_server_model() {
+        // A crash-fault server (δ = 0) and its traffic dual are the same
+        // modulated process.
+        let up = Exponential::with_mean(90.0).unwrap().to_matrix_exp();
+        let down = TruncatedPowerTail::with_mean(4, 1.4, 0.2, 10.0)
+            .unwrap()
+            .to_matrix_exp();
+        let server = crate::ServerModel::new(up, down, 2.0, 0.0).unwrap();
+        let dual = OnOffSource::from_server(&server);
+        let a = server.modulator();
+        let b = dual.modulator();
+        assert!(a.generator().max_abs_diff(b.generator()) < 1e-14);
+        assert_eq!(a.rates().as_slice(), b.rates().as_slice());
+    }
+
+    #[test]
+    fn off_heavy_source_is_bursty() {
+        let on = Exponential::with_mean(1.0).unwrap().to_matrix_exp();
+        let off = Exponential::with_mean(9.0).unwrap().to_matrix_exp();
+        let s = OnOffSource::new(on, off, 10.0).unwrap();
+        assert!((s.burstiness() - 0.9).abs() < 1e-12);
+        assert!((s.mean_rate() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,256 @@
+use performa_dist::{MatrixExp, Moments};
+use performa_linalg::{Matrix, Vector};
+
+use crate::{MarkovError, Mmpp, Result};
+
+/// A single cluster node: an alternating UP/DOWN process with
+/// matrix-exponential period distributions and a degradable service rate
+/// (paper Sect. 2.2).
+///
+/// While UP, the node serves at the peak rate `ν_p`; while DOWN (repair in
+/// progress) it serves at the degraded rate `δ·ν_p`, where `δ = 0` models a
+/// crash and `0 < δ < 1` a non-catastrophic fault.
+///
+/// [`ServerModel::modulator`] yields the single-server MMPP `⟨Q₁, L₁⟩`;
+/// the [`crate::aggregate`] module lifts it to `N` servers.
+///
+/// # Example
+///
+/// ```
+/// use performa_dist::Exponential;
+/// use performa_markov::ServerModel;
+///
+/// let up = Exponential::with_mean(90.0)?.to_matrix_exp();
+/// let down = Exponential::with_mean(10.0)?.to_matrix_exp();
+/// let s = ServerModel::new(up, down, 2.0, 0.2)?;
+/// assert!((s.availability() - 0.9).abs() < 1e-12);
+/// assert!((s.mean_service_rate() - (0.9 * 2.0 + 0.1 * 0.4)).abs() < 1e-12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServerModel {
+    up: MatrixExp,
+    down: MatrixExp,
+    nu_p: f64,
+    delta: f64,
+}
+
+impl ServerModel {
+    /// Creates a server model.
+    ///
+    /// # Errors
+    ///
+    /// * [`MarkovError::InvalidParameter`] unless `ν_p > 0`,
+    ///   `0 ≤ δ ≤ 1`, and both period distributions are phase-type
+    ///   (a non-PH matrix-exponential representation cannot be embedded in
+    ///   a CTMC modulator).
+    pub fn new(up: MatrixExp, down: MatrixExp, nu_p: f64, delta: f64) -> Result<Self> {
+        if !(nu_p.is_finite() && nu_p > 0.0) {
+            return Err(MarkovError::InvalidParameter {
+                message: format!("peak service rate nu_p = {nu_p} must be positive"),
+            });
+        }
+        if !(delta.is_finite() && (0.0..=1.0).contains(&delta)) {
+            return Err(MarkovError::InvalidParameter {
+                message: format!("degradation factor delta = {delta} must lie in [0, 1]"),
+            });
+        }
+        for (name, d) in [("up", &up), ("down", &down)] {
+            if !d.is_phase_type() {
+                return Err(MarkovError::InvalidParameter {
+                    message: format!(
+                        "{name} distribution is not phase-type and cannot modulate a CTMC"
+                    ),
+                });
+            }
+        }
+        Ok(ServerModel {
+            up,
+            down,
+            nu_p,
+            delta,
+        })
+    }
+
+    /// The UP-period distribution.
+    pub fn up(&self) -> &MatrixExp {
+        &self.up
+    }
+
+    /// The DOWN-period (repair) distribution.
+    pub fn down(&self) -> &MatrixExp {
+        &self.down
+    }
+
+    /// Peak service rate `ν_p`.
+    pub fn nu_p(&self) -> f64 {
+        self.nu_p
+    }
+
+    /// Degradation factor `δ`.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Mean time to failure (mean UP duration).
+    pub fn mttf(&self) -> f64 {
+        self.up.mean()
+    }
+
+    /// Mean time to repair (mean DOWN duration).
+    pub fn mttr(&self) -> f64 {
+        self.down.mean()
+    }
+
+    /// Steady-state availability `A = MTTF / (MTTF + MTTR)` (paper Eq. 1).
+    pub fn availability(&self) -> f64 {
+        let f = self.mttf();
+        f / (f + self.mttr())
+    }
+
+    /// Long-run average service rate of one node,
+    /// `ν_p·(A + δ·(1 − A))`.
+    pub fn mean_service_rate(&self) -> f64 {
+        let a = self.availability();
+        self.nu_p * (a + self.delta * (1.0 - a))
+    }
+
+    /// Number of modulator phases (UP phases + DOWN phases).
+    pub fn phase_count(&self) -> usize {
+        self.up.dim() + self.down.dim()
+    }
+
+    /// Builds the single-server modulated service process `⟨Q₁, L₁⟩`
+    /// (paper Sect. 2.2). Phases are ordered UP first, then DOWN:
+    ///
+    /// ```text
+    ///        ┌  −B_up            (B_up·ε)·p_down ┐
+    /// Q₁ =   │                                   │
+    ///        └ (B_down·ε)·p_up    −B_down        ┘
+    /// ```
+    ///
+    /// with service rates `ν_p` on UP phases and `δ·ν_p` on DOWN phases.
+    pub fn modulator(&self) -> Mmpp {
+        let nu = self.up.dim();
+        let nd = self.down.dim();
+        let n = nu + nd;
+        let mut q = Matrix::zeros(n, n);
+
+        let bup = self.up.rate_matrix();
+        let bdown = self.down.rate_matrix();
+        let up_exit = self.up.exit_rates();
+        let down_exit = self.down.exit_rates();
+        let p_up = self.up.entrance();
+        let p_down = self.down.entrance();
+
+        // UP block: −B_up internal dynamics.
+        for i in 0..nu {
+            for j in 0..nu {
+                q[(i, j)] = -bup[(i, j)];
+            }
+            // Exit from UP phase i enters DOWN phases per p_down.
+            for j in 0..nd {
+                q[(i, nu + j)] = up_exit[i] * p_down[j];
+            }
+        }
+        // DOWN block.
+        for i in 0..nd {
+            for j in 0..nd {
+                q[(nu + i, nu + j)] = -bdown[(i, j)];
+            }
+            for j in 0..nu {
+                q[(nu + i, j)] = down_exit[i] * p_up[j];
+            }
+        }
+
+        let mut rates = Vec::with_capacity(n);
+        rates.extend(std::iter::repeat_n(self.nu_p, nu));
+        rates.extend(std::iter::repeat_n(self.delta * self.nu_p, nd));
+
+        Mmpp::new(q, Vector::from(rates))
+            .expect("a PH/PH server model always yields a valid MMPP")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use performa_dist::{Erlang, Exponential, HyperExponential, TruncatedPowerTail};
+
+    fn exp_me(mean: f64) -> MatrixExp {
+        Exponential::with_mean(mean).unwrap().to_matrix_exp()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ServerModel::new(exp_me(90.0), exp_me(10.0), 0.0, 0.2).is_err());
+        assert!(ServerModel::new(exp_me(90.0), exp_me(10.0), 2.0, -0.1).is_err());
+        assert!(ServerModel::new(exp_me(90.0), exp_me(10.0), 2.0, 1.5).is_err());
+        assert!(ServerModel::new(exp_me(90.0), exp_me(10.0), 2.0, 0.0).is_ok());
+
+        // Non-phase-type representation rejected.
+        let bad = MatrixExp::new(
+            Vector::from(vec![1.0]),
+            Matrix::from_rows(&[&[-1.0]]),
+        )
+        .unwrap();
+        assert!(ServerModel::new(bad, exp_me(10.0), 2.0, 0.2).is_err());
+    }
+
+    #[test]
+    fn availability_and_mean_rate() {
+        let s = ServerModel::new(exp_me(90.0), exp_me(10.0), 2.0, 0.2).unwrap();
+        assert!((s.availability() - 0.9).abs() < 1e-12);
+        assert!((s.mttf() - 90.0).abs() < 1e-12);
+        assert!((s.mttr() - 10.0).abs() < 1e-12);
+        assert!((s.mean_service_rate() - 1.84).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_modulator_is_two_state() {
+        let s = ServerModel::new(exp_me(90.0), exp_me(10.0), 2.0, 0.2).unwrap();
+        let m = s.modulator();
+        assert_eq!(m.dim(), 2);
+        // Failure rate 1/90, repair rate 1/10.
+        assert!((m.generator()[(0, 1)] - 1.0 / 90.0).abs() < 1e-15);
+        assert!((m.generator()[(1, 0)] - 0.1).abs() < 1e-15);
+        assert_eq!(m.rates().as_slice(), &[2.0, 0.4]);
+        assert!((m.mean_rate().unwrap() - 1.84).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tpt_repair_modulator() {
+        let down = TruncatedPowerTail::with_mean(5, 1.4, 0.2, 10.0)
+            .unwrap()
+            .to_matrix_exp();
+        let s = ServerModel::new(exp_me(90.0), down, 2.0, 0.2).unwrap();
+        let m = s.modulator();
+        assert_eq!(m.dim(), 6); // 1 UP + 5 DOWN phases
+        // Availability is still 0.9 regardless of the repair shape.
+        assert!((s.availability() - 0.9).abs() < 1e-9);
+        assert!((m.mean_rate().unwrap() - 1.84).abs() < 1e-9);
+    }
+
+    #[test]
+    fn erlang_up_hyperexp_down() {
+        let up = Erlang::with_mean(3, 90.0).unwrap().to_matrix_exp();
+        let down = HyperExponential::balanced(10.0, 20.0)
+            .unwrap()
+            .to_matrix_exp();
+        let s = ServerModel::new(up, down, 1.0, 0.5).unwrap();
+        let m = s.modulator();
+        assert_eq!(m.dim(), 5);
+        // Stationary fraction of time UP equals availability.
+        let pi = m.steady_state().unwrap();
+        let up_prob: f64 = pi.as_slice()[..3].iter().sum();
+        assert!((up_prob - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crash_server_has_zero_down_rate() {
+        let s = ServerModel::new(exp_me(90.0), exp_me(10.0), 2.0, 0.0).unwrap();
+        let m = s.modulator();
+        assert_eq!(m.rates().as_slice(), &[2.0, 0.0]);
+        assert!((m.mean_rate().unwrap() - 1.8).abs() < 1e-12);
+    }
+}

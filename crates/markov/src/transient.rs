@@ -1,0 +1,283 @@
+//! Transient CTMC analysis by uniformization (Jensen's method).
+//!
+//! Performability modeling in the tradition of Meyer needs more than
+//! steady state: the distribution of the modulator at finite horizons,
+//! point rewards (e.g. expected cluster capacity at time `t`) and
+//! accumulated rewards (e.g. interval availability over `[0, t]`). All
+//! are computed here with uniformization — numerically robust Poisson
+//! mixtures of powers of a stochastic matrix, with an adaptive truncation
+//! bound.
+
+use performa_linalg::{Matrix, Vector};
+
+use crate::{ctmc, Result};
+
+/// Relative truncation tolerance of the Poisson series.
+const POISSON_TOL: f64 = 1e-12;
+
+/// State of the uniformized chain: `P = I + Q/Λ` with the uniformization
+/// rate `Λ ≥ max_i |q_ii|`.
+///
+/// # Example
+///
+/// ```
+/// use performa_linalg::{Matrix, Vector};
+/// use performa_markov::transient::Uniformized;
+///
+/// // A repairable component: fail rate 0.2, repair rate 1.
+/// let q = Matrix::from_rows(&[&[-0.2, 0.2], &[1.0, -1.0]]);
+/// let u = Uniformized::new(&q)?;
+/// let fresh = Vector::from(vec![1.0, 0.0]);
+/// // Availability decays from 1 toward the stationary 5/6.
+/// let a10 = u.point_reward(&fresh, &Vector::from(vec![1.0, 0.0]), 10.0);
+/// assert!(a10 > 5.0 / 6.0 && a10 < 1.0);
+/// # Ok::<(), performa_markov::MarkovError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Uniformized {
+    p: Matrix,
+    rate: f64,
+}
+
+impl Uniformized {
+    /// Uniformizes a validated generator.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::MarkovError::NotAGenerator`] if `q` fails validation.
+    pub fn new(q: &Matrix) -> Result<Self> {
+        ctmc::validate_generator(q)?;
+        let n = q.nrows();
+        let mut max_diag = 0.0_f64;
+        for i in 0..n {
+            max_diag = max_diag.max(-q[(i, i)]);
+        }
+        // Strictly positive rate even for the absorbing-free zero chain.
+        let rate = (max_diag * 1.02).max(1e-12);
+        let p = Matrix::identity(n) + &(q * (1.0 / rate));
+        Ok(Uniformized { p, rate })
+    }
+
+    /// The uniformization rate `Λ`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The uniformized stochastic matrix `P`.
+    pub fn matrix(&self) -> &Matrix {
+        &self.p
+    }
+
+    /// Number of Poisson terms needed for horizon `t`.
+    fn truncation(&self, t: f64) -> usize {
+        let mean = self.rate * t;
+        // Mean + 8 standard deviations, floor 16 terms.
+        (mean + 8.0 * mean.sqrt() + 16.0).ceil() as usize
+    }
+
+    /// Transient distribution `π(t) = π(0)·exp(Q·t)` by uniformization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial.len()` differs from the chain dimension, or
+    /// `t < 0` / non-finite.
+    pub fn distribution(&self, initial: &Vector, t: f64) -> Vector {
+        assert!(t.is_finite() && t >= 0.0, "horizon must be finite, non-negative");
+        assert_eq!(initial.len(), self.p.nrows(), "initial vector dimension");
+        if t == 0.0 {
+            return initial.clone();
+        }
+        let mean = self.rate * t;
+        let kmax = self.truncation(t);
+        // Accumulate Σ_k Pois(k; Λt) · π(0)·P^k with running Poisson
+        // weights, in scaled space to avoid underflow for large Λt.
+        let mut v = initial.clone();
+        let mut acc = Vector::zeros(v.len());
+        // (accumulated below; renormalized before returning)
+
+        // log-weights: start at k = 0.
+        let log_mean = mean.ln();
+        let mut log_w = -mean; // ln Pois(0)
+        let mut log_fact = 0.0;
+        for k in 0..=kmax {
+            if k > 0 {
+                v = self.p.vec_mul(&v);
+                log_fact += (k as f64).ln();
+                log_w = -mean + k as f64 * log_mean - log_fact;
+            }
+            let w = log_w.exp();
+            if w > 0.0 {
+                for i in 0..acc.len() {
+                    acc[i] += w * v[i];
+                }
+            }
+            // Stop early once the remaining tail is negligible (only valid
+            // beyond the mode).
+            if (k as f64) > mean && w < POISSON_TOL / (kmax as f64) {
+                break;
+            }
+        }
+        // Renormalize the tiny truncation loss.
+        acc.normalize_sum();
+        acc
+    }
+
+    /// Expected instantaneous reward at time `t`: `π(t)·r`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Uniformized::distribution`], plus reward
+    /// length mismatch.
+    pub fn point_reward(&self, initial: &Vector, reward: &Vector, t: f64) -> f64 {
+        self.distribution(initial, t).dot(reward)
+    }
+
+    /// Time-averaged accumulated reward over `[0, t]`:
+    /// `(1/t)·∫₀ᵗ π(u)·r du`, computed by numerically integrating the
+    /// uniformized distribution on an adaptive grid (Simpson's rule).
+    ///
+    /// For the reward "server is UP" this is the *interval availability*.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Uniformized::point_reward`]; also `t > 0`.
+    pub fn interval_reward(&self, initial: &Vector, reward: &Vector, t: f64) -> f64 {
+        assert!(t > 0.0, "interval must have positive length");
+        // Simpson on ~64 panels is ample: π(u)·r is smooth (entire).
+        let panels = 64;
+        let h = t / panels as f64;
+        let f = |u: f64| self.point_reward(initial, reward, u);
+        let mut total = f(0.0) + f(t);
+        for i in 1..panels {
+            let u = i as f64 * h;
+            total += if i % 2 == 1 { 4.0 } else { 2.0 } * f(u);
+        }
+        total * h / (3.0 * t)
+    }
+}
+
+/// Convenience: transient distribution without keeping the uniformized
+/// operator.
+///
+/// # Errors
+///
+/// See [`Uniformized::new`].
+pub fn transient_distribution(q: &Matrix, initial: &Vector, t: f64) -> Result<Vector> {
+    Ok(Uniformized::new(q)?.distribution(initial, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use performa_linalg::expm::expm;
+
+    fn two_state() -> Matrix {
+        Matrix::from_rows(&[&[-0.2, 0.2], &[1.0, -1.0]])
+    }
+
+    #[test]
+    fn matches_matrix_exponential() {
+        let q = two_state();
+        let u = Uniformized::new(&q).unwrap();
+        let p0 = Vector::from(vec![1.0, 0.0]);
+        for &t in &[0.1, 1.0, 5.0, 50.0] {
+            let via_uniform = u.distribution(&p0, t);
+            let e = expm(&(&q * t)).unwrap();
+            let via_expm = e.vec_mul(&p0);
+            assert!(
+                via_uniform.max_abs_diff(&via_expm) < 1e-9,
+                "t={t}: {via_uniform:?} vs {via_expm:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn converges_to_steady_state() {
+        let q = two_state();
+        let u = Uniformized::new(&q).unwrap();
+        let p0 = Vector::from(vec![0.0, 1.0]);
+        let pi = crate::ctmc::steady_state(&q).unwrap();
+        let far = u.distribution(&p0, 500.0);
+        assert!(far.max_abs_diff(&pi) < 1e-10);
+    }
+
+    #[test]
+    fn zero_horizon_is_identity() {
+        let u = Uniformized::new(&two_state()).unwrap();
+        let p0 = Vector::from(vec![0.3, 0.7]);
+        assert!(u.distribution(&p0, 0.0).max_abs_diff(&p0) < 1e-15);
+    }
+
+    #[test]
+    fn distribution_stays_stochastic() {
+        let q = Matrix::from_rows(&[
+            &[-3.0, 2.0, 1.0],
+            &[0.1, -0.2, 0.1],
+            &[5.0, 5.0, -10.0],
+        ]);
+        let u = Uniformized::new(&q).unwrap();
+        let p0 = Vector::from(vec![0.2, 0.5, 0.3]);
+        for &t in &[0.01, 0.5, 2.0, 20.0, 200.0] {
+            let p = u.distribution(&p0, t);
+            assert!((p.sum() - 1.0).abs() < 1e-10, "t={t}");
+            assert!(p.iter().all(|&x| x >= -1e-12), "t={t}");
+        }
+    }
+
+    #[test]
+    fn point_reward_interpolates() {
+        // Reward = P(state 0). Starting DOWN (state 1) with repair rate 1,
+        // availability climbs monotonically toward 5/6.
+        let q = two_state();
+        let u = Uniformized::new(&q).unwrap();
+        let p0 = Vector::from(vec![0.0, 1.0]);
+        let r = Vector::from(vec![1.0, 0.0]);
+        let mut prev = 0.0;
+        for &t in &[0.1, 0.5, 1.0, 3.0, 10.0] {
+            let a = u.point_reward(&p0, &r, t);
+            assert!(a > prev, "t={t}: {a} <= {prev}");
+            prev = a;
+        }
+        assert!((prev - 5.0 / 6.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn interval_reward_bounds_point_rewards() {
+        // Starting UP, availability decays; the interval average must sit
+        // between the endpoint values.
+        let q = two_state();
+        let u = Uniformized::new(&q).unwrap();
+        let p0 = Vector::from(vec![1.0, 0.0]);
+        let r = Vector::from(vec![1.0, 0.0]);
+        let t = 5.0;
+        let avg = u.interval_reward(&p0, &r, t);
+        let at_end = u.point_reward(&p0, &r, t);
+        assert!(avg > at_end);
+        assert!(avg < 1.0);
+    }
+
+    #[test]
+    fn interval_reward_of_constant_is_constant() {
+        let u = Uniformized::new(&two_state()).unwrap();
+        let p0 = Vector::from(vec![0.5, 0.5]);
+        let r = Vector::from(vec![2.5, 2.5]);
+        assert!((u.interval_reward(&p0, &r, 7.0) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_generator_rejected() {
+        let bad = Matrix::from_rows(&[&[1.0, -1.0], &[0.0, 0.0]]);
+        assert!(Uniformized::new(&bad).is_err());
+    }
+
+    #[test]
+    fn large_horizon_large_rate_is_stable() {
+        // Stiff chain: rates differ by 10^4; long horizon.
+        let q = Matrix::from_rows(&[&[-1e4, 1e4], &[1e-1, -1e-1]]);
+        let u = Uniformized::new(&q).unwrap();
+        let p0 = Vector::from(vec![1.0, 0.0]);
+        let p = u.distribution(&p0, 100.0);
+        let pi = crate::ctmc::steady_state(&q).unwrap();
+        assert!(p.max_abs_diff(&pi) < 1e-8);
+    }
+}

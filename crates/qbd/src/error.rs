@@ -1,0 +1,95 @@
+use std::fmt;
+
+/// Errors produced by the QBD solvers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QbdError {
+    /// The supplied blocks do not form a valid QBD generator.
+    InvalidBlocks {
+        /// Explanation of the violated structural property.
+        message: String,
+    },
+    /// The chain is not positive recurrent (mean drift is upward), so no
+    /// stationary distribution exists.
+    Unstable {
+        /// Mean upward drift `φ·A₀·ε`.
+        up_rate: f64,
+        /// Mean downward drift `φ·A₂·ε`.
+        down_rate: f64,
+    },
+    /// An iterative stage failed to converge.
+    NoConvergence {
+        /// Stage name, e.g. `"logarithmic reduction"`.
+        stage: &'static str,
+        /// Iterations performed.
+        iterations: usize,
+        /// Final residual.
+        residual: f64,
+    },
+    /// An underlying linear-algebra operation failed.
+    Linalg(performa_linalg::LinalgError),
+}
+
+impl fmt::Display for QbdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QbdError::InvalidBlocks { message } => write!(f, "invalid QBD blocks: {message}"),
+            QbdError::Unstable { up_rate, down_rate } => write!(
+                f,
+                "QBD is unstable: mean up-rate {up_rate:.6} >= mean down-rate {down_rate:.6}"
+            ),
+            QbdError::NoConvergence {
+                stage,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{stage} did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            QbdError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QbdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QbdError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<performa_linalg::LinalgError> for QbdError {
+    fn from(e: performa_linalg::LinalgError) -> Self {
+        QbdError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = QbdError::Unstable {
+            up_rate: 2.0,
+            down_rate: 1.0,
+        };
+        let s = e.to_string();
+        assert!(s.contains("unstable"));
+        assert!(s.contains("2.0"));
+
+        let e = QbdError::InvalidBlocks {
+            message: "row sums".into(),
+        };
+        assert!(e.to_string().contains("row sums"));
+    }
+
+    #[test]
+    fn source_chain() {
+        use std::error::Error;
+        let e: QbdError = performa_linalg::LinalgError::Singular { pivot: 3 }.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,97 @@
+//! Closed-form M/G/1 reference formulas (Pollaczek–Khinchine).
+//!
+//! The paper (Sect. 2.2) notes the alternative modeling route in which a
+//! repair period plus re-service is folded into one long heavy-tailed
+//! service time, leading to M/G/1-type analysis. These formulas provide
+//! that baseline: exact for Poisson arrivals and i.i.d. service with the
+//! given first two moments.
+
+/// Mean number in system of an M/G/1 queue: the Pollaczek–Khinchine
+/// formula `L = ρ + ρ²(1 + c²)/(2(1 − ρ))`, with `c²` the squared
+/// coefficient of variation of the service time.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ rho < 1` and `scv ≥ 0`.
+pub fn mean_queue_length(rho: f64, scv: f64) -> f64 {
+    assert!(
+        (0.0..1.0).contains(&rho),
+        "utilization must be in [0, 1), got {rho}"
+    );
+    assert!(scv >= 0.0, "scv must be non-negative, got {scv}");
+    rho + rho * rho * (1.0 + scv) / (2.0 * (1.0 - rho))
+}
+
+/// Mean waiting time (queueing delay, excluding service) for arrival rate
+/// `lambda` and service moments `(m1, m2)`:
+/// `W_q = λ·m₂ / (2(1 − λ·m₁))`.
+///
+/// # Panics
+///
+/// Panics unless `lambda > 0`, `m1 > 0`, `m2 ≥ m1²` and `λ·m₁ < 1`.
+pub fn mean_waiting_time(lambda: f64, m1: f64, m2: f64) -> f64 {
+    assert!(lambda > 0.0 && m1 > 0.0, "rates and moments must be positive");
+    assert!(m2 >= m1 * m1, "second moment below square of the first");
+    let rho = lambda * m1;
+    assert!(rho < 1.0, "unstable: rho = {rho}");
+    lambda * m2 / (2.0 * (1.0 - rho))
+}
+
+/// Mean system (sojourn) time: `W = W_q + m₁`.
+///
+/// # Panics
+///
+/// Same conditions as [`mean_waiting_time`].
+pub fn mean_system_time(lambda: f64, m1: f64, m2: f64) -> f64 {
+    mean_waiting_time(lambda, m1, m2) + m1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_service_reduces_to_mm1() {
+        for &rho in &[0.1, 0.5, 0.9] {
+            let l = mean_queue_length(rho, 1.0);
+            assert!((l - crate::mm1::mean_queue_length(rho)).abs() < 1e-12, "rho={rho}");
+        }
+    }
+
+    #[test]
+    fn deterministic_service_halves_the_queueing_term() {
+        let rho: f64 = 0.8;
+        let md1 = mean_queue_length(rho, 0.0);
+        let mm1 = crate::mm1::mean_queue_length(rho);
+        // L_q(M/D/1) = L_q(M/M/1)/2.
+        assert!(((md1 - rho) - (mm1 - rho) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn high_variance_service_inflates_the_queue() {
+        let rho = 0.7;
+        assert!(mean_queue_length(rho, 50.0) > 10.0 * mean_queue_length(rho, 1.0));
+    }
+
+    #[test]
+    fn littles_law_consistency() {
+        let (lambda, m1, scv) = (0.5, 1.2, 3.0);
+        let m2 = (scv + 1.0) * m1 * m1;
+        let rho = lambda * m1;
+        let l = mean_queue_length(rho, scv);
+        let w = mean_system_time(lambda, m1, m2);
+        assert!((l - lambda * w).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable")]
+    fn saturated_waiting_time_panics() {
+        let _ = mean_waiting_time(1.0, 1.5, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn bad_rho_panics() {
+        let _ = mean_queue_length(1.2, 1.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Closed-form M/M/1 reference formulas.
+//!
+//! The paper normalizes every mean-queue-length curve by the M/M/1 value at
+//! the same utilization (its Figures 1, 4, 5, 8, 9), which removes the
+//! `1/(1−ρ)` asymptote and isolates the failure-induced degradation.
+
+/// Mean number in system of an M/M/1 queue at utilization `rho`:
+/// `ρ/(1−ρ)`.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ rho < 1`.
+pub fn mean_queue_length(rho: f64) -> f64 {
+    assert!(
+        (0.0..1.0).contains(&rho),
+        "utilization must be in [0, 1), got {rho}"
+    );
+    rho / (1.0 - rho)
+}
+
+/// Stationary probability of exactly `n` customers: `(1−ρ)·ρⁿ`.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ rho < 1`.
+pub fn level_probability(rho: f64, n: usize) -> f64 {
+    assert!(
+        (0.0..1.0).contains(&rho),
+        "utilization must be in [0, 1), got {rho}"
+    );
+    (1.0 - rho) * rho.powi(n as i32)
+}
+
+/// Tail probability `Pr(Q > k) = ρ^{k+1}`.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ rho < 1`.
+pub fn tail_probability(rho: f64, k: usize) -> f64 {
+    assert!(
+        (0.0..1.0).contains(&rho),
+        "utilization must be in [0, 1), got {rho}"
+    );
+    rho.powi(k as i32 + 1)
+}
+
+/// Mean system (sojourn) time at arrival rate `lambda` and service rate
+/// `mu`: `1/(μ−λ)`.
+///
+/// # Panics
+///
+/// Panics unless `0 < lambda < mu`.
+pub fn mean_system_time(lambda: f64, mu: f64) -> f64 {
+    assert!(
+        lambda > 0.0 && lambda < mu,
+        "need 0 < lambda < mu, got lambda={lambda}, mu={mu}"
+    );
+    1.0 / (mu - lambda)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        assert_eq!(mean_queue_length(0.5), 1.0);
+        assert!((mean_queue_length(0.9) - 9.0).abs() < 1e-12);
+        assert_eq!(mean_queue_length(0.0), 0.0);
+        assert!((level_probability(0.5, 0) - 0.5).abs() < 1e-15);
+        assert!((level_probability(0.5, 3) - 0.0625).abs() < 1e-15);
+        assert!((tail_probability(0.5, 0) - 0.5).abs() < 1e-15);
+        assert!((tail_probability(0.5, 3) - 0.0625).abs() < 1e-15);
+        assert!((mean_system_time(1.0, 2.0) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pmf_sums_to_one_and_matches_mean() {
+        let rho = 0.7;
+        let total: f64 = (0..5000).map(|n| level_probability(rho, n)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        let mean: f64 = (0..5000)
+            .map(|n| n as f64 * level_probability(rho, n))
+            .sum();
+        assert!((mean - mean_queue_length(rho)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn littles_law() {
+        let (lambda, mu) = (2.0, 3.0);
+        let rho = lambda / mu;
+        assert!(
+            (mean_queue_length(rho) - lambda * mean_system_time(lambda, mu)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn saturated_panics() {
+        let _ = mean_queue_length(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn bad_system_time_panics() {
+        let _ = mean_system_time(3.0, 2.0);
+    }
+}

@@ -1,0 +1,695 @@
+use performa_linalg::{lu::Lu, Matrix, Vector};
+
+use crate::solution::QbdSolution;
+use crate::{QbdError, Result};
+
+/// Tolerance for generator row-sum validation, scaled by the largest rate.
+const ROWSUM_TOL: f64 = 1e-8;
+
+/// Options controlling the iterative stages of [`Qbd::solve`].
+#[derive(Debug, Clone, Copy)]
+pub struct SolveOptions {
+    /// Convergence tolerance on the `G` iteration (infinity norm).
+    pub tolerance: f64,
+    /// Iteration cap for the `G` computation.
+    pub max_iterations: usize,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            tolerance: 1e-14,
+            max_iterations: 200,
+        }
+    }
+}
+
+/// A level-independent continuous-time QBD process.
+///
+/// Interior levels use the blocks `A0` (level `n → n+1`), `A1` (local) and
+/// `A2` (level `n → n−1`); the boundary level 0 uses `B00` (local) and
+/// `B01` (up), with `B10` the down-block from level 1.
+///
+/// For the paper's M/MMPP/1 cluster queue, use [`Qbd::m_mmpp1`].
+#[derive(Debug, Clone)]
+pub struct Qbd {
+    a0: Matrix,
+    a1: Matrix,
+    a2: Matrix,
+    b00: Matrix,
+    b01: Matrix,
+    b10: Matrix,
+}
+
+fn require_nonneg(name: &str, m: &Matrix) -> Result<()> {
+    for i in 0..m.nrows() {
+        for j in 0..m.ncols() {
+            let v = m[(i, j)];
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(QbdError::InvalidBlocks {
+                    message: format!("{name}[({i},{j})] = {v} must be finite and non-negative"),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn require_offdiag_nonneg(name: &str, m: &Matrix) -> Result<()> {
+    for i in 0..m.nrows() {
+        for j in 0..m.ncols() {
+            let v = m[(i, j)];
+            if !v.is_finite() {
+                return Err(QbdError::InvalidBlocks {
+                    message: format!("{name}[({i},{j})] = {v} must be finite"),
+                });
+            }
+            if i != j && v < 0.0 {
+                return Err(QbdError::InvalidBlocks {
+                    message: format!("{name}[({i},{j})] = {v} must be non-negative off-diagonal"),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+impl Qbd {
+    /// Creates a validated QBD from its six blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`QbdError::InvalidBlocks`] if shapes disagree, rate blocks contain
+    /// negative entries, or generator rows do not sum to zero
+    /// (`B00+B01`, `B10+A1+A0`, and `A2+A1+A0` must each have zero row
+    /// sums).
+    pub fn new(
+        a0: Matrix,
+        a1: Matrix,
+        a2: Matrix,
+        b00: Matrix,
+        b01: Matrix,
+        b10: Matrix,
+    ) -> Result<Self> {
+        let m = a1.nrows();
+        for (name, blk) in [
+            ("A0", &a0),
+            ("A1", &a1),
+            ("A2", &a2),
+            ("B00", &b00),
+            ("B01", &b01),
+            ("B10", &b10),
+        ] {
+            if blk.shape() != (m, m) {
+                return Err(QbdError::InvalidBlocks {
+                    message: format!(
+                        "{name} is {}x{}, expected {m}x{m}",
+                        blk.nrows(),
+                        blk.ncols()
+                    ),
+                });
+            }
+        }
+        require_nonneg("A0", &a0)?;
+        require_nonneg("A2", &a2)?;
+        require_nonneg("B01", &b01)?;
+        require_nonneg("B10", &b10)?;
+        require_offdiag_nonneg("A1", &a1)?;
+        require_offdiag_nonneg("B00", &b00)?;
+
+        let scale = a1.max_abs().max(b00.max_abs()).max(1.0);
+        let check = |name: &str, sum: Vector| -> Result<()> {
+            if sum.norm_inf() > ROWSUM_TOL * scale * m as f64 {
+                return Err(QbdError::InvalidBlocks {
+                    message: format!("{name} row sums must vanish, worst {:.3e}", sum.norm_inf()),
+                });
+            }
+            Ok(())
+        };
+        check("B00+B01", (&b00 + &b01).row_sums())?;
+        check("B10+A1+A0", (&(&b10 + &a1) + &a0).row_sums())?;
+        check("A2+A1+A0", (&(&a2 + &a1) + &a0).row_sums())?;
+
+        Ok(Qbd {
+            a0,
+            a1,
+            a2,
+            b00,
+            b01,
+            b10,
+        })
+    }
+
+    /// Builds the M/MMPP/1 queue of the paper: Poisson arrivals at rate
+    /// `lambda` into a single server whose service process is the given
+    /// MMPP `⟨Q, L⟩`.
+    ///
+    /// Blocks: `A0 = λI`, `A1 = Q − λI − L`, `A2 = L`, with boundary
+    /// `B00 = Q − λI`, `B01 = λI`, `B10 = L` (no service in an empty
+    /// queue).
+    ///
+    /// # Errors
+    ///
+    /// [`QbdError::InvalidBlocks`] if `lambda` is not positive finite.
+    pub fn m_mmpp1(lambda: f64, generator: &Matrix, rates: &Vector) -> Result<Self> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(QbdError::InvalidBlocks {
+                message: format!("arrival rate lambda = {lambda} must be positive"),
+            });
+        }
+        let m = generator.nrows();
+        if rates.len() != m {
+            return Err(QbdError::InvalidBlocks {
+                message: format!(
+                    "rate vector length {} vs generator dimension {m}",
+                    rates.len()
+                ),
+            });
+        }
+        let li = Matrix::identity(m) * lambda;
+        let l = Matrix::diag(rates.as_slice());
+        let a1 = generator - &li - &l;
+        let b00 = generator - &li;
+        Qbd::new(li.clone(), a1, l.clone(), b00, li, l)
+    }
+
+
+    /// Builds the dual teletraffic queue of paper Sect. 2.3: an
+    /// **MMPP/M/1** queue — bursty MMPP arrivals `⟨Q, L⟩` (the N-Burst
+    /// model) into a single exponential server of rate `mu`.
+    ///
+    /// Blocks: `A0 = L`, `A1 = Q − L − μI`, `A2 = μI`, with boundary
+    /// `B00 = Q − L`, `B01 = L`, `B10 = μI`.
+    ///
+    /// # Errors
+    ///
+    /// [`QbdError::InvalidBlocks`] if `mu` is not positive finite or the
+    /// dimensions disagree.
+    pub fn mmpp_m1(generator: &Matrix, arrival_rates: &Vector, mu: f64) -> Result<Self> {
+        if !(mu.is_finite() && mu > 0.0) {
+            return Err(QbdError::InvalidBlocks {
+                message: format!("service rate mu = {mu} must be positive"),
+            });
+        }
+        let m = generator.nrows();
+        if arrival_rates.len() != m {
+            return Err(QbdError::InvalidBlocks {
+                message: format!(
+                    "rate vector length {} vs generator dimension {m}",
+                    arrival_rates.len()
+                ),
+            });
+        }
+        let l = Matrix::diag(arrival_rates.as_slice());
+        let mu_i = Matrix::identity(m) * mu;
+        let a1 = &(generator - &l) - &mu_i;
+        let b00 = generator - &l;
+        Qbd::new(l.clone(), a1, mu_i.clone(), b00, l, mu_i)
+    }
+
+    /// Phase-space dimension `m`.
+    pub fn phase_dim(&self) -> usize {
+        self.a1.nrows()
+    }
+
+    /// The up (arrival) block `A0`.
+    pub fn a0(&self) -> &Matrix {
+        &self.a0
+    }
+
+    /// The local block `A1`.
+    pub fn a1(&self) -> &Matrix {
+        &self.a1
+    }
+
+    /// The down (service) block `A2`.
+    pub fn a2(&self) -> &Matrix {
+        &self.a2
+    }
+
+    /// Stationary distribution `φ` of the phase process `A = A0+A1+A2`.
+    ///
+    /// # Errors
+    ///
+    /// [`QbdError::Linalg`] for a reducible phase process.
+    pub fn phase_steady_state(&self) -> Result<Vector> {
+        let a = &(&self.a0 + &self.a1) + &self.a2;
+        // Solve φ·A = 0 with normalization (same construction as
+        // performa-markov's steady_state; duplicated to keep the crate
+        // dependency graph a simple chain).
+        let n = a.nrows();
+        let mut at = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                at[(j, i)] = if j == n - 1 { 1.0 } else { a[(i, j)] };
+            }
+        }
+        let mut phi = Lu::factor(&at)?.solve_vec(&Vector::basis(n, n - 1))?;
+        phi.normalize_sum();
+        Ok(phi)
+    }
+
+    /// Mean drift pair `(φ·A0·ε, φ·A2·ε)`: expected up- and down-rates
+    /// under the phase stationary law.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Qbd::phase_steady_state`] errors.
+    pub fn drift(&self) -> Result<(f64, f64)> {
+        let phi = self.phase_steady_state()?;
+        Ok((
+            phi.dot(&self.a0.row_sums()),
+            phi.dot(&self.a2.row_sums()),
+        ))
+    }
+
+    /// Returns `true` when the chain is positive recurrent
+    /// (`φ·A0·ε < φ·A2·ε`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Qbd::drift`] errors.
+    pub fn is_stable(&self) -> Result<bool> {
+        let (up, down) = self.drift()?;
+        Ok(up < down)
+    }
+
+    /// Computes the matrix `G` (first-passage phase probabilities one level
+    /// down) by **logarithmic reduction** (Latouche & Ramaswami), the
+    /// quadratically convergent standard algorithm.
+    ///
+    /// `G` is the minimal non-negative solution of
+    /// `A2 + A1·G + A0·G² = 0`; it is stochastic iff the chain is
+    /// recurrent.
+    ///
+    /// # Errors
+    ///
+    /// [`QbdError::NoConvergence`] if the iteration cap is hit;
+    /// [`QbdError::Linalg`] on singular intermediate systems.
+    pub fn g_matrix(&self, opts: SolveOptions) -> Result<Matrix> {
+        let m = self.phase_dim();
+        let neg_a1 = -&self.a1;
+        let lu = Lu::factor(&neg_a1)?;
+        // H = (−A1)⁻¹·A0 (up), L = (−A1)⁻¹·A2 (down).
+        let mut h = lu.solve_mat(&self.a0)?;
+        let mut l = lu.solve_mat(&self.a2)?;
+        let mut g = l.clone();
+        let mut t = h.clone();
+        let id = Matrix::identity(m);
+
+        for it in 0..opts.max_iterations {
+            let u = &h * &l + &l * &h;
+            let i_minus_u = &id - &u;
+            let lu_u = Lu::factor(&i_minus_u)?;
+            let h2 = &h * &h;
+            let l2 = &l * &l;
+            h = lu_u.solve_mat(&h2)?;
+            l = lu_u.solve_mat(&l2)?;
+            let add = &t * &l;
+            g += &add;
+            t = &t * &h;
+
+            if t.norm_inf() < opts.tolerance || add.norm_inf() < opts.tolerance {
+                return Ok(g);
+            }
+            if it + 1 == opts.max_iterations {
+                return Err(QbdError::NoConvergence {
+                    stage: "logarithmic reduction",
+                    iterations: opts.max_iterations,
+                    residual: t.norm_inf(),
+                });
+            }
+        }
+        unreachable!("loop always returns");
+    }
+
+    /// Computes `G` by plain functional iteration
+    /// `G ← (−A1)⁻¹(A2 + A0·G²)` — linearly convergent; kept as the
+    /// baseline for the solver-ablation benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Qbd::g_matrix`], with a larger default budget
+    /// needed in practice.
+    pub fn g_matrix_functional(&self, tolerance: f64, max_iterations: usize) -> Result<Matrix> {
+        let lu = Lu::factor(&(-&self.a1))?;
+        let base = lu.solve_mat(&self.a2)?;
+        let up = lu.solve_mat(&self.a0)?;
+        let mut g = base.clone();
+        for _ in 0..max_iterations {
+            let next = &base + &(&up * &(&g * &g));
+            let diff = next.max_abs_diff(&g);
+            g = next;
+            if diff < tolerance {
+                return Ok(g);
+            }
+        }
+        Err(QbdError::NoConvergence {
+            stage: "functional iteration for G",
+            iterations: max_iterations,
+            residual: f64::NAN,
+        })
+    }
+
+    /// Computes `R = A0·(−(A1 + A0·G))⁻¹` from a given `G`.
+    ///
+    /// # Errors
+    ///
+    /// [`QbdError::Linalg`] if the inner matrix is singular (never for a
+    /// valid stable QBD).
+    pub fn r_from_g(&self, g: &Matrix) -> Result<Matrix> {
+        let u = &self.a1 + &(&self.a0 * g);
+        let lu = Lu::factor(&(-&u))?;
+        // R = A0·(−U)⁻¹ ⇔ solve X·(−U) = A0.
+        Ok(lu.solve_left_mat(&self.a0)?)
+    }
+
+    /// Full stationary solve with default options.
+    ///
+    /// # Errors
+    ///
+    /// * [`QbdError::Unstable`] when the drift condition fails.
+    /// * [`QbdError::NoConvergence`] / [`QbdError::Linalg`] from the inner
+    ///   stages.
+    pub fn solve(&self) -> Result<QbdSolution> {
+        self.solve_with(SolveOptions::default())
+    }
+
+    /// Full stationary solve: `G` → `R` → boundary vectors `(π₀, π₁)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Qbd::solve`].
+    pub fn solve_with(&self, opts: SolveOptions) -> Result<QbdSolution> {
+        let (up, down) = self.drift()?;
+        if up >= down {
+            return Err(QbdError::Unstable {
+                up_rate: up,
+                down_rate: down,
+            });
+        }
+        let g = self.g_matrix(opts)?;
+        let r = self.r_from_g(&g)?;
+        let m = self.phase_dim();
+
+        // Boundary system for x = [π0, π1]:
+        //   π0·B00 + π1·B10 = 0
+        //   π0·B01 + π1·(A1 + R·A2) = 0
+        // with normalization π0·ε + π1·(I−R)⁻¹·ε = 1 replacing one
+        // (dependent) balance column.
+        let id = Matrix::identity(m);
+        let i_minus_r = &id - &r;
+        let lu_imr = Lu::factor(&i_minus_r)?;
+        let geo_eps = lu_imr.solve_vec(&Vector::ones(m))?; // (I−R)⁻¹ ε
+
+        let a1_ra2 = &self.a1 + &(&r * &self.a2);
+        let dim = 2 * m;
+        let mut sys = Matrix::zeros(dim, dim); // x · sys = rhs
+        for i in 0..m {
+            for j in 0..m {
+                sys[(i, j)] = self.b00[(i, j)];
+                sys[(m + i, j)] = self.b10[(i, j)];
+                sys[(i, m + j)] = self.b01[(i, j)];
+                sys[(m + i, m + j)] = a1_ra2[(i, j)];
+            }
+        }
+        // Replace the last column with the normalization coefficients.
+        for i in 0..m {
+            sys[(i, dim - 1)] = 1.0;
+            sys[(m + i, dim - 1)] = geo_eps[i];
+        }
+        let x = Lu::factor(&sys)?.solve_left_vec(&Vector::basis(dim, dim - 1))?;
+
+        let mut pi0 = Vector::zeros(m);
+        let mut pi1 = Vector::zeros(m);
+        for i in 0..m {
+            pi0[i] = x[i].max(0.0);
+            pi1[i] = x[m + i].max(0.0);
+        }
+        QbdSolution::assemble(pi0, pi1, r, g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One-phase QBD = M/M/1.
+    fn mm1(lambda: f64, mu: f64) -> Qbd {
+        Qbd::new(
+            Matrix::from_rows(&[&[lambda]]),
+            Matrix::from_rows(&[&[-lambda - mu]]),
+            Matrix::from_rows(&[&[mu]]),
+            Matrix::from_rows(&[&[-lambda]]),
+            Matrix::from_rows(&[&[lambda]]),
+            Matrix::from_rows(&[&[mu]]),
+        )
+        .unwrap()
+    }
+
+    /// Two-phase MMPP service test model.
+    fn mmpp2(lambda: f64) -> Qbd {
+        let q = Matrix::from_rows(&[&[-0.1, 0.1], &[0.5, -0.5]]);
+        let rates = Vector::from(vec![2.0, 0.2]);
+        Qbd::m_mmpp1(lambda, &q, &rates).unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_blocks() {
+        // Wrong shape.
+        assert!(Qbd::new(
+            Matrix::zeros(2, 2),
+            Matrix::zeros(2, 2),
+            Matrix::zeros(2, 2),
+            Matrix::zeros(2, 2),
+            Matrix::zeros(2, 2),
+            Matrix::zeros(1, 1),
+        )
+        .is_err());
+        // Negative rate in A0.
+        assert!(Qbd::new(
+            Matrix::from_rows(&[&[-1.0]]),
+            Matrix::from_rows(&[&[0.0]]),
+            Matrix::from_rows(&[&[1.0]]),
+            Matrix::from_rows(&[&[0.0]]),
+            Matrix::from_rows(&[&[0.0]]),
+            Matrix::from_rows(&[&[0.0]]),
+        )
+        .is_err());
+        // Row sums broken.
+        assert!(Qbd::new(
+            Matrix::from_rows(&[&[1.0]]),
+            Matrix::from_rows(&[&[-1.0]]),
+            Matrix::from_rows(&[&[1.0]]),
+            Matrix::from_rows(&[&[-1.0]]),
+            Matrix::from_rows(&[&[1.0]]),
+            Matrix::from_rows(&[&[1.0]]),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn m_mmpp1_constructor_validates_lambda() {
+        let q = Matrix::from_rows(&[&[-1.0, 1.0], &[1.0, -1.0]]);
+        let r = Vector::from(vec![1.0, 0.0]);
+        assert!(Qbd::m_mmpp1(0.0, &q, &r).is_err());
+        assert!(Qbd::m_mmpp1(-1.0, &q, &r).is_err());
+        assert!(Qbd::m_mmpp1(0.4, &q, &r).is_ok());
+        assert!(Qbd::m_mmpp1(0.4, &q, &Vector::zeros(3)).is_err());
+    }
+
+
+    #[test]
+    fn mmpp_m1_poisson_special_case_is_mm1() {
+        // One-phase MMPP arrivals = Poisson: must equal M/M/1.
+        let q = Matrix::from_rows(&[&[0.0]]);
+        let rates = Vector::from(vec![0.6]);
+        let sol = Qbd::mmpp_m1(&q, &rates, 1.0).unwrap().solve().unwrap();
+        let rho: f64 = 0.6;
+        assert!((sol.mean_queue_length() - rho / (1.0 - rho)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mmpp_m1_validation() {
+        let q = Matrix::from_rows(&[&[-1.0, 1.0], &[1.0, -1.0]]);
+        let r = Vector::from(vec![1.0, 0.0]);
+        assert!(Qbd::mmpp_m1(&q, &r, 0.0).is_err());
+        assert!(Qbd::mmpp_m1(&q, &Vector::zeros(3), 1.0).is_err());
+        assert!(Qbd::mmpp_m1(&q, &r, 2.0).is_ok());
+    }
+
+    #[test]
+    fn bursty_arrivals_beat_poisson_arrivals() {
+        // ON/OFF arrivals at the same mean rate produce a longer queue
+        // than Poisson — the mirror image of the cluster result.
+        let q = Matrix::from_rows(&[&[-0.05, 0.05], &[0.45, -0.45]]);
+        // ON fraction = 0.9; peak 1.0 => mean arrival rate 0.9... choose
+        // peak so mean is 0.6 with mu = 1.
+        let peak = 0.6 / 0.9;
+        let rates = Vector::from(vec![peak, 0.0]);
+        let bursty = Qbd::mmpp_m1(&q, &rates, 1.0).unwrap().solve().unwrap();
+        let rho: f64 = 0.6;
+        let poisson_mean = rho / (1.0 - rho);
+        assert!(
+            bursty.mean_queue_length() > poisson_mean,
+            "{} vs {poisson_mean}",
+            bursty.mean_queue_length()
+        );
+    }
+
+    #[test]
+    fn duality_of_tail_behaviour() {
+        // The MMPP/M/1 with the cluster's service process as its arrival
+        // process at matched utilization shows the same caudal decay as
+        // the M/MMPP/1: both are governed by the same (A0, A1, A2) up to
+        // transposition-like role swap; check both tails are heavy.
+        let q = Matrix::from_rows(&[&[-0.0111, 0.0111], &[0.1, -0.1]]);
+        let svc_rates = Vector::from(vec![2.0, 0.0]);
+        let cluster = Qbd::m_mmpp1(1.0, &q, &svc_rates).unwrap().solve().unwrap();
+        // Mirror: arrivals bursty with the same modulator, exponential
+        // server at the same utilization: mean arrival = 1.8, pick mu so
+        // rho = 1.0/1.8... use mu = 3.24 => rho ~ 0.5556 same as cluster.
+        let arr_rates = Vector::from(vec![2.0, 0.0]);
+        let mirror = Qbd::mmpp_m1(&q, &arr_rates, 3.24).unwrap().solve().unwrap();
+        let c_decay = cluster.decay_rate().unwrap();
+        let m_decay = mirror.decay_rate().unwrap();
+        assert!(c_decay > 0.5 && c_decay < 1.0);
+        assert!(m_decay > 0.5 && m_decay < 1.0);
+    }
+
+    #[test]
+    fn mm1_r_is_rho() {
+        let qbd = mm1(0.5, 1.0);
+        let g = qbd.g_matrix(SolveOptions::default()).unwrap();
+        // Scalar G for a recurrent chain is 1.
+        assert!((g[(0, 0)] - 1.0).abs() < 1e-12);
+        let r = qbd.r_from_g(&g).unwrap();
+        assert!((r[(0, 0)] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mm1_solution_matches_closed_form() {
+        for &rho in &[0.1, 0.5, 0.9, 0.99] {
+            let sol = mm1(rho, 1.0).solve().unwrap();
+            let expect = rho / (1.0 - rho);
+            assert!(
+                (sol.mean_queue_length() - expect).abs() < 1e-8 * expect.max(1.0),
+                "rho={rho}: {} vs {expect}",
+                sol.mean_queue_length()
+            );
+            // pmf(0) = 1 − ρ.
+            assert!((sol.level_probability(0) - (1.0 - rho)).abs() < 1e-10);
+            // Pr(Q > k) = ρ^{k+1}.
+            for k in [0usize, 1, 5, 20] {
+                let t = sol.tail_probability(k);
+                assert!(
+                    (t - rho.powi(k as i32 + 1)).abs() < 1e-10,
+                    "rho={rho} k={k}: {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unstable_detected() {
+        let qbd = mm1(2.0, 1.0);
+        assert!(!qbd.is_stable().unwrap());
+        assert!(matches!(qbd.solve(), Err(QbdError::Unstable { .. })));
+    }
+
+    #[test]
+    fn drift_matches_rates() {
+        let qbd = mmpp2(1.0);
+        let (up, down) = qbd.drift().unwrap();
+        assert!((up - 1.0).abs() < 1e-12);
+        // φ = (5/6, 1/6); mean service = 5/6·2 + 1/6·0.2 = 1.7.
+        assert!((down - 1.7).abs() < 1e-12);
+        assert!(qbd.is_stable().unwrap());
+    }
+
+    #[test]
+    fn g_is_stochastic_for_stable_chain() {
+        let qbd = mmpp2(1.0);
+        let g = qbd.g_matrix(SolveOptions::default()).unwrap();
+        for i in 0..2 {
+            let s: f64 = g.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-10, "row {i} sums to {s}");
+            for j in 0..2 {
+                assert!(g[(i, j)] >= -1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn g_solves_quadratic_equation() {
+        let qbd = mmpp2(1.2);
+        let g = qbd.g_matrix(SolveOptions::default()).unwrap();
+        let resid = qbd.a2() + &(qbd.a1() * &g) + &(qbd.a0() * &(&g * &g));
+        assert!(resid.max_abs() < 1e-10, "residual {}", resid.max_abs());
+    }
+
+    #[test]
+    fn r_solves_quadratic_equation() {
+        let qbd = mmpp2(0.8);
+        let sol = qbd.solve().unwrap();
+        let r = sol.r_matrix();
+        // A0 + R·A1 + R²·A2 = 0.
+        let resid = qbd.a0() + &(r * qbd.a1()) + &(&(r * r) * qbd.a2());
+        assert!(resid.max_abs() < 1e-10, "residual {}", resid.max_abs());
+    }
+
+    #[test]
+    fn functional_iteration_agrees_with_log_reduction() {
+        let qbd = mmpp2(1.0);
+        let g1 = qbd.g_matrix(SolveOptions::default()).unwrap();
+        let g2 = qbd.g_matrix_functional(1e-13, 100_000).unwrap();
+        assert!(g1.max_abs_diff(&g2) < 1e-9);
+    }
+
+    #[test]
+    fn functional_iteration_budget_exhaustion() {
+        let qbd = mmpp2(1.0);
+        assert!(matches!(
+            qbd.g_matrix_functional(1e-16, 3),
+            Err(QbdError::NoConvergence { .. })
+        ));
+    }
+
+    #[test]
+    fn global_balance_holds() {
+        // π solves the full generator balance at levels 0..3.
+        let qbd = mmpp2(1.1);
+        let sol = qbd.solve().unwrap();
+        let pi0 = sol.level(0);
+        let pi1 = sol.level(1);
+        let pi2 = sol.level(2);
+        let pi3 = sol.level(3);
+
+        // Level 0: π0·B00 + π1·B10 = 0 (B10 = A2 here).
+        let r0 = &qbd.b00.vec_mul(&pi0) + &qbd.b10.vec_mul(&pi1);
+        assert!(r0.norm_inf() < 1e-12, "level 0 residual {}", r0.norm_inf());
+        // Level 1: π0·B01 + π1·A1 + π2·A2 = 0.
+        let r1 = &(&qbd.b01.vec_mul(&pi0) + &qbd.a1.vec_mul(&pi1)) + &qbd.a2.vec_mul(&pi2);
+        assert!(r1.norm_inf() < 1e-12, "level 1 residual {}", r1.norm_inf());
+        // Level 2: π1·A0 + π2·A1 + π3·A2 = 0.
+        let r2 = &(&qbd.a0.vec_mul(&pi1) + &qbd.a1.vec_mul(&pi2)) + &qbd.a2.vec_mul(&pi3);
+        assert!(r2.norm_inf() < 1e-12, "level 2 residual {}", r2.norm_inf());
+    }
+
+    #[test]
+    fn marginal_phase_distribution_matches_phi() {
+        let qbd = mmpp2(1.0);
+        let sol = qbd.solve().unwrap();
+        let phi = qbd.phase_steady_state().unwrap();
+        let marginal = sol.marginal_phase();
+        assert!(marginal.max_abs_diff(&phi) < 1e-10);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let qbd = mmpp2(1.3);
+        let sol = qbd.solve().unwrap();
+        let total: f64 = (0..500).map(|n| sol.level_probability(n)).sum();
+        assert!((total + sol.tail_probability(499) - 1.0).abs() < 1e-10);
+    }
+}

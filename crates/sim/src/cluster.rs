@@ -1,0 +1,824 @@
+//! Simulation of the physical multi-processor cluster: per-server task
+//! occupancy (true load dependence), general task-size distributions, and
+//! the paper's crash-failure handling strategies (Sect. 2 and Fig. 8/9).
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use performa_dist::{Dist, Moments, Sampler};
+
+use crate::engine::{EventQueue, StopCriterion};
+use crate::stats::{Reservoir, TimeWeighted, Welford};
+use crate::{SimError, SimResult};
+
+/// What happens to a task whose server crashes mid-service (`δ = 0`).
+///
+/// For degradation faults (`δ > 0`) the task simply continues at the
+/// reduced speed and the strategy is irrelevant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureStrategy {
+    /// The interrupted task is dropped from the cluster (soft real-time
+    /// semantics). Best for the queue, worst for task completion.
+    Discard,
+    /// The identical task restarts from scratch, re-entering at the head
+    /// of the queue.
+    RestartFront,
+    /// The identical task restarts from scratch at the tail of the queue.
+    RestartBack,
+    /// Ideal checkpointing: the task resumes with its remaining work, at
+    /// the head of the queue.
+    ResumeFront,
+    /// Ideal checkpointing, re-entering at the tail of the queue.
+    ResumeBack,
+}
+
+impl FailureStrategy {
+    /// All five strategies, in the paper's comparison order.
+    pub const ALL: [FailureStrategy; 5] = [
+        FailureStrategy::Discard,
+        FailureStrategy::ResumeFront,
+        FailureStrategy::ResumeBack,
+        FailureStrategy::RestartFront,
+        FailureStrategy::RestartBack,
+    ];
+
+    /// Short label for experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FailureStrategy::Discard => "discard",
+            FailureStrategy::RestartFront => "restart-front",
+            FailureStrategy::RestartBack => "restart-back",
+            FailureStrategy::ResumeFront => "resume-front",
+            FailureStrategy::ResumeBack => "resume-back",
+        }
+    }
+}
+
+/// Configuration of the physical cluster simulator.
+#[derive(Debug, Clone)]
+pub struct ClusterSimConfig {
+    /// Number of servers `N ≥ 1`.
+    pub servers: usize,
+    /// Peak per-server speed `ν_p > 0` (work units per time unit).
+    pub nu_p: f64,
+    /// Degradation factor `δ ∈ [0, 1]`; `0` = crash faults.
+    pub delta: f64,
+    /// UP-period distribution.
+    pub up: Dist,
+    /// DOWN-period distribution.
+    pub down: Dist,
+    /// Task *service-time* distribution at full speed (the paper's
+    /// exponential mean `1/ν_p`, or HYP-2 in Fig. 9). Work = time × ν_p.
+    pub task: Dist,
+    /// Poisson arrival rate `λ > 0`.
+    pub lambda: f64,
+    /// Crash-failure handling strategy (ignored when `δ > 0`).
+    pub strategy: FailureStrategy,
+    /// Stop criterion.
+    pub stop: StopCriterion,
+    /// Statistics are discarded before this virtual time.
+    pub warmup_time: f64,
+    /// Extra work (at unit speed) a resumed task must redo — the
+    /// checkpoint-restore cost the paper cites as Resume's price. Ignored
+    /// by the other strategies. Default 0 (ideal checkpointing).
+    pub resume_penalty: f64,
+    /// Crash-detection latency: the dispatcher only learns of a crash
+    /// (and can apply the failure strategy) after this delay. `None`
+    /// models the paper's ideal instantaneous fault detection.
+    pub detection_delay: Option<Dist>,
+}
+
+impl ClusterSimConfig {
+    /// The paper's ideal-detection, zero-cost-checkpoint assumptions for
+    /// the fields beyond the core model parameters. Combine with struct
+    /// update syntax:
+    ///
+    /// ```ignore
+    /// ClusterSimConfig { servers: 2, ..., ..ClusterSimConfig::ideal_recovery() }
+    /// ```
+    pub fn ideal_recovery() -> (f64, Option<Dist>) {
+        (0.0, None)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Task {
+    arrived: f64,
+    /// Total work at unit speed (service time × ν_p at full speed).
+    total_work: f64,
+    remaining_work: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Server {
+    up: bool,
+    /// Task in service, if any.
+    task: Option<Task>,
+    /// The held task belongs to an undetected crash: it makes no progress
+    /// and blocks the server slot until the `Detect` event fires.
+    parked: bool,
+    /// Last time `remaining_work` was synchronized to the clock.
+    synced_at: f64,
+    /// Completion-event version (stale events are ignored).
+    version: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Arrival,
+    Toggle(usize),
+    Completion {
+        server: usize,
+        version: u64,
+    },
+    /// The dispatcher learns that server `i` crashed while serving.
+    Detect(usize),
+}
+
+/// The physical multi-processor cluster simulator (see module docs).
+#[derive(Debug)]
+pub struct ClusterSim {
+    cfg: ClusterSimConfig,
+}
+
+impl ClusterSim {
+    /// Validates a configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] for out-of-domain values.
+    pub fn new(cfg: ClusterSimConfig) -> crate::Result<Self> {
+        if cfg.servers == 0 {
+            return Err(SimError::InvalidConfig {
+                message: "servers must be >= 1".into(),
+            });
+        }
+        for (name, v) in [("nu_p", cfg.nu_p), ("lambda", cfg.lambda)] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(SimError::InvalidConfig {
+                    message: format!("{name} = {v} must be positive"),
+                });
+            }
+        }
+        if !(cfg.delta.is_finite() && (0.0..=1.0).contains(&cfg.delta)) {
+            return Err(SimError::InvalidConfig {
+                message: format!("delta = {} must lie in [0, 1]", cfg.delta),
+            });
+        }
+        if !(cfg.warmup_time.is_finite() && cfg.warmup_time >= 0.0) {
+            return Err(SimError::InvalidConfig {
+                message: "warmup_time must be non-negative".into(),
+            });
+        }
+        match cfg.stop {
+            StopCriterion::Time(t) if !(t.is_finite() && t > 0.0) => {
+                return Err(SimError::InvalidConfig {
+                    message: format!("stop time {t} must be positive"),
+                })
+            }
+            StopCriterion::Cycles(0) => {
+                return Err(SimError::InvalidConfig {
+                    message: "stop cycle count must be positive".into(),
+                })
+            }
+            _ => {}
+        }
+        if cfg.task.mean() <= 0.0 || cfg.up.mean() <= 0.0 || cfg.down.mean() <= 0.0 {
+            return Err(SimError::InvalidConfig {
+                message: "task, UP and DOWN distributions need positive means".into(),
+            });
+        }
+        if !(cfg.resume_penalty.is_finite() && cfg.resume_penalty >= 0.0) {
+            return Err(SimError::InvalidConfig {
+                message: format!(
+                    "resume_penalty = {} must be finite and non-negative",
+                    cfg.resume_penalty
+                ),
+            });
+        }
+        if let Some(d) = &cfg.detection_delay {
+            if d.mean() < 0.0 {
+                return Err(SimError::InvalidConfig {
+                    message: "detection delay must be non-negative".into(),
+                });
+            }
+        }
+        Ok(ClusterSim { cfg })
+    }
+
+    /// Runs one replication with the given RNG seed.
+    pub fn run(&self, seed: u64) -> SimResult {
+        Runner::new(&self.cfg, seed).run()
+    }
+}
+
+/// Per-run mutable state, split out so `run` stays readable.
+struct Runner<'a> {
+    cfg: &'a ClusterSimConfig,
+    rng: StdRng,
+    events: EventQueue<Event>,
+    clock: f64,
+    servers: Vec<Server>,
+    queue: VecDeque<Task>,
+    tw: TimeWeighted,
+    system_times: Welford,
+    system_time_sample: Reservoir,
+    completed: u64,
+    discarded: u64,
+    cycles: u64,
+    warm: bool,
+}
+
+impl<'a> Runner<'a> {
+    fn new(cfg: &'a ClusterSimConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events = EventQueue::new();
+        for i in 0..cfg.servers {
+            let d = cfg.up.sample(&mut rng);
+            events.schedule(d, Event::Toggle(i));
+        }
+        let first_arrival = exp_sample(&mut rng, cfg.lambda);
+        events.schedule(first_arrival, Event::Arrival);
+        Runner {
+            cfg,
+            rng,
+            events,
+            clock: 0.0,
+            servers: vec![
+                Server {
+                    up: true,
+                    task: None,
+                    parked: false,
+                    synced_at: 0.0,
+                    version: 0,
+                };
+                cfg.servers
+            ],
+            queue: VecDeque::new(),
+            tw: TimeWeighted::new(0.0, 0, 4096),
+            system_times: Welford::new(),
+            system_time_sample: Reservoir::new(8192),
+            completed: 0,
+            discarded: 0,
+            cycles: 0,
+            warm: cfg.warmup_time <= 0.0,
+        }
+    }
+
+    fn in_system(&self) -> usize {
+        self.queue.len() + self.servers.iter().filter(|s| s.task.is_some()).count()
+    }
+
+    /// Current processing speed of server `i` in work units per time.
+    fn speed(&self, i: usize) -> f64 {
+        if self.servers[i].up {
+            self.cfg.nu_p
+        } else {
+            self.cfg.delta * self.cfg.nu_p
+        }
+    }
+
+    /// Brings the in-service task's remaining work up to `self.clock`.
+    fn sync_work(&mut self, i: usize) {
+        let speed = if self.servers[i].parked { 0.0 } else { self.speed(i) };
+        let clock = self.clock;
+        let s = &mut self.servers[i];
+        if let Some(task) = s.task.as_mut() {
+            let dt = clock - s.synced_at;
+            task.remaining_work -= dt * speed;
+            if task.remaining_work < 0.0 {
+                task.remaining_work = 0.0;
+            }
+        }
+        s.synced_at = clock;
+    }
+
+    /// (Re)schedules the completion event of server `i` at its current
+    /// speed, invalidating any previous one.
+    fn schedule_completion(&mut self, i: usize) {
+        let speed = self.speed(i);
+        self.servers[i].version += 1;
+        let version = self.servers[i].version;
+        if let Some(task) = self.servers[i].task {
+            if speed > 0.0 {
+                let t = self.clock + task.remaining_work / speed;
+                self.events.schedule(t, Event::Completion { server: i, version });
+            }
+            // speed == 0 (crashed, δ = 0): handled by the toggle logic —
+            // a crash never leaves a task on the server.
+        }
+    }
+
+    /// Eligible idle server for dispatch: idle UP servers first, then
+    /// (when δ > 0) idle degraded servers.
+    fn pick_idle_server(&self) -> Option<usize> {
+        let idle_up = (0..self.servers.len())
+            .find(|&i| self.servers[i].up && self.servers[i].task.is_none());
+        if idle_up.is_some() {
+            return idle_up;
+        }
+        if self.cfg.delta > 0.0 {
+            return (0..self.servers.len())
+                .find(|&i| !self.servers[i].up && self.servers[i].task.is_none());
+        }
+        None
+    }
+
+    fn dispatch(&mut self) {
+        while !self.queue.is_empty() {
+            let Some(i) = self.pick_idle_server() else { break };
+            let task = self.queue.pop_front().expect("checked non-empty");
+            self.servers[i].task = Some(task);
+            self.servers[i].synced_at = self.clock;
+            self.schedule_completion(i);
+        }
+    }
+
+    fn on_arrival(&mut self) {
+        let service_time = self.cfg.task.sample(&mut self.rng);
+        let work = service_time * self.cfg.nu_p;
+        self.tw.record(self.clock, self.in_system() + 1);
+        self.queue.push_back(Task {
+            arrived: self.clock,
+            total_work: work,
+            remaining_work: work,
+        });
+        self.dispatch();
+        let next = self.clock + exp_sample(&mut self.rng, self.cfg.lambda);
+        self.events.schedule(next, Event::Arrival);
+    }
+
+    fn on_toggle(&mut self, i: usize) {
+        self.tw.record(self.clock, self.in_system());
+        self.sync_work(i);
+        let was_up = self.servers[i].up;
+        self.servers[i].up = !was_up;
+        let next = if was_up {
+            // Going DOWN.
+            if self.cfg.delta == 0.0 {
+                if self.servers[i].task.is_some() {
+                    self.servers[i].version += 1; // invalidate completion
+                    match self.cfg.detection_delay.clone() {
+                        None => self.apply_strategy(i),
+                        Some(d) => {
+                            // Park the task until the dispatcher notices.
+                            self.servers[i].parked = true;
+                            let delay = d.sample(&mut self.rng);
+                            self.events.schedule(self.clock + delay, Event::Detect(i));
+                        }
+                    }
+                }
+            } else {
+                // Degraded: keep working, slower.
+                self.schedule_completion(i);
+            }
+            self.cfg.down.sample(&mut self.rng)
+        } else {
+            // Repair finished.
+            self.cycles += 1;
+            if self.servers[i].parked {
+                // An undetected dead task still blocks this server; the
+                // Detect event will release it.
+            } else if self.servers[i].task.is_some() {
+                // Was serving in degraded mode; speed up.
+                self.schedule_completion(i);
+            } else {
+                self.dispatch();
+            }
+            self.cfg.up.sample(&mut self.rng)
+        };
+        self.events.schedule(self.clock + next, Event::Toggle(i));
+    }
+
+    /// Releases the interrupted task of server `i` per the configured
+    /// crash strategy and redistributes work.
+    fn apply_strategy(&mut self, i: usize) {
+        let Some(mut task) = self.servers[i].task.take() else {
+            return;
+        };
+        self.servers[i].parked = false;
+        match self.cfg.strategy {
+            FailureStrategy::Discard => {
+                self.discarded += 1;
+                self.tw.record(self.clock, self.in_system());
+            }
+            FailureStrategy::RestartFront => {
+                task.remaining_work = task.total_work;
+                self.queue.push_front(task);
+            }
+            FailureStrategy::RestartBack => {
+                task.remaining_work = task.total_work;
+                self.queue.push_back(task);
+            }
+            FailureStrategy::ResumeFront => {
+                task.remaining_work += self.cfg.resume_penalty;
+                self.queue.push_front(task);
+            }
+            FailureStrategy::ResumeBack => {
+                task.remaining_work += self.cfg.resume_penalty;
+                self.queue.push_back(task);
+            }
+        }
+        // Another server may be free to pick the task up.
+        self.dispatch();
+    }
+
+    fn on_detect(&mut self, i: usize) {
+        if self.servers[i].parked {
+            self.apply_strategy(i);
+        }
+    }
+
+    fn on_completion(&mut self, i: usize, version: u64) {
+        if self.servers[i].version != version {
+            return; // stale event
+        }
+        self.sync_work(i);
+        let task = self.servers[i]
+            .task
+            .take()
+            .expect("valid completion implies a task in service");
+        debug_assert!(task.remaining_work < 1e-6, "task completed with work left");
+        self.tw.record(self.clock, self.in_system());
+        self.completed += 1;
+        let sojourn = self.clock - task.arrived;
+        self.system_times.push(sojourn);
+        self.system_time_sample.push(sojourn, &mut self.rng);
+        self.dispatch();
+    }
+
+    fn run(mut self) -> SimResult {
+        while let Some((t, ev)) = self.events.pop() {
+            self.clock = t;
+            if !self.warm && self.clock >= self.cfg.warmup_time {
+                let n = self.in_system();
+                self.tw.record(self.clock, n);
+                self.tw.reset(self.clock);
+                self.system_times = Welford::new();
+                self.system_time_sample = Reservoir::new(8192);
+                self.completed = 0;
+                self.discarded = 0;
+                self.cycles = 0;
+                self.warm = true;
+            }
+            match ev {
+                Event::Arrival => self.on_arrival(),
+                Event::Toggle(i) => self.on_toggle(i),
+                Event::Completion { server, version } => self.on_completion(server, version),
+                Event::Detect(i) => self.on_detect(i),
+            }
+            match self.cfg.stop {
+                StopCriterion::Time(t_end) => {
+                    if self.clock >= t_end {
+                        break;
+                    }
+                }
+                StopCriterion::Cycles(c) => {
+                    if self.warm && self.cycles >= c {
+                        break;
+                    }
+                }
+            }
+        }
+        let n = self.in_system();
+        self.tw.record(self.clock, n);
+        SimResult {
+            sim_time: self.tw.elapsed(),
+            mean_queue_length: self.tw.time_average(),
+            queue_length_distribution: self.tw.distribution(),
+            completed_tasks: self.completed,
+            discarded_tasks: self.discarded,
+            mean_system_time: self.system_times.mean(),
+            cycles: self.cycles,
+            system_time_sample: self.system_time_sample.sorted_samples(),
+        }
+    }
+}
+
+fn exp_sample(rng: &mut StdRng, rate: f64) -> f64 {
+    let u: f64 = loop {
+        let u: f64 = rng.gen();
+        if u > 0.0 {
+            break u;
+        }
+    };
+    -u.ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use performa_dist::Exponential;
+
+    fn exp_dist(mean: f64) -> Dist {
+        Exponential::with_mean(mean).unwrap().into()
+    }
+
+    fn base(strategy: FailureStrategy, delta: f64, lambda: f64) -> ClusterSimConfig {
+        ClusterSimConfig {
+            servers: 2,
+            nu_p: 2.0,
+            delta,
+            up: exp_dist(90.0),
+            down: exp_dist(10.0),
+            task: exp_dist(0.5),
+            lambda,
+            strategy,
+            stop: StopCriterion::Cycles(20_000),
+            warmup_time: 1000.0,
+            resume_penalty: 0.0,
+            detection_delay: None,
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        let ok = base(FailureStrategy::Discard, 0.0, 1.0);
+        assert!(ClusterSim::new(ok.clone()).is_ok());
+        for bad in [
+            ClusterSimConfig { servers: 0, ..ok.clone() },
+            ClusterSimConfig { nu_p: -1.0, ..ok.clone() },
+            ClusterSimConfig { delta: 2.0, ..ok.clone() },
+            ClusterSimConfig { lambda: 0.0, ..ok.clone() },
+            ClusterSimConfig { warmup_time: f64::NAN, ..ok.clone() },
+        ] {
+            assert!(ClusterSim::new(bad).is_err());
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let sim = ClusterSim::new(ClusterSimConfig {
+            stop: StopCriterion::Cycles(300),
+            ..base(FailureStrategy::ResumeBack, 0.0, 1.0)
+        })
+        .unwrap();
+        let a = sim.run(11);
+        let b = sim.run(11);
+        assert_eq!(a.mean_queue_length, b.mean_queue_length);
+        assert_eq!(a.completed_tasks, b.completed_tasks);
+    }
+
+    #[test]
+    fn mm2_sanity_without_failures() {
+        // Near-perfect servers: M/M/2 with λ = 1.2, μ = 2 each.
+        let cfg = ClusterSimConfig {
+            up: exp_dist(1e8),
+            down: exp_dist(1e-8),
+            delta: 1.0,
+            lambda: 1.2,
+            stop: StopCriterion::Time(200_000.0),
+            ..base(FailureStrategy::Discard, 1.0, 1.2)
+        };
+        let r = ClusterSim::new(cfg).unwrap().run(2);
+        // M/M/2: a = 0.6, rho = 0.3 ⇒ E[N] ≈ 0.6747.
+        let a: f64 = 0.6;
+        let rho = 0.3;
+        let p0 = 1.0 / (1.0 + a + a * a / (2.0 * (1.0 - rho)));
+        let expect = a + p0 * a * a / 2.0 * rho / ((1.0 - rho) * (1.0 - rho));
+        assert!(
+            (r.mean_queue_length - expect).abs() < 0.03,
+            "{} vs {expect}",
+            r.mean_queue_length
+        );
+    }
+
+    #[test]
+    fn discard_loses_tasks_and_others_do_not() {
+        let lam = 1.0;
+        let discard = ClusterSim::new(base(FailureStrategy::Discard, 0.0, lam))
+            .unwrap()
+            .run(3);
+        assert!(discard.discarded_tasks > 0);
+        for s in [
+            FailureStrategy::ResumeBack,
+            FailureStrategy::RestartBack,
+            FailureStrategy::ResumeFront,
+            FailureStrategy::RestartFront,
+        ] {
+            let r = ClusterSim::new(ClusterSimConfig {
+                stop: StopCriterion::Cycles(2_000),
+                ..base(s, 0.0, lam)
+            })
+            .unwrap()
+            .run(3);
+            assert_eq!(r.discarded_tasks, 0, "{}", s.label());
+            assert!(r.completed_tasks > 0);
+        }
+    }
+
+    #[test]
+    fn strategy_ordering_on_queue_length() {
+        // Paper: Discard best, Resume middle, Restart worst. Use a fairly
+        // loaded crash system so the differences show.
+        let run = |s: FailureStrategy| {
+            let sims: Vec<f64> = (0..4)
+                .map(|seed| {
+                    ClusterSim::new(ClusterSimConfig {
+                        stop: StopCriterion::Cycles(8_000),
+                        ..base(s, 0.0, 2.2)
+                    })
+                    .unwrap()
+                    .run(seed)
+                    .mean_queue_length
+                })
+                .collect();
+            sims.iter().sum::<f64>() / sims.len() as f64
+        };
+        let discard = run(FailureStrategy::Discard);
+        let resume = run(FailureStrategy::ResumeBack);
+        let restart = run(FailureStrategy::RestartBack);
+        assert!(
+            discard <= resume * 1.05,
+            "discard {discard} vs resume {resume}"
+        );
+        assert!(
+            resume <= restart * 1.05,
+            "resume {resume} vs restart {restart}"
+        );
+    }
+
+    #[test]
+    fn degraded_mode_keeps_serving() {
+        // δ = 0.2: no discards ever, tasks finish even while degraded.
+        let r = ClusterSim::new(ClusterSimConfig {
+            stop: StopCriterion::Cycles(3_000),
+            ..base(FailureStrategy::Discard, 0.2, 1.5)
+        })
+        .unwrap()
+        .run(5);
+        assert_eq!(r.discarded_tasks, 0);
+        assert!(r.completed_tasks > 0);
+        assert!(r.mean_system_time > 0.0);
+    }
+
+    #[test]
+    fn load_dependence_vs_exact_model() {
+        // The physical system (load-dependent) must have a *larger* mean
+        // queue length than the load-independent exact model at the same
+        // parameters (paper Fig. 7), with the gap small at high load.
+        use crate::{ExactModelConfig, ExactModelSim};
+        let lambda = 1.84; // rho = 0.5
+        let phys: Vec<f64> = (0..4)
+            .map(|s| {
+                ClusterSim::new(ClusterSimConfig {
+                    stop: StopCriterion::Cycles(30_000),
+                    ..base(FailureStrategy::ResumeBack, 0.2, lambda)
+                })
+                .unwrap()
+                .run(s)
+                .mean_queue_length
+            })
+            .collect();
+        let exact: Vec<f64> = (0..4)
+            .map(|s| {
+                ExactModelSim::new(ExactModelConfig {
+                    servers: 2,
+                    nu_p: 2.0,
+                    delta: 0.2,
+                    up: exp_dist(90.0),
+                    down: exp_dist(10.0),
+                    lambda,
+                    stop: StopCriterion::Cycles(30_000),
+                    warmup_time: 1000.0,
+                })
+                .unwrap()
+                .run(s)
+                .mean_queue_length
+            })
+            .collect();
+        let phys_avg = phys.iter().sum::<f64>() / 4.0;
+        let exact_avg = exact.iter().sum::<f64>() / 4.0;
+        assert!(
+            phys_avg > exact_avg * 0.95,
+            "physical {phys_avg} vs exact {exact_avg}"
+        );
+        // But within ~1 task of each other at this load.
+        assert!((phys_avg - exact_avg).abs() < 1.0);
+    }
+
+    #[test]
+    fn system_time_recorded_for_completions() {
+        let r = ClusterSim::new(ClusterSimConfig {
+            stop: StopCriterion::Cycles(2_000),
+            ..base(FailureStrategy::ResumeBack, 0.0, 1.0)
+        })
+        .unwrap()
+        .run(1);
+        // Mean system time at low load is near the pure service time 0.5
+        // but inflated by interruptions and queueing.
+        assert!(r.mean_system_time > 0.4, "{}", r.mean_system_time);
+        assert!(r.mean_system_time < 10.0, "{}", r.mean_system_time);
+    }
+
+
+    #[test]
+    fn resume_penalty_degrades_performance() {
+        let run = |penalty: f64| {
+            let cfg = ClusterSimConfig {
+                resume_penalty: penalty,
+                stop: StopCriterion::Cycles(8_000),
+                ..base(FailureStrategy::ResumeBack, 0.0, 2.0)
+            };
+            let sim = ClusterSim::new(cfg).unwrap();
+            let vals: Vec<f64> = (0..4).map(|s| sim.run(s).mean_queue_length).collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        let ideal = run(0.0);
+        let costly = run(2.0); // two full mean-tasks of redo work
+        assert!(costly > ideal, "penalty {costly} <= ideal {ideal}");
+    }
+
+    #[test]
+    fn huge_resume_penalty_is_worse_than_restart() {
+        // With a restore cost far above the mean task work, checkpointing
+        // loses to plain restart.
+        let run = |strategy: FailureStrategy, penalty: f64| {
+            let cfg = ClusterSimConfig {
+                resume_penalty: penalty,
+                stop: StopCriterion::Cycles(8_000),
+                ..base(strategy, 0.0, 2.0)
+            };
+            let sim = ClusterSim::new(cfg).unwrap();
+            let vals: Vec<f64> = (0..4).map(|s| sim.run(s).mean_queue_length).collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        let resume_costly = run(FailureStrategy::ResumeBack, 5.0);
+        let restart = run(FailureStrategy::RestartBack, 0.0);
+        assert!(
+            resume_costly > restart,
+            "costly resume {resume_costly} <= restart {restart}"
+        );
+    }
+
+    #[test]
+    fn detection_delay_increases_queue() {
+        let run = |delay: Option<Dist>| {
+            let cfg = ClusterSimConfig {
+                detection_delay: delay,
+                stop: StopCriterion::Cycles(8_000),
+                ..base(FailureStrategy::ResumeBack, 0.0, 2.0)
+            };
+            let sim = ClusterSim::new(cfg).unwrap();
+            let vals: Vec<f64> = (0..4).map(|s| sim.run(s).mean_queue_length).collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        let ideal = run(None);
+        let slow = run(Some(exp_dist(5.0)));
+        assert!(slow > ideal, "delayed detection {slow} <= ideal {ideal}");
+    }
+
+    #[test]
+    fn parked_task_waits_out_the_detection_delay() {
+        // One server, sparse traffic, long detection: an interrupted task
+        // must sit parked for the (mean 50) detection delay, so the mean
+        // system time is far above the pure service time of 1.
+        let make = |delay: Option<Dist>| ClusterSimConfig {
+            servers: 1,
+            nu_p: 1.0,
+            delta: 0.0,
+            up: exp_dist(5.0),
+            down: exp_dist(1.0),
+            task: exp_dist(1.0),
+            lambda: 0.05,
+            strategy: FailureStrategy::ResumeBack,
+            stop: StopCriterion::Cycles(3_000),
+            warmup_time: 100.0,
+            resume_penalty: 0.0,
+            detection_delay: delay,
+        };
+        let delayed = ClusterSim::new(make(Some(exp_dist(50.0))))
+            .unwrap()
+            .run(3)
+            .mean_system_time;
+        let ideal = ClusterSim::new(make(None)).unwrap().run(3).mean_system_time;
+        assert!(
+            delayed > ideal + 2.0,
+            "delayed {delayed} vs ideal {ideal}: parked tasks must wait"
+        );
+    }
+
+    #[test]
+    fn invalid_recovery_options_rejected() {
+        let ok = base(FailureStrategy::ResumeBack, 0.0, 1.0);
+        assert!(ClusterSim::new(ClusterSimConfig {
+            resume_penalty: -1.0,
+            ..ok.clone()
+        })
+        .is_err());
+        assert!(ClusterSim::new(ClusterSimConfig {
+            resume_penalty: f64::NAN,
+            ..ok
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn strategy_labels_unique() {
+        use std::collections::HashSet;
+        let labels: HashSet<_> = FailureStrategy::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), FailureStrategy::ALL.len());
+    }
+}

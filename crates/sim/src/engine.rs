@@ -1,0 +1,172 @@
+//! Minimal deterministic discrete-event engine.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// When a simulation run stops.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StopCriterion {
+    /// Stop after this much virtual time (measured from t = 0, including
+    /// any warm-up).
+    Time(f64),
+    /// Stop after this many server UP/DOWN cycles have completed (the
+    /// paper's Fig. 8 uses `2·10⁵` cycles per run).
+    Cycles(u64),
+}
+
+/// A scheduled event: fires at `time`, breaking ties by insertion order so
+/// runs are fully deterministic for a fixed RNG seed.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    time: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we need earliest-first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are never NaN")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A future-event list: a binary heap keyed by `(time, insertion order)`.
+///
+/// # Example
+///
+/// ```
+/// use performa_sim::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(2.0, "late");
+/// q.schedule(1.0, "early");
+/// assert_eq!(q.pop(), Some((1.0, "early")));
+/// assert_eq!(q.pop(), Some((2.0, "late")));
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at absolute virtual time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN.
+    pub fn schedule(&mut self, time: f64, event: E) {
+        assert!(!time.is_nan(), "event time must not be NaN");
+        self.seq += 1;
+        self.heap.push(Scheduled {
+            time,
+            seq: self.seq,
+            event,
+        });
+    }
+
+    /// Removes and returns the earliest event as `(time, event)`.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// Time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, 'c');
+        q.schedule(1.0, 'a');
+        q.schedule(2.0, 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, "first");
+        q.schedule(1.0, "second");
+        q.schedule(1.0, "third");
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+        assert_eq!(q.pop().unwrap().1, "third");
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(5.0, ());
+        q.schedule(2.0, ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(2.0));
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_time_rejected() {
+        let mut q = EventQueue::new();
+        q.schedule(f64::NAN, ());
+    }
+
+    #[test]
+    fn stop_criterion_is_copy_and_comparable() {
+        let a = StopCriterion::Time(10.0);
+        let b = a;
+        assert_eq!(a, b);
+        assert_ne!(a, StopCriterion::Cycles(10));
+    }
+}

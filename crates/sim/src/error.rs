@@ -1,0 +1,37 @@
+use std::fmt;
+
+/// Errors produced when configuring a simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration value was out of its documented domain.
+    InvalidConfig {
+        /// Explanation of the violated precondition.
+        message: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { message } => {
+                write!(f, "invalid simulator configuration: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SimError::InvalidConfig {
+            message: "lambda must be positive".into(),
+        };
+        assert!(e.to_string().contains("lambda"));
+    }
+}

@@ -1,0 +1,373 @@
+//! Simulation of the analytic model itself: a load-independent single
+//! queue whose total service rate is modulated by `N` UP/DOWN servers
+//! (the paper's "Simulation M/2-Burst/1" curves in Figs. 7 and 8).
+//!
+//! Because task service is exponential, the remaining service time can be
+//! resampled whenever the modulation changes (memorylessness), which makes
+//! the simulation exact without any thinning.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use performa_dist::{Dist, Moments, Sampler};
+
+use crate::engine::{EventQueue, StopCriterion};
+use crate::stats::TimeWeighted;
+use crate::{SimError, SimResult};
+
+/// Configuration of the exact-model simulator.
+#[derive(Debug, Clone)]
+pub struct ExactModelConfig {
+    /// Number of servers `N ≥ 1`.
+    pub servers: usize,
+    /// Peak per-server rate `ν_p > 0`.
+    pub nu_p: f64,
+    /// Degradation factor `δ ∈ [0, 1]`.
+    pub delta: f64,
+    /// UP-period distribution (any sampleable family).
+    pub up: Dist,
+    /// DOWN-period distribution (any sampleable family).
+    pub down: Dist,
+    /// Poisson arrival rate `λ > 0`.
+    pub lambda: f64,
+    /// Stop criterion (virtual time or completed UP/DOWN cycles).
+    pub stop: StopCriterion,
+    /// Statistics are discarded before this virtual time.
+    pub warmup_time: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Arrival,
+    /// Server `i` toggles between UP and DOWN.
+    Toggle(usize),
+    /// Service completion, valid only if `version` is current.
+    Completion(u64),
+}
+
+/// The exact-model simulator (see module docs).
+#[derive(Debug)]
+pub struct ExactModelSim {
+    cfg: ExactModelConfig,
+}
+
+impl ExactModelSim {
+    /// Validates a configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] for non-positive rates, `δ ∉ [0, 1]`,
+    /// zero servers, or a non-positive stop horizon.
+    pub fn new(cfg: ExactModelConfig) -> crate::Result<Self> {
+        if cfg.servers == 0 {
+            return Err(SimError::InvalidConfig {
+                message: "servers must be >= 1".into(),
+            });
+        }
+        if !(cfg.nu_p.is_finite() && cfg.nu_p > 0.0) {
+            return Err(SimError::InvalidConfig {
+                message: format!("nu_p = {} must be positive", cfg.nu_p),
+            });
+        }
+        if !(cfg.delta.is_finite() && (0.0..=1.0).contains(&cfg.delta)) {
+            return Err(SimError::InvalidConfig {
+                message: format!("delta = {} must lie in [0, 1]", cfg.delta),
+            });
+        }
+        if !(cfg.lambda.is_finite() && cfg.lambda > 0.0) {
+            return Err(SimError::InvalidConfig {
+                message: format!("lambda = {} must be positive", cfg.lambda),
+            });
+        }
+        match cfg.stop {
+            StopCriterion::Time(t) if !(t.is_finite() && t > 0.0) => {
+                return Err(SimError::InvalidConfig {
+                    message: format!("stop time {t} must be positive"),
+                })
+            }
+            StopCriterion::Cycles(0) => {
+                return Err(SimError::InvalidConfig {
+                    message: "stop cycle count must be positive".into(),
+                })
+            }
+            _ => {}
+        }
+        if !(cfg.warmup_time.is_finite() && cfg.warmup_time >= 0.0) {
+            return Err(SimError::InvalidConfig {
+                message: format!("warmup_time = {} must be non-negative", cfg.warmup_time),
+            });
+        }
+        if cfg.up.mean() <= 0.0 || cfg.down.mean() <= 0.0 {
+            return Err(SimError::InvalidConfig {
+                message: "UP and DOWN distributions must have positive means".into(),
+            });
+        }
+        Ok(ExactModelSim { cfg })
+    }
+
+    /// Runs one replication with the given RNG seed.
+    pub fn run(&self, seed: u64) -> SimResult {
+        let cfg = &self.cfg;
+        let n_srv = cfg.servers;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events: EventQueue<Event> = EventQueue::new();
+        let mut clock = 0.0_f64;
+
+        // Server states: true = UP. Start all UP (stationary enough after
+        // warm-up; the paper's cycles are long relative to warm-up).
+        let mut up = vec![true; n_srv];
+        for i in 0..n_srv {
+            let d = cfg.up.sample(&mut rng);
+            events.schedule(d, Event::Toggle(i));
+        }
+
+        let mut queue_len: usize = 0;
+        let mut version: u64 = 0;
+        let mut completed: u64 = 0;
+        let mut cycles: u64 = 0;
+        let mut tw = TimeWeighted::new(0.0, 0, 4096);
+        let mut warm = cfg.warmup_time <= 0.0;
+
+        let service_rate = |up: &[bool]| -> f64 {
+            up.iter()
+                .map(|&u| if u { cfg.nu_p } else { cfg.delta * cfg.nu_p })
+                .sum()
+        };
+
+        let exp = |rng: &mut StdRng, rate: f64| -> f64 {
+            let u: f64 = loop {
+                let u: f64 = rng.gen();
+                if u > 0.0 {
+                    break u;
+                }
+            };
+            -u.ln() / rate
+        };
+
+        events.schedule(exp(&mut rng, cfg.lambda), Event::Arrival);
+
+        macro_rules! reschedule_completion {
+            ($rng:expr, $events:expr, $version:expr, $clock:expr, $rate:expr) => {
+                $version += 1;
+                if $rate > 0.0 {
+                    $events.schedule($clock + exp($rng, $rate), Event::Completion($version));
+                }
+            };
+        }
+
+        if queue_len > 0 {
+            let r = service_rate(&up);
+            reschedule_completion!(&mut rng, events, version, clock, r);
+        }
+
+        while let Some((t, ev)) = events.pop() {
+            clock = t;
+            if !warm && clock >= cfg.warmup_time {
+                tw.record(clock, queue_len);
+                tw.reset(clock);
+                completed = 0;
+                cycles = 0;
+                warm = true;
+            }
+            match ev {
+                Event::Arrival => {
+                    tw.record(clock, queue_len + 1);
+                    queue_len += 1;
+                    if queue_len == 1 {
+                        let r = service_rate(&up);
+                        reschedule_completion!(&mut rng, events, version, clock, r);
+                    }
+                    events.schedule(clock + exp(&mut rng, cfg.lambda), Event::Arrival);
+                }
+                Event::Toggle(i) => {
+                    tw.record(clock, queue_len);
+                    up[i] = !up[i];
+                    let next = if up[i] {
+                        cycles += 1;
+                        cfg.up.sample(&mut rng)
+                    } else {
+                        cfg.down.sample(&mut rng)
+                    };
+                    events.schedule(clock + next, Event::Toggle(i));
+                    if queue_len > 0 {
+                        let r = service_rate(&up);
+                        reschedule_completion!(&mut rng, events, version, clock, r);
+                    }
+                }
+                Event::Completion(v) => {
+                    if v != version {
+                        continue; // stale
+                    }
+                    tw.record(clock, queue_len - 1);
+                    queue_len -= 1;
+                    completed += 1;
+                    if queue_len > 0 {
+                        let r = service_rate(&up);
+                        reschedule_completion!(&mut rng, events, version, clock, r);
+                    }
+                }
+            }
+            match cfg.stop {
+                StopCriterion::Time(t_end) => {
+                    if clock >= t_end {
+                        break;
+                    }
+                }
+                StopCriterion::Cycles(c) => {
+                    if warm && cycles >= c {
+                        break;
+                    }
+                }
+            }
+        }
+
+        tw.record(clock, queue_len);
+        let mean_q = tw.time_average();
+        SimResult {
+            sim_time: tw.elapsed(),
+            mean_queue_length: mean_q,
+            queue_length_distribution: tw.distribution(),
+            completed_tasks: completed,
+            discarded_tasks: 0,
+            // No per-task identity in the exact model: system time via
+            // Little's law with the full arrival rate.
+            mean_system_time: mean_q / cfg.lambda,
+            cycles,
+            system_time_sample: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use performa_dist::Exponential;
+
+    fn exp_dist(mean: f64) -> Dist {
+        Exponential::with_mean(mean).unwrap().into()
+    }
+
+    fn base_config() -> ExactModelConfig {
+        ExactModelConfig {
+            servers: 2,
+            nu_p: 2.0,
+            delta: 0.2,
+            up: exp_dist(90.0),
+            down: exp_dist(10.0),
+            lambda: 1.84,
+            stop: StopCriterion::Cycles(30_000),
+            warmup_time: 1000.0,
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        let ok = base_config();
+        assert!(ExactModelSim::new(ok.clone()).is_ok());
+        for bad in [
+            ExactModelConfig { servers: 0, ..ok.clone() },
+            ExactModelConfig { nu_p: 0.0, ..ok.clone() },
+            ExactModelConfig { delta: 1.5, ..ok.clone() },
+            ExactModelConfig { lambda: -1.0, ..ok.clone() },
+            ExactModelConfig { warmup_time: -1.0, ..ok.clone() },
+            ExactModelConfig { stop: StopCriterion::Time(0.0), ..ok.clone() },
+            ExactModelConfig { stop: StopCriterion::Cycles(0), ..ok.clone() },
+        ] {
+            assert!(ExactModelSim::new(bad).is_err());
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let sim = ExactModelSim::new(ExactModelConfig {
+            stop: StopCriterion::Cycles(500),
+            ..base_config()
+        })
+        .unwrap();
+        let a = sim.run(7);
+        let b = sim.run(7);
+        assert_eq!(a.mean_queue_length, b.mean_queue_length);
+        assert_eq!(a.completed_tasks, b.completed_tasks);
+        let c = sim.run(8);
+        assert_ne!(a.mean_queue_length, c.mean_queue_length);
+    }
+
+    #[test]
+    fn reduces_to_mm1_with_perfect_servers() {
+        // One never-failing server: make UP huge, DOWN tiny.
+        let cfg = ExactModelConfig {
+            servers: 1,
+            nu_p: 1.0,
+            delta: 1.0, // no degradation even when "down"
+            up: exp_dist(1e9),
+            down: exp_dist(1e-9),
+            lambda: 0.5,
+            stop: StopCriterion::Time(300_000.0),
+            warmup_time: 1000.0,
+        };
+        let r = ExactModelSim::new(cfg).unwrap().run(1);
+        // M/M/1 at rho = 0.5: E[Q] = 1.
+        assert!((r.mean_queue_length - 1.0).abs() < 0.05, "{}", r.mean_queue_length);
+        // pmf(0) = 0.5.
+        assert!((r.queue_length_distribution[0] - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn matches_analytic_cluster_model() {
+        // The core claim: this simulator reproduces the M/MMPP/1 analytic
+        // result (paper Fig. 7 crosses).
+        use performa_core::ClusterModel;
+        let model = ClusterModel::builder()
+            .servers(2)
+            .peak_rate(2.0)
+            .degradation(0.2)
+            .up(Exponential::with_mean(90.0).unwrap())
+            .down(Exponential::with_mean(10.0).unwrap())
+            .utilization(0.5)
+            .build()
+            .unwrap();
+        let analytic = model.solve().unwrap().mean_queue_length();
+
+        let sim = ExactModelSim::new(ExactModelConfig {
+            lambda: model.arrival_rate(),
+            stop: StopCriterion::Cycles(60_000),
+            ..base_config()
+        })
+        .unwrap();
+        let runs: Vec<f64> = (0..4).map(|s| sim.run(s).mean_queue_length).collect();
+        let avg = runs.iter().sum::<f64>() / runs.len() as f64;
+        assert!(
+            (avg - analytic).abs() < 0.12 * analytic,
+            "sim {avg} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn tail_probability_sums_histogram() {
+        let sim = ExactModelSim::new(ExactModelConfig {
+            stop: StopCriterion::Cycles(2_000),
+            ..base_config()
+        })
+        .unwrap();
+        let r = sim.run(3);
+        let total: f64 = r.queue_length_distribution.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!((r.at_least_probability(1) - r.tail_probability(0)).abs() < 1e-15);
+        assert!(r.tail_probability(0) <= 1.0);
+        assert!(r.tail_probability(5) <= r.tail_probability(2));
+    }
+
+    #[test]
+    fn cycle_counting_drives_stop() {
+        let sim = ExactModelSim::new(ExactModelConfig {
+            stop: StopCriterion::Cycles(100),
+            warmup_time: 0.0,
+            ..base_config()
+        })
+        .unwrap();
+        let r = sim.run(9);
+        assert!(r.cycles >= 100);
+        // 2 servers, cycle mean 100 ⇒ about 100 cycles in ~5000 time units.
+        assert!(r.sim_time > 1000.0);
+    }
+}

@@ -1,0 +1,580 @@
+//! Simulation statistics: streaming moments, time-weighted accumulators,
+//! and Student-t confidence intervals across replications.
+
+/// Streaming mean/variance via Welford's algorithm.
+#[derive(Debug, Clone, Default)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Time-weighted accumulator for a piecewise-constant process (the queue
+/// length): tracks the time integral, the time-weighted histogram, and the
+/// maximum.
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    start: f64,
+    last_time: f64,
+    last_value: usize,
+    integral: f64,
+    /// `hist[v]` = total time at value `v`; the last bucket absorbs
+    /// overflow.
+    hist: Vec<f64>,
+    max_seen: usize,
+}
+
+impl TimeWeighted {
+    /// Creates an accumulator starting at `time` with value `value`;
+    /// `buckets` bounds the histogram resolution (the final bucket catches
+    /// all larger values).
+    pub fn new(time: f64, value: usize, buckets: usize) -> Self {
+        TimeWeighted {
+            start: time,
+            last_time: time,
+            last_value: value,
+            integral: 0.0,
+            hist: vec![0.0; buckets.max(2)],
+            max_seen: value,
+        }
+    }
+
+    /// Advances to `time` with the process still at the previous value,
+    /// then records the step to `value`.
+    pub fn record(&mut self, time: f64, value: usize) {
+        let dt = time - self.last_time;
+        debug_assert!(dt >= -1e-9, "time went backwards: {dt}");
+        let dt = dt.max(0.0);
+        self.integral += dt * self.last_value as f64;
+        let bucket = self.last_value.min(self.hist.len() - 1);
+        self.hist[bucket] += dt;
+        self.last_time = time;
+        self.last_value = value;
+        self.max_seen = self.max_seen.max(value);
+    }
+
+    /// Restarts measurement at `time` (used at the end of warm-up),
+    /// keeping the current process value.
+    pub fn reset(&mut self, time: f64) {
+        let value = self.last_value;
+        let buckets = self.hist.len();
+        *self = TimeWeighted::new(time, value, buckets);
+    }
+
+    /// Total observed time.
+    pub fn elapsed(&self) -> f64 {
+        self.last_time - self.start
+    }
+
+    /// Time-average value.
+    pub fn time_average(&self) -> f64 {
+        let t = self.elapsed();
+        if t > 0.0 {
+            self.integral / t
+        } else {
+            self.last_value as f64
+        }
+    }
+
+    /// Normalized time-fraction histogram.
+    pub fn distribution(&self) -> Vec<f64> {
+        let t = self.elapsed();
+        if t <= 0.0 {
+            return vec![0.0; self.hist.len()];
+        }
+        self.hist.iter().map(|h| h / t).collect()
+    }
+
+    /// Largest value observed.
+    pub fn max_seen(&self) -> usize {
+        self.max_seen
+    }
+}
+
+
+/// Fixed-capacity uniform reservoir sample (Vitter's algorithm R) for
+/// quantile estimation over streams too long to store.
+#[derive(Debug, Clone)]
+pub struct Reservoir {
+    samples: Vec<f64>,
+    capacity: usize,
+    seen: u64,
+}
+
+impl Reservoir {
+    /// Creates a reservoir holding at most `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        Reservoir {
+            samples: Vec::with_capacity(capacity),
+            capacity,
+            seen: 0,
+        }
+    }
+
+    /// Offers one observation, using `rng` for replacement decisions.
+    pub fn push<R: rand::Rng + ?Sized>(&mut self, x: f64, rng: &mut R) {
+        self.seen += 1;
+        if self.samples.len() < self.capacity {
+            self.samples.push(x);
+        } else {
+            let j = rng.gen_range(0..self.seen);
+            if (j as usize) < self.capacity {
+                self.samples[j as usize] = x;
+            }
+        }
+    }
+
+    /// Number of observations offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` when no samples are retained.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Empirical `q`-quantile of the retained sample (`0 ≤ q ≤ 1`), or
+    /// `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are never NaN"));
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        Some(sorted[idx])
+    }
+
+    /// Empirical exceedance probability `Pr(X > x)` of the retained
+    /// sample.
+    pub fn exceedance(&self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().filter(|&&v| v > x).count() as f64 / self.samples.len() as f64
+    }
+
+    /// Sorted copy of the retained samples.
+    pub fn sorted_samples(&self) -> Vec<f64> {
+        let mut s = self.samples.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("samples are never NaN"));
+        s
+    }
+}
+
+
+
+/// Batch-means confidence intervals from a single long run.
+///
+/// The observation stream is cut into `batches` equal batches; batch
+/// means are approximately i.i.d. for long batches, so a Student-t
+/// interval on them estimates the steady-state mean without independent
+/// replications — the classic alternative to the paper's replication
+/// approach, useful when warm-up is expensive.
+#[derive(Debug, Clone)]
+pub struct BatchMeans {
+    batch_size: u64,
+    current: Welford,
+    batch_means: Vec<f64>,
+}
+
+impl BatchMeans {
+    /// Creates an estimator with the given observations per batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn new(batch_size: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        BatchMeans {
+            batch_size,
+            current: Welford::new(),
+            batch_means: Vec::new(),
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.current.push(x);
+        if self.current.count() >= self.batch_size {
+            self.batch_means.push(self.current.mean());
+            self.current = Welford::new();
+        }
+    }
+
+    /// Number of completed batches.
+    pub fn batches(&self) -> usize {
+        self.batch_means.len()
+    }
+
+    /// Mean and 95 % Student-t interval over the completed batches, or
+    /// `None` with fewer than two batches.
+    pub fn confidence_interval(&self) -> Option<ConfidenceInterval> {
+        if self.batch_means.len() < 2 {
+            return None;
+        }
+        Some(confidence_interval(&self.batch_means))
+    }
+}
+
+/// One-sample Kolmogorov–Smirnov statistic: the maximum absolute gap
+/// between the empirical CDF of `sorted_samples` and the reference `cdf`.
+///
+/// Used by the test-suite to validate random-variate generators against
+/// their analytic distribution functions.
+///
+/// # Panics
+///
+/// Panics if `sorted_samples` is empty or not sorted ascending.
+pub fn ks_statistic<F: Fn(f64) -> f64>(sorted_samples: &[f64], cdf: F) -> f64 {
+    assert!(!sorted_samples.is_empty(), "need at least one sample");
+    let n = sorted_samples.len() as f64;
+    let mut d = 0.0_f64;
+    let mut prev = f64::NEG_INFINITY;
+    for (i, &x) in sorted_samples.iter().enumerate() {
+        assert!(x >= prev, "samples must be sorted ascending");
+        prev = x;
+        let f = cdf(x);
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    d
+}
+
+/// Two-sided Student-t quantile `t_{df, 1−α/2}` for a 95 % confidence
+/// level, with the normal approximation beyond the tabulated range.
+pub fn t_quantile_975(df: u64) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => TABLE[(df - 1) as usize],
+        31..=60 => 2.021,
+        61..=120 => 2.000,
+        _ => 1.96,
+    }
+}
+
+/// A mean with a symmetric 95 % confidence half-width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate (sample mean across replications).
+    pub mean: f64,
+    /// Half-width of the 95 % interval.
+    pub half_width: f64,
+    /// Number of replications.
+    pub replications: u64,
+}
+
+impl ConfidenceInterval {
+    /// Lower endpoint.
+    pub fn lower(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper endpoint.
+    pub fn upper(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// Whether the interval contains `value`.
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lower() && value <= self.upper()
+    }
+}
+
+/// Computes the mean and 95 % Student-t confidence interval of independent
+/// replication results.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn confidence_interval(values: &[f64]) -> ConfidenceInterval {
+    assert!(!values.is_empty(), "need at least one replication");
+    let mut w = Welford::new();
+    for &v in values {
+        w.push(v);
+    }
+    let n = w.count();
+    let half = if n < 2 {
+        f64::INFINITY
+    } else {
+        t_quantile_975(n - 1) * w.std_dev() / (n as f64).sqrt()
+    };
+    ConfidenceInterval {
+        mean: w.mean(),
+        half_width: half,
+        replications: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let data = [1.0, 2.0, 4.0, 8.0, 16.0];
+        let mut w = Welford::new();
+        for &x in &data {
+            w.push(x);
+        }
+        let mean = data.iter().sum::<f64>() / 5.0;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / 4.0;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.variance() - var).abs() < 1e-12);
+        assert_eq!(w.count(), 5);
+    }
+
+    #[test]
+    fn welford_edge_cases() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        let mut w = Welford::new();
+        w.push(3.0);
+        assert_eq!(w.mean(), 3.0);
+        assert_eq!(w.variance(), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_integral() {
+        let mut tw = TimeWeighted::new(0.0, 0, 16);
+        tw.record(1.0, 2); // value 0 for 1s
+        tw.record(3.0, 1); // value 2 for 2s
+        tw.record(4.0, 1); // value 1 for 1s
+        // integral = 0·1 + 2·2 + 1·1 = 5 over 4s.
+        assert!((tw.time_average() - 1.25).abs() < 1e-12);
+        let d = tw.distribution();
+        assert!((d[0] - 0.25).abs() < 1e-12);
+        assert!((d[1] - 0.25).abs() < 1e-12);
+        assert!((d[2] - 0.5).abs() < 1e-12);
+        assert_eq!(tw.max_seen(), 2);
+    }
+
+    #[test]
+    fn time_weighted_overflow_bucket() {
+        let mut tw = TimeWeighted::new(0.0, 10, 4);
+        tw.record(2.0, 0);
+        // Value 10 clips into bucket 3.
+        let d = tw.distribution();
+        assert!((d[3] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_reset() {
+        let mut tw = TimeWeighted::new(0.0, 5, 16);
+        tw.record(10.0, 5);
+        tw.reset(10.0);
+        tw.record(12.0, 0);
+        assert!((tw.time_average() - 5.0).abs() < 1e-12);
+        assert!((tw.elapsed() - 2.0).abs() < 1e-12);
+    }
+
+
+    #[test]
+    fn reservoir_keeps_everything_below_capacity() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut r = Reservoir::new(100);
+        for i in 0..50 {
+            r.push(i as f64, &mut rng);
+        }
+        assert_eq!(r.len(), 50);
+        assert_eq!(r.seen(), 50);
+        assert_eq!(r.quantile(0.0), Some(0.0));
+        assert_eq!(r.quantile(1.0), Some(49.0));
+        assert!((r.exceedance(24.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reservoir_subsamples_uniformly() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut r = Reservoir::new(1000);
+        for i in 0..100_000 {
+            r.push(i as f64, &mut rng);
+        }
+        assert_eq!(r.len(), 1000);
+        assert_eq!(r.seen(), 100_000);
+        // Median of a uniform stream over [0, 1e5) is ~5e4.
+        let med = r.quantile(0.5).unwrap();
+        assert!((med - 50_000.0).abs() < 5_000.0, "median {med}");
+    }
+
+    #[test]
+    fn empty_reservoir() {
+        let r = Reservoir::new(8);
+        assert!(r.is_empty());
+        assert_eq!(r.quantile(0.5), None);
+        assert_eq!(r.exceedance(1.0), 0.0);
+        assert!(r.sorted_samples().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = Reservoir::new(0);
+    }
+
+
+
+    #[test]
+    fn batch_means_partitions_stream() {
+        let mut bm = BatchMeans::new(10);
+        for i in 0..95 {
+            bm.push(i as f64);
+        }
+        assert_eq!(bm.batches(), 9); // last partial batch pending
+        let ci = bm.confidence_interval().unwrap();
+        // Batch means are 4.5, 14.5, …, 84.5 -> grand mean 44.5.
+        assert!((ci.mean - 44.5).abs() < 1e-12);
+        assert!(ci.half_width > 0.0);
+    }
+
+    #[test]
+    fn batch_means_needs_two_batches() {
+        let mut bm = BatchMeans::new(100);
+        for _ in 0..150 {
+            bm.push(1.0);
+        }
+        assert_eq!(bm.batches(), 1);
+        assert!(bm.confidence_interval().is_none());
+    }
+
+    #[test]
+    fn batch_means_of_iid_covers_truth() {
+        // Deterministic LCG noise around mean 10.
+        let mut bm = BatchMeans::new(500);
+        let mut state: u64 = 12345;
+        for _ in 0..50_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            bm.push(10.0 + (u - 0.5));
+        }
+        let ci = bm.confidence_interval().unwrap();
+        assert!(ci.contains(10.0), "{ci:?}");
+        assert!(ci.half_width < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_size_panics() {
+        let _ = BatchMeans::new(0);
+    }
+
+    #[test]
+    fn ks_statistic_of_perfect_grid_is_small() {
+        // Samples at the exact quantiles of U(0,1).
+        let n = 1000;
+        let samples: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect();
+        let d = ks_statistic(&samples, |x| x.clamp(0.0, 1.0));
+        assert!(d < 1.0 / n as f64 + 1e-12, "d = {d}");
+    }
+
+    #[test]
+    fn ks_statistic_detects_wrong_distribution() {
+        let samples: Vec<f64> = (0..1000).map(|i| (i as f64 + 0.5) / 1000.0).collect();
+        // Compare uniform samples against an Exp(1) CDF: big gap.
+        let d = ks_statistic(&samples, |x| 1.0 - (-x).exp());
+        assert!(d > 0.2, "d = {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn ks_requires_sorted_input() {
+        let _ = ks_statistic(&[2.0, 1.0], |x| x);
+    }
+
+    #[test]
+    fn t_quantiles() {
+        assert_eq!(t_quantile_975(0), f64::INFINITY);
+        assert!((t_quantile_975(9) - 2.262).abs() < 1e-9); // the paper's 10 runs
+        assert!((t_quantile_975(1) - 12.706).abs() < 1e-9);
+        assert_eq!(t_quantile_975(45), 2.021);
+        assert_eq!(t_quantile_975(1000), 1.96);
+    }
+
+    #[test]
+    fn confidence_interval_basics() {
+        let ci = confidence_interval(&[10.0, 12.0, 11.0, 9.0, 13.0]);
+        assert!((ci.mean - 11.0).abs() < 1e-12);
+        assert!(ci.half_width > 0.0);
+        assert!(ci.contains(11.0));
+        assert!(!ci.contains(100.0));
+        assert_eq!(ci.replications, 5);
+        assert!((ci.upper() - ci.lower() - 2.0 * ci.half_width).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_replication_has_infinite_interval() {
+        let ci = confidence_interval(&[5.0]);
+        assert_eq!(ci.mean, 5.0);
+        assert!(ci.half_width.is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_replications_panic() {
+        let _ = confidence_interval(&[]);
+    }
+}

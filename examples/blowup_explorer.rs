@@ -1,0 +1,74 @@
+//! Blow-up region explorer: maps the (utilization, availability) parameter
+//! plane of a cluster into its qualitative operating regimes and shows how
+//! abruptly the mean queue length jumps across region boundaries.
+//!
+//! Run with: `cargo run --example blowup_explorer --release`
+
+use performa::core::{blowup, blowup::BlowupRegion, ClusterModel};
+use performa::dist::{Exponential, TruncatedPowerTail};
+
+fn model(n: usize, a: f64, lambda: f64) -> Result<ClusterModel, Box<dyn std::error::Error>> {
+    // Fixed cycle length 100 as in the paper's Figure 5.
+    let cycle = 100.0;
+    Ok(ClusterModel::builder()
+        .servers(n)
+        .peak_rate(2.0)
+        .degradation(0.2)
+        .up(Exponential::with_mean(a * cycle)?)
+        .down(TruncatedPowerTail::with_mean(7, 1.4, 0.2, (1.0 - a) * cycle)?)
+        .arrival_rate(lambda)
+        .build()?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 3;
+    println!("Region map for a {n}-node cluster (x: load λ, y: availability A)");
+    println!("legend: '.' insensitive, digits = blow-up region i, '!' unstable");
+    println!();
+
+    let lambdas: Vec<f64> = (1..=20).map(|i| i as f64 * 0.5).collect();
+    print!("       ");
+    for &l in &lambdas {
+        print!("{}", if (l * 2.0) as u32 % 4 == 0 { 'v' } else { ' ' });
+    }
+    println!("  (λ from {} to {})", lambdas[0], lambdas.last().unwrap());
+
+    for ai in (1..=9).rev() {
+        let a = ai as f64 / 10.0;
+        print!("A={a:.1}  ");
+        for &lambda in &lambdas {
+            let m = model(n, a, lambda)?;
+            let c = if lambda >= m.capacity() {
+                '!'
+            } else {
+                match blowup::region(&m) {
+                    BlowupRegion::Insensitive => '.',
+                    BlowupRegion::Region(i) => char::from_digit(i as u32, 10).unwrap_or('?'),
+                }
+            };
+            print!("{c}");
+        }
+        println!();
+    }
+
+    // Show the jump in mean queue length when crossing a boundary.
+    println!();
+    let a = 0.9;
+    let probe = model(n, a, 1.0)?;
+    let thresholds = blowup::utilization_thresholds(&probe);
+    println!("At A = {a}, the ρ-thresholds are {thresholds:.3?}");
+    println!();
+    println!("{:>8} | {:>10} | {:>14} | region", "ρ", "E[Q]", "E[Q]/M/M/1");
+    println!("{}", "-".repeat(52));
+    for rho in [0.15, 0.25, 0.45, 0.55, 0.70, 0.80, 0.90] {
+        let m = probe.with_utilization(rho)?;
+        let sol = m.solve()?;
+        println!(
+            "{rho:>8.2} | {:>10.3} | {:>14.2} | {:?}",
+            sol.mean_queue_length(),
+            sol.normalized_mean_queue_length(),
+            blowup::region(&m)
+        );
+    }
+    Ok(())
+}

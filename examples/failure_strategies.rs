@@ -1,0 +1,63 @@
+//! Comparing crash-failure handling strategies by simulation: Discard,
+//! Resume and Restart (each with head/tail reinsertion), on a cluster
+//! whose nodes crash (δ = 0) with heavy-tailed repair times.
+//!
+//! Run with: `cargo run --example failure_strategies --release`
+
+use performa::dist::{Exponential, TruncatedPowerTail};
+use performa::sim::{
+    replicate, ClusterSim, ClusterSimConfig, FailureStrategy, StopCriterion,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lambda = 2.2; // moderate load on 2 crash-prone nodes
+    let reps = 6;
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+
+    println!("2 nodes, crash faults, TPT(T=5) repairs, λ = {lambda}, {reps} replications");
+    println!();
+    println!(
+        "{:<14} | {:>12} | {:>12} | {:>10} | {:>10}",
+        "strategy", "E[Q] (95% CI)", "E[S]", "completed", "discarded"
+    );
+    println!("{}", "-".repeat(72));
+
+    for strategy in FailureStrategy::ALL {
+        let cfg = ClusterSimConfig {
+            servers: 2,
+            nu_p: 2.0,
+            delta: 0.0,
+            up: Exponential::with_mean(90.0)?.into(),
+            down: TruncatedPowerTail::with_mean(5, 1.4, 0.2, 10.0)?.into(),
+            task: Exponential::with_mean(0.5)?.into(),
+            lambda,
+            strategy,
+            stop: StopCriterion::Cycles(20_000),
+            warmup_time: 2_000.0,
+            resume_penalty: 0.0,
+            detection_delay: None,
+        };
+        let sim = ClusterSim::new(cfg)?;
+        let ci = replicate::replicated_ci(reps, 7_000, threads, |seed| {
+            sim.run(seed).mean_queue_length
+        });
+        // One extra run for the task-level counters.
+        let detail = sim.run(99);
+        println!(
+            "{:<14} | {:>7.2} ±{:>4.2} | {:>12.3} | {:>10} | {:>10}",
+            strategy.label(),
+            ci.mean,
+            ci.half_width,
+            detail.mean_system_time,
+            detail.completed_tasks,
+            detail.discarded_tasks,
+        );
+    }
+
+    println!();
+    println!(
+        "Discard keeps the queue shortest but loses tasks; Restart pays for \
+         redone work; tail reinsertion beats head reinsertion (paper Sect. 4)."
+    );
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! `performa` — performability models for multi-server systems with
+//! high-variance repair durations.
+//!
+//! This facade re-exports the whole workspace under one roof:
+//!
+//! * [`core`] — the cluster model, exact solutions, blow-up analysis,
+//!   teletraffic duality, §2.4 extensions and transient performability,
+//! * [`dist`] — matrix-exponential / phase-type distributions, the
+//!   truncated power-tail family and 3-moment HYP-2 fitting,
+//! * [`markov`] — CTMCs, MAP/MMPP processes, server aggregation and
+//!   uniformization,
+//! * [`qbd`] — the matrix-geometric QBD solver stack,
+//! * [`sim`] — discrete-event simulators and simulation statistics,
+//! * [`linalg`] — the dense linear-algebra kernel underneath it all.
+//!
+//! # Example
+//!
+//! ```
+//! use performa::core::{blowup, ClusterModel};
+//! use performa::dist::{Exponential, TruncatedPowerTail};
+//!
+//! let model = ClusterModel::builder()
+//!     .servers(2)
+//!     .peak_rate(2.0)
+//!     .degradation(0.2)
+//!     .up(Exponential::with_mean(90.0)?)
+//!     .down(TruncatedPowerTail::with_mean(10, 1.4, 0.2, 10.0)?)
+//!     .utilization(0.7)
+//!     .build()?;
+//!
+//! // Where are the blow-up points, and which side of them are we on?
+//! let thresholds = blowup::utilization_thresholds(&model);
+//! assert!((thresholds[1] - 0.6087).abs() < 1e-3);
+//! assert_eq!(blowup::region(&model), blowup::BlowupRegion::Region(1));
+//!
+//! // Exact solution of the M/MMPP/1 queue.
+//! let sol = model.solve()?;
+//! assert!(sol.normalized_mean_queue_length() > 30.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See `README.md` for the architecture overview, `EXPERIMENTS.md` for
+//! the paper-vs-measured record, `docs/THEORY.md` for the mathematics,
+//! and `examples/` for runnable programs.
+
+#![forbid(unsafe_code)]
+
+pub use performa_core as core;
+pub use performa_dist as dist;
+pub use performa_linalg as linalg;
+pub use performa_markov as markov;
+pub use performa_qbd as qbd;
+pub use performa_sim as sim;

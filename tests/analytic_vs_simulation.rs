@@ -1,0 +1,223 @@
+//! Cross-crate validation: the discrete-event simulators against the
+//! matrix-geometric analytic solutions (the paper's Fig. 7/8 methodology,
+//! at reduced run lengths suitable for CI).
+
+use performa::core::{ClusterModel, LoadDependentCluster};
+use performa::dist::{Erlang, Exponential, TruncatedPowerTail};
+use performa::sim::{
+    replicate, ClusterSim, ClusterSimConfig, ExactModelConfig, ExactModelSim, FailureStrategy,
+    StopCriterion,
+};
+
+fn threads() -> usize {
+    std::thread::available_parallelism().map_or(2, |n| n.get())
+}
+
+fn tpt_model(t: u32, rho: f64, delta: f64) -> ClusterModel {
+    ClusterModel::builder()
+        .servers(2)
+        .peak_rate(2.0)
+        .degradation(delta)
+        .up(Exponential::with_mean(90.0).unwrap())
+        .down(TruncatedPowerTail::with_mean(t, 1.4, 0.5, 10.0).unwrap())
+        .utilization(rho)
+        .build()
+        .unwrap()
+}
+
+fn exact_cfg(m: &ClusterModel, cycles: u64) -> ExactModelConfig {
+    ExactModelConfig {
+        servers: m.servers(),
+        nu_p: m.peak_rate(),
+        delta: m.degradation(),
+        up: m.up().clone(),
+        down: m.down().clone(),
+        lambda: m.arrival_rate(),
+        stop: StopCriterion::Cycles(cycles),
+        warmup_time: 2_000.0,
+    }
+}
+
+#[test]
+fn exact_model_sim_matches_analytic_mean() {
+    // theta = 0.5, T = 4: tame enough tails for quick convergence.
+    for rho in [0.3, 0.6] {
+        let m = tpt_model(4, rho, 0.2);
+        let analytic = m.solve().unwrap().mean_queue_length();
+        let sim = ExactModelSim::new(exact_cfg(&m, 40_000)).unwrap();
+        let ci = replicate::replicated_ci(6, 10, threads(), |s| sim.run(s).mean_queue_length);
+        // Generous tolerance: CI half-width plus 10 % model slack.
+        assert!(
+            (ci.mean - analytic).abs() < ci.half_width + 0.15 * analytic,
+            "rho={rho}: sim {} ± {} vs analytic {analytic}",
+            ci.mean,
+            ci.half_width
+        );
+    }
+}
+
+#[test]
+fn exact_model_sim_matches_analytic_tail() {
+    let m = tpt_model(4, 0.6, 0.2);
+    let analytic = m.solve().unwrap();
+    let sim = ExactModelSim::new(exact_cfg(&m, 60_000)).unwrap();
+    let k = 20;
+    let vals = replicate::run_replications(6, 50, threads(), |s| {
+        sim.run(s).tail_probability(k)
+    });
+    let mean_tail: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
+    let expect = analytic.tail_probability(k);
+    assert!(
+        (mean_tail / expect - 1.0).abs() < 0.5,
+        "sim tail {mean_tail} vs analytic {expect}"
+    );
+}
+
+#[test]
+fn physical_sim_matches_load_dependent_analytic_model() {
+    // The Sect. 2.4 load-dependent analytic extension should match the
+    // physical simulator much closer than the load-independent model at
+    // low load.
+    let m = tpt_model(3, 0.35, 0.2);
+    let load_indep = m.solve().unwrap().mean_queue_length();
+    let load_dep = LoadDependentCluster::new(m.clone())
+        .solve()
+        .unwrap()
+        .mean_queue_length();
+
+    let cfg = ClusterSimConfig {
+        servers: 2,
+        nu_p: 2.0,
+        delta: 0.2,
+        up: m.up().clone(),
+        down: m.down().clone(),
+        task: Exponential::with_mean(0.5).unwrap().into(),
+        lambda: m.arrival_rate(),
+        strategy: FailureStrategy::ResumeBack,
+        stop: StopCriterion::Cycles(40_000),
+        warmup_time: 2_000.0,
+        resume_penalty: 0.0,
+        detection_delay: None,
+    };
+    let sim = ClusterSim::new(cfg).unwrap();
+    let ci = replicate::replicated_ci(6, 90, threads(), |s| sim.run(s).mean_queue_length);
+
+    let err_ld = (ci.mean - load_dep).abs();
+    let err_li = (ci.mean - load_indep).abs();
+    assert!(
+        err_ld < err_li,
+        "load-dep model should be closer: sim {} vs ld {load_dep} (err {err_ld}) vs li {load_indep} (err {err_li})",
+        ci.mean
+    );
+    // A small residual gap remains by design: the analytic load-dependent
+    // model lets queued work always occupy the *fastest* servers, while
+    // the physical system never migrates a task off a degraded server.
+    assert!(
+        err_ld < ci.half_width + 0.10 * load_dep,
+        "sim {} ± {} vs load-dependent analytic {load_dep}",
+        ci.mean,
+        ci.half_width
+    );
+}
+
+#[test]
+fn resume_strategy_with_exponential_tasks_matches_crash_analytic_model() {
+    // For delta = 0 and exponential tasks, Resume is statistically the
+    // analytic model (residual exponential = fresh exponential); at high
+    // load the load-dependence correction is negligible.
+    let m = tpt_model(3, 0.7, 0.0);
+    let analytic = m.solve().unwrap().mean_queue_length();
+    let cfg = ClusterSimConfig {
+        servers: 2,
+        nu_p: 2.0,
+        delta: 0.0,
+        up: m.up().clone(),
+        down: m.down().clone(),
+        task: Exponential::with_mean(0.5).unwrap().into(),
+        lambda: m.arrival_rate(),
+        strategy: FailureStrategy::ResumeBack,
+        stop: StopCriterion::Cycles(40_000),
+        warmup_time: 2_000.0,
+        resume_penalty: 0.0,
+        detection_delay: None,
+    };
+    let sim = ClusterSim::new(cfg).unwrap();
+    let ci = replicate::replicated_ci(8, 400, threads(), |s| sim.run(s).mean_queue_length);
+    assert!(
+        (ci.mean - analytic).abs() < ci.half_width + 0.2 * analytic,
+        "sim {} ± {} vs analytic {analytic}",
+        ci.mean,
+        ci.half_width
+    );
+}
+
+#[test]
+fn erlang_task_times_preserve_blowup_qualitatively() {
+    // Sect. 4's robustness claim, low-variance direction: Erlang-3 tasks.
+    let m = tpt_model(4, 0.7, 0.0);
+    let run = |rho: f64| {
+        let m = tpt_model(4, rho, 0.0);
+        let cfg = ClusterSimConfig {
+            servers: 2,
+            nu_p: 2.0,
+            delta: 0.0,
+            up: m.up().clone(),
+            down: m.down().clone(),
+            task: Erlang::with_mean(3, 0.5).unwrap().into(),
+            lambda: m.arrival_rate(),
+            strategy: FailureStrategy::ResumeBack,
+            stop: StopCriterion::Cycles(25_000),
+            warmup_time: 2_000.0,
+            resume_penalty: 0.0,
+            detection_delay: None,
+        };
+        let sim = ClusterSim::new(cfg).unwrap();
+        let vals = replicate::run_replications(4, 700, threads(), |s| {
+            sim.run(s).mean_queue_length
+        });
+        vals.iter().sum::<f64>() / vals.len() as f64
+    };
+    // Crossing from the insensitive-ish region into deep blow-up grows the
+    // queue disproportionately: super-M/M/1 growth is the qualitative
+    // signature that survives the task-time change.
+    let low = run(0.15);
+    let high = run(0.75);
+    let mm1_ratio = (0.75 / 0.25) / (0.15 / 0.85);
+    assert!(
+        high / low > mm1_ratio,
+        "low {low}, high {high}, mm1 ratio {mm1_ratio}"
+    );
+    drop(m);
+}
+
+#[test]
+fn discard_strategy_never_exceeds_resume_queue() {
+    let m = tpt_model(4, 0.65, 0.0);
+    let run = |strategy: FailureStrategy| {
+        let cfg = ClusterSimConfig {
+            servers: 2,
+            nu_p: 2.0,
+            delta: 0.0,
+            up: m.up().clone(),
+            down: m.down().clone(),
+            task: Exponential::with_mean(0.5).unwrap().into(),
+            lambda: m.arrival_rate(),
+            strategy,
+            stop: StopCriterion::Cycles(30_000),
+            warmup_time: 2_000.0,
+            resume_penalty: 0.0,
+            detection_delay: None,
+        };
+        let sim = ClusterSim::new(cfg).unwrap();
+        let vals =
+            replicate::run_replications(6, 1234, threads(), |s| sim.run(s).mean_queue_length);
+        vals.iter().sum::<f64>() / vals.len() as f64
+    };
+    let discard = run(FailureStrategy::Discard);
+    let resume = run(FailureStrategy::ResumeBack);
+    let restart = run(FailureStrategy::RestartBack);
+    // Identical seeds, paired comparison: Discard <= Resume <= Restart,
+    // with slack for Monte-Carlo noise.
+    assert!(discard <= resume * 1.10, "discard {discard} vs resume {resume}");
+    assert!(resume <= restart * 1.10, "resume {resume} vs restart {restart}");
+}

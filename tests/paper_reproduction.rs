@@ -1,0 +1,229 @@
+//! Integration tests pinning the paper's headline quantitative claims
+//! (the evaluation "shape criteria" from DESIGN.md).
+
+use performa::core::{blowup, blowup::BlowupRegion, ClusterModel};
+use performa::dist::{Exponential, TruncatedPowerTail};
+
+fn tpt_model(t: u32, rho: f64) -> ClusterModel {
+    ClusterModel::builder()
+        .servers(2)
+        .peak_rate(2.0)
+        .degradation(0.2)
+        .up(Exponential::with_mean(90.0).unwrap())
+        .down(TruncatedPowerTail::with_mean(t, 1.4, 0.2, 10.0).unwrap())
+        .utilization(rho)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn figure1_blowup_thresholds_at_21_7_and_60_9_percent() {
+    let m = tpt_model(10, 0.5);
+    let t = blowup::utilization_thresholds(&m);
+    assert!((t[0] - 0.217).abs() < 1e-3, "rho_2 = {}", t[0]);
+    assert!((t[1] - 0.609).abs() < 1e-3, "rho_1 = {}", t[1]);
+}
+
+#[test]
+fn figure1_three_regions_for_large_t() {
+    // Region A (rho < 0.217): insensitive to the repair shape.
+    let small_exp = tpt_model(1, 0.15).solve().unwrap().mean_queue_length();
+    let small_tpt = tpt_model(10, 0.15).solve().unwrap().mean_queue_length();
+    assert!(
+        (small_tpt / small_exp - 1.0).abs() < 0.05,
+        "insensitive region: {small_exp} vs {small_tpt}"
+    );
+
+    // Region B (0.217 < rho < 0.609): noticeably worse, not catastrophic.
+    let mid_exp = tpt_model(1, 0.45).solve().unwrap().mean_queue_length();
+    let mid_tpt = tpt_model(10, 0.45).solve().unwrap().mean_queue_length();
+    let mid_ratio = mid_tpt / mid_exp;
+    assert!(
+        mid_ratio > 1.2 && mid_ratio < 20.0,
+        "intermediate region ratio {mid_ratio}"
+    );
+
+    // Region C (rho > 0.609): huge blow-up.
+    let big_exp = tpt_model(1, 0.75).solve().unwrap().mean_queue_length();
+    let big_tpt = tpt_model(10, 0.75).solve().unwrap().mean_queue_length();
+    assert!(
+        big_tpt / big_exp > 30.0,
+        "blow-up region ratio {}",
+        big_tpt / big_exp
+    );
+}
+
+#[test]
+fn figure1_mean_grows_with_truncation_level() {
+    let mut prev = 0.0;
+    for t in [1u32, 5, 9, 10] {
+        let m = tpt_model(t, 0.7).solve().unwrap().mean_queue_length();
+        assert!(m > prev, "T={t}: {m} <= {prev}");
+        prev = m;
+    }
+}
+
+#[test]
+fn figure2_pmf_shapes() {
+    // rho = 0.1: geometric decay — the pmf ratio stabilizes quickly and
+    // stays well below 1.
+    let sol = tpt_model(9, 0.1).solve().unwrap();
+    let pmf = sol.queue_length_pmf_range(200);
+    let r1 = pmf[30] / pmf[20];
+    let r2 = pmf[60] / pmf[50];
+    assert!(r1 < 0.9 && (r1 / r2 - 1.0).abs() < 0.3, "r1={r1} r2={r2}");
+
+    // rho = 0.7 (region 1): truncated power law with exponent near
+    // beta_1 = 1.4 on the mid-range.
+    let sol = tpt_model(9, 0.7).solve().unwrap();
+    let pmf = sol.queue_length_pmf_range(2_001);
+    let slope = (pmf[800].ln() - pmf[80].ln()) / ((800.0f64).ln() - (80.0f64).ln());
+    assert!(
+        (-slope - 1.4).abs() < 0.35,
+        "rho=0.7 slope {slope}, expected ~ -1.4"
+    );
+
+    // rho = 0.3 (region 2): steeper power law (beta_2 = 1.8).
+    let sol = tpt_model(9, 0.3).solve().unwrap();
+    let pmf = sol.queue_length_pmf_range(2_001);
+    let slope2 = (pmf[400].ln() - pmf[40].ln()) / ((400.0f64).ln() - (40.0f64).ln());
+    assert!(
+        -slope2 > -slope - 0.15,
+        "rho=0.3 slope {slope2} should be steeper than rho=0.7 slope {slope}"
+    );
+}
+
+#[test]
+fn figure3_tail_probabilities_jump_at_blowup() {
+    // Pr(Q >= 500) for T = 10: negligible below the first threshold,
+    // non-negligible above the second.
+    let low = tpt_model(10, 0.15).solve().unwrap().at_least_probability(500);
+    let mid = tpt_model(10, 0.45).solve().unwrap().at_least_probability(500);
+    let high = tpt_model(10, 0.75).solve().unwrap().at_least_probability(500);
+    assert!(low < 1e-30, "low {low}");
+    assert!(mid > low * 1e10, "mid {mid} vs low {low}");
+    assert!(high > 1e-3, "high {high}");
+
+    // Exponential repair only has visible tails near saturation.
+    let exp_high = tpt_model(1, 0.75).solve().unwrap().at_least_probability(500);
+    assert!(exp_high < 1e-10, "exp {exp_high}");
+}
+
+#[test]
+fn figure4_hyp2_matches_tpt_in_blowup_region() {
+    use performa::dist::fit;
+    let tpt = TruncatedPowerTail::with_mean(10, 1.4, 0.2, 10.0).unwrap();
+    let hyp = fit::hyp2_matching(&tpt).unwrap();
+    let m_hyp = ClusterModel::builder()
+        .servers(2)
+        .peak_rate(2.0)
+        .degradation(0.2)
+        .up(Exponential::with_mean(90.0).unwrap())
+        .down(hyp)
+        .utilization(0.75)
+        .build()
+        .unwrap()
+        .solve()
+        .unwrap()
+        .normalized_mean_queue_length();
+    let m_tpt = tpt_model(10, 0.75).solve().unwrap().normalized_mean_queue_length();
+    // Paper: "in the worst blow-up region ... the actual values closely
+    // match".
+    assert!(
+        (m_hyp / m_tpt - 1.0).abs() < 0.35,
+        "HYP-2 {m_hyp} vs TPT {m_tpt}"
+    );
+    assert!(m_hyp > 20.0);
+}
+
+#[test]
+fn figure5_stability_bound_and_monotonicity() {
+    let probe = tpt_model(10, 0.5).with_arrival_rate(1.8).unwrap();
+    let bound = blowup::stability_availability_bound(&probe);
+    assert!((bound - 0.3125).abs() < 1e-10);
+
+    // Normalized mean decreases as availability rises (fixed cycle 100).
+    let at = |a: f64| {
+        ClusterModel::builder()
+            .servers(2)
+            .peak_rate(2.0)
+            .degradation(0.2)
+            .up(Exponential::with_mean(a * 100.0).unwrap())
+            .down(TruncatedPowerTail::with_mean(10, 1.4, 0.2, (1.0 - a) * 100.0).unwrap())
+            .arrival_rate(1.8)
+            .build()
+            .unwrap()
+            .solve()
+            .unwrap()
+            .normalized_mean_queue_length()
+    };
+    let (a40, a60, a90) = (at(0.40), at(0.60), at(0.90));
+    assert!(a40 > a60 && a60 > a90, "{a40} {a60} {a90}");
+    // Near the asymptote the values explode.
+    assert!(at(0.33) > 10.0 * a90);
+}
+
+#[test]
+fn figure6_five_blowup_points_for_n5() {
+    let m5 = |rho: f64| {
+        ClusterModel::builder()
+            .servers(5)
+            .peak_rate(2.0)
+            .degradation(0.2)
+            .up(Exponential::with_mean(90.0).unwrap())
+            .down(
+                performa::dist::fit::hyp2_matching(
+                    &TruncatedPowerTail::with_mean(10, 1.4, 0.2, 10.0).unwrap(),
+                )
+                .unwrap(),
+            )
+            .utilization(rho)
+            .build()
+            .unwrap()
+    };
+    let thresholds = blowup::utilization_thresholds(&m5(0.5));
+    assert_eq!(thresholds.len(), 5);
+
+    // The tail probability takes a visible jump across each threshold.
+    let mut prev_tail = 0.0_f64;
+    for (i, &thr) in thresholds.iter().enumerate() {
+        let below = m5(thr - 0.04).solve().unwrap().at_least_probability(500);
+        let above = m5(thr + 0.04).solve().unwrap().at_least_probability(500);
+        assert!(
+            above > below * 100.0 || below < 1e-250,
+            "threshold {i} at {thr}: below {below}, above {above}"
+        );
+        assert!(above >= prev_tail);
+        prev_tail = above;
+    }
+}
+
+#[test]
+fn blowup_region_classification_follows_lambda() {
+    let m = |lambda: f64| tpt_model(5, 0.5).with_arrival_rate(lambda).unwrap();
+    assert_eq!(blowup::region(&m(0.5)), BlowupRegion::Insensitive);
+    assert_eq!(blowup::region(&m(1.5)), BlowupRegion::Region(2));
+    assert_eq!(blowup::region(&m(3.0)), BlowupRegion::Region(1));
+}
+
+#[test]
+fn mean_ttf_ttr_do_not_move_blowup_points() {
+    // Paper: "the mean TTF and mean TTR do not have any impact on the
+    // location of the blow-up points" (only A matters).
+    let scale = |f: f64| {
+        ClusterModel::builder()
+            .servers(2)
+            .peak_rate(2.0)
+            .degradation(0.2)
+            .up(Exponential::with_mean(90.0 * f).unwrap())
+            .down(TruncatedPowerTail::with_mean(5, 1.4, 0.2, 10.0 * f).unwrap())
+            .utilization(0.5)
+            .build()
+            .unwrap()
+    };
+    let t1 = blowup::utilization_thresholds(&scale(1.0));
+    let t2 = blowup::utilization_thresholds(&scale(10.0));
+    for (a, b) in t1.iter().zip(&t2) {
+        assert!((a - b).abs() < 1e-12);
+    }
+}
