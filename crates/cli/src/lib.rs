@@ -18,8 +18,11 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::time::Duration;
 
-use performa_core::{blowup, sensitivity, ClusterModel};
+use performa_core::{
+    blowup, sensitivity, ClusterModel, GStrategy, StageBudget, SupervisorOptions,
+};
 use performa_dist::{
     Dist, Erlang, Exponential, HyperExponential, Moments, Pareto, TruncatedPowerTail, Weibull,
 };
@@ -53,13 +56,28 @@ DISTRIBUTION SPECS:
   exp:MEAN | erlang:K:MEAN | hyp2:MEAN:SCV | tpt:T:ALPHA:THETA:MEAN
   pareto:ALPHA:MEAN (simulate only) | weibull:SHAPE:MEAN (simulate only)
 
-SOLVE OPTIONS:    --tail K (report Pr(Q >= K))   --deadline D (report Pr(S > D))
+SOLVE OPTIONS:    --tail K (report Pr(Q >= K))   --delay-bound D (report Pr(S > D))
 SWEEP OPTIONS:    --param rho|lambda|delta|availability  --from F --to T --steps N
                   --metric mean|normalized|tail:K
 SIMULATE OPTIONS: --task exp:0.5  --strategy discard|resume-front|resume-back|
                   restart-front|restart-back  --cycles 20000 --reps 5 --seed 0
                   --resume-penalty W (checkpoint-restore work)
                   --detection-delay SPEC (crash detection latency; default ideal)
+
+RESILIENCE OPTIONS (solve and simulate):
+  --deadline S           wall-clock budget in seconds; partial or degraded
+                         results are flagged, never silent
+  --max-iter N           cap the iteration budget of every solver stage
+  --fallback LIST        comma-separated G-matrix strategy chain, tried in
+                         order: neuts|functional|logred
+                         (default logred,neuts,functional)
+  --tolerance T          target solver tolerance (default 1e-10)
+
+EXIT CODES:
+  0   exact result
+  10  degraded but bounded (fallback strategy, relaxed tolerance, or
+      partial replication set — details are printed)
+  20  failed (no usable result)
 ";
 
 /// Errors surfaced to the terminal with usage help.
@@ -94,6 +112,32 @@ impl From<performa_sim::SimError> for CliError {
 
 /// Result alias for CLI operations.
 pub type Result<T> = std::result::Result<T, CliError>;
+
+/// Exit code for runs that produced no usable result.
+pub const EXIT_FAILED: u8 = 20;
+
+/// Outcome quality of a successfully completed command, mapped to the
+/// CLI's structured exit codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Full-precision result at the requested tolerance.
+    Exact,
+    /// The result is usable but degraded: a fallback strategy was
+    /// needed, the tolerance was relaxed, or only part of the requested
+    /// replications completed before the deadline.
+    Degraded,
+}
+
+impl RunStatus {
+    /// Process exit code: `0` for exact, `10` for degraded. Failures
+    /// exit with [`EXIT_FAILED`].
+    pub fn exit_code(self) -> u8 {
+        match self {
+            RunStatus::Exact => 0,
+            RunStatus::Degraded => 10,
+        }
+    }
+}
 
 /// Parsed `--key value` arguments.
 #[derive(Debug, Clone, Default)]
@@ -199,13 +243,80 @@ fn parse_strategy(s: &str) -> Result<FailureStrategy> {
         .ok_or_else(|| CliError(format!("unknown strategy `{s}`")))
 }
 
+/// Parses `--fallback` into a stage chain; each strategy keeps its
+/// default iteration budget.
+fn parse_fallback(spec: &str) -> Result<Vec<StageBudget>> {
+    let defaults = SupervisorOptions::default();
+    spec.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|name| {
+            let strategy = GStrategy::parse(name).ok_or_else(|| {
+                CliError(format!(
+                    "unknown G-matrix strategy `{name}` (neuts|functional|logred)"
+                ))
+            })?;
+            let budget = defaults
+                .chain
+                .iter()
+                .find(|b| b.strategy == strategy)
+                .map_or(50_000, |b| b.max_iterations);
+            Ok(StageBudget::new(strategy, budget))
+        })
+        .collect()
+}
+
+/// Parses the wall-clock `--deadline` (seconds), if present.
+fn parse_deadline(args: &Args) -> Result<Option<Duration>> {
+    if !args.has("deadline") {
+        return Ok(None);
+    }
+    let secs = args.get("deadline", 0.0_f64)?;
+    if !(secs.is_finite() && secs >= 0.0) {
+        return Err(CliError(format!(
+            "--deadline {secs} must be a non-negative number of seconds"
+        )));
+    }
+    Ok(Some(Duration::from_secs_f64(secs)))
+}
+
+/// Builds [`SupervisorOptions`] from the resilience flags
+/// (`--tolerance`, `--fallback`, `--max-iter`, `--deadline`).
+pub fn supervisor_options(args: &Args) -> Result<SupervisorOptions> {
+    let mut opts = SupervisorOptions::default();
+    if args.has("tolerance") {
+        let tol = args.get("tolerance", opts.tolerance)?;
+        opts = opts.with_tolerance(tol);
+    }
+    if args.has("fallback") {
+        opts.chain = parse_fallback(&args.get_str("fallback", ""))?;
+    }
+    if args.has("max-iter") {
+        let cap = args.get("max-iter", 0usize)?;
+        if cap == 0 {
+            return Err(CliError("--max-iter must be at least 1".into()));
+        }
+        for stage in &mut opts.chain {
+            stage.max_iterations = stage.max_iterations.min(cap);
+        }
+    }
+    if let Some(d) = parse_deadline(args)? {
+        opts = opts.with_deadline(d);
+    }
+    Ok(opts)
+}
+
 /// Runs a subcommand, writing human output to `out`.
-pub fn run<W: std::io::Write>(command: &str, args: &Args, out: &mut W) -> Result<()> {
+///
+/// Returns whether the result is [`RunStatus::Exact`] or
+/// [`RunStatus::Degraded`]; `main` maps this (and errors) to the
+/// structured exit codes documented in [`USAGE`].
+pub fn run<W: std::io::Write>(command: &str, args: &Args, out: &mut W) -> Result<RunStatus> {
     let io = |e: std::io::Error| CliError(format!("output error: {e}"));
     match command {
         "solve" => {
             let m = build_model(args)?;
-            let sol = m.solve()?;
+            let (sol, report) = m.solve_supervised(supervisor_options(args)?)?;
             writeln!(out, "servers          : {}", m.servers()).map_err(io)?;
             writeln!(out, "availability     : {:.6}", m.availability()).map_err(io)?;
             writeln!(out, "capacity         : {:.6}", m.capacity()).map_err(io)?;
@@ -231,8 +342,8 @@ pub fn run<W: std::io::Write>(command: &str, args: &Args, out: &mut W) -> Result
                 writeln!(out, "Pr(Q >= {k})     : {:.6e}", sol.at_least_probability(k))
                     .map_err(io)?;
             }
-            if args.has("deadline") {
-                let d = args.get("deadline", 1.0)?;
+            if args.has("delay-bound") {
+                let d = args.get("delay-bound", 1.0)?;
                 writeln!(
                     out,
                     "Pr(S > {d})      : {:.6e}",
@@ -240,7 +351,29 @@ pub fn run<W: std::io::Write>(command: &str, args: &Args, out: &mut W) -> Result
                 )
                 .map_err(io)?;
             }
-            Ok(())
+            writeln!(
+                out,
+                "solver           : {} ({} iterations, residual {:.3e})",
+                report.strategy.name(),
+                report.total_iterations,
+                report.residual
+            )
+            .map_err(io)?;
+            for w in &report.warnings {
+                writeln!(out, "solver warning   : {w}").map_err(io)?;
+            }
+            let status = if report.degraded {
+                RunStatus::Degraded
+            } else {
+                RunStatus::Exact
+            };
+            writeln!(
+                out,
+                "status           : {}",
+                if report.degraded { "degraded" } else { "exact" }
+            )
+            .map_err(io)?;
+            Ok(status)
         }
         "blowup" => {
             let m = build_model(args)?;
@@ -267,7 +400,7 @@ pub fn run<W: std::io::Write>(command: &str, args: &Args, out: &mut W) -> Result
                 blowup::stability_availability_bound(&m)
             )
             .map_err(io)?;
-            Ok(())
+            Ok(RunStatus::Exact)
         }
         "sweep" => {
             let param = args.get_str("param", "rho");
@@ -288,7 +421,7 @@ pub fn run<W: std::io::Write>(command: &str, args: &Args, out: &mut W) -> Result
                 };
                 writeln!(out, "{x:.6},{value:.8e}").map_err(io)?;
             }
-            Ok(())
+            Ok(RunStatus::Exact)
         }
         "sensitivity" => {
             let m = build_model(args)?;
@@ -303,7 +436,7 @@ pub fn run<W: std::io::Write>(command: &str, args: &Args, out: &mut W) -> Result
                 s.distance_to_threshold
             )
             .map_err(io)?;
-            Ok(())
+            Ok(RunStatus::Exact)
         }
         "simulate" => {
             let m = build_model(args)?;
@@ -332,23 +465,38 @@ pub fn run<W: std::io::Write>(command: &str, args: &Args, out: &mut W) -> Result
             let reps = args.get("reps", 5u64)?;
             let seed = args.get("seed", 0u64)?;
             let threads = std::thread::available_parallelism().map_or(2, |n| n.get());
-            let ci = replicate::replicated_ci(reps, seed, threads, |s| {
+            let mut ropts = replicate::ReplicationOptions::with_threads(threads);
+            if let Some(d) = parse_deadline(args)? {
+                ropts = ropts.with_deadline(d);
+            }
+            let (ci, outcome) = replicate::replicated_ci_robust(reps, seed, &ropts, |s| {
                 sim.run(s).mean_queue_length
-            });
+            })?;
             let detail = sim.run(seed);
-            writeln!(out, "mean queue length : {:.4} ± {:.4} (95% CI, {reps} reps)", ci.mean, ci.half_width)
-                .map_err(io)?;
+            writeln!(
+                out,
+                "mean queue length : {:.4} ± {:.4} (95% CI, {} of {reps} reps)",
+                ci.mean, ci.half_width, outcome.completed
+            )
+            .map_err(io)?;
             writeln!(out, "mean system time  : {:.4}", detail.mean_system_time).map_err(io)?;
             if let Some(p99) = detail.system_time_quantile(0.99) {
                 writeln!(out, "p99 system time   : {:.4}", p99).map_err(io)?;
             }
             writeln!(out, "completed tasks   : {}", detail.completed_tasks).map_err(io)?;
             writeln!(out, "discarded tasks   : {}", detail.discarded_tasks).map_err(io)?;
-            Ok(())
+            if outcome.degraded() {
+                writeln!(out, "status            : degraded — {}", outcome.summary())
+                    .map_err(io)?;
+                Ok(RunStatus::Degraded)
+            } else {
+                writeln!(out, "status            : exact").map_err(io)?;
+                Ok(RunStatus::Exact)
+            }
         }
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}").map_err(io)?;
-            Ok(())
+            Ok(RunStatus::Exact)
         }
         other => Err(CliError(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
@@ -495,11 +643,74 @@ mod tests {
     fn solve_command_prints_metrics() {
         let a = args(&[("rho", "0.7"), ("down", "tpt:9:1.4:0.2:10"), ("tail", "500")]);
         let mut buf = Vec::new();
-        run("solve", &a, &mut buf).unwrap();
+        let status = run("solve", &a, &mut buf).unwrap();
         let s = String::from_utf8(buf).unwrap();
         assert!(s.contains("mean queue length"));
         assert!(s.contains("Region(1)"));
         assert!(s.contains("Pr(Q >= 500)"));
+        assert!(s.contains("solver           : "));
+        assert!(s.contains("status           : exact"));
+        assert_eq!(status, RunStatus::Exact);
+    }
+
+    #[test]
+    fn solve_reports_delay_bound_violation() {
+        let a = args(&[("rho", "0.5"), ("delay-bound", "5.0")]);
+        let mut buf = Vec::new();
+        run("solve", &a, &mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("Pr(S > 5)"));
+    }
+
+    #[test]
+    fn solve_accepts_fallback_chain_and_aliases() {
+        // Exponential repairs keep the phase space tiny so even the
+        // linearly convergent chains finish instantly.
+        for chain in ["functional", "lr,ss", "logred , neuts"] {
+            let a = args(&[("rho", "0.4"), ("down", "exp:10"), ("fallback", chain)]);
+            let mut buf = Vec::new();
+            let status = run("solve", &a, &mut buf).unwrap();
+            assert_eq!(status, RunStatus::Exact, "chain `{chain}`");
+        }
+        let bad = args(&[("fallback", "gauss")]);
+        let mut buf = Vec::new();
+        assert!(run("solve", &bad, &mut buf).is_err());
+    }
+
+    #[test]
+    fn resilience_flags_shape_supervisor_options() {
+        let a = args(&[
+            ("fallback", "logred,functional"),
+            ("max-iter", "80"),
+            ("tolerance", "1e-9"),
+            ("deadline", "30"),
+        ]);
+        let opts = supervisor_options(&a).unwrap();
+        assert_eq!(opts.chain.len(), 2);
+        assert_eq!(opts.chain[0].strategy, GStrategy::LogarithmicReduction);
+        assert_eq!(opts.chain[1].strategy, GStrategy::FunctionalIteration);
+        assert!(opts.chain.iter().all(|s| s.max_iterations <= 80));
+        assert!((opts.tolerance - 1e-9).abs() < 1e-24);
+        assert_eq!(opts.deadline, Some(std::time::Duration::from_secs(30)));
+
+        assert!(supervisor_options(&args(&[("max-iter", "0")])).is_err());
+        assert!(supervisor_options(&args(&[("deadline", "-1")])).is_err());
+    }
+
+    #[test]
+    fn starved_iteration_budget_is_a_typed_error() {
+        // Three iterations of any strategy cannot reach 1e-12 at rho
+        // 0.7, so the supervisor must exhaust its chain and fail.
+        let a = args(&[("rho", "0.7"), ("max-iter", "3")]);
+        let mut buf = Vec::new();
+        let err = run("solve", &a, &mut buf).unwrap_err();
+        assert!(err.to_string().contains("solver"), "{err}");
+    }
+
+    #[test]
+    fn exit_code_contract() {
+        assert_eq!(RunStatus::Exact.exit_code(), 0);
+        assert_eq!(RunStatus::Degraded.exit_code(), 10);
+        assert_eq!(EXIT_FAILED, 20);
     }
 
     #[test]
@@ -570,10 +781,13 @@ mod tests {
                        ("strategy", "discard"), ("delta", "0.0"),
                        ("down", "tpt:3:1.4:0.5:10")]);
         let mut buf = Vec::new();
-        run("simulate", &a, &mut buf).unwrap();
+        let status = run("simulate", &a, &mut buf).unwrap();
         let s = String::from_utf8(buf).unwrap();
         assert!(s.contains("mean queue length"));
         assert!(s.contains("completed tasks"));
+        assert!(s.contains("2 of 2 reps"));
+        assert!(s.contains("status            : exact"));
+        assert_eq!(status, RunStatus::Exact);
     }
 
     #[test]

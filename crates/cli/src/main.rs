@@ -1,5 +1,7 @@
 //! `performa` command-line entry point (see `performa_cli` for the
 //! implementation and `--help` for usage).
+//!
+//! Exit codes: `0` exact result, `10` degraded but bounded, `20` failed.
 
 use std::process::ExitCode;
 
@@ -7,21 +9,21 @@ fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1);
     let Some(command) = argv.next() else {
         eprintln!("{}", performa_cli::USAGE);
-        return ExitCode::FAILURE;
+        return ExitCode::from(performa_cli::EXIT_FAILED);
     };
     let args = match performa_cli::Args::parse(argv) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(performa_cli::EXIT_FAILED);
         }
     };
     let mut out = std::io::stdout();
     match performa_cli::run(&command, &args, &mut out) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(status) => ExitCode::from(status.exit_code()),
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(performa_cli::EXIT_FAILED)
         }
     }
 }

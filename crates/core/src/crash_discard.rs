@@ -102,7 +102,9 @@ impl CrashDiscardSolution {
 
     /// Mean queue length normalized by M/M/1 at the nominal utilization.
     pub fn normalized_mean_queue_length(&self) -> f64 {
-        self.mean_queue_length() / mm1::mean_queue_length(self.model.utilization())
+        self.mean_queue_length()
+            / mm1::mean_queue_length(self.model.utilization())
+                .expect("solved model is stable, so utilization < 1")
     }
 
     /// Tail probability `Pr(Q > k)`.

@@ -84,10 +84,14 @@ impl FiniteBufferSolution {
     ///
     /// # Panics
     ///
-    /// Panics when the nominal utilization is ≥ 1 (the M/M/1 reference
-    /// does not exist there).
+    /// Returns NaN when the nominal utilization is ≥ 1 (the M/M/1
+    /// reference does not exist there, although the finite-buffer chain
+    /// itself is still well-defined).
     pub fn normalized_mean_queue_length(&self) -> f64 {
-        self.mean_queue_length() / mm1::mean_queue_length(self.model.utilization())
+        match mm1::mean_queue_length(self.model.utilization()) {
+            Ok(reference) => self.mean_queue_length() / reference,
+            Err(_) => f64::NAN,
+        }
     }
 
     /// Task loss probability: a Poisson arrival finds the buffer full

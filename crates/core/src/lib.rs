@@ -22,7 +22,10 @@
 //!   tasks than servers reduce the attainable service rate (level-dependent
 //!   QBD), closing the gap to the physical multi-processor system,
 //! * [`FiniteBufferCluster`] — the ME/MMPP/1/K finite-dispatcher-queue
-//!   variant with loss probabilities.
+//!   variant with loss probabilities,
+//! * [`ClusterModel::solve_supervised`] — the resilient solver entry
+//!   point: a fallback chain of G-matrix strategies with numerical
+//!   watchdogs, returning a structured [`SolveReport`].
 //!
 //! # Quickstart: reproducing a point of the paper's Figure 1
 //!
@@ -70,6 +73,13 @@ pub use map_arrivals::{MeArrivalCluster, MeArrivalSolution};
 pub use model::{ClusterBuilder, ClusterModel};
 pub use performability::TransientAnalysis;
 pub use solution::ClusterSolution;
+
+// Re-exported so callers of [`ClusterModel::solve_supervised`] can
+// configure the resilient solver pipeline without a direct QBD
+// dependency.
+pub use performa_qbd::{
+    GStrategy, SolveReport, SolveWarning, SolverSupervisor, StageBudget, SupervisorOptions,
+};
 
 /// Result alias for fallible model operations.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -125,7 +125,9 @@ impl MeArrivalSolution {
 
     /// Mean queue length normalized by M/M/1 at the same utilization.
     pub fn normalized_mean_queue_length(&self) -> f64 {
-        self.mean_queue_length() / mm1::mean_queue_length(self.utilization)
+        self.mean_queue_length()
+            / mm1::mean_queue_length(self.utilization)
+                .expect("solved model is stable, so utilization < 1")
     }
 
     /// Tail probability `Pr(Q > k)`.

@@ -1,6 +1,6 @@
 use performa_dist::{Dist, Moments};
 use performa_markov::{aggregate, Mmpp, ServerModel};
-use performa_qbd::Qbd;
+use performa_qbd::{Qbd, SolveReport, SolverSupervisor, SupervisorOptions};
 
 use crate::solution::ClusterSolution;
 use crate::{CoreError, Result};
@@ -186,6 +186,34 @@ impl ClusterModel {
         let sol = qbd.solve()?;
         Ok(ClusterSolution::new(self.clone(), sol))
     }
+
+    /// Solves the model through the resilient [`SolverSupervisor`]:
+    /// a fallback chain of G-matrix strategies with numerical watchdogs,
+    /// reported tolerance relaxation and optional wall-clock deadline.
+    ///
+    /// Returns the solution together with a [`SolveReport`] describing
+    /// which strategy succeeded, how hard it had to work, and whether
+    /// the result is degraded (fallback taken or tolerance relaxed).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Unstable`] when `λ ≥ ν̄`; otherwise supervisor
+    /// failures from the QBD layer (exhausted chain, deadline, invalid
+    /// supervisor options).
+    pub fn solve_supervised(
+        &self,
+        options: SupervisorOptions,
+    ) -> Result<(ClusterSolution, SolveReport)> {
+        if self.lambda >= self.capacity() {
+            return Err(CoreError::Unstable {
+                lambda: self.lambda,
+                capacity: self.capacity(),
+            });
+        }
+        let qbd = self.to_qbd()?;
+        let (sol, report) = SolverSupervisor::with_options(qbd, options).solve()?;
+        Ok((ClusterSolution::new(self.clone(), sol), report))
+    }
 }
 
 /// Builder for [`ClusterModel`] (see the crate-level example).
@@ -370,8 +398,8 @@ mod tests {
         assert!(ClusterModel::builder()
             .servers(2)
             .peak_rate(2.0)
-            .up(up.clone())
-            .down(down.clone())
+            .up(up)
+            .down(down)
             .build()
             .is_err()); // no load specified
 
@@ -379,16 +407,16 @@ mod tests {
         assert!(ClusterModel::builder()
             .servers(0)
             .peak_rate(2.0)
-            .up(up.clone())
-            .down(down.clone())
+            .up(up)
+            .down(down)
             .utilization(0.5)
             .build()
             .is_err());
         assert!(ClusterModel::builder()
             .servers(2)
             .peak_rate(-2.0)
-            .up(up.clone())
-            .down(down.clone())
+            .up(up)
+            .down(down)
             .utilization(0.5)
             .build()
             .is_err());
@@ -396,8 +424,8 @@ mod tests {
             .servers(2)
             .peak_rate(2.0)
             .degradation(1.5)
-            .up(up.clone())
-            .down(down.clone())
+            .up(up)
+            .down(down)
             .utilization(0.5)
             .build()
             .is_err());
@@ -406,8 +434,8 @@ mod tests {
         assert!(ClusterModel::builder()
             .servers(2)
             .peak_rate(2.0)
-            .up(up.clone())
-            .down(down.clone())
+            .up(up)
+            .down(down)
             .arrival_rate(1.0)
             .utilization(0.5)
             .build()
@@ -466,6 +494,25 @@ mod tests {
         // 11 phases/server: lumped pairs = C(12, 2) = 66 vs 121 Kronecker.
         assert_eq!(tpt.service_process().unwrap().dim(), 66);
         assert_eq!(tpt.service_process_kronecker().unwrap().dim(), 121);
+    }
+
+    #[test]
+    fn supervised_solve_matches_plain_solve() {
+        let m = paper_model(0.5);
+        let plain = m.solve().unwrap();
+        let (sup, report) = m.solve_supervised(SupervisorOptions::default()).unwrap();
+        assert!((plain.mean_queue_length() - sup.mean_queue_length()).abs() < 1e-9);
+        assert!(!report.degraded);
+        assert!(report.residual.is_finite() && report.residual < 1e-8);
+    }
+
+    #[test]
+    fn supervised_solve_rejects_unstable_load() {
+        let m = paper_model(0.5).with_arrival_rate(5.0).unwrap();
+        assert!(matches!(
+            m.solve_supervised(SupervisorOptions::default()),
+            Err(CoreError::Unstable { .. })
+        ));
     }
 
     #[test]

@@ -34,7 +34,9 @@ impl ClusterSolution {
     /// Mean queue length normalized by the M/M/1 value `ρ/(1−ρ)` at the
     /// same utilization — the y-axis of the paper's Figures 1, 4 and 5.
     pub fn normalized_mean_queue_length(&self) -> f64 {
-        self.mean_queue_length() / mm1::mean_queue_length(self.model.utilization())
+        self.mean_queue_length()
+            / mm1::mean_queue_length(self.model.utilization())
+                .expect("solved model is stable, so utilization < 1")
     }
 
     /// Variance of the number of tasks in the system.

@@ -70,11 +70,11 @@ fn main() {
             .solve()
             .expect("stable")
             .mean_queue_length();
-        let pk_task = mg1::mean_queue_length(rho, 1.0);
-        let pk_completion = mg1::mean_queue_length(rho, completion_scv);
+        let pk_task = mg1::mean_queue_length(rho, 1.0).expect("stable");
+        let pk_completion = mg1::mean_queue_length(rho, completion_scv).expect("stable");
         let row = vec![rho, exact, pk_task, pk_completion, completion_scv];
         print_row(&row);
-        assert!((pk_task - mm1::mean_queue_length(rho)).abs() < 1e-12);
+        assert!((pk_task - mm1::mean_queue_length(rho).expect("stable")).abs() < 1e-12);
         rows.push(row);
     }
     write_csv(

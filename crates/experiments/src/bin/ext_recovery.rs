@@ -53,7 +53,7 @@ fn main() {
         let sim = ClusterSim::new(cfg).expect("valid");
         let ci = replicate::replicated_ci(reps, 9000, threads, |s| {
             sim.run(s).mean_queue_length
-        });
+        }).expect("replications");
         let st = sim.run(9000).mean_system_time;
         println!("# {d:>8.1} {:>12.4} (±{:.3}) {:>10.4}", ci.mean, ci.half_width, st);
         rows.push(vec![d, ci.mean, ci.half_width, st]);
@@ -71,6 +71,7 @@ fn main() {
         let sim = ClusterSim::new(base(FailureStrategy::RestartBack, lambda, cycles))
             .expect("valid");
         replicate::replicated_ci(reps, 9100, threads, |s| sim.run(s).mean_queue_length)
+            .expect("replications")
     };
     println!(
         "# restart baseline: E[Q] = {:.4} (±{:.3})",
@@ -85,7 +86,7 @@ fn main() {
         let sim = ClusterSim::new(cfg).expect("valid");
         let ci = replicate::replicated_ci(reps, 9100, threads, |s| {
             sim.run(s).mean_queue_length
-        });
+        }).expect("replications");
         println!("# {c:>8.2} {:>12.4} (±{:.3})", ci.mean, ci.half_width);
         if crossover.is_none() && ci.mean > restart.mean {
             crossover = Some(c);

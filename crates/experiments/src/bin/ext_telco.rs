@@ -64,7 +64,7 @@ fn main() {
             .expect("valid")
             .solve()
             .expect("stable");
-        let norm = mm1::mean_queue_length(rho);
+        let norm = mm1::mean_queue_length(rho).expect("stable");
         let row = vec![
             rho,
             heavy_sol.mean_queue_length() / norm,

@@ -42,7 +42,7 @@ fn main() {
             pmfs[0][q],
             pmfs[1][q],
             pmfs[2][q],
-            mm1::level_probability(0.7, q),
+            mm1::level_probability(0.7, q).expect("stable"),
         ];
         if printed.contains(&q) {
             print_row(&row);

@@ -62,7 +62,7 @@ fn main() {
         let exact_sim = ExactModelSim::new(exact_cfg).expect("valid");
         let exact_ci = replicate::replicated_ci(reps, 1000, threads, |seed| {
             exact_sim.run(seed).mean_queue_length
-        });
+        }).expect("replications");
 
         let phys_cfg = ClusterSimConfig {
             servers: params::N,
@@ -81,14 +81,14 @@ fn main() {
         let phys_sim = ClusterSim::new(phys_cfg).expect("valid");
         let phys_ci = replicate::replicated_ci(reps, 2000, threads, |seed| {
             phys_sim.run(seed).mean_queue_length
-        });
+        }).expect("replications");
 
         let row = vec![
             rho,
             analytic,
             exact_ci.mean,
             phys_ci.mean,
-            mm1::mean_queue_length(rho),
+            mm1::mean_queue_length(rho).expect("stable"),
         ];
         print_row(&row);
         println!(

@@ -50,7 +50,7 @@ fn main() {
         let rho = i as f64 / 10.0;
         let m = model(rho);
         let analytic = m.solve().expect("stable").mean_queue_length();
-        let mm1_mean = mm1::mean_queue_length(rho);
+        let mm1_mean = mm1::mean_queue_length(rho).expect("stable");
 
         let mut means = Vec::new();
         let mut discard_hw = 0.0;
@@ -74,7 +74,7 @@ fn main() {
             let sim = ClusterSim::new(cfg).expect("valid");
             let ci = replicate::replicated_ci(reps, 3000 + 100 * si as u64, threads, |seed| {
                 sim.run(seed).mean_queue_length
-            });
+            }).expect("replications");
             means.push(ci.mean);
             if si == 0 {
                 discard_hw = ci.half_width;

@@ -84,7 +84,8 @@ fn main() {
             let sim = ClusterSim::new(cfg).expect("valid");
             let ci = replicate::replicated_ci(reps, 4000 + 100 * si as u64, threads, |seed| {
                 sim.run(seed).mean_queue_length
-            });
+            })
+            .expect("replications");
             row.push(ci.mean);
             printed.push_str(&format!(" {:>12.4} (±{:.3})", ci.mean, ci.half_width));
         }

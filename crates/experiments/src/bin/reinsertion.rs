@@ -58,10 +58,12 @@ fn main() {
         // Common base seed across strategies => paired comparison.
         let q = replicate::run_replications(reps, 5000, threads, |seed| {
             sim.run(seed).mean_queue_length
-        });
+        })
+        .expect("replications");
         let st = replicate::run_replications(reps, 5000, threads, |seed| {
             sim.run(seed).mean_system_time
-        });
+        })
+        .expect("replications");
         values.push(q);
         sys_means.push(st);
     }

@@ -26,6 +26,27 @@ pub enum QbdError {
         /// Final residual.
         residual: f64,
     },
+    /// A scalar parameter of a closed-form formula was outside its
+    /// domain (e.g. a saturated utilization passed to an M/M/1 formula).
+    InvalidParameter {
+        /// Explanation of the violated domain constraint.
+        message: String,
+    },
+    /// A numerical watchdog detected non-finite values (NaN/Inf) inside
+    /// an iterative stage and aborted it before the poison could spread.
+    NumericalBreakdown {
+        /// Stage name, e.g. `"neuts"`.
+        stage: &'static str,
+        /// Iteration at which the non-finite value appeared.
+        iteration: usize,
+    },
+    /// A wall-clock deadline expired before any solver stage converged.
+    DeadlineExceeded {
+        /// Stage that was running (or about to run) when time ran out.
+        stage: &'static str,
+        /// Iterations completed across all attempted stages.
+        iterations: usize,
+    },
     /// An underlying linear-algebra operation failed.
     Linalg(performa_linalg::LinalgError),
 }
@@ -45,6 +66,17 @@ impl fmt::Display for QbdError {
             } => write!(
                 f,
                 "{stage} did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            QbdError::InvalidParameter { message } => {
+                write!(f, "invalid parameter: {message}")
+            }
+            QbdError::NumericalBreakdown { stage, iteration } => write!(
+                f,
+                "{stage} produced non-finite values at iteration {iteration}"
+            ),
+            QbdError::DeadlineExceeded { stage, iterations } => write!(
+                f,
+                "deadline expired in {stage} after {iterations} iterations"
             ),
             QbdError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
         }
@@ -84,6 +116,24 @@ mod tests {
             message: "row sums".into(),
         };
         assert!(e.to_string().contains("row sums"));
+
+        let e = QbdError::NumericalBreakdown {
+            stage: "neuts",
+            iteration: 7,
+        };
+        assert!(e.to_string().contains("non-finite"));
+        assert!(e.to_string().contains('7'));
+
+        let e = QbdError::DeadlineExceeded {
+            stage: "supervisor",
+            iterations: 12,
+        };
+        assert!(e.to_string().contains("deadline"));
+
+        let e = QbdError::InvalidParameter {
+            message: "rho".into(),
+        };
+        assert!(e.to_string().contains("rho"));
     }
 
     #[test]

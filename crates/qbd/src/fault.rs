@@ -1,0 +1,104 @@
+//! Fault-injection hooks for exercising the solver watchdogs.
+//!
+//! Compiled to no-ops unless the crate is built with the
+//! `fault-injection` feature; release builds therefore pay nothing for
+//! the hooks. With the feature enabled, tests arm a thread-local
+//! [`FaultPlan`] describing which G-matrix stage to sabotage and how,
+//! then run [`crate::SolverSupervisor::solve`] and assert that the
+//! watchdogs catch the corruption and the fallback chain recovers:
+//!
+//! * **poison** — overwrite one entry of the iterate with NaN at a given
+//!   `(stage, iteration)`; the NaN watchdog must abort the stage.
+//! * **stall** — suppress the convergence test of a stage so it burns its
+//!   whole iteration budget; the supervisor must fall back (or, with a
+//!   deadline set, report `DeadlineExceeded`).
+//!
+//! Stage keys are `"neuts"`, `"functional"` and `"logred"` (see
+//! [`crate::GStrategy::key`]).
+
+#[cfg(feature = "fault-injection")]
+mod imp {
+    use performa_linalg::Matrix;
+    use std::cell::RefCell;
+
+    /// A per-thread sabotage plan for the G-matrix stages.
+    #[derive(Debug, Clone, Default)]
+    pub struct FaultPlan {
+        /// Overwrite entry `(0, 0)` of the iterate with NaN when the
+        /// named stage reaches the given iteration.
+        pub poison: Option<(&'static str, usize)>,
+        /// Suppress the convergence test of the named stage so it always
+        /// exhausts its iteration budget.
+        pub stall: Option<&'static str>,
+    }
+
+    thread_local! {
+        static PLAN: RefCell<Option<FaultPlan>> = const { RefCell::new(None) };
+    }
+
+    /// Arms `plan` for the current thread; returns a guard that disarms
+    /// it when dropped (including on panic).
+    #[must_use = "the plan is disarmed when the guard drops"]
+    pub fn arm(plan: FaultPlan) -> Armed {
+        PLAN.with(|p| *p.borrow_mut() = Some(plan));
+        Armed { _private: () }
+    }
+
+    /// Disarms any plan on the current thread.
+    pub fn disarm() {
+        PLAN.with(|p| *p.borrow_mut() = None);
+    }
+
+    /// Guard returned by [`arm`]; disarms the thread's plan on drop.
+    #[derive(Debug)]
+    pub struct Armed {
+        _private: (),
+    }
+
+    impl Drop for Armed {
+        fn drop(&mut self) {
+            disarm();
+        }
+    }
+
+    pub(crate) fn poison(stage: &str, iteration: usize, g: &mut Matrix) {
+        PLAN.with(|p| {
+            if let Some(FaultPlan {
+                poison: Some((s, it)),
+                ..
+            }) = p.borrow().as_ref()
+            {
+                if *s == stage && *it == iteration {
+                    g[(0, 0)] = f64::NAN;
+                }
+            }
+        });
+    }
+
+    pub(crate) fn stalled(stage: &str) -> bool {
+        PLAN.with(|p| {
+            matches!(
+                p.borrow().as_ref(),
+                Some(FaultPlan { stall: Some(s), .. }) if *s == stage
+            )
+        })
+    }
+}
+
+#[cfg(not(feature = "fault-injection"))]
+mod imp {
+    use performa_linalg::Matrix;
+
+    #[inline(always)]
+    pub(crate) fn poison(_stage: &str, _iteration: usize, _g: &mut Matrix) {}
+
+    #[inline(always)]
+    pub(crate) fn stalled(_stage: &str) -> bool {
+        false
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+pub use imp::{arm, disarm, Armed, FaultPlan};
+
+pub(crate) use imp::{poison, stalled};

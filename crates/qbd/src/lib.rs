@@ -19,6 +19,10 @@
 //! queue-length tail probabilities `Pr(Q > k)` and the full pmf.
 //!
 //! * [`Qbd`] — model definition + [`Qbd::solve`] via logarithmic reduction,
+//! * [`SolverSupervisor`] — resilient solves: a configurable G-matrix
+//!   fallback chain (logarithmic reduction → Neuts substitution →
+//!   functional iteration) with NaN/Inf watchdogs, reported tolerance
+//!   relaxation, condition-number surveillance and a [`SolveReport`],
 //! * [`QbdSolution`] — the stationary law and derived metrics,
 //! * [`LevelDependentQbd`] — finitely many inhomogeneous boundary levels
 //!   (used for the load-dependent cluster variant of paper Sect. 2.4),
@@ -57,7 +61,9 @@ mod finite;
 mod level_dep;
 mod qbd;
 mod solution;
+mod supervisor;
 
+pub mod fault;
 pub mod mg1;
 pub mod mm1;
 
@@ -66,6 +72,10 @@ pub use finite::{FiniteQbd, FiniteSolution};
 pub use level_dep::{LevelDependentQbd, LevelDependentSolution};
 pub use qbd::{Qbd, SolveOptions};
 pub use solution::QbdSolution;
+pub use supervisor::{
+    GStrategy, SolveReport, SolveWarning, SolverSupervisor, StageAttempt, StageBudget,
+    SupervisorOptions,
+};
 
 /// Result alias for fallible QBD operations.
 pub type Result<T> = std::result::Result<T, QbdError>;

@@ -5,45 +5,71 @@
 //! service time, leading to M/G/1-type analysis. These formulas provide
 //! that baseline: exact for Poisson arrivals and i.i.d. service with the
 //! given first two moments.
+//!
+//! All formulas validate their domain and return
+//! [`QbdError::InvalidParameter`] instead of panicking, so they are safe to
+//! call with user-supplied rates (e.g. from the CLI).
+
+use crate::{QbdError, Result};
 
 /// Mean number in system of an M/G/1 queue: the Pollaczek–Khinchine
 /// formula `L = ρ + ρ²(1 + c²)/(2(1 − ρ))`, with `c²` the squared
 /// coefficient of variation of the service time.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics unless `0 ≤ rho < 1` and `scv ≥ 0`.
-pub fn mean_queue_length(rho: f64, scv: f64) -> f64 {
-    assert!(
-        (0.0..1.0).contains(&rho),
-        "utilization must be in [0, 1), got {rho}"
-    );
-    assert!(scv >= 0.0, "scv must be non-negative, got {scv}");
-    rho + rho * rho * (1.0 + scv) / (2.0 * (1.0 - rho))
+/// [`QbdError::InvalidParameter`] unless `0 ≤ rho < 1` and `scv ≥ 0`.
+pub fn mean_queue_length(rho: f64, scv: f64) -> Result<f64> {
+    if !(0.0..1.0).contains(&rho) {
+        return Err(QbdError::InvalidParameter {
+            message: format!("utilization must be in [0, 1), got {rho}"),
+        });
+    }
+    if !(scv >= 0.0 && scv.is_finite()) {
+        return Err(QbdError::InvalidParameter {
+            message: format!("scv must be finite and non-negative, got {scv}"),
+        });
+    }
+    Ok(rho + rho * rho * (1.0 + scv) / (2.0 * (1.0 - rho)))
 }
 
 /// Mean waiting time (queueing delay, excluding service) for arrival rate
 /// `lambda` and service moments `(m1, m2)`:
 /// `W_q = λ·m₂ / (2(1 − λ·m₁))`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics unless `lambda > 0`, `m1 > 0`, `m2 ≥ m1²` and `λ·m₁ < 1`.
-pub fn mean_waiting_time(lambda: f64, m1: f64, m2: f64) -> f64 {
-    assert!(lambda > 0.0 && m1 > 0.0, "rates and moments must be positive");
-    assert!(m2 >= m1 * m1, "second moment below square of the first");
+/// [`QbdError::InvalidParameter`] unless `lambda > 0`, `m1 > 0`,
+/// `m2 ≥ m1²` and `λ·m₁ < 1`.
+pub fn mean_waiting_time(lambda: f64, m1: f64, m2: f64) -> Result<f64> {
+    if !(lambda > 0.0 && m1 > 0.0) {
+        return Err(QbdError::InvalidParameter {
+            message: format!(
+                "rates and moments must be positive, got lambda={lambda}, m1={m1}"
+            ),
+        });
+    }
+    if m2.is_nan() || m2 < m1 * m1 {
+        return Err(QbdError::InvalidParameter {
+            message: format!("second moment {m2} below square of the first ({m1})"),
+        });
+    }
     let rho = lambda * m1;
-    assert!(rho < 1.0, "unstable: rho = {rho}");
-    lambda * m2 / (2.0 * (1.0 - rho))
+    if rho.is_nan() || rho >= 1.0 {
+        return Err(QbdError::InvalidParameter {
+            message: format!("unstable: rho = {rho}"),
+        });
+    }
+    Ok(lambda * m2 / (2.0 * (1.0 - rho)))
 }
 
 /// Mean system (sojourn) time: `W = W_q + m₁`.
 ///
-/// # Panics
+/// # Errors
 ///
 /// Same conditions as [`mean_waiting_time`].
-pub fn mean_system_time(lambda: f64, m1: f64, m2: f64) -> f64 {
-    mean_waiting_time(lambda, m1, m2) + m1
+pub fn mean_system_time(lambda: f64, m1: f64, m2: f64) -> Result<f64> {
+    Ok(mean_waiting_time(lambda, m1, m2)? + m1)
 }
 
 #[cfg(test)]
@@ -53,16 +79,19 @@ mod tests {
     #[test]
     fn exponential_service_reduces_to_mm1() {
         for &rho in &[0.1, 0.5, 0.9] {
-            let l = mean_queue_length(rho, 1.0);
-            assert!((l - crate::mm1::mean_queue_length(rho)).abs() < 1e-12, "rho={rho}");
+            let l = mean_queue_length(rho, 1.0).unwrap();
+            assert!(
+                (l - crate::mm1::mean_queue_length(rho).unwrap()).abs() < 1e-12,
+                "rho={rho}"
+            );
         }
     }
 
     #[test]
     fn deterministic_service_halves_the_queueing_term() {
         let rho: f64 = 0.8;
-        let md1 = mean_queue_length(rho, 0.0);
-        let mm1 = crate::mm1::mean_queue_length(rho);
+        let md1 = mean_queue_length(rho, 0.0).unwrap();
+        let mm1 = crate::mm1::mean_queue_length(rho).unwrap();
         // L_q(M/D/1) = L_q(M/M/1)/2.
         assert!(((md1 - rho) - (mm1 - rho) / 2.0).abs() < 1e-12);
     }
@@ -70,7 +99,9 @@ mod tests {
     #[test]
     fn high_variance_service_inflates_the_queue() {
         let rho = 0.7;
-        assert!(mean_queue_length(rho, 50.0) > 10.0 * mean_queue_length(rho, 1.0));
+        assert!(
+            mean_queue_length(rho, 50.0).unwrap() > 10.0 * mean_queue_length(rho, 1.0).unwrap()
+        );
     }
 
     #[test]
@@ -78,20 +109,29 @@ mod tests {
         let (lambda, m1, scv) = (0.5, 1.2, 3.0);
         let m2 = (scv + 1.0) * m1 * m1;
         let rho = lambda * m1;
-        let l = mean_queue_length(rho, scv);
-        let w = mean_system_time(lambda, m1, m2);
+        let l = mean_queue_length(rho, scv).unwrap();
+        let w = mean_system_time(lambda, m1, m2).unwrap();
         assert!((l - lambda * w).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "unstable")]
-    fn saturated_waiting_time_panics() {
-        let _ = mean_waiting_time(1.0, 1.5, 3.0);
+    fn saturated_waiting_time_is_an_error() {
+        let err = mean_waiting_time(1.0, 1.5, 3.0).unwrap_err();
+        assert!(matches!(err, QbdError::InvalidParameter { ref message }
+            if message.contains("unstable")));
+        assert!(mean_system_time(1.0, 1.5, 3.0).is_err());
     }
 
     #[test]
-    #[should_panic(expected = "utilization")]
-    fn bad_rho_panics() {
-        let _ = mean_queue_length(1.2, 1.0);
+    fn bad_domains_are_errors_not_panics() {
+        assert!(matches!(
+            mean_queue_length(1.2, 1.0).unwrap_err(),
+            QbdError::InvalidParameter { .. }
+        ));
+        assert!(mean_queue_length(0.5, -1.0).is_err());
+        assert!(mean_queue_length(0.5, f64::NAN).is_err());
+        assert!(mean_waiting_time(0.0, 1.0, 2.0).is_err());
+        assert!(mean_waiting_time(0.5, 1.0, 0.5).is_err());
+        assert!(mean_waiting_time(f64::NAN, 1.0, 2.0).is_err());
     }
 }

@@ -3,59 +3,66 @@
 //! The paper normalizes every mean-queue-length curve by the M/M/1 value at
 //! the same utilization (its Figures 1, 4, 5, 8, 9), which removes the
 //! `1/(1−ρ)` asymptote and isolates the failure-induced degradation.
+//!
+//! All formulas validate their domain and return
+//! [`QbdError::InvalidParameter`] instead of panicking, so they are safe to
+//! call with user-supplied rates (e.g. from the CLI).
+
+use crate::{QbdError, Result};
+
+fn require_rho(rho: f64) -> Result<()> {
+    if !(0.0..1.0).contains(&rho) {
+        return Err(QbdError::InvalidParameter {
+            message: format!("utilization must be in [0, 1), got {rho}"),
+        });
+    }
+    Ok(())
+}
 
 /// Mean number in system of an M/M/1 queue at utilization `rho`:
 /// `ρ/(1−ρ)`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics unless `0 ≤ rho < 1`.
-pub fn mean_queue_length(rho: f64) -> f64 {
-    assert!(
-        (0.0..1.0).contains(&rho),
-        "utilization must be in [0, 1), got {rho}"
-    );
-    rho / (1.0 - rho)
+/// [`QbdError::InvalidParameter`] unless `0 ≤ rho < 1`.
+pub fn mean_queue_length(rho: f64) -> Result<f64> {
+    require_rho(rho)?;
+    Ok(rho / (1.0 - rho))
 }
 
 /// Stationary probability of exactly `n` customers: `(1−ρ)·ρⁿ`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics unless `0 ≤ rho < 1`.
-pub fn level_probability(rho: f64, n: usize) -> f64 {
-    assert!(
-        (0.0..1.0).contains(&rho),
-        "utilization must be in [0, 1), got {rho}"
-    );
-    (1.0 - rho) * rho.powi(n as i32)
+/// [`QbdError::InvalidParameter`] unless `0 ≤ rho < 1`.
+pub fn level_probability(rho: f64, n: usize) -> Result<f64> {
+    require_rho(rho)?;
+    Ok((1.0 - rho) * rho.powi(n as i32))
 }
 
 /// Tail probability `Pr(Q > k) = ρ^{k+1}`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics unless `0 ≤ rho < 1`.
-pub fn tail_probability(rho: f64, k: usize) -> f64 {
-    assert!(
-        (0.0..1.0).contains(&rho),
-        "utilization must be in [0, 1), got {rho}"
-    );
-    rho.powi(k as i32 + 1)
+/// [`QbdError::InvalidParameter`] unless `0 ≤ rho < 1`.
+pub fn tail_probability(rho: f64, k: usize) -> Result<f64> {
+    require_rho(rho)?;
+    Ok(rho.powi(k as i32 + 1))
 }
 
 /// Mean system (sojourn) time at arrival rate `lambda` and service rate
 /// `mu`: `1/(μ−λ)`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics unless `0 < lambda < mu`.
-pub fn mean_system_time(lambda: f64, mu: f64) -> f64 {
-    assert!(
-        lambda > 0.0 && lambda < mu,
-        "need 0 < lambda < mu, got lambda={lambda}, mu={mu}"
-    );
-    1.0 / (mu - lambda)
+/// [`QbdError::InvalidParameter`] unless `0 < lambda < mu`.
+pub fn mean_system_time(lambda: f64, mu: f64) -> Result<f64> {
+    if !(lambda > 0.0 && lambda < mu) {
+        return Err(QbdError::InvalidParameter {
+            message: format!("need 0 < lambda < mu, got lambda={lambda}, mu={mu}"),
+        });
+    }
+    Ok(1.0 / (mu - lambda))
 }
 
 #[cfg(test)]
@@ -64,25 +71,25 @@ mod tests {
 
     #[test]
     fn known_values() {
-        assert_eq!(mean_queue_length(0.5), 1.0);
-        assert!((mean_queue_length(0.9) - 9.0).abs() < 1e-12);
-        assert_eq!(mean_queue_length(0.0), 0.0);
-        assert!((level_probability(0.5, 0) - 0.5).abs() < 1e-15);
-        assert!((level_probability(0.5, 3) - 0.0625).abs() < 1e-15);
-        assert!((tail_probability(0.5, 0) - 0.5).abs() < 1e-15);
-        assert!((tail_probability(0.5, 3) - 0.0625).abs() < 1e-15);
-        assert!((mean_system_time(1.0, 2.0) - 1.0).abs() < 1e-15);
+        assert_eq!(mean_queue_length(0.5).unwrap(), 1.0);
+        assert!((mean_queue_length(0.9).unwrap() - 9.0).abs() < 1e-12);
+        assert_eq!(mean_queue_length(0.0).unwrap(), 0.0);
+        assert!((level_probability(0.5, 0).unwrap() - 0.5).abs() < 1e-15);
+        assert!((level_probability(0.5, 3).unwrap() - 0.0625).abs() < 1e-15);
+        assert!((tail_probability(0.5, 0).unwrap() - 0.5).abs() < 1e-15);
+        assert!((tail_probability(0.5, 3).unwrap() - 0.0625).abs() < 1e-15);
+        assert!((mean_system_time(1.0, 2.0).unwrap() - 1.0).abs() < 1e-15);
     }
 
     #[test]
     fn pmf_sums_to_one_and_matches_mean() {
         let rho = 0.7;
-        let total: f64 = (0..5000).map(|n| level_probability(rho, n)).sum();
+        let total: f64 = (0..5000).map(|n| level_probability(rho, n).unwrap()).sum();
         assert!((total - 1.0).abs() < 1e-12);
         let mean: f64 = (0..5000)
-            .map(|n| n as f64 * level_probability(rho, n))
+            .map(|n| n as f64 * level_probability(rho, n).unwrap())
             .sum();
-        assert!((mean - mean_queue_length(rho)).abs() < 1e-9);
+        assert!((mean - mean_queue_length(rho).unwrap()).abs() < 1e-9);
     }
 
     #[test]
@@ -90,19 +97,32 @@ mod tests {
         let (lambda, mu) = (2.0, 3.0);
         let rho = lambda / mu;
         assert!(
-            (mean_queue_length(rho) - lambda * mean_system_time(lambda, mu)).abs() < 1e-12
+            (mean_queue_length(rho).unwrap() - lambda * mean_system_time(lambda, mu).unwrap())
+                .abs()
+                < 1e-12
         );
     }
 
     #[test]
-    #[should_panic(expected = "utilization")]
-    fn saturated_panics() {
-        let _ = mean_queue_length(1.0);
+    fn saturated_is_an_error_not_a_panic() {
+        for bad in [1.0, 1.5, -0.1, f64::NAN, f64::INFINITY] {
+            let err = mean_queue_length(bad).unwrap_err();
+            assert!(
+                matches!(err, QbdError::InvalidParameter { ref message }
+                    if message.contains("utilization")),
+                "rho={bad}: {err}"
+            );
+            assert!(level_probability(bad, 2).is_err());
+            assert!(tail_probability(bad, 2).is_err());
+        }
     }
 
     #[test]
-    #[should_panic(expected = "lambda")]
-    fn bad_system_time_panics() {
-        let _ = mean_system_time(3.0, 2.0);
+    fn bad_system_time_is_an_error() {
+        let err = mean_system_time(3.0, 2.0).unwrap_err();
+        assert!(matches!(err, QbdError::InvalidParameter { ref message }
+            if message.contains("lambda")));
+        assert!(mean_system_time(0.0, 2.0).is_err());
+        assert!(mean_system_time(f64::NAN, 2.0).is_err());
     }
 }

@@ -1,10 +1,27 @@
+use std::time::Instant;
+
 use performa_linalg::{lu::Lu, Matrix, Vector};
 
+use crate::fault;
 use crate::solution::QbdSolution;
 use crate::{QbdError, Result};
 
 /// Tolerance for generator row-sum validation, scaled by the largest rate.
 const ROWSUM_TOL: f64 = 1e-8;
+
+/// NaN/Inf watchdog: `true` iff every entry of `m` is finite.
+pub(crate) fn all_finite(m: &Matrix) -> bool {
+    (0..m.nrows()).all(|i| m.row(i).iter().all(|v| v.is_finite()))
+}
+
+fn check_deadline(stage: &'static str, iterations: usize, deadline: Option<Instant>) -> Result<()> {
+    if let Some(d) = deadline {
+        if Instant::now() >= d {
+            return Err(QbdError::DeadlineExceeded { stage, iterations });
+        }
+    }
+    Ok(())
+}
 
 /// Options controlling the iterative stages of [`Qbd::solve`].
 #[derive(Debug, Clone, Copy)]
@@ -287,6 +304,20 @@ impl Qbd {
     /// [`QbdError::NoConvergence`] if the iteration cap is hit;
     /// [`QbdError::Linalg`] on singular intermediate systems.
     pub fn g_matrix(&self, opts: SolveOptions) -> Result<Matrix> {
+        Ok(self
+            .g_logred_counted(opts.tolerance, opts.max_iterations, None)?
+            .0)
+    }
+
+    /// Counted logarithmic reduction with NaN/Inf watchdog, optional
+    /// wall-clock deadline and fault-injection hooks (stage key
+    /// `"logred"`). Backs both [`Qbd::g_matrix`] and the supervisor.
+    pub(crate) fn g_logred_counted(
+        &self,
+        tolerance: f64,
+        max_iterations: usize,
+        deadline: Option<Instant>,
+    ) -> Result<(Matrix, usize)> {
         let m = self.phase_dim();
         let neg_a1 = -&self.a1;
         let lu = Lu::factor(&neg_a1)?;
@@ -297,7 +328,8 @@ impl Qbd {
         let mut t = h.clone();
         let id = Matrix::identity(m);
 
-        for it in 0..opts.max_iterations {
+        for it in 0..max_iterations {
+            check_deadline("logred", it, deadline)?;
             let u = &h * &l + &l * &h;
             let i_minus_u = &id - &u;
             let lu_u = Lu::factor(&i_minus_u)?;
@@ -308,19 +340,25 @@ impl Qbd {
             let add = &t * &l;
             g += &add;
             t = &t * &h;
+            fault::poison("logred", it, &mut g);
 
-            if t.norm_inf() < opts.tolerance || add.norm_inf() < opts.tolerance {
-                return Ok(g);
-            }
-            if it + 1 == opts.max_iterations {
-                return Err(QbdError::NoConvergence {
-                    stage: "logarithmic reduction",
-                    iterations: opts.max_iterations,
-                    residual: t.norm_inf(),
+            if !(all_finite(&g) && all_finite(&t)) {
+                return Err(QbdError::NumericalBreakdown {
+                    stage: "logred",
+                    iteration: it,
                 });
             }
+            if !fault::stalled("logred")
+                && (t.norm_inf() < tolerance || add.norm_inf() < tolerance)
+            {
+                return Ok((g, it + 1));
+            }
         }
-        unreachable!("loop always returns");
+        Err(QbdError::NoConvergence {
+            stage: "logarithmic reduction",
+            iterations: max_iterations,
+            residual: t.norm_inf(),
+        })
     }
 
     /// Computes `G` by plain functional iteration
@@ -332,22 +370,93 @@ impl Qbd {
     /// Same conditions as [`Qbd::g_matrix`], with a larger default budget
     /// needed in practice.
     pub fn g_matrix_functional(&self, tolerance: f64, max_iterations: usize) -> Result<Matrix> {
+        Ok(self.g_functional_counted(tolerance, max_iterations, None)?.0)
+    }
+
+    /// Counted functional iteration with watchdogs (stage key
+    /// `"functional"`); see [`Qbd::g_logred_counted`].
+    pub(crate) fn g_functional_counted(
+        &self,
+        tolerance: f64,
+        max_iterations: usize,
+        deadline: Option<Instant>,
+    ) -> Result<(Matrix, usize)> {
         let lu = Lu::factor(&(-&self.a1))?;
         let base = lu.solve_mat(&self.a2)?;
         let up = lu.solve_mat(&self.a0)?;
         let mut g = base.clone();
-        for _ in 0..max_iterations {
-            let next = &base + &(&up * &(&g * &g));
-            let diff = next.max_abs_diff(&g);
+        let mut last_diff = f64::NAN;
+        for it in 0..max_iterations {
+            check_deadline("functional", it, deadline)?;
+            let mut next = &base + &(&up * &(&g * &g));
+            fault::poison("functional", it, &mut next);
+            if !all_finite(&next) {
+                return Err(QbdError::NumericalBreakdown {
+                    stage: "functional",
+                    iteration: it,
+                });
+            }
+            last_diff = next.max_abs_diff(&g);
             g = next;
-            if diff < tolerance {
-                return Ok(g);
+            if !fault::stalled("functional") && last_diff < tolerance {
+                return Ok((g, it + 1));
             }
         }
         Err(QbdError::NoConvergence {
             stage: "functional iteration for G",
             iterations: max_iterations,
-            residual: f64::NAN,
+            residual: last_diff,
+        })
+    }
+
+    /// Computes `G` by Neuts' successive substitution
+    /// `G ← (−(A1 + A0·G))⁻¹·A2`, starting from `G = 0` — the classical
+    /// matrix-analytic iteration. Linearly convergent but markedly faster
+    /// than plain functional iteration (each step re-solves against the
+    /// current `U = A1 + A0·G`), and it requires no spectral assumptions
+    /// beyond stability, which makes it the most forgiving opening stage
+    /// of the fallback chain.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Qbd::g_matrix`].
+    pub fn g_matrix_neuts(&self, tolerance: f64, max_iterations: usize) -> Result<Matrix> {
+        Ok(self.g_neuts_counted(tolerance, max_iterations, None)?.0)
+    }
+
+    /// Counted Neuts substitution with watchdogs (stage key `"neuts"`);
+    /// see [`Qbd::g_logred_counted`].
+    pub(crate) fn g_neuts_counted(
+        &self,
+        tolerance: f64,
+        max_iterations: usize,
+        deadline: Option<Instant>,
+    ) -> Result<(Matrix, usize)> {
+        let m = self.phase_dim();
+        let mut g = Matrix::zeros(m, m);
+        let mut last_diff = f64::NAN;
+        for it in 0..max_iterations {
+            check_deadline("neuts", it, deadline)?;
+            let u = &self.a1 + &(&self.a0 * &g);
+            let lu = Lu::factor(&(-&u))?;
+            let mut next = lu.solve_mat(&self.a2)?;
+            fault::poison("neuts", it, &mut next);
+            if !all_finite(&next) {
+                return Err(QbdError::NumericalBreakdown {
+                    stage: "neuts",
+                    iteration: it,
+                });
+            }
+            last_diff = next.max_abs_diff(&g);
+            g = next;
+            if !fault::stalled("neuts") && last_diff < tolerance {
+                return Ok((g, it + 1));
+            }
+        }
+        Err(QbdError::NoConvergence {
+            stage: "neuts successive substitution",
+            iterations: max_iterations,
+            residual: last_diff,
         })
     }
 
@@ -358,10 +467,18 @@ impl Qbd {
     /// [`QbdError::Linalg`] if the inner matrix is singular (never for a
     /// valid stable QBD).
     pub fn r_from_g(&self, g: &Matrix) -> Result<Matrix> {
+        Ok(self.r_from_g_with_cond(g)?.0)
+    }
+
+    /// `R` plus the 1-norm condition estimate of the factored system
+    /// `−(A1 + A0·G)` — the supervisor surfaces the estimate as an
+    /// `IllConditioned` warning when it is large.
+    pub(crate) fn r_from_g_with_cond(&self, g: &Matrix) -> Result<(Matrix, f64)> {
         let u = &self.a1 + &(&self.a0 * g);
         let lu = Lu::factor(&(-&u))?;
+        let cond = lu.condition_estimate();
         // R = A0·(−U)⁻¹ ⇔ solve X·(−U) = A0.
-        Ok(lu.solve_left_mat(&self.a0)?)
+        Ok((lu.solve_left_mat(&self.a0)?, cond))
     }
 
     /// Full stationary solve with default options.
@@ -390,6 +507,13 @@ impl Qbd {
         }
         let g = self.g_matrix(opts)?;
         let r = self.r_from_g(&g)?;
+        Ok(self.boundary_from_gr(g, r)?.0)
+    }
+
+    /// Assembles the boundary vectors `(π₀, π₁)` and the full solution
+    /// from already-computed `G` and `R`, returning the 1-norm condition
+    /// estimate of the boundary linear system alongside.
+    pub(crate) fn boundary_from_gr(&self, g: Matrix, r: Matrix) -> Result<(QbdSolution, f64)> {
         let m = self.phase_dim();
 
         // Boundary system for x = [π0, π1]:
@@ -418,7 +542,9 @@ impl Qbd {
             sys[(i, dim - 1)] = 1.0;
             sys[(m + i, dim - 1)] = geo_eps[i];
         }
-        let x = Lu::factor(&sys)?.solve_left_vec(&Vector::basis(dim, dim - 1))?;
+        let lu_sys = Lu::factor(&sys)?;
+        let cond = lu_sys.condition_estimate();
+        let x = lu_sys.solve_left_vec(&Vector::basis(dim, dim - 1))?;
 
         let mut pi0 = Vector::zeros(m);
         let mut pi1 = Vector::zeros(m);
@@ -426,7 +552,7 @@ impl Qbd {
             pi0[i] = x[i].max(0.0);
             pi1[i] = x[m + i].max(0.0);
         }
-        QbdSolution::assemble(pi0, pi1, r, g)
+        Ok((QbdSolution::assemble(pi0, pi1, r, g)?, cond))
     }
 }
 
@@ -644,6 +770,38 @@ mod tests {
         let g1 = qbd.g_matrix(SolveOptions::default()).unwrap();
         let g2 = qbd.g_matrix_functional(1e-13, 100_000).unwrap();
         assert!(g1.max_abs_diff(&g2) < 1e-9);
+    }
+
+    #[test]
+    fn neuts_substitution_agrees_with_log_reduction() {
+        for lambda in [0.4, 1.0, 1.5] {
+            let qbd = mmpp2(lambda);
+            let g1 = qbd.g_matrix(SolveOptions::default()).unwrap();
+            let g2 = qbd.g_matrix_neuts(1e-13, 50_000).unwrap();
+            assert!(g1.max_abs_diff(&g2) < 1e-9, "lambda={lambda}");
+        }
+    }
+
+    #[test]
+    fn neuts_budget_exhaustion() {
+        let qbd = mmpp2(1.0);
+        assert!(matches!(
+            qbd.g_matrix_neuts(1e-16, 2),
+            Err(QbdError::NoConvergence { .. })
+        ));
+    }
+
+    #[test]
+    fn deadline_in_the_past_aborts_every_strategy() {
+        let qbd = mmpp2(1.0);
+        let past = Some(std::time::Instant::now() - std::time::Duration::from_millis(1));
+        for result in [
+            qbd.g_neuts_counted(1e-12, 100, past),
+            qbd.g_functional_counted(1e-12, 100, past),
+            qbd.g_logred_counted(1e-12, 100, past),
+        ] {
+            assert!(matches!(result, Err(QbdError::DeadlineExceeded { .. })));
+        }
     }
 
     #[test]

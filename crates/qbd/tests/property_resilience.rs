@@ -1,0 +1,116 @@
+//! Property-based coverage of the resilient solver pipeline.
+//!
+//! * On random **stable** QBDs all three G-matrix strategies agree and
+//!   the supervisor's report keeps its residual promise.
+//! * On random **unstable** inputs every public solve entry returns a
+//!   typed error — never a panic.
+
+use proptest::prelude::*;
+
+use performa_linalg::{Matrix, Vector};
+use performa_qbd::{mg1, mm1, Qbd, SolveOptions, SolverSupervisor};
+
+/// Builds a random irreducible MMPP `⟨Q, L⟩` with `n` phases from the
+/// raw proptest draws: off-diagonal rates from `qs`, service rates from
+/// `ls`.
+fn random_mmpp(n: usize, qs: &[f64], ls: &[f64]) -> (Matrix, Vector) {
+    let mut q = Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            0.0
+        } else {
+            0.05 + qs[(i * n + j) % qs.len()]
+        }
+    });
+    for i in 0..n {
+        let off: f64 = q.row(i).iter().sum();
+        q[(i, i)] = -off;
+    }
+    let rates = Vector::from((0..n).map(|i| ls[i % ls.len()]).collect::<Vec<_>>());
+    (q, rates)
+}
+
+/// Residual acceptance scale used by the supervisor: the QBD blocks'
+/// combined ∞-norm, floored at one.
+fn residual_scale(qbd: &Qbd) -> f64 {
+    (qbd.a0().norm_inf() + qbd.a1().norm_inf() + qbd.a2().norm_inf()).max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn stable_qbds_solve_identically_under_every_strategy(
+        n in 2usize..5,
+        qs in prop::collection::vec(0.0f64..2.0, 16),
+        ls in prop::collection::vec(0.5f64..4.0, 4),
+        frac in 0.1f64..0.85,
+    ) {
+        let (q, rates) = random_mmpp(n, &qs, &ls);
+        let min_rate = (0..n).map(|i| rates[i]).fold(f64::INFINITY, f64::min);
+        let lambda = frac * min_rate;
+        let qbd = Qbd::m_mmpp1(lambda, &q, &rates).unwrap();
+        prop_assume!(qbd.is_stable().unwrap());
+
+        let g_log = qbd.g_matrix(SolveOptions::default()).unwrap();
+        let g_fun = qbd.g_matrix_functional(1e-13, 500_000).unwrap();
+        let g_neu = qbd.g_matrix_neuts(1e-13, 500_000).unwrap();
+        prop_assert!(g_log.max_abs_diff(&g_fun) < 1e-8,
+            "logred vs functional differ by {}", g_log.max_abs_diff(&g_fun));
+        prop_assert!(g_log.max_abs_diff(&g_neu) < 1e-8,
+            "logred vs neuts differ by {}", g_log.max_abs_diff(&g_neu));
+    }
+
+    #[test]
+    fn supervisor_report_keeps_its_residual_promise(
+        n in 2usize..5,
+        qs in prop::collection::vec(0.0f64..2.0, 16),
+        ls in prop::collection::vec(0.5f64..4.0, 4),
+        frac in 0.1f64..0.85,
+    ) {
+        let (q, rates) = random_mmpp(n, &qs, &ls);
+        let min_rate = (0..n).map(|i| rates[i]).fold(f64::INFINITY, f64::min);
+        let qbd = Qbd::m_mmpp1(frac * min_rate, &q, &rates).unwrap();
+        prop_assume!(qbd.is_stable().unwrap());
+        let scale = residual_scale(&qbd);
+
+        let (sol, report) = SolverSupervisor::new(qbd).solve().unwrap();
+        prop_assert!(report.residual <= report.tolerance_used * scale,
+            "residual {} above promised {}", report.residual, report.tolerance_used * scale);
+        prop_assert!(report.tolerance_used >= report.tolerance_requested);
+        if !report.degraded {
+            prop_assert_eq!(report.tolerance_used, report.tolerance_requested);
+        }
+        // The accepted solution itself is a proper distribution.
+        let total: f64 = (0..50).map(|k| sol.level_probability(k)).sum();
+        prop_assert!(total > 0.99 && total <= 1.0 + 1e-9, "mass {total}");
+    }
+
+    #[test]
+    fn unstable_qbds_error_rather_than_panic(
+        n in 2usize..5,
+        qs in prop::collection::vec(0.0f64..2.0, 16),
+        ls in prop::collection::vec(0.5f64..4.0, 4),
+        excess in 1.0f64..3.0,
+    ) {
+        let (q, rates) = random_mmpp(n, &qs, &ls);
+        let max_rate = (0..n).map(|i| rates[i]).fold(0.0f64, f64::max);
+        let qbd = Qbd::m_mmpp1(excess * max_rate, &q, &rates).unwrap();
+        prop_assume!(!qbd.is_stable().unwrap());
+
+        prop_assert!(qbd.solve().is_err());
+        prop_assert!(SolverSupervisor::new(qbd).solve().is_err());
+    }
+
+    #[test]
+    fn saturated_closed_forms_error_rather_than_panic(
+        rho in 1.0f64..5.0,
+        scv in 0.0f64..20.0,
+    ) {
+        prop_assert!(mm1::mean_queue_length(rho).is_err());
+        prop_assert!(mm1::level_probability(rho, 3).is_err());
+        prop_assert!(mg1::mean_queue_length(rho, scv).is_err());
+        // And NaN poisoning is rejected, not propagated.
+        prop_assert!(mm1::mean_queue_length(f64::NAN).is_err());
+        prop_assert!(mg1::mean_queue_length(f64::NAN, scv).is_err());
+    }
+}

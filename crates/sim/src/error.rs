@@ -9,6 +9,22 @@ pub enum SimError {
         /// Explanation of the violated precondition.
         message: String,
     },
+    /// A replication kept failing (panic or non-finite output) after all
+    /// retry attempts; reported by the strict replication API.
+    ReplicationFailed {
+        /// Replication index (0-based).
+        replication: u64,
+        /// Attempts made (initial run + retries).
+        attempts: u32,
+        /// Last failure cause (panic message or value description).
+        reason: String,
+    },
+    /// Every replication failed or was cut off by the deadline, so not
+    /// even a partial estimate exists.
+    NoSuccessfulReplications {
+        /// Replications requested.
+        requested: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -16,6 +32,17 @@ impl fmt::Display for SimError {
         match self {
             SimError::InvalidConfig { message } => {
                 write!(f, "invalid simulator configuration: {message}")
+            }
+            SimError::ReplicationFailed {
+                replication,
+                attempts,
+                reason,
+            } => write!(
+                f,
+                "replication {replication} failed after {attempts} attempt(s): {reason}"
+            ),
+            SimError::NoSuccessfulReplications { requested } => {
+                write!(f, "none of the {requested} replication(s) succeeded")
             }
         }
     }

@@ -17,7 +17,9 @@
 //!   reinsertion.
 //! * [`stats`] — time-weighted queue statistics, streaming moments, and
 //!   Student-t confidence intervals over independent replications.
-//! * [`replicate`] — parallel replication runner.
+//! * [`replicate`] — parallel replication runner with panic isolation,
+//!   bounded reseed-and-retry, wall-clock deadlines (partial results are
+//!   flagged, never silent) and an opt-in fault-injection harness.
 //!
 //! # Example: validating the analytic model by simulation
 //!

@@ -29,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lambdas: Vec<f64> = (1..=20).map(|i| i as f64 * 0.5).collect();
     print!("       ");
     for &l in &lambdas {
-        print!("{}", if (l * 2.0) as u32 % 4 == 0 { 'v' } else { ' ' });
+        print!("{}", if ((l * 2.0) as u32).is_multiple_of(4) { 'v' } else { ' ' });
     }
     println!("  (λ from {} to {})", lambdas[0], lambdas.last().unwrap());
 

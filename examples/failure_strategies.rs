@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let sim = ClusterSim::new(cfg)?;
         let ci = replicate::replicated_ci(reps, 7_000, threads, |seed| {
             sim.run(seed).mean_queue_length
-        });
+        }).expect("replications");
         // One extra run for the task-level counters.
         let detail = sim.run(99);
         println!(

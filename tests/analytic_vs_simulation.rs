@@ -45,7 +45,7 @@ fn exact_model_sim_matches_analytic_mean() {
         let m = tpt_model(4, rho, 0.2);
         let analytic = m.solve().unwrap().mean_queue_length();
         let sim = ExactModelSim::new(exact_cfg(&m, 40_000)).unwrap();
-        let ci = replicate::replicated_ci(6, 10, threads(), |s| sim.run(s).mean_queue_length);
+        let ci = replicate::replicated_ci(6, 10, threads(), |s| sim.run(s).mean_queue_length).unwrap();
         // Generous tolerance: CI half-width plus 10 % model slack.
         assert!(
             (ci.mean - analytic).abs() < ci.half_width + 0.15 * analytic,
@@ -64,7 +64,7 @@ fn exact_model_sim_matches_analytic_tail() {
     let k = 20;
     let vals = replicate::run_replications(6, 50, threads(), |s| {
         sim.run(s).tail_probability(k)
-    });
+    }).unwrap();
     let mean_tail: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
     let expect = analytic.tail_probability(k);
     assert!(
@@ -100,7 +100,7 @@ fn physical_sim_matches_load_dependent_analytic_model() {
         detection_delay: None,
     };
     let sim = ClusterSim::new(cfg).unwrap();
-    let ci = replicate::replicated_ci(6, 90, threads(), |s| sim.run(s).mean_queue_length);
+    let ci = replicate::replicated_ci(6, 90, threads(), |s| sim.run(s).mean_queue_length).unwrap();
 
     let err_ld = (ci.mean - load_dep).abs();
     let err_li = (ci.mean - load_indep).abs();
@@ -142,7 +142,7 @@ fn resume_strategy_with_exponential_tasks_matches_crash_analytic_model() {
         detection_delay: None,
     };
     let sim = ClusterSim::new(cfg).unwrap();
-    let ci = replicate::replicated_ci(8, 400, threads(), |s| sim.run(s).mean_queue_length);
+    let ci = replicate::replicated_ci(8, 400, threads(), |s| sim.run(s).mean_queue_length).unwrap();
     assert!(
         (ci.mean - analytic).abs() < ci.half_width + 0.2 * analytic,
         "sim {} ± {} vs analytic {analytic}",
@@ -174,7 +174,7 @@ fn erlang_task_times_preserve_blowup_qualitatively() {
         let sim = ClusterSim::new(cfg).unwrap();
         let vals = replicate::run_replications(4, 700, threads(), |s| {
             sim.run(s).mean_queue_length
-        });
+        }).unwrap();
         vals.iter().sum::<f64>() / vals.len() as f64
     };
     // Crossing from the insensitive-ish region into deep blow-up grows the
@@ -210,7 +210,7 @@ fn discard_strategy_never_exceeds_resume_queue() {
         };
         let sim = ClusterSim::new(cfg).unwrap();
         let vals =
-            replicate::run_replications(6, 1234, threads(), |s| sim.run(s).mean_queue_length);
+            replicate::run_replications(6, 1234, threads(), |s| sim.run(s).mean_queue_length).unwrap();
         vals.iter().sum::<f64>() / vals.len() as f64
     };
     let discard = run(FailureStrategy::Discard);

@@ -5,7 +5,7 @@ use performa::core::{
     ClusterModel, CrashDiscardCluster, FiniteBufferCluster, LoadDependentCluster,
     MeArrivalCluster, TransientAnalysis,
 };
-use performa::dist::{Erlang, Exponential, Moments, TruncatedPowerTail};
+use performa::dist::{Erlang, Exponential, TruncatedPowerTail};
 
 fn base(delta: f64, rho: f64) -> ClusterModel {
     ClusterModel::builder()
