@@ -73,6 +73,14 @@ RESILIENCE OPTIONS (solve and simulate):
                          (default logred,neuts,functional)
   --tolerance T          target solver tolerance (default 1e-10)
 
+OBSERVABILITY OPTIONS (all commands):
+  --trace-level L        off|error|warn|info|debug|trace — human-readable
+                         structured trace on stderr
+  --trace-json PATH      write the full trace as NDJSON (schema v1) to PATH
+                         (implies debug verbosity unless --trace-level is set)
+  --profile              print a timing/metrics summary table on stderr
+                         after the run
+
 EXIT CODES:
   0   exact result
   10  degraded but bounded (fallback strategy, relaxed tolerance, or
@@ -145,9 +153,12 @@ pub struct Args {
     map: HashMap<String, String>,
 }
 
+/// Options that are bare flags (no value token follows them).
+const BOOL_FLAGS: &[&str] = &["profile"];
+
 impl Args {
     /// Parses `--key value` pairs; rejects dangling keys and stray
-    /// positional words.
+    /// positional words. Flags listed in [`BOOL_FLAGS`] take no value.
     pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self> {
         let mut map = HashMap::new();
         let mut it = raw.into_iter().peekable();
@@ -155,6 +166,10 @@ impl Args {
             let key = tok
                 .strip_prefix("--")
                 .ok_or_else(|| CliError(format!("expected --option, got `{tok}`")))?;
+            if BOOL_FLAGS.contains(&key) {
+                map.insert(key.to_string(), "true".to_string());
+                continue;
+            }
             let val = it
                 .next()
                 .ok_or_else(|| CliError(format!("option --{key} needs a value")))?;
@@ -184,6 +199,88 @@ impl Args {
     /// Whether the option was supplied.
     pub fn has(&self, key: &str) -> bool {
         self.map.contains_key(key)
+    }
+}
+
+/// Live observability state configured from the CLI flags; tear it down
+/// with [`ObsSession::finish`] after the command ran.
+#[derive(Debug)]
+pub struct ObsSession {
+    sinks: Vec<performa_obs::SinkId>,
+    profile: bool,
+}
+
+/// Configures the global recorder from `--trace-level`, `--trace-json`
+/// and `--profile`.
+///
+/// * `--trace-level L` installs a human-readable stderr subscriber at
+///   verbosity `L`;
+/// * `--trace-json PATH` additionally writes every record as NDJSON
+///   (schema v1) to `PATH`, defaulting the verbosity to `debug` (so
+///   per-iteration metric records are captured) unless `--trace-level`
+///   says otherwise;
+/// * `--profile` turns on metric aggregation; the rendered table is
+///   printed by [`ObsSession::finish`].
+///
+/// # Errors
+///
+/// Unparseable level or an unwritable `--trace-json` path.
+pub fn init_obs(args: &Args) -> Result<ObsSession> {
+    let mut sinks = Vec::new();
+    let profile = args.has("profile");
+    if profile {
+        performa_obs::reset_metrics();
+        performa_obs::set_metrics(true);
+    }
+    let mut level: Option<performa_obs::TraceLevel> = None;
+    if args.has("trace-level") {
+        let spec = args.get_str("trace-level", "info");
+        let parsed = spec
+            .parse::<performa_obs::TraceLevel>()
+            .map_err(|e| CliError(format!("bad --trace-level: {e}")))?;
+        level = Some(parsed);
+        if parsed != performa_obs::TraceLevel::Off {
+            sinks.push(performa_obs::add_sink(std::sync::Arc::new(
+                performa_obs::StderrSink::new(),
+            )));
+        }
+    }
+    if args.has("trace-json") {
+        let path = args.get_str("trace-json", "trace.ndjson");
+        let sink = performa_obs::NdjsonSink::create(std::path::Path::new(&path))
+            .map_err(|e| CliError(format!("cannot open --trace-json `{path}`: {e}")))?;
+        sinks.push(performa_obs::add_sink(std::sync::Arc::new(sink)));
+        if level.is_none() {
+            level = Some(performa_obs::TraceLevel::Debug);
+        }
+    }
+    if let Some(l) = level {
+        performa_obs::set_level(l);
+    }
+    Ok(ObsSession { sinks, profile })
+}
+
+impl ObsSession {
+    /// Flushes and uninstalls the configured sinks, prints the
+    /// `--profile` table to `err` (stderr in `main`) and resets the
+    /// global recorder.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures of the profile table.
+    pub fn finish<W: std::io::Write>(self, err: &mut W) -> Result<()> {
+        performa_obs::flush_sinks();
+        if self.profile {
+            let table = performa_obs::metrics_snapshot().profile_table();
+            write!(err, "{table}").map_err(|e| CliError(format!("output error: {e}")))?;
+            performa_obs::set_metrics(false);
+            performa_obs::reset_metrics();
+        }
+        performa_obs::set_level(performa_obs::TraceLevel::Off);
+        for id in self.sinks {
+            performa_obs::remove_sink(id);
+        }
+        Ok(())
     }
 }
 
@@ -796,6 +893,63 @@ mod tests {
         assert!(run("frobnicate", &args(&[]), &mut buf).is_err());
         assert!(parse_strategy("yolo").is_err());
         assert!(parse_strategy("resume-back").is_ok());
+    }
+
+    #[test]
+    fn profile_is_a_bare_flag() {
+        let a = Args::parse(vec!["--profile".into(), "--rho".into(), "0.4".into()]).unwrap();
+        assert!(a.has("profile"));
+        assert!((a.get("rho", 0.0_f64).unwrap() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn obs_flags_produce_trace_and_profile() {
+        // The recorder is process-global: serialize against other tests.
+        let _guard = performa_obs::test_lock();
+        let path = std::env::temp_dir().join(format!(
+            "performa_cli_obs_test_{}.ndjson",
+            std::process::id()
+        ));
+        let raw: Vec<String> = [
+            "--profile",
+            "--trace-json",
+            path.to_str().unwrap(),
+            "--rho",
+            "0.4",
+            "--down",
+            "exp:10",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let a = Args::parse(raw).unwrap();
+        let obs = init_obs(&a).unwrap();
+        let mut buf = Vec::new();
+        run("solve", &a, &mut buf).unwrap();
+        let mut err = Vec::new();
+        obs.finish(&mut err).unwrap();
+
+        // Profile table shows the instrumented solve.
+        let table = String::from_utf8(err).unwrap();
+        assert!(table.contains("profile"), "{table}");
+        assert!(table.contains("core.solve"), "{table}");
+        assert!(table.contains("qbd.residual"), "{table}");
+
+        // The NDJSON trace validates against schema v1 and contains
+        // spans, events and metric records.
+        let stats = performa_obs::ndjson::validate_file(&path).unwrap();
+        assert!(stats.span_open > 0, "{stats:?}");
+        assert_eq!(stats.span_open, stats.span_close, "{stats:?}");
+        assert!(stats.event > 0, "{stats:?}");
+        assert!(stats.metric > 0, "{stats:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_trace_level_is_reported() {
+        let _guard = performa_obs::test_lock();
+        let a = args(&[("trace-level", "verbose")]);
+        assert!(init_obs(&a).is_err());
     }
 
     #[test]

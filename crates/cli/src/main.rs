@@ -18,12 +18,23 @@ fn main() -> ExitCode {
             return ExitCode::from(performa_cli::EXIT_FAILED);
         }
     };
-    let mut out = std::io::stdout();
-    match performa_cli::run(&command, &args, &mut out) {
-        Ok(status) => ExitCode::from(status.exit_code()),
+    let obs = match performa_cli::init_obs(&args) {
+        Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::from(performa_cli::EXIT_FAILED)
+            return ExitCode::from(performa_cli::EXIT_FAILED);
         }
+    };
+    let mut out = std::io::stdout();
+    let code = match performa_cli::run(&command, &args, &mut out) {
+        Ok(status) => status.exit_code(),
+        Err(e) => {
+            eprintln!("error: {e}");
+            performa_cli::EXIT_FAILED
+        }
+    };
+    if let Err(e) = obs.finish(&mut std::io::stderr()) {
+        eprintln!("error: {e}");
     }
+    ExitCode::from(code)
 }

@@ -70,6 +70,47 @@ fn blowup_matches_paper_thresholds() {
 }
 
 #[test]
+fn profile_flag_prints_summary_table_on_stderr() {
+    let (ok, out, err) = performa(&["solve", "--down", "exp:10", "--profile"]);
+    assert!(ok, "{out}\n{err}");
+    assert!(out.contains("mean queue length"));
+    assert!(err.contains("profile"), "{err}");
+    assert!(err.contains("core.solve"), "{err}");
+    assert!(err.contains("qbd.residual"), "{err}");
+}
+
+#[test]
+fn trace_level_writes_human_readable_trace_to_stderr() {
+    let (ok, _, err) = performa(&["solve", "--down", "exp:10", "--trace-level", "info"]);
+    assert!(ok, "{err}");
+    assert!(err.contains("core.solve"), "{err}");
+    assert!(err.contains("qbd.converged"), "{err}");
+}
+
+#[test]
+fn trace_json_writes_valid_ndjson() {
+    let path = std::env::temp_dir().join(format!(
+        "performa_e2e_trace_{}.ndjson",
+        std::process::id()
+    ));
+    let path_str = path.to_str().unwrap();
+    let (ok, out, err) =
+        performa(&["solve", "--down", "exp:10", "--trace-json", path_str]);
+    assert!(ok, "{out}\n{err}");
+    let content = std::fs::read_to_string(&path).expect("trace file written");
+    // Every line is a JSON object with the schema-v1 envelope.
+    assert!(content.lines().count() > 10, "{content}");
+    for line in content.lines() {
+        assert!(line.starts_with("{\"v\":1,"), "{line}");
+    }
+    // The solve span and the per-iteration residual gauge are present.
+    assert!(content.contains("\"name\":\"core.solve\""));
+    assert!(content.contains("\"metric\":\"gauge\""));
+    assert!(content.contains("\"name\":\"qbd.residual\""));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn unknown_option_value_is_reported() {
     let (ok, _, err) = performa(&["solve", "--servers", "two"]);
     assert!(!ok);

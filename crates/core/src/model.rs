@@ -204,7 +204,23 @@ impl ClusterModel {
         &self,
         options: SupervisorOptions,
     ) -> Result<(ClusterSolution, SolveReport)> {
+        let _span = performa_obs::span_with(
+            "core.solve",
+            vec![
+                ("servers", self.n.into()),
+                ("lambda", self.lambda.into()),
+                ("rho", (self.lambda / self.capacity()).into()),
+            ],
+        );
         if self.lambda >= self.capacity() {
+            performa_obs::event(
+                performa_obs::TraceLevel::Error,
+                "core.unstable",
+                vec![
+                    ("lambda", self.lambda.into()),
+                    ("capacity", self.capacity().into()),
+                ],
+            );
             return Err(CoreError::Unstable {
                 lambda: self.lambda,
                 capacity: self.capacity(),
@@ -212,6 +228,15 @@ impl ClusterModel {
         }
         let qbd = self.to_qbd()?;
         let (sol, report) = SolverSupervisor::with_options(qbd, options).solve()?;
+        performa_obs::event(
+            performa_obs::TraceLevel::Info,
+            "core.solved",
+            vec![
+                ("strategy", report.strategy.name().into()),
+                ("degraded", report.degraded.into()),
+                ("residual", report.residual.into()),
+            ],
+        );
         Ok((ClusterSolution::new(self.clone(), sol), report))
     }
 }

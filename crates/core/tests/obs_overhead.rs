@@ -1,0 +1,81 @@
+//! Overhead guard for the instrumented solve path.
+//!
+//! The observability layer promises "pay for what you use": with
+//! `TraceLevel::Off` and metrics aggregation disabled, every
+//! instrumentation point reduces to a couple of relaxed atomic loads.
+//! This test pins that down without being flaky: it compares the
+//! *median* solve time with tracing fully off against the median with
+//! tracing fully on (Debug level, memory sink, metrics), and asserts
+//! the disabled path is not slower than the enabled one beyond a very
+//! generous margin.
+//!
+//! Documented threshold: `median(off) <= 1.5 * median(on) + 10 ms`.
+//! The enabled path does strictly more work (clock reads, record
+//! allocation, sink dispatch), so the inequality holds with a wide gap
+//! on any machine; the 1.5x factor plus the 10 ms absolute slack only
+//! absorb scheduler noise on loaded CI runners.
+
+use std::time::{Duration, Instant};
+
+use performa_core::{ClusterModel, SupervisorOptions};
+use performa_dist::{Exponential, TruncatedPowerTail};
+use performa_obs as obs;
+
+/// The reference N = 4 model: big enough that a solve does real work,
+/// small enough that the whole test stays fast.
+fn reference_model() -> ClusterModel {
+    ClusterModel::builder()
+        .servers(4)
+        .peak_rate(2.0)
+        .degradation(0.2)
+        .up(Exponential::with_mean(90.0).unwrap())
+        .down(TruncatedPowerTail::with_mean(3, 1.4, 0.2, 10.0).unwrap())
+        .utilization(0.5)
+        .build()
+        .unwrap()
+}
+
+fn median_solve_time(model: &ClusterModel, runs: usize) -> Duration {
+    let mut times: Vec<Duration> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            let (_, report) = model
+                .solve_supervised(SupervisorOptions::default())
+                .unwrap();
+            assert!(!report.degraded);
+            t0.elapsed()
+        })
+        .collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+#[test]
+fn disabled_tracing_stays_within_documented_overhead_budget() {
+    let _guard = obs::test_lock();
+    let model = reference_model();
+
+    // Warm-up so neither measurement pays first-run costs (allocator,
+    // caches, lazy statics).
+    obs::set_level(obs::TraceLevel::Off);
+    obs::set_metrics(false);
+    let _ = median_solve_time(&model, 2);
+
+    let off = median_solve_time(&model, 5);
+
+    let sink = std::sync::Arc::new(obs::MemorySink::new());
+    let id = obs::add_sink(sink);
+    obs::set_level(obs::TraceLevel::Debug);
+    obs::set_metrics(true);
+    let on = median_solve_time(&model, 5);
+    obs::set_level(obs::TraceLevel::Off);
+    obs::set_metrics(false);
+    obs::remove_sink(id);
+    obs::reset_metrics();
+
+    assert!(
+        off <= on.mul_f64(1.5) + Duration::from_millis(10),
+        "disabled-tracing solve ({off:?}) exceeds budget relative to \
+         fully-traced solve ({on:?})"
+    );
+}

@@ -11,6 +11,7 @@ use performa_markov::aggregate;
 use performa_qbd::Qbd;
 
 fn main() {
+    let _obs = performa_experiments::init_obs();
     println!("# Lumping ablation: state-space sizes, solve times, and agreement");
     println!(
         "# {:>3} {:>3} {:>10} {:>10} {:>12} {:>12} {:>12}",

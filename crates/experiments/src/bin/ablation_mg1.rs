@@ -19,6 +19,7 @@ use performa_qbd::{mg1, mm1};
 use performa_sim::{ClusterSim, ClusterSimConfig, FailureStrategy, StopCriterion};
 
 fn main() {
+    let _obs = performa_experiments::init_obs();
     println!("# M/G/1 ablation: exact M/MMPP/1 vs Pollaczek-Khinchine approximations");
     println!("# TPT T=9 repair, delta=0.2, N=2");
     println!("# columns: rho, exact, PK(task scv=1) [=M/M/1], PK(completion scv), completion scv");

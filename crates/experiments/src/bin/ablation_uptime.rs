@@ -27,6 +27,7 @@ fn model(up: Dist, rho: f64) -> ClusterModel {
 }
 
 fn main() {
+    let _obs = performa_experiments::init_obs();
     let ups: Vec<(&str, Dist)> = vec![
         ("exponential", Exponential::with_mean(params::UP_MEAN).expect("valid").into()),
         ("erlang4", Erlang::with_mean(4, params::UP_MEAN).expect("valid").into()),

@@ -6,6 +6,7 @@ use performa_core::blowup;
 use performa_experiments::{params, tpt_cluster_with, write_csv};
 
 fn main() {
+    let _obs = performa_experiments::init_obs();
     println!("# Blow-up boundary placement (Eqs. 3-5), nu_p=2, delta=0.2, A=0.9, alpha=1.4");
     println!();
 

@@ -11,6 +11,7 @@ use performa_experiments::{arg_or, params, print_row, write_csv};
 use performa_sim::{ClusterSim, ClusterSimConfig, FailureStrategy, StopCriterion};
 
 fn main() {
+    let _obs = performa_experiments::init_obs();
     let cycles: u64 = arg_or("--cycles", 40_000);
     let rho = 0.6;
 

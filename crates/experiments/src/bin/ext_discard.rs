@@ -25,6 +25,7 @@ fn model(rho: f64) -> ClusterModel {
 }
 
 fn main() {
+    let _obs = performa_experiments::init_obs();
     let cycles: u64 = arg_or("--cycles", 30_000);
     println!("# Analytic Discard (MAP service) vs Resume analytic vs Discard simulation");
     println!("# crash faults, TPT T=5 theta=0.5, N=2");

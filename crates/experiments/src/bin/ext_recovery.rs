@@ -36,6 +36,7 @@ fn base(strategy: FailureStrategy, lambda: f64, cycles: u64) -> ClusterSimConfig
 }
 
 fn main() {
+    let _obs = performa_experiments::init_obs();
     let cycles: u64 = arg_or("--cycles", 20_000);
     let reps: u64 = arg_or("--reps", 6);
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());

@@ -14,6 +14,7 @@ use performa_markov::OnOffSource;
 use performa_qbd::{mm1, Qbd};
 
 fn main() {
+    let _obs = performa_experiments::init_obs();
     // Two ON/OFF sources: peak rate 2, ON mean 10, OFF mean 90 — i.e. the
     // cluster's DOWN periods become the sources' ON periods, so the
     // critical (bursty) state is rare but heavy-tailed.

@@ -7,6 +7,7 @@ use performa_dist::{Exponential, TruncatedPowerTail};
 use performa_experiments::{params, print_row, write_csv};
 
 fn main() {
+    let _obs = performa_experiments::init_obs();
     let model = |t: u32| -> ClusterModel {
         ClusterModel::builder()
             .servers(params::N)

@@ -8,6 +8,7 @@
 use performa_experiments::{ascii_plot_logy, base_thresholds, print_row, rho_grid, tpt_cluster, write_csv};
 
 fn main() {
+    let _obs = performa_experiments::init_obs();
     let ts: Vec<u32> = vec![1, 5, 9, 10];
     let thresholds = base_thresholds();
     let grid = rho_grid(0.02, 0.98, 48, &thresholds);

@@ -11,6 +11,7 @@ use performa_qbd::mm1;
 
 #[allow(clippy::needless_range_loop)]
 fn main() {
+    let _obs = performa_experiments::init_obs();
     let t = 9;
     let rhos = [0.1, 0.3, 0.7];
     let len = 10_001; // queue lengths 0..=10^4 (the paper's x-range)

@@ -10,6 +10,7 @@ use performa_experiments::{
 };
 
 fn main() {
+    let _obs = performa_experiments::init_obs();
     let ts: Vec<u32> = vec![1, 5, 9, 10];
     let grid = rho_grid(0.02, 0.98, 48, &base_thresholds());
 

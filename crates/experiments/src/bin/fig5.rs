@@ -10,6 +10,7 @@ use performa_core::blowup;
 use performa_experiments::{ascii_plot_logy, hyp2_cluster_with_availability, print_row, write_csv};
 
 fn main() {
+    let _obs = performa_experiments::init_obs();
     let t = 10; // HYP-2 matched to TPT T = 10 moments
     let lambda = 1.8;
     let cycle = 100.0;

@@ -8,6 +8,7 @@ use performa_core::blowup;
 use performa_experiments::{hyp2_cluster, params, print_row, rho_grid, write_csv};
 
 fn main() {
+    let _obs = performa_experiments::init_obs();
     let n = 5;
     let t = 10; // HYP-2 matched to TPT T = 10 moments
     let k = 500;

@@ -35,6 +35,7 @@ fn model(rho: f64) -> ClusterModel {
 }
 
 fn main() {
+    let _obs = performa_experiments::init_obs();
     let cycles: u64 = arg_or("--cycles", 40_000);
     let reps: u64 = arg_or("--reps", 5);
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());

@@ -31,6 +31,7 @@ fn model(rho: f64) -> ClusterModel {
 }
 
 fn main() {
+    let _obs = performa_experiments::init_obs();
     let cycles: u64 = arg_or("--cycles", 20_000);
     let reps: u64 = arg_or("--reps", 10);
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());

@@ -17,6 +17,7 @@ use performa_sim::{
 };
 
 fn main() {
+    let _obs = performa_experiments::init_obs();
     let cycles: u64 = arg_or("--cycles", 30_000);
     let reps: u64 = arg_or("--reps", 10);
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());

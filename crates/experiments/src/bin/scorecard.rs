@@ -24,6 +24,7 @@ impl Scorecard {
 }
 
 fn main() {
+    let _obs = performa_experiments::init_obs();
     let mut s = Scorecard { passed: 0, failed: 0 };
     println!("# performa reproduction scorecard\n");
 

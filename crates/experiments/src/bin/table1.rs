@@ -8,6 +8,7 @@ use performa_dist::{Exponential, TruncatedPowerTail};
 use performa_experiments::params;
 
 fn main() {
+    let _obs = performa_experiments::init_obs();
     let model = ClusterModel::builder()
         .servers(params::N)
         .peak_rate(params::NU_P)

@@ -115,6 +115,82 @@ pub fn hyp2_cluster_with_availability(t: u32, cycle: f64, a: f64, lambda: f64) -
         .expect("valid")
 }
 
+/// Observability session for experiment binaries: keep it alive for the
+/// duration of `main` (see [`init_obs`]); dropping it flushes the sinks,
+/// prints the `--profile` table to stderr and resets the recorder.
+#[must_use = "bind to a variable so the trace covers the whole run"]
+#[derive(Debug)]
+pub struct ObsGuard {
+    sinks: Vec<performa_obs::SinkId>,
+    profile: bool,
+}
+
+/// Configures the global recorder from the binary's command line,
+/// honouring the same flags as the `performa` CLI:
+///
+/// * `--trace-level L` — human-readable trace on stderr
+///   (`off|error|warn|info|debug|trace`),
+/// * `--trace-json PATH` — structured NDJSON trace (schema v1), at
+///   `debug` verbosity unless `--trace-level` says otherwise,
+/// * `--profile` — metric aggregation plus a summary table on exit.
+///
+/// # Panics
+///
+/// Panics on an unparseable level or unwritable trace path (experiment
+/// binaries want loud failures).
+pub fn init_obs() -> ObsGuard {
+    let argv: Vec<String> = std::env::args().collect();
+    let find = |key: &str| {
+        argv.iter()
+            .position(|a| a == key)
+            .and_then(|i| argv.get(i + 1))
+            .cloned()
+    };
+    let mut sinks = Vec::new();
+    let profile = argv.iter().any(|a| a == "--profile");
+    if profile {
+        performa_obs::reset_metrics();
+        performa_obs::set_metrics(true);
+    }
+    let mut level: Option<performa_obs::TraceLevel> = None;
+    if let Some(spec) = find("--trace-level") {
+        let parsed = spec.parse().expect("valid --trace-level");
+        level = Some(parsed);
+        if parsed != performa_obs::TraceLevel::Off {
+            sinks.push(performa_obs::add_sink(std::sync::Arc::new(
+                performa_obs::StderrSink::new(),
+            )));
+        }
+    }
+    if let Some(path) = find("--trace-json") {
+        let sink = performa_obs::NdjsonSink::create(std::path::Path::new(&path))
+            .expect("writable --trace-json path");
+        sinks.push(performa_obs::add_sink(std::sync::Arc::new(sink)));
+        if level.is_none() {
+            level = Some(performa_obs::TraceLevel::Debug);
+        }
+    }
+    if let Some(l) = level {
+        performa_obs::set_level(l);
+    }
+    ObsGuard { sinks, profile }
+}
+
+impl Drop for ObsGuard {
+    fn drop(&mut self) {
+        performa_obs::flush_sinks();
+        if self.profile {
+            eprint!("{}", performa_obs::metrics_snapshot().profile_table());
+            performa_obs::set_metrics(false);
+            performa_obs::reset_metrics();
+        }
+        performa_obs::set_level(performa_obs::TraceLevel::Off);
+        for id in self.sinks.drain(..) {
+            performa_obs::remove_sink(id);
+        }
+    }
+}
+
 /// Returns `value` for `--key value` style CLI arguments, else the
 /// default. Used by the simulation binaries to scale run length.
 pub fn arg_or<T: std::str::FromStr>(key: &str, default: T) -> T {

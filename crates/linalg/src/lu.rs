@@ -47,6 +47,7 @@ impl Lu {
         if !a.is_square() {
             return Err(LinalgError::NotSquare { shape: a.shape() });
         }
+        let started = performa_obs::timing_active().then(std::time::Instant::now);
         let n = a.nrows();
         let a_norm1 = a.norm_one();
         let mut lu = a.clone();
@@ -89,6 +90,9 @@ impl Lu {
             }
         }
 
+        if let Some(t0) = started {
+            performa_obs::histogram_record("linalg.lu.factor_s", t0.elapsed().as_secs_f64());
+        }
         Ok(Lu {
             lu,
             perm,
@@ -309,7 +313,9 @@ impl Lu {
         if self.dim() == 0 {
             return 1.0;
         }
-        self.a_norm1 * self.inverse_norm_one_estimate()
+        let kappa = self.a_norm1 * self.inverse_norm_one_estimate();
+        performa_obs::histogram_record("linalg.lu.condition", kappa);
+        kappa
     }
 }
 

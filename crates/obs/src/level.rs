@@ -1,0 +1,125 @@
+//! Trace verbosity levels.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Verbosity of the tracing layer, ordered from silent to exhaustive.
+///
+/// The numeric representation is the severity cut-off used by the fast
+/// path: an event is forwarded iff its level is at most the configured
+/// one. [`TraceLevel::Off`] disables all record emission (the
+/// pay-for-what-you-use guarantee tested by the overhead guard).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum TraceLevel {
+    /// No records are emitted at all.
+    Off = 0,
+    /// Unrecoverable failures only.
+    Error = 1,
+    /// Watchdog trips, fallbacks, degradations.
+    Warn = 2,
+    /// Solve outcomes, span open/close.
+    Info = 3,
+    /// Per-iteration convergence points, metric updates.
+    Debug = 4,
+    /// Everything, including hot-path detail.
+    Trace = 5,
+}
+
+impl TraceLevel {
+    /// All levels, in increasing verbosity.
+    pub const ALL: [TraceLevel; 6] = [
+        TraceLevel::Off,
+        TraceLevel::Error,
+        TraceLevel::Warn,
+        TraceLevel::Info,
+        TraceLevel::Debug,
+        TraceLevel::Trace,
+    ];
+
+    /// Machine-readable lowercase name (also accepted by [`FromStr`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceLevel::Off => "off",
+            TraceLevel::Error => "error",
+            TraceLevel::Warn => "warn",
+            TraceLevel::Info => "info",
+            TraceLevel::Debug => "debug",
+            TraceLevel::Trace => "trace",
+        }
+    }
+
+    /// Reconstructs a level from its `repr(u8)` value, saturating at
+    /// [`TraceLevel::Trace`].
+    pub fn from_u8(v: u8) -> TraceLevel {
+        match v {
+            0 => TraceLevel::Off,
+            1 => TraceLevel::Error,
+            2 => TraceLevel::Warn,
+            3 => TraceLevel::Info,
+            4 => TraceLevel::Debug,
+            _ => TraceLevel::Trace,
+        }
+    }
+}
+
+impl fmt::Display for TraceLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown level name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLevelError(pub String);
+
+impl fmt::Display for ParseLevelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown trace level `{}` (off|error|warn|info|debug|trace)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseLevelError {}
+
+impl FromStr for TraceLevel {
+    type Err = ParseLevelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" => Ok(TraceLevel::Off),
+            "error" => Ok(TraceLevel::Error),
+            "warn" | "warning" => Ok(TraceLevel::Warn),
+            "info" => Ok(TraceLevel::Info),
+            "debug" => Ok(TraceLevel::Debug),
+            "trace" | "all" => Ok(TraceLevel::Trace),
+            other => Err(ParseLevelError(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_by_verbosity() {
+        assert!(TraceLevel::Off < TraceLevel::Error);
+        assert!(TraceLevel::Error < TraceLevel::Warn);
+        assert!(TraceLevel::Warn < TraceLevel::Info);
+        assert!(TraceLevel::Info < TraceLevel::Debug);
+        assert!(TraceLevel::Debug < TraceLevel::Trace);
+    }
+
+    #[test]
+    fn roundtrip_names() {
+        for l in TraceLevel::ALL {
+            assert_eq!(l.name().parse::<TraceLevel>().unwrap(), l);
+            assert_eq!(TraceLevel::from_u8(l as u8), l);
+        }
+        assert!("verbose".parse::<TraceLevel>().is_err());
+    }
+}

@@ -1,0 +1,718 @@
+//! NDJSON file sink and schema validator.
+//!
+//! One JSON object per line, no external JSON dependency in either
+//! direction: serialization is hand-rolled string building, validation
+//! is a small recursive-descent JSON parser plus schema checks. The
+//! schema is versioned via the `v` field — see `DESIGN.md` §8 for the
+//! full field reference.
+//!
+//! Schema v1, common fields on every line:
+//!
+//! | field  | type   | meaning                                        |
+//! |--------|--------|------------------------------------------------|
+//! | `v`    | number | schema version (`1`)                           |
+//! | `kind` | string | `span_open` / `span_close` / `event` / `metric`|
+//! | `t`    | number | seconds since recorder epoch                   |
+//! | `name` | string | dotted taxonomy name                           |
+//!
+//! Kind-specific fields:
+//!
+//! * `span_open`: `id` (number), optional `parent` (number),
+//!   `fields` (object of scalars).
+//! * `span_close`: `id` (number), `elapsed` (seconds, number).
+//! * `event`: `level` (string), optional `span` (number),
+//!   `fields` (object of scalars).
+//! * `metric`: `metric` (`counter`/`gauge`/`histogram`), `value`
+//!   (number).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::record::Record;
+use crate::sink::Sink;
+use crate::value::Value;
+use crate::TraceLevel;
+
+/// Version stamped into the `v` field of every NDJSON line.
+pub const SCHEMA_VERSION: u32 = 1;
+
+fn escape_json_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_number(v: f64, out: &mut String) {
+    if v.is_finite() {
+        // Shortest roundtrip formatting; integral values lose the ".0"
+        // which is fine for JSON.
+        out.push_str(&format!("{v}"));
+    } else {
+        // JSON has no Inf/NaN; encode as null and let readers treat it
+        // as missing.
+        out.push_str("null");
+    }
+}
+
+fn push_value(v: &Value, out: &mut String) {
+    match v {
+        Value::F64(x) => push_number(*x, out),
+        Value::U64(x) => out.push_str(&x.to_string()),
+        Value::I64(x) => out.push_str(&x.to_string()),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Str(s) => escape_json_str(s, out),
+    }
+}
+
+fn push_fields(fields: &[(&'static str, Value)], out: &mut String) {
+    out.push_str(",\"fields\":{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        escape_json_str(k, out);
+        out.push(':');
+        push_value(v, out);
+    }
+    out.push('}');
+}
+
+/// Serializes one record to a single NDJSON line (no trailing newline).
+pub fn to_json_line(record: &Record) -> String {
+    let mut out = String::with_capacity(128);
+    out.push_str("{\"v\":");
+    out.push_str(&SCHEMA_VERSION.to_string());
+    match record {
+        Record::SpanOpen { id, parent, name, t, fields } => {
+            out.push_str(",\"kind\":\"span_open\",\"t\":");
+            push_number(*t, &mut out);
+            out.push_str(",\"name\":");
+            escape_json_str(name, &mut out);
+            out.push_str(&format!(",\"id\":{id}"));
+            if let Some(p) = parent {
+                out.push_str(&format!(",\"parent\":{p}"));
+            }
+            push_fields(fields, &mut out);
+        }
+        Record::SpanClose { id, name, t, elapsed } => {
+            out.push_str(",\"kind\":\"span_close\",\"t\":");
+            push_number(*t, &mut out);
+            out.push_str(",\"name\":");
+            escape_json_str(name, &mut out);
+            out.push_str(&format!(",\"id\":{id},\"elapsed\":"));
+            push_number(*elapsed, &mut out);
+        }
+        Record::Event { span, level, name, t, fields } => {
+            out.push_str(",\"kind\":\"event\",\"t\":");
+            push_number(*t, &mut out);
+            out.push_str(",\"name\":");
+            escape_json_str(name, &mut out);
+            out.push_str(",\"level\":");
+            escape_json_str(level.name(), &mut out);
+            if let Some(s) = span {
+                out.push_str(&format!(",\"span\":{s}"));
+            }
+            push_fields(fields, &mut out);
+        }
+        Record::Metric { kind, name, t, value } => {
+            out.push_str(",\"kind\":\"metric\",\"t\":");
+            push_number(*t, &mut out);
+            out.push_str(",\"name\":");
+            escape_json_str(name, &mut out);
+            out.push_str(",\"metric\":");
+            escape_json_str(kind.name(), &mut out);
+            out.push_str(",\"value\":");
+            push_number(*value, &mut out);
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// File sink writing one NDJSON line per record.
+pub struct NdjsonSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl fmt::Debug for NdjsonSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NdjsonSink").finish_non_exhaustive()
+    }
+}
+
+impl NdjsonSink {
+    /// Creates (truncating) the file at `path`.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let file = File::create(path)?;
+        Ok(NdjsonSink {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl Sink for NdjsonSink {
+    fn record(&self, record: &Record) {
+        let line = to_json_line(record);
+        let mut w = self.writer.lock().expect("ndjson sink poisoned");
+        let _ = writeln!(w, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self
+            .writer
+            .lock()
+            .expect("ndjson sink poisoned")
+            .flush();
+    }
+}
+
+// ── Validation ──────────────────────────────────────────────────────
+
+/// A parsed JSON value (just enough for schema validation).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A JSON string.
+    Str(String),
+    /// A JSON array.
+    Arr(Vec<Json>),
+    /// A JSON object (key order not preserved).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+
+    /// Object member lookup; `None` for non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b't') => self.parse_lit("true", Json::Bool(true)),
+            Some(b'f') => self.parse_lit("false", Json::Bool(false)),
+            Some(b'n') => self.parse_lit("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid utf-8 in number"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("malformed number"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex =
+                                std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                    .map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            // Surrogate pairs are not emitted by our
+                            // writer; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one full UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+/// Parses a complete JSON document (rejects trailing garbage).
+pub fn parse_json(s: &str) -> Result<Json, String> {
+    let mut p = Parser::new(s);
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+/// Per-kind line counts gathered while validating a trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ValidationStats {
+    /// `span_open` lines seen.
+    pub span_open: usize,
+    /// `span_close` lines seen.
+    pub span_close: usize,
+    /// `event` lines seen.
+    pub event: usize,
+    /// `metric` lines seen.
+    pub metric: usize,
+}
+
+impl ValidationStats {
+    /// Total validated lines.
+    pub fn total(&self) -> usize {
+        self.span_open + self.span_close + self.event + self.metric
+    }
+}
+
+fn require_num(obj: &Json, key: &str) -> Result<f64, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("missing `{key}`"))?
+        .as_num()
+        .ok_or_else(|| format!("`{key}` must be a number"))
+}
+
+fn require_str<'a>(obj: &'a Json, key: &str) -> Result<&'a str, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("missing `{key}`"))?
+        .as_str()
+        .ok_or_else(|| format!("`{key}` must be a string"))
+}
+
+fn check_fields(obj: &Json) -> Result<(), String> {
+    let fields = obj.get("fields").ok_or("missing `fields`")?;
+    let Json::Obj(map) = fields else {
+        return Err(format!("`fields` must be an object, got {}", fields.type_name()));
+    };
+    for (k, v) in map {
+        match v {
+            Json::Null | Json::Bool(_) | Json::Num(_) | Json::Str(_) => {}
+            other => {
+                return Err(format!(
+                    "field `{k}` must be a scalar, got {}",
+                    other.type_name()
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates one NDJSON line against schema v1, returning which kind it
+/// was.
+pub fn validate_line(line: &str, stats: &mut ValidationStats) -> Result<(), String> {
+    let obj = parse_json(line)?;
+    if !matches!(obj, Json::Obj(_)) {
+        return Err(format!("line must be a JSON object, got {}", obj.type_name()));
+    }
+    let v = require_num(&obj, "v")?;
+    if v != f64::from(SCHEMA_VERSION) {
+        return Err(format!("unsupported schema version {v} (expected {SCHEMA_VERSION})"));
+    }
+    require_num(&obj, "t")?;
+    let name = require_str(&obj, "name")?;
+    if name.is_empty() {
+        return Err("`name` must be non-empty".to_string());
+    }
+    let kind = require_str(&obj, "kind")?;
+    match kind {
+        "span_open" => {
+            require_num(&obj, "id")?;
+            if let Some(p) = obj.get("parent") {
+                if p.as_num().is_none() {
+                    return Err("`parent` must be a number".to_string());
+                }
+            }
+            check_fields(&obj)?;
+            stats.span_open += 1;
+        }
+        "span_close" => {
+            require_num(&obj, "id")?;
+            require_num(&obj, "elapsed")?;
+            stats.span_close += 1;
+        }
+        "event" => {
+            let level = require_str(&obj, "level")?;
+            level
+                .parse::<TraceLevel>()
+                .map_err(|e| e.to_string())?;
+            if let Some(s) = obj.get("span") {
+                if s.as_num().is_none() {
+                    return Err("`span` must be a number".to_string());
+                }
+            }
+            check_fields(&obj)?;
+            stats.event += 1;
+        }
+        "metric" => {
+            let metric = require_str(&obj, "metric")?;
+            if !matches!(metric, "counter" | "gauge" | "histogram") {
+                return Err(format!("unknown metric kind `{metric}`"));
+            }
+            // `value` may be null when the original measurement was
+            // non-finite (JSON cannot carry Inf/NaN).
+            match obj.get("value") {
+                Some(Json::Num(_)) | Some(Json::Null) => {}
+                Some(other) => {
+                    return Err(format!("`value` must be a number, got {}", other.type_name()))
+                }
+                None => return Err("missing `value`".to_string()),
+            }
+            stats.metric += 1;
+        }
+        other => return Err(format!("unknown kind `{other}`")),
+    }
+    Ok(())
+}
+
+/// Validates every non-empty line of an NDJSON trace file.
+///
+/// Returns per-kind counts on success, or `(line_number, message)` for
+/// the first invalid line (1-based).
+pub fn validate_file(path: &Path) -> Result<ValidationStats, (usize, String)> {
+    let content = std::fs::read_to_string(path)
+        .map_err(|e| (0, format!("cannot read {}: {e}", path.display())))?;
+    validate_str(&content)
+}
+
+/// Validates every non-empty line of an in-memory NDJSON trace.
+pub fn validate_str(content: &str) -> Result<ValidationStats, (usize, String)> {
+    let mut stats = ValidationStats::default();
+    for (i, line) in content.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        validate_line(line, &mut stats).map_err(|e| (i + 1, e))?;
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::MetricKind;
+
+    #[test]
+    fn roundtrip_all_record_kinds() {
+        let records = vec![
+            Record::SpanOpen {
+                id: 1,
+                parent: None,
+                name: "core.solve",
+                t: 0.0,
+                fields: vec![("servers", Value::from(4usize)), ("rho", Value::from(0.9))],
+            },
+            Record::SpanOpen {
+                id: 2,
+                parent: Some(1),
+                name: "qbd.attempt",
+                t: 0.001,
+                fields: vec![("strategy", Value::from("log\"red\\"))],
+            },
+            Record::Event {
+                span: Some(2),
+                level: TraceLevel::Warn,
+                name: "qbd.watchdog_trip",
+                t: 0.002,
+                fields: vec![("iteration", Value::from(184u64)), ("stalled", Value::from(true))],
+            },
+            Record::Metric {
+                kind: MetricKind::Gauge,
+                name: "qbd.residual",
+                t: 0.003,
+                value: 1.3e-11,
+            },
+            Record::Metric {
+                kind: MetricKind::Histogram,
+                name: "linalg.lu.condition",
+                t: 0.003,
+                value: f64::INFINITY,
+            },
+            Record::SpanClose { id: 2, name: "qbd.attempt", t: 0.004, elapsed: 0.003 },
+            Record::SpanClose { id: 1, name: "core.solve", t: 0.005, elapsed: 0.005 },
+        ];
+        let mut stats = ValidationStats::default();
+        for r in &records {
+            let line = to_json_line(r);
+            validate_line(&line, &mut stats).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        assert_eq!(
+            stats,
+            ValidationStats { span_open: 2, span_close: 2, event: 1, metric: 2 }
+        );
+        assert_eq!(stats.total(), 7);
+    }
+
+    #[test]
+    fn escaped_strings_parse_back() {
+        let line = to_json_line(&Record::Event {
+            span: None,
+            level: TraceLevel::Info,
+            name: "qbd.converged",
+            t: 1.5,
+            fields: vec![("note", Value::from("tab\there \"quoted\" \\slash\u{1}"))],
+        });
+        let obj = parse_json(&line).expect("parse");
+        let fields = obj.get("fields").expect("fields");
+        assert_eq!(
+            fields.get("note").and_then(Json::as_str),
+            Some("tab\there \"quoted\" \\slash\u{1}")
+        );
+    }
+
+    #[test]
+    fn validator_rejects_bad_lines() {
+        let mut stats = ValidationStats::default();
+        assert!(validate_line("not json", &mut stats).is_err());
+        assert!(validate_line("[1,2]", &mut stats).is_err());
+        assert!(validate_line("{\"v\":1}", &mut stats).is_err());
+        assert!(
+            validate_line("{\"v\":99,\"kind\":\"event\",\"t\":0,\"name\":\"x\"}", &mut stats)
+                .unwrap_err()
+                .contains("version")
+        );
+        assert!(validate_line(
+            "{\"v\":1,\"kind\":\"nope\",\"t\":0,\"name\":\"x\"}",
+            &mut stats
+        )
+        .unwrap_err()
+        .contains("unknown kind"));
+        assert!(validate_line(
+            "{\"v\":1,\"kind\":\"event\",\"t\":0,\"name\":\"x\",\"level\":\"loud\",\"fields\":{}}",
+            &mut stats
+        )
+        .is_err());
+        // Nested field values are rejected.
+        assert!(validate_line(
+            "{\"v\":1,\"kind\":\"event\",\"t\":0,\"name\":\"x\",\"level\":\"info\",\"fields\":{\"a\":[1]}}",
+            &mut stats
+        )
+        .is_err());
+        assert_eq!(stats.total(), 0);
+    }
+
+    #[test]
+    fn validate_str_reports_line_numbers() {
+        let good = "{\"v\":1,\"kind\":\"metric\",\"t\":0,\"name\":\"m\",\"metric\":\"counter\",\"value\":1}";
+        let content = format!("{good}\n\n{good}\nbroken\n");
+        let (lineno, _) = validate_str(&content).unwrap_err();
+        assert_eq!(lineno, 4);
+        let stats = validate_str(&format!("{good}\n{good}\n")).unwrap();
+        assert_eq!(stats.metric, 2);
+    }
+
+    #[test]
+    fn ndjson_sink_writes_parseable_file() {
+        let dir = std::env::temp_dir().join("performa_obs_ndjson_test");
+        let path = dir.join("trace.ndjson");
+        let sink = NdjsonSink::create(&path).expect("create sink");
+        sink.record(&Record::Metric {
+            kind: MetricKind::Counter,
+            name: "sim.events",
+            t: 0.1,
+            value: 128.0,
+        });
+        sink.record(&Record::Event {
+            span: None,
+            level: TraceLevel::Info,
+            name: "qbd.converged",
+            t: 0.2,
+            fields: vec![("residual", Value::from(2.0e-12))],
+        });
+        sink.flush();
+        let stats = validate_file(&path).expect("valid file");
+        assert_eq!(stats.metric, 1);
+        assert_eq!(stats.event, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,115 @@
+//! The wire model: every sink receives a stream of [`Record`]s.
+
+use crate::level::TraceLevel;
+use crate::value::Field;
+
+/// Which metric family a [`Record::Metric`] update belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetricKind {
+    /// Monotonic count (the record value is the increment).
+    Counter,
+    /// Last-write-wins measurement.
+    Gauge,
+    /// Distribution sample.
+    Histogram,
+}
+
+impl MetricKind {
+    /// Machine-readable name, used by the NDJSON schema.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One observability record, timestamped in seconds since the process
+/// recorder epoch.
+///
+/// This is the unit handed to every [`crate::Sink`]; the NDJSON sink
+/// serializes it one line per record (schema
+/// [`crate::ndjson::SCHEMA_VERSION`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A span began.
+    SpanOpen {
+        /// Process-unique span id.
+        id: u64,
+        /// Enclosing span on the same thread, if any.
+        parent: Option<u64>,
+        /// Span name (dotted taxonomy, e.g. `qbd.attempt`).
+        name: &'static str,
+        /// Seconds since the recorder epoch.
+        t: f64,
+        /// Structured payload captured at open time.
+        fields: Vec<Field>,
+    },
+    /// A span ended.
+    SpanClose {
+        /// Id of the matching [`Record::SpanOpen`].
+        id: u64,
+        /// Span name (repeated so a close line is self-describing).
+        name: &'static str,
+        /// Seconds since the recorder epoch.
+        t: f64,
+        /// Wall-clock seconds the span covered.
+        elapsed: f64,
+    },
+    /// A point event.
+    Event {
+        /// Innermost enclosing span on the emitting thread, if any.
+        span: Option<u64>,
+        /// Severity.
+        level: TraceLevel,
+        /// Event name (dotted taxonomy, e.g. `qbd.watchdog_trip`).
+        name: &'static str,
+        /// Seconds since the recorder epoch.
+        t: f64,
+        /// Structured payload.
+        fields: Vec<Field>,
+    },
+    /// A metric update.
+    Metric {
+        /// Metric family.
+        kind: MetricKind,
+        /// Metric name (dotted taxonomy, e.g. `sim.events`).
+        name: &'static str,
+        /// Seconds since the recorder epoch.
+        t: f64,
+        /// Increment (counter) or measurement (gauge/histogram).
+        value: f64,
+    },
+}
+
+impl Record {
+    /// The record's name, whatever its variant.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Record::SpanOpen { name, .. }
+            | Record::SpanClose { name, .. }
+            | Record::Event { name, .. }
+            | Record::Metric { name, .. } => name,
+        }
+    }
+
+    /// The record's timestamp in seconds since the recorder epoch.
+    pub fn timestamp(&self) -> f64 {
+        match self {
+            Record::SpanOpen { t, .. }
+            | Record::SpanClose { t, .. }
+            | Record::Event { t, .. }
+            | Record::Metric { t, .. } => *t,
+        }
+    }
+
+    /// For events, the named field's value; `None` otherwise.
+    pub fn field(&self, key: &str) -> Option<&crate::Value> {
+        let fields = match self {
+            Record::Event { fields, .. } | Record::SpanOpen { fields, .. } => fields,
+            _ => return None,
+        };
+        fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}

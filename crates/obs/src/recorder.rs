@@ -1,0 +1,404 @@
+//! The global recorder: level/sink configuration, span and event
+//! emission, and the metric fast paths.
+//!
+//! Design invariant (the "pay for what you use" guarantee): with no
+//! sinks installed, [`TraceLevel::Off`] and metrics aggregation
+//! disabled, every instrumentation call is a couple of relaxed atomic
+//! loads and an early return — no clock reads, no allocation, no
+//! locking. The overhead guard test in `performa-core` pins this down.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock};
+use std::time::Instant;
+
+use crate::metrics::{Snapshot, REGISTRY};
+use crate::record::{MetricKind, Record};
+use crate::sink::Sink;
+use crate::value::Field;
+use crate::TraceLevel;
+
+static LEVEL: AtomicU8 = AtomicU8::new(TraceLevel::Off as u8);
+static METRICS_ON: AtomicBool = AtomicBool::new(false);
+static SINKS_ACTIVE: AtomicBool = AtomicBool::new(false);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_SINK_ID: AtomicU64 = AtomicU64::new(1);
+
+#[allow(clippy::type_complexity)]
+static SINKS: RwLock<Vec<(u64, Arc<dyn Sink>)>> = RwLock::new(Vec::new());
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Seconds elapsed since the first recorder use in this process.
+pub fn now() -> f64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_secs_f64()
+}
+
+/// Sets the global trace level.
+pub fn set_level(level: TraceLevel) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current global trace level.
+pub fn level() -> TraceLevel {
+    TraceLevel::from_u8(LEVEL.load(Ordering::Relaxed))
+}
+
+/// `true` when records of severity `at` would currently be forwarded
+/// to at least one sink.
+pub fn enabled(at: TraceLevel) -> bool {
+    at != TraceLevel::Off
+        && SINKS_ACTIVE.load(Ordering::Relaxed)
+        && at as u8 <= LEVEL.load(Ordering::Relaxed)
+}
+
+/// Turns metric aggregation (the `--profile` registry) on or off.
+pub fn set_metrics(enabled: bool) {
+    METRICS_ON.store(enabled, Ordering::Relaxed);
+}
+
+/// `true` when metric aggregation is on.
+pub fn metrics_enabled() -> bool {
+    METRICS_ON.load(Ordering::Relaxed)
+}
+
+/// `true` when any instrumentation path may need a clock read —
+/// the gate hot paths check before calling `Instant::now()`.
+pub fn timing_active() -> bool {
+    metrics_enabled() || enabled(TraceLevel::Info)
+}
+
+/// Token identifying an installed sink, for later removal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SinkId(u64);
+
+fn sinks_write() -> std::sync::RwLockWriteGuard<'static, Vec<(u64, Arc<dyn Sink>)>> {
+    SINKS.write().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Installs a sink; records start flowing to it immediately (subject
+/// to the global level).
+pub fn add_sink(sink: Arc<dyn Sink>) -> SinkId {
+    let id = NEXT_SINK_ID.fetch_add(1, Ordering::Relaxed);
+    let mut sinks = sinks_write();
+    sinks.push((id, sink));
+    SINKS_ACTIVE.store(true, Ordering::Relaxed);
+    SinkId(id)
+}
+
+/// Removes a previously installed sink (no-op for unknown ids).
+pub fn remove_sink(id: SinkId) {
+    let mut sinks = sinks_write();
+    sinks.retain(|(sid, _)| *sid != id.0);
+    SINKS_ACTIVE.store(!sinks.is_empty(), Ordering::Relaxed);
+}
+
+/// Flushes every installed sink.
+pub fn flush_sinks() {
+    let sinks = SINKS.read().unwrap_or_else(|p| p.into_inner());
+    for (_, s) in sinks.iter() {
+        s.flush();
+    }
+}
+
+fn dispatch(record: &Record) {
+    let sinks = SINKS.read().unwrap_or_else(|p| p.into_inner());
+    for (_, s) in sinks.iter() {
+        s.record(record);
+    }
+}
+
+/// The innermost span currently open on this thread, if any.
+pub fn current_span() -> Option<u64> {
+    SPAN_STACK.with(|s| s.borrow().last().copied())
+}
+
+/// Emits a point event at `level` with a structured payload.
+///
+/// Cheap no-op unless a sink is installed and `level` is within the
+/// configured verbosity.
+pub fn event(level: TraceLevel, name: &'static str, fields: Vec<Field>) {
+    if !enabled(level) {
+        return;
+    }
+    dispatch(&Record::Event {
+        span: current_span(),
+        level,
+        name,
+        t: now(),
+        fields,
+    });
+}
+
+fn metric(kind: MetricKind, name: &'static str, value: f64) {
+    let to_registry = metrics_enabled();
+    let to_sinks = enabled(TraceLevel::Debug);
+    if !(to_registry || to_sinks) {
+        return;
+    }
+    if to_registry {
+        let mut reg = REGISTRY.lock().unwrap_or_else(|p| p.into_inner());
+        match kind {
+            MetricKind::Counter => reg.counter_add(name, value as u64),
+            MetricKind::Gauge => reg.gauge_set(name, value),
+            MetricKind::Histogram => reg.histogram_record(name, value),
+        }
+    }
+    if to_sinks {
+        dispatch(&Record::Metric { kind, name, t: now(), value });
+    }
+}
+
+/// Adds `n` to the named counter.
+pub fn counter_add(name: &'static str, n: u64) {
+    metric(MetricKind::Counter, name, n as f64);
+}
+
+/// Sets the named gauge to `v` (last write wins).
+pub fn gauge_set(name: &'static str, v: f64) {
+    metric(MetricKind::Gauge, name, v);
+}
+
+/// Records one sample into the named histogram.
+pub fn histogram_record(name: &'static str, v: f64) {
+    metric(MetricKind::Histogram, name, v);
+}
+
+/// A copy of the aggregated metrics recorded since the last reset.
+pub fn metrics_snapshot() -> Snapshot {
+    REGISTRY
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .snapshot()
+}
+
+/// Clears all aggregated metrics.
+pub fn reset_metrics() {
+    REGISTRY.lock().unwrap_or_else(|p| p.into_inner()).clear();
+}
+
+/// RAII guard for an open span; emits the close record (and feeds the
+/// span-timing registry) on drop.
+///
+/// Obtained from [`span`] or [`span_with`]. When tracing and metrics
+/// are both disabled the guard is inert: no clock read at open or
+/// close.
+#[derive(Debug)]
+#[must_use = "a span measures the scope it lives in; bind it to a variable"]
+pub struct Span {
+    id: u64,
+    name: &'static str,
+    start: Option<Instant>,
+    emit: bool,
+    pushed: bool,
+}
+
+impl Span {
+    /// The span's process-unique id, or `None` when the span is inert.
+    pub fn id(&self) -> Option<u64> {
+        self.emit.then_some(self.id)
+    }
+}
+
+/// Opens a span with no payload. See [`span_with`].
+pub fn span(name: &'static str) -> Span {
+    span_with(name, Vec::new())
+}
+
+/// Opens a span: a named, timed scope that nests via a per-thread
+/// stack. Events emitted while the returned guard is alive link to it.
+///
+/// Spans are forwarded to sinks at [`TraceLevel::Info`] and above;
+/// their wall-clock timings feed the profile registry whenever metric
+/// aggregation is on, independent of the trace level.
+pub fn span_with(name: &'static str, fields: Vec<Field>) -> Span {
+    let emit = enabled(TraceLevel::Info);
+    let time = emit || metrics_enabled();
+    if !time {
+        return Span { id: 0, name, start: None, emit: false, pushed: false };
+    }
+    let start = Instant::now();
+    let mut span = Span {
+        id: NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed),
+        name,
+        start: Some(start),
+        emit,
+        pushed: false,
+    };
+    if emit {
+        let parent = current_span();
+        SPAN_STACK.with(|s| s.borrow_mut().push(span.id));
+        span.pushed = true;
+        dispatch(&Record::SpanOpen { id: span.id, parent, name, t: now(), fields });
+    }
+    span
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let elapsed = start.elapsed().as_secs_f64();
+        if self.pushed {
+            SPAN_STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                if let Some(pos) = stack.iter().rposition(|&id| id == self.id) {
+                    stack.remove(pos);
+                }
+            });
+        }
+        if self.emit {
+            dispatch(&Record::SpanClose {
+                id: self.id,
+                name: self.name,
+                t: now(),
+                elapsed,
+            });
+        }
+        if metrics_enabled() {
+            REGISTRY
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .span_timing(self.name, elapsed);
+        }
+    }
+}
+
+/// Serializes tests (or tools) that mutate the global recorder state.
+///
+/// The recorder is process-global, so concurrently running tests that
+/// install sinks or change the level would observe each other's
+/// records. Hold the returned guard for the duration of any such test.
+pub fn test_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+    use crate::Value;
+
+    fn clean_state() -> MutexGuard<'static, ()> {
+        let guard = test_lock();
+        set_level(TraceLevel::Off);
+        set_metrics(false);
+        reset_metrics();
+        guard
+    }
+
+    #[test]
+    fn disabled_recorder_emits_nothing() {
+        let _guard = clean_state();
+        let sink = Arc::new(MemorySink::new());
+        let id = add_sink(sink.clone());
+        // Level is Off: nothing flows even with a sink installed.
+        event(TraceLevel::Error, "qbd.fallback", vec![]);
+        counter_add("sim.events", 5);
+        {
+            let s = span("core.solve");
+            assert_eq!(s.id(), None);
+        }
+        assert!(sink.is_empty());
+        assert!(metrics_snapshot().is_empty());
+        remove_sink(id);
+    }
+
+    #[test]
+    fn level_filters_events() {
+        let _guard = clean_state();
+        let sink = Arc::new(MemorySink::new());
+        let id = add_sink(sink.clone());
+        set_level(TraceLevel::Warn);
+        event(TraceLevel::Error, "e", vec![]);
+        event(TraceLevel::Warn, "w", vec![]);
+        event(TraceLevel::Info, "i", vec![]);
+        event(TraceLevel::Debug, "d", vec![]);
+        assert_eq!(sink.event_names(), vec!["e", "w"]);
+        set_level(TraceLevel::Off);
+        remove_sink(id);
+    }
+
+    #[test]
+    fn spans_nest_and_events_link_to_innermost() {
+        let _guard = clean_state();
+        let sink = Arc::new(MemorySink::new());
+        let id = add_sink(sink.clone());
+        set_level(TraceLevel::Info);
+        {
+            let outer = span_with("core.solve", vec![("servers", Value::from(4usize))]);
+            let outer_id = outer.id().expect("outer emits");
+            {
+                let inner = span("qbd.attempt");
+                let inner_id = inner.id().expect("inner emits");
+                event(TraceLevel::Info, "qbd.converged", vec![]);
+                assert_eq!(sink.parent_of(inner_id), Some(Some(outer_id)));
+            }
+            event(TraceLevel::Info, "after_inner", vec![]);
+            let records = sink.records();
+            let linked: Vec<Option<u64>> = records
+                .iter()
+                .filter_map(|r| match r {
+                    Record::Event { span, .. } => Some(*span),
+                    _ => None,
+                })
+                .collect();
+            let inner_id = sink.spans_named("qbd.attempt")[0].clone();
+            let inner_id = match inner_id {
+                Record::SpanOpen { id, .. } => id,
+                _ => unreachable!(),
+            };
+            assert_eq!(linked, vec![Some(inner_id), Some(outer_id)]);
+        }
+        // Both spans closed.
+        let closes = sink
+            .records()
+            .iter()
+            .filter(|r| matches!(r, Record::SpanClose { .. }))
+            .count();
+        assert_eq!(closes, 2);
+        set_level(TraceLevel::Off);
+        remove_sink(id);
+    }
+
+    #[test]
+    fn metrics_aggregate_without_sinks() {
+        let _guard = clean_state();
+        set_metrics(true);
+        counter_add("sim.events", 3);
+        counter_add("sim.events", 4);
+        gauge_set("sim.deadline.stride", 16.0);
+        histogram_record("sim.queue_len", 2.0);
+        {
+            let _s = span("core.solve");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let snap = metrics_snapshot();
+        assert_eq!(snap.counters["sim.events"], 7);
+        assert_eq!(snap.gauges["sim.deadline.stride"], 16.0);
+        assert_eq!(snap.histograms["sim.queue_len"].count, 1);
+        assert_eq!(snap.spans["core.solve"].count, 1);
+        assert!(snap.spans["core.solve"].total_s > 0.0);
+        set_metrics(false);
+        reset_metrics();
+    }
+
+    #[test]
+    fn metric_records_reach_sinks_at_debug() {
+        let _guard = clean_state();
+        let sink = Arc::new(MemorySink::new());
+        let id = add_sink(sink.clone());
+        set_level(TraceLevel::Info);
+        counter_add("sim.events", 1);
+        assert!(sink.is_empty(), "metrics suppressed below debug");
+        set_level(TraceLevel::Debug);
+        counter_add("sim.events", 1);
+        assert_eq!(sink.len(), 1);
+        set_level(TraceLevel::Off);
+        remove_sink(id);
+    }
+}

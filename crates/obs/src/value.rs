@@ -1,0 +1,118 @@
+//! Typed field values attached to trace events and spans.
+
+use std::fmt;
+
+/// A scalar value attached to an event or span field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Floating-point payload (residuals, condition estimates, rates).
+    F64(f64),
+    /// Unsigned integer payload (iteration counts, seeds, sizes).
+    U64(u64),
+    /// Signed integer payload.
+    I64(i64),
+    /// Boolean payload (degraded flags and the like).
+    Bool(bool),
+    /// String payload (strategy names, failure kinds).
+    Str(String),
+}
+
+/// A named field: the unit of structured payload on events and spans.
+pub type Field = (&'static str, Value);
+
+impl Value {
+    /// The value as `f64` when it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(*v),
+            Value::U64(v) => Some(*v as f64),
+            Value::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str` when it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::F64(v) => write!(f, "{v:.6e}"),
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_accessors() {
+        assert_eq!(Value::from(1.5).as_f64(), Some(1.5));
+        assert_eq!(Value::from(7u64).as_f64(), Some(7.0));
+        assert_eq!(Value::from(3usize).as_f64(), Some(3.0));
+        assert_eq!(Value::from(-2i64).as_f64(), Some(-2.0));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("neuts").as_str(), Some("neuts"));
+        assert_eq!(Value::from(true).as_f64(), None);
+        assert_eq!(Value::from(1.0).as_str(), None);
+    }
+}

@@ -1,0 +1,59 @@
+//! Schema-v1 validation of NDJSON traces — the jq-free check CI runs
+//! against real experiment output.
+//!
+//! With the `OBS_VALIDATE_PATH` environment variable set, the file it
+//! points to is validated instead of a self-generated trace; CI sets it
+//! to the `--trace-json` output of the fig2 experiment.
+
+use std::sync::Arc;
+
+use performa_obs as obs;
+
+#[test]
+fn ndjson_trace_validates_against_schema_v1() {
+    if let Ok(path) = std::env::var("OBS_VALIDATE_PATH") {
+        let stats = obs::ndjson::validate_file(std::path::Path::new(&path))
+            .unwrap_or_else(|(line, msg)| panic!("{path}:{line}: {msg}"));
+        assert!(stats.total() > 0, "trace at {path} is empty");
+        println!("validated {path}: {stats:?}");
+        return;
+    }
+
+    // No external trace given: generate one exercising every record
+    // kind and validate it end to end.
+    let _guard = obs::test_lock();
+    let path = std::env::temp_dir().join(format!(
+        "performa_obs_schema_test_{}.ndjson",
+        std::process::id()
+    ));
+    let sink = Arc::new(obs::NdjsonSink::create(&path).unwrap());
+    let id = obs::add_sink(sink);
+    obs::set_level(obs::TraceLevel::Debug);
+    {
+        let _root = obs::span_with("core.solve", vec![("servers", 4usize.into())]);
+        let _inner = obs::span("qbd.attempt");
+        obs::event(
+            obs::TraceLevel::Debug,
+            "qbd.iter",
+            vec![("iteration", 3usize.into()), ("residual", 1e-9.into())],
+        );
+        obs::event(
+            obs::TraceLevel::Warn,
+            "qbd.watchdog_trip",
+            vec![("stage", "neuts".into()), ("iteration", 7usize.into())],
+        );
+        obs::gauge_set("qbd.residual", 1e-9);
+        obs::counter_add("sim.events", 1024);
+        obs::histogram_record("linalg.lu.factor_s", 3.5e-4);
+    }
+    obs::set_level(obs::TraceLevel::Off);
+    obs::flush_sinks();
+    obs::remove_sink(id);
+
+    let stats = obs::ndjson::validate_file(&path).unwrap();
+    assert_eq!(stats.span_open, 2);
+    assert_eq!(stats.span_close, 2);
+    assert_eq!(stats.event, 2);
+    assert_eq!(stats.metric, 3);
+    std::fs::remove_file(&path).ok();
+}

@@ -74,7 +74,7 @@ pub use qbd::{Qbd, SolveOptions};
 pub use solution::QbdSolution;
 pub use supervisor::{
     GStrategy, SolveReport, SolveWarning, SolverSupervisor, StageAttempt, StageBudget,
-    SupervisorOptions,
+    StageFailureReason, StageOutcome, SupervisorOptions,
 };
 
 /// Result alias for fallible QBD operations.

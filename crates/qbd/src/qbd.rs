@@ -23,6 +23,33 @@ fn check_deadline(stage: &'static str, iterations: usize, deadline: Option<Insta
     Ok(())
 }
 
+/// Per-iteration observability: residual gauge always (cheap no-op when
+/// metrics are off), plus a `qbd.iter` trace event at Debug.
+fn iter_obs(stage: &'static str, iteration: usize, residual: f64) {
+    performa_obs::gauge_set("qbd.residual", residual);
+    if performa_obs::enabled(performa_obs::TraceLevel::Debug) {
+        performa_obs::event(
+            performa_obs::TraceLevel::Debug,
+            "qbd.iter",
+            vec![
+                ("stage", stage.into()),
+                ("iteration", iteration.into()),
+                ("residual", residual.into()),
+            ],
+        );
+    }
+}
+
+/// The NaN/Inf watchdog tripped: emit the warning event before the
+/// [`QbdError::NumericalBreakdown`] unwinds to the supervisor.
+fn watchdog_obs(stage: &'static str, iteration: usize) {
+    performa_obs::event(
+        performa_obs::TraceLevel::Warn,
+        "qbd.watchdog_trip",
+        vec![("stage", stage.into()), ("iteration", iteration.into())],
+    );
+}
+
 /// Options controlling the iterative stages of [`Qbd::solve`].
 #[derive(Debug, Clone, Copy)]
 pub struct SolveOptions {
@@ -343,14 +370,15 @@ impl Qbd {
             fault::poison("logred", it, &mut g);
 
             if !(all_finite(&g) && all_finite(&t)) {
+                watchdog_obs("logred", it);
                 return Err(QbdError::NumericalBreakdown {
                     stage: "logred",
                     iteration: it,
                 });
             }
-            if !fault::stalled("logred")
-                && (t.norm_inf() < tolerance || add.norm_inf() < tolerance)
-            {
+            let add_norm = add.norm_inf();
+            iter_obs("logred", it, add_norm);
+            if !fault::stalled("logred") && (t.norm_inf() < tolerance || add_norm < tolerance) {
                 return Ok((g, it + 1));
             }
         }
@@ -391,6 +419,7 @@ impl Qbd {
             let mut next = &base + &(&up * &(&g * &g));
             fault::poison("functional", it, &mut next);
             if !all_finite(&next) {
+                watchdog_obs("functional", it);
                 return Err(QbdError::NumericalBreakdown {
                     stage: "functional",
                     iteration: it,
@@ -398,6 +427,7 @@ impl Qbd {
             }
             last_diff = next.max_abs_diff(&g);
             g = next;
+            iter_obs("functional", it, last_diff);
             if !fault::stalled("functional") && last_diff < tolerance {
                 return Ok((g, it + 1));
             }
@@ -442,6 +472,7 @@ impl Qbd {
             let mut next = lu.solve_mat(&self.a2)?;
             fault::poison("neuts", it, &mut next);
             if !all_finite(&next) {
+                watchdog_obs("neuts", it);
                 return Err(QbdError::NumericalBreakdown {
                     stage: "neuts",
                     iteration: it,
@@ -449,6 +480,7 @@ impl Qbd {
             }
             last_diff = next.max_abs_diff(&g);
             g = next;
+            iter_obs("neuts", it, last_diff);
             if !fault::stalled("neuts") && last_diff < tolerance {
                 return Ok((g, it + 1));
             }

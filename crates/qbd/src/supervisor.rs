@@ -219,9 +219,126 @@ impl SupervisorOptions {
     }
 }
 
+/// Why a stage of the fallback chain was rejected — every cause carries
+/// its numeric evidence, so reports and trace events never degrade to
+/// free-form strings.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StageFailureReason {
+    /// The iteration budget ran out before the iterate test was met.
+    NoConvergence {
+        /// Iterations spent.
+        iterations: usize,
+        /// Last iterate difference (or residual) observed.
+        residual: f64,
+    },
+    /// The NaN/Inf watchdog tripped: non-finite values appeared.
+    NumericalBreakdown {
+        /// Iteration at which the breakdown was detected.
+        iteration: usize,
+    },
+    /// The stage converged in its own metric but the true residual
+    /// `‖A2 + A1·G + A0·G²‖∞` exceeds the acceptance budget.
+    ResidualAboveBudget {
+        /// True residual of the candidate `G`.
+        residual: f64,
+        /// Acceptance budget (`tolerance × scale`).
+        budget: f64,
+    },
+    /// `G` drifted off the stochastic set further than the
+    /// renormalization cap allows.
+    StochasticDrift {
+        /// Observed drift.
+        drift: f64,
+        /// Configured cap.
+        cap: f64,
+    },
+    /// A linear-algebra failure (singular system, invalid blocks, …)
+    /// inside the stage.
+    Linalg {
+        /// Rendered error message of the underlying failure.
+        message: String,
+    },
+}
+
+impl StageFailureReason {
+    /// Short machine-readable kind, used as the `reason` field of
+    /// `qbd.fallback` trace events: `"no_convergence"`,
+    /// `"numerical_breakdown"`, `"residual_above_budget"`,
+    /// `"stochastic_drift"` or `"linalg"`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            StageFailureReason::NoConvergence { .. } => "no_convergence",
+            StageFailureReason::NumericalBreakdown { .. } => "numerical_breakdown",
+            StageFailureReason::ResidualAboveBudget { .. } => "residual_above_budget",
+            StageFailureReason::StochasticDrift { .. } => "stochastic_drift",
+            StageFailureReason::Linalg { .. } => "linalg",
+        }
+    }
+
+    /// The numeric evidence attached to this failure, if any (residual,
+    /// drift, or last iterate difference).
+    pub fn magnitude(&self) -> Option<f64> {
+        match self {
+            StageFailureReason::NoConvergence { residual, .. }
+            | StageFailureReason::ResidualAboveBudget { residual, .. } => Some(*residual),
+            StageFailureReason::StochasticDrift { drift, .. } => Some(*drift),
+            _ => None,
+        }
+    }
+
+    fn from_error(e: &QbdError) -> Self {
+        match e {
+            QbdError::NoConvergence {
+                iterations,
+                residual,
+                ..
+            } => StageFailureReason::NoConvergence {
+                iterations: *iterations,
+                residual: *residual,
+            },
+            QbdError::NumericalBreakdown { iteration, .. } => {
+                StageFailureReason::NumericalBreakdown {
+                    iteration: *iteration,
+                }
+            }
+            other => StageFailureReason::Linalg {
+                message: other.to_string(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for StageFailureReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StageFailureReason::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "no convergence after {iterations} iteration(s), residual {residual:.3e}"
+            ),
+            StageFailureReason::NumericalBreakdown { iteration } => write!(
+                f,
+                "numerical breakdown: non-finite values at iteration {iteration}"
+            ),
+            StageFailureReason::ResidualAboveBudget { residual, budget } => {
+                write!(f, "residual {residual:.3e} above budget {budget:.3e}")
+            }
+            StageFailureReason::StochasticDrift { drift, cap } => write!(
+                f,
+                "G drifted {drift:.3e} off the stochastic set (cap {cap:.3e})"
+            ),
+            StageFailureReason::Linalg { message } => f.write_str(message),
+        }
+    }
+}
+
 /// A non-fatal condition observed during a supervised solve. Warnings are
 /// always surfaced in the [`SolveReport`]; the supervisor never silently
-/// repairs or relaxes.
+/// repairs or relaxes. Each warning is also emitted as a structured
+/// trace event carrying the same numeric payload.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum SolveWarning {
@@ -243,8 +360,8 @@ pub enum SolveWarning {
     StageFailed {
         /// Strategy that failed.
         strategy: GStrategy,
-        /// Human-readable failure cause.
-        reason: String,
+        /// Typed failure cause with its numeric evidence.
+        reason: StageFailureReason,
     },
     /// `G` drifted off the stochastic set and was renormalized.
     Renormalized {
@@ -260,6 +377,47 @@ pub enum SolveWarning {
         /// 1-norm condition estimate.
         estimate: f64,
     },
+}
+
+impl SolveWarning {
+    /// Emits this warning as a structured trace event (Warn level) with
+    /// its numeric payload; the event names form the `qbd.*` taxonomy
+    /// documented in DESIGN.md §8.
+    fn emit(&self) {
+        use performa_obs::{event, TraceLevel};
+        match self {
+            SolveWarning::NearSaturation { rho } => event(
+                TraceLevel::Warn,
+                "qbd.near_saturation",
+                vec![("rho", (*rho).into())],
+            ),
+            SolveWarning::ToleranceRelaxed { requested, used } => event(
+                TraceLevel::Warn,
+                "qbd.tolerance_relaxed",
+                vec![("requested", (*requested).into()), ("used", (*used).into())],
+            ),
+            SolveWarning::StageFailed { strategy, reason } => {
+                let mut fields = vec![
+                    ("strategy", performa_obs::Value::from(strategy.key())),
+                    ("reason", reason.kind().into()),
+                ];
+                if let Some(v) = reason.magnitude() {
+                    fields.push(("residual", v.into()));
+                }
+                event(TraceLevel::Warn, "qbd.fallback", fields)
+            }
+            SolveWarning::Renormalized { drift } => event(
+                TraceLevel::Warn,
+                "qbd.renormalized",
+                vec![("drift", (*drift).into())],
+            ),
+            SolveWarning::IllConditioned { context, estimate } => event(
+                TraceLevel::Warn,
+                "qbd.ill_conditioned",
+                vec![("context", (*context).into()), ("estimate", (*estimate).into())],
+            ),
+        }
+    }
 }
 
 impl fmt::Display for SolveWarning {
@@ -287,6 +445,27 @@ impl fmt::Display for SolveWarning {
     }
 }
 
+/// How one attempted stage ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StageOutcome {
+    /// The attempt produced the accepted `G`.
+    Converged,
+    /// The wall-clock budget expired during the attempt.
+    DeadlineExceeded,
+    /// The stage was rejected for the attached reason.
+    Failed(StageFailureReason),
+}
+
+impl fmt::Display for StageOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StageOutcome::Converged => f.write_str("converged"),
+            StageOutcome::DeadlineExceeded => f.write_str("deadline exceeded"),
+            StageOutcome::Failed(reason) => reason.fmt(f),
+        }
+    }
+}
+
 /// Record of one attempted stage (successful or not).
 #[derive(Debug, Clone)]
 pub struct StageAttempt {
@@ -298,8 +477,8 @@ pub struct StageAttempt {
     pub iterations: usize,
     /// Whether the attempt produced the accepted `G`.
     pub converged: bool,
-    /// Outcome description (`"converged"` or the failure cause).
-    pub outcome: String,
+    /// Typed outcome ([`StageOutcome::Converged`] or the failure cause).
+    pub outcome: StageOutcome,
 }
 
 /// Diagnostics of a supervised solve.
@@ -410,6 +589,14 @@ impl SolverSupervisor {
     ///   instead).
     pub fn solve(&self) -> Result<(QbdSolution, SolveReport)> {
         self.options.validate()?;
+        let _solve_span = performa_obs::span_with(
+            "qbd.solve",
+            vec![
+                ("phases", self.qbd.phase_dim().into()),
+                ("stages", self.options.chain.len().into()),
+                ("tolerance", self.options.tolerance.into()),
+            ],
+        );
         let start = Instant::now();
         let deadline = self.options.deadline.map(|d| start + d);
 
@@ -420,10 +607,14 @@ impl SolverSupervisor {
                 down_rate: down,
             });
         }
-        let mut warnings = Vec::new();
+        let mut warnings: Vec<SolveWarning> = Vec::new();
+        let warn = |warnings: &mut Vec<SolveWarning>, w: SolveWarning| {
+            w.emit();
+            warnings.push(w);
+        };
         let rho = up / down;
         if rho > 1.0 - self.options.saturation_margin {
-            warnings.push(SolveWarning::NearSaturation { rho });
+            warn(&mut warnings, SolveWarning::NearSaturation { rho });
         }
 
         // Residual acceptance is scaled by the block magnitudes so the
@@ -445,67 +636,98 @@ impl SolverSupervisor {
                     deadline_hit = true;
                     break 'levels;
                 }
+                let _attempt_span = performa_obs::span_with(
+                    "qbd.attempt",
+                    vec![
+                        ("strategy", stage.strategy.key().into()),
+                        ("tolerance", tol.into()),
+                        ("relaxation", level.into()),
+                    ],
+                );
                 let outcome = self.run_stage(*stage, tol, deadline);
                 match outcome {
                     Ok((mut g, iters)) => {
                         let drift = renormalize_g(&mut g);
                         if drift > self.options.renormalization_cap {
-                            let reason = format!(
-                                "G drifted {drift:.3e} off the stochastic set (cap {:.3e})",
-                                self.options.renormalization_cap
-                            );
+                            let reason = StageFailureReason::StochasticDrift {
+                                drift,
+                                cap: self.options.renormalization_cap,
+                            };
                             attempts.push(StageAttempt {
                                 strategy: stage.strategy,
                                 tolerance: tol,
                                 iterations: iters,
                                 converged: false,
-                                outcome: reason.clone(),
+                                outcome: StageOutcome::Failed(reason.clone()),
                             });
-                            warnings.push(SolveWarning::StageFailed {
-                                strategy: stage.strategy,
-                                reason,
-                            });
+                            warn(
+                                &mut warnings,
+                                SolveWarning::StageFailed {
+                                    strategy: stage.strategy,
+                                    reason,
+                                },
+                            );
                             continue;
                         }
                         if drift > tol * 10.0 {
-                            warnings.push(SolveWarning::Renormalized { drift });
+                            warn(&mut warnings, SolveWarning::Renormalized { drift });
                         }
                         let residual = g_residual(&self.qbd, &g);
                         best_residual = best_residual.min(residual);
                         if residual <= tol * scale {
+                            performa_obs::event(
+                                performa_obs::TraceLevel::Info,
+                                "qbd.converged",
+                                vec![
+                                    ("strategy", stage.strategy.key().into()),
+                                    ("iterations", iters.into()),
+                                    ("residual", residual.into()),
+                                ],
+                            );
                             attempts.push(StageAttempt {
                                 strategy: stage.strategy,
                                 tolerance: tol,
                                 iterations: iters,
                                 converged: true,
-                                outcome: "converged".into(),
+                                outcome: StageOutcome::Converged,
                             });
                             accepted = Some((g, stage.strategy, iters, residual, tol));
                             break 'levels;
                         }
-                        let reason = format!(
-                            "residual {residual:.3e} above budget {:.3e}",
-                            tol * scale
-                        );
+                        let reason = StageFailureReason::ResidualAboveBudget {
+                            residual,
+                            budget: tol * scale,
+                        };
                         attempts.push(StageAttempt {
                             strategy: stage.strategy,
                             tolerance: tol,
                             iterations: iters,
                             converged: false,
-                            outcome: reason.clone(),
+                            outcome: StageOutcome::Failed(reason.clone()),
                         });
-                        warnings.push(SolveWarning::StageFailed {
-                            strategy: stage.strategy,
-                            reason,
-                        });
+                        warn(
+                            &mut warnings,
+                            SolveWarning::StageFailed {
+                                strategy: stage.strategy,
+                                reason,
+                            },
+                        );
                     }
                     Err(QbdError::DeadlineExceeded { iterations, .. }) => {
+                        performa_obs::event(
+                            performa_obs::TraceLevel::Warn,
+                            "qbd.deadline",
+                            vec![
+                                ("strategy", stage.strategy.key().into()),
+                                ("iterations", iterations.into()),
+                            ],
+                        );
                         attempts.push(StageAttempt {
                             strategy: stage.strategy,
                             tolerance: tol,
                             iterations,
                             converged: false,
-                            outcome: "deadline exceeded".into(),
+                            outcome: StageOutcome::DeadlineExceeded,
                         });
                         deadline_hit = true;
                         break 'levels;
@@ -516,17 +738,21 @@ impl SolverSupervisor {
                             QbdError::NumericalBreakdown { iteration, .. } => iteration,
                             _ => 0,
                         };
+                        let reason = StageFailureReason::from_error(&e);
                         attempts.push(StageAttempt {
                             strategy: stage.strategy,
                             tolerance: tol,
                             iterations,
                             converged: false,
-                            outcome: e.to_string(),
+                            outcome: StageOutcome::Failed(reason.clone()),
                         });
-                        warnings.push(SolveWarning::StageFailed {
-                            strategy: stage.strategy,
-                            reason: e.to_string(),
-                        });
+                        warn(
+                            &mut warnings,
+                            SolveWarning::StageFailed {
+                                strategy: stage.strategy,
+                                reason,
+                            },
+                        );
                     }
                 }
             }
@@ -548,10 +774,13 @@ impl SolverSupervisor {
             });
         };
         if tol_used > self.options.tolerance {
-            warnings.push(SolveWarning::ToleranceRelaxed {
-                requested: self.options.tolerance,
-                used: tol_used,
-            });
+            warn(
+                &mut warnings,
+                SolveWarning::ToleranceRelaxed {
+                    requested: self.options.tolerance,
+                    used: tol_used,
+                },
+            );
         }
 
         let (r, cond_r) = self.qbd.r_from_g_with_cond(&g)?;
@@ -562,17 +791,23 @@ impl SolverSupervisor {
             });
         }
         if cond_r > self.options.condition_threshold {
-            warnings.push(SolveWarning::IllConditioned {
-                context: "R system",
-                estimate: cond_r,
-            });
+            warn(
+                &mut warnings,
+                SolveWarning::IllConditioned {
+                    context: "R system",
+                    estimate: cond_r,
+                },
+            );
         }
         let (solution, cond_b) = self.qbd.boundary_from_gr(g, r)?;
         if cond_b > self.options.condition_threshold {
-            warnings.push(SolveWarning::IllConditioned {
-                context: "boundary system",
-                estimate: cond_b,
-            });
+            warn(
+                &mut warnings,
+                SolveWarning::IllConditioned {
+                    context: "boundary system",
+                    estimate: cond_b,
+                },
+            );
         }
 
         let degraded = tol_used > self.options.tolerance

@@ -38,9 +38,16 @@ fn injected_nan_triggers_fallback_to_next_strategy() {
     assert!(report.degraded);
     assert!(report.warnings.iter().any(|w| matches!(
         w,
-        SolveWarning::StageFailed { strategy: GStrategy::NeutsSubstitution, reason }
-            if reason.contains("non-finite")
+        SolveWarning::StageFailed {
+            strategy: GStrategy::NeutsSubstitution,
+            reason: performa_qbd::StageFailureReason::NumericalBreakdown { .. },
+        }
     )));
+    // The rendered reason still names the non-finite watchdog.
+    assert!(report
+        .warnings
+        .iter()
+        .any(|w| w.to_string().contains("non-finite")));
     // ...and the fallback result must still be correct.
     let reference = mmpp2(1.0).solve().unwrap();
     assert!((solution.mean_queue_length() - reference.mean_queue_length()).abs() < 1e-8);

@@ -450,6 +450,12 @@ impl<'a> Runner<'a> {
     }
 
     fn run(mut self) -> SimResult {
+        // Amortised instrumentation: the event counter and queue-length
+        // sketch are flushed once per batch so the hot loop stays free of
+        // locks and clock reads when observability is off.
+        const EVENT_BATCH: u64 = 1024;
+        let obs_started = performa_obs::timing_active().then(std::time::Instant::now);
+        let mut event_count: u64 = 0;
         while let Some((t, ev)) = self.events.pop() {
             self.clock = t;
             if !self.warm && self.clock >= self.cfg.warmup_time {
@@ -469,6 +475,11 @@ impl<'a> Runner<'a> {
                 Event::Completion { server, version } => self.on_completion(server, version),
                 Event::Detect(i) => self.on_detect(i),
             }
+            event_count += 1;
+            if event_count.is_multiple_of(EVENT_BATCH) {
+                performa_obs::counter_add("sim.events", EVENT_BATCH);
+                performa_obs::histogram_record("sim.queue_length", self.in_system() as f64);
+            }
             match self.cfg.stop {
                 StopCriterion::Time(t_end) => {
                     if self.clock >= t_end {
@@ -484,6 +495,15 @@ impl<'a> Runner<'a> {
         }
         let n = self.in_system();
         self.tw.record(self.clock, n);
+        if !event_count.is_multiple_of(EVENT_BATCH) {
+            performa_obs::counter_add("sim.events", event_count % EVENT_BATCH);
+        }
+        if let Some(t0) = obs_started {
+            let wall_s = t0.elapsed().as_secs_f64();
+            if wall_s > 0.0 {
+                performa_obs::gauge_set("sim.events_per_sec", event_count as f64 / wall_s);
+            }
+        }
         SimResult {
             sim_time: self.tw.elapsed(),
             mean_queue_length: self.tw.time_average(),

@@ -26,7 +26,7 @@
 //! never panic on user input.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::stats::{confidence_interval, ConfidenceInterval};
@@ -150,6 +150,105 @@ enum Slot {
     Failed(ReplicationFailure),
 }
 
+/// Largest number of probes between wall-clock reads.
+const MAX_DEADLINE_STRIDE: u64 = 256;
+
+/// Once less than this remains, the stride collapses back to 1 so expiry
+/// is detected within one unit of work.
+const DEADLINE_SLACK: Duration = Duration::from_millis(5);
+
+/// Amortised wall-clock deadline shared across worker threads.
+///
+/// Callers [`probe`](StridedDeadline::probe) on every unit of work, but
+/// the clock is only read on every `stride`-th probe. The stride adapts:
+/// it doubles after each clock read that finds the deadline comfortably
+/// far (up to [`MAX_DEADLINE_STRIDE`]) and collapses to 1 inside the
+/// final [`DEADLINE_SLACK`], so long sweeps pay ~`log₂(stride)` clock
+/// reads per stride-doubling while short budgets are still honoured
+/// promptly. Each stride adaptation is recorded on the
+/// `sim.deadline.stride` gauge; the expiry transition emits one
+/// `sim.deadline` warning event.
+struct StridedDeadline {
+    deadline: Option<Instant>,
+    /// Probes remaining until the next clock read.
+    countdown: AtomicI64,
+    /// Current probes-per-clock-read stride.
+    stride: AtomicU64,
+    expired: AtomicBool,
+}
+
+impl StridedDeadline {
+    fn new(deadline: Option<Instant>) -> Self {
+        if deadline.is_some() {
+            performa_obs::gauge_set("sim.deadline.stride", 1.0);
+        }
+        StridedDeadline {
+            deadline,
+            countdown: AtomicI64::new(1),
+            stride: AtomicU64::new(1),
+            expired: AtomicBool::new(false),
+        }
+    }
+
+    /// `true` once the wall-clock deadline has passed.
+    fn probe(&self) -> bool {
+        let Some(deadline) = self.deadline else {
+            return false;
+        };
+        if self.expired.load(Ordering::Relaxed) {
+            return true;
+        }
+        // Burn a probe; only the thread that drains the countdown pays
+        // for a clock read (concurrent drains just read the clock twice,
+        // which is correct, merely redundant).
+        if self.countdown.fetch_sub(1, Ordering::Relaxed) > 1 {
+            return false;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            if !self.expired.swap(true, Ordering::Relaxed) {
+                let stride = self.stride.load(Ordering::Relaxed);
+                performa_obs::event(
+                    performa_obs::TraceLevel::Warn,
+                    "sim.deadline",
+                    vec![("stride", stride.into())],
+                );
+            }
+            return true;
+        }
+        let stride = self.stride.load(Ordering::Relaxed);
+        let next = if deadline - now < DEADLINE_SLACK {
+            1
+        } else {
+            (stride * 2).min(MAX_DEADLINE_STRIDE)
+        };
+        if next != stride {
+            self.stride.store(next, Ordering::Relaxed);
+            performa_obs::gauge_set("sim.deadline.stride", next as f64);
+        }
+        self.countdown.store(next as i64, Ordering::Relaxed);
+        false
+    }
+}
+
+/// Warn-level event for a failed attempt (panic or non-finite value) —
+/// the structured counterpart of [`ReplicationFailure::reason`].
+fn attempt_failed_obs(replication: u64, attempt: u32, seed: u64, reason: &str) {
+    if !performa_obs::enabled(performa_obs::TraceLevel::Warn) {
+        return;
+    }
+    performa_obs::event(
+        performa_obs::TraceLevel::Warn,
+        "sim.attempt_failed",
+        vec![
+            ("replication", replication.into()),
+            ("attempt", attempt.into()),
+            ("seed", seed.into()),
+            ("reason", reason.to_string().into()),
+        ],
+    );
+}
+
 fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         format!("panic: {s}")
@@ -177,8 +276,7 @@ where
             message: "need at least one replication".into(),
         });
     }
-    let deadline = options.deadline.map(|d| Instant::now() + d);
-    let past_deadline = || deadline.is_some_and(|d| Instant::now() >= d);
+    let deadline = StridedDeadline::new(options.deadline.map(|d| Instant::now() + d));
     let threads = options.threads.max(1).min(replications as usize);
 
     let next = AtomicU64::new(0);
@@ -190,7 +288,7 @@ where
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
-                if past_deadline() {
+                if deadline.probe() {
                     deadline_hit.store(true, Ordering::Relaxed);
                     break;
                 }
@@ -198,12 +296,14 @@ where
                 if i >= replications {
                     break;
                 }
+                let _rep_span =
+                    performa_obs::span_with("sim.replication", vec![("replication", i.into())]);
                 let mut attempts = 0u32;
                 let mut last_seed = 0u64;
                 let mut last_reason = String::new();
                 let mut success = None;
                 for attempt in 0..=options.max_retries {
-                    if past_deadline() {
+                    if deadline.probe() {
                         deadline_hit.store(true, Ordering::Relaxed);
                         break;
                     }
@@ -214,14 +314,30 @@ where
                     last_seed = seed;
                     if attempt > 0 {
                         retried.fetch_add(1, Ordering::Relaxed);
+                        performa_obs::counter_add("sim.retries", 1);
+                        performa_obs::event(
+                            performa_obs::TraceLevel::Info,
+                            "sim.retry",
+                            vec![
+                                ("replication", i.into()),
+                                ("attempt", attempt.into()),
+                                ("seed", seed.into()),
+                            ],
+                        );
                     }
                     match catch_unwind(AssertUnwindSafe(|| eval(i, attempt, seed))) {
                         Ok(v) if v.is_finite() => {
                             success = Some(v);
                             break;
                         }
-                        Ok(v) => last_reason = format!("non-finite replication value {v}"),
-                        Err(payload) => last_reason = panic_reason(payload),
+                        Ok(v) => {
+                            last_reason = format!("non-finite replication value {v}");
+                            attempt_failed_obs(i, attempt, seed, &last_reason);
+                        }
+                        Err(payload) => {
+                            last_reason = panic_reason(payload);
+                            attempt_failed_obs(i, attempt, seed, &last_reason);
+                        }
                     }
                 }
                 let slot = match success {
@@ -229,12 +345,19 @@ where
                     // No attempt even started: the deadline expired first;
                     // leave the slot pending so it counts as skipped.
                     None if attempts == 0 => continue,
-                    None => Slot::Failed(ReplicationFailure {
-                        replication: i,
-                        attempts,
-                        last_seed,
-                        reason: last_reason,
-                    }),
+                    None => {
+                        performa_obs::event(
+                            performa_obs::TraceLevel::Warn,
+                            "sim.replication_dropped",
+                            vec![("replication", i.into()), ("attempts", attempts.into())],
+                        );
+                        Slot::Failed(ReplicationFailure {
+                            replication: i,
+                            attempts,
+                            last_seed,
+                            reason: last_reason,
+                        })
+                    }
                 };
                 let mut guard = slots.lock();
                 guard[i as usize] = slot;
@@ -589,6 +712,43 @@ mod tests {
         .unwrap();
         assert_eq!(ci.replications, outcome.completed);
         assert!(ci.mean.is_finite());
+    }
+
+    #[test]
+    fn strided_deadline_adapts_and_reports() {
+        // Serialize against other tests touching the global recorder.
+        let _guard = performa_obs::test_lock();
+        performa_obs::set_metrics(true);
+        performa_obs::reset_metrics();
+        let sink = std::sync::Arc::new(performa_obs::MemorySink::new());
+        let id = performa_obs::add_sink(sink.clone());
+        performa_obs::set_level(performa_obs::TraceLevel::Warn);
+
+        let options =
+            ReplicationOptions::with_threads(1).with_deadline(Duration::from_millis(30));
+        let outcome = run_replications_robust(1_000, 0, &options, |seed| {
+            std::thread::sleep(Duration::from_millis(1));
+            seed as f64
+        })
+        .unwrap();
+
+        assert!(outcome.deadline_hit);
+        assert!(outcome.completed >= 1);
+        // The chosen stride is visible as a gauge, and the expiry
+        // transition emitted exactly one warning event.
+        let snap = performa_obs::metrics_snapshot();
+        assert!(snap.gauges.contains_key("sim.deadline.stride"));
+        let deadline_events = sink
+            .event_names()
+            .iter()
+            .filter(|n| **n == "sim.deadline")
+            .count();
+        assert_eq!(deadline_events, 1);
+
+        performa_obs::set_level(performa_obs::TraceLevel::Off);
+        performa_obs::remove_sink(id);
+        performa_obs::set_metrics(false);
+        performa_obs::reset_metrics();
     }
 
     #[test]
