@@ -1,6 +1,8 @@
-//! Solver ablation benchmarks (DESIGN.md Sect. 6):
+//! Solver ablation benchmarks (DESIGN.md Sect. 6 and Sect. 9):
 //!
+//! * blocked GEMM kernel vs the retained naive triple loop,
 //! * `G` by logarithmic reduction vs plain functional iteration,
+//! * `G` at paper-scale phase dimensions (lumped N-server TPT models),
 //! * lumped (occupancy) vs Kronecker aggregation,
 //! * state-space growth with the TPT truncation level `T`,
 //! * incremental vs matrix-power tail evaluation.
@@ -10,7 +12,7 @@ use std::hint::black_box;
 
 use performa_core::ClusterModel;
 use performa_dist::{Exponential, TruncatedPowerTail};
-use performa_linalg::spectral;
+use performa_linalg::{spectral, Matrix};
 use performa_markov::{aggregate, ServerModel};
 use performa_qbd::{Qbd, SolveOptions};
 
@@ -23,8 +25,12 @@ fn tpt_server(t: u32) -> ServerModel {
 }
 
 fn tpt_qbd(t: u32, rho: f64) -> Qbd {
+    tpt_qbd_n(2, t, rho)
+}
+
+fn tpt_qbd_n(servers: usize, t: u32, rho: f64) -> Qbd {
     ClusterModel::builder()
-        .servers(2)
+        .servers(servers)
         .peak_rate(2.0)
         .degradation(0.2)
         .up(Exponential::with_mean(90.0).unwrap())
@@ -34,6 +40,54 @@ fn tpt_qbd(t: u32, rho: f64) -> Qbd {
         .unwrap()
         .to_qbd()
         .unwrap()
+}
+
+/// Deterministic dense test matrix — no RNG dependency in the hot path.
+fn dense(dim: usize, seed: usize) -> Matrix {
+    Matrix::from_fn(dim, dim, |i, j| {
+        ((i * 31 + j * 17 + seed * 7) % 97) as f64 / 97.0 - 0.5
+    })
+}
+
+fn bench_gemm_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm_kernels");
+    g.sample_size(10);
+    // Dimensions bracketing the paper-scale phase counts (Sect. 9):
+    // the blocked kernel's advantage comes from cache reuse, so the gap
+    // widens as the working set outgrows L1/L2.
+    for dim in [128usize, 160, 256, 320] {
+        let a = dense(dim, 1);
+        let b = dense(dim, 2);
+        g.bench_with_input(BenchmarkId::new("blocked", dim), &dim, |bch, _| {
+            bch.iter(|| black_box(black_box(&a) * black_box(&b)))
+        });
+        g.bench_with_input(BenchmarkId::new("naive", dim), &dim, |bch, _| {
+            bch.iter(|| black_box(black_box(&a).mul_naive(black_box(&b))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_g_paper_scale(c: &mut Criterion) {
+    let mut g = c.benchmark_group("g_matrix_paper_scale");
+    g.sample_size(10);
+    // Lumped N-server TPT models: phase dimension C(T+N, N) — the block
+    // sizes the DSN'07 figures actually solve at (45 … 561 phases).
+    for (label, servers, t) in [
+        ("N2_T8", 2usize, 8u32),
+        ("N5_T4", 5, 4),
+        ("N2_T16", 2, 16),
+        ("N5_T6", 5, 6),
+    ] {
+        let qbd = tpt_qbd_n(servers, t, 0.7);
+        let id = format!("{label}_m{}", qbd.phase_dim());
+        g.bench_with_input(
+            BenchmarkId::new("logarithmic_reduction", id),
+            &qbd,
+            |b, q| b.iter(|| black_box(q.g_matrix(SolveOptions::default()).unwrap())),
+        );
+    }
+    g.finish();
 }
 
 fn bench_g_algorithms(c: &mut Criterion) {
@@ -129,6 +183,8 @@ fn bench_tail_evaluation(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_gemm_kernels,
+    bench_g_paper_scale,
     bench_g_algorithms,
     bench_aggregation,
     bench_state_space_growth,

@@ -1,0 +1,179 @@
+//! `bench-record` — records the solver performance baseline as
+//! machine-readable JSON (`BENCH_solver.json`).
+//!
+//! Two kinds of cases are timed with plain `std::time::Instant` medians
+//! (no criterion, so the binary builds on the default feature set):
+//!
+//! * `gemm_speedup` — the cache-blocked kernel (`&a * &b`) against the
+//!   retained naive triple loop (`Matrix::mul_naive`) at square
+//!   dimensions bracketing the paper-scale phase counts; each case
+//!   reports `speedup_vs_naive`.
+//! * `g_solve` — logarithmic-reduction `G` solves for lumped N-server
+//!   TPT models at the phase dimensions the DSN'07 figures use.
+//!
+//! Environment knobs:
+//!
+//! * `BENCH_OUT` — output path (default `BENCH_solver.json`);
+//! * `BENCH_SAMPLES` — samples per case (default 5; median reported);
+//! * `BENCH_SMOKE=1` — CI smoke mode: 2 samples and single-sample big
+//!   `g_solve` cases, but the full case list, so the schema validation
+//!   downstream sees every expected case name;
+//! * `BENCH_FILTER` — substring filter on case names (dev loop only;
+//!   the emitted file then contains just the matching cases).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use performa_core::ClusterModel;
+use performa_dist::{Exponential, TruncatedPowerTail};
+use performa_linalg::Matrix;
+use performa_qbd::{Qbd, SolveOptions};
+
+/// Median wall-clock nanoseconds of `samples` runs of `f`.
+fn median_ns<R>(samples: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut times: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+/// Deterministic dense test matrix (same scheme as `benches/solver.rs`).
+fn dense(dim: usize, seed: usize) -> Matrix {
+    Matrix::from_fn(dim, dim, |i, j| {
+        ((i * 31 + j * 17 + seed * 7) % 97) as f64 / 97.0 - 0.5
+    })
+}
+
+fn tpt_qbd(servers: usize, t: u32, rho: f64) -> Qbd {
+    ClusterModel::builder()
+        .servers(servers)
+        .peak_rate(2.0)
+        .degradation(0.2)
+        .up(Exponential::with_mean(90.0).unwrap())
+        .down(TruncatedPowerTail::with_mean(t, 1.4, 0.2, 10.0).unwrap())
+        .utilization(rho)
+        .build()
+        .unwrap()
+        .to_qbd()
+        .unwrap()
+}
+
+struct Case {
+    name: String,
+    kind: &'static str,
+    dim: usize,
+    ns_per_iter: f64,
+    naive_ns_per_iter: Option<f64>,
+}
+
+impl Case {
+    fn speedup(&self) -> Option<f64> {
+        self.naive_ns_per_iter.map(|n| n / self.ns_per_iter)
+    }
+}
+
+fn main() {
+    let out_path =
+        std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_solver.json".to_string());
+    let smoke = std::env::var("BENCH_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let samples: usize = std::env::var("BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 2 } else { 5 });
+    let filter = std::env::var("BENCH_FILTER").unwrap_or_default();
+    let selected = |name: &str| filter.is_empty() || name.contains(&filter);
+
+    let mut cases: Vec<Case> = Vec::new();
+
+    // --- Blocked GEMM vs the retained naive kernel -------------------
+    for dim in [128usize, 160, 256, 320] {
+        if !selected(&format!("gemm_{dim}")) {
+            continue;
+        }
+        let a = dense(dim, 1);
+        let b = dense(dim, 2);
+        // Warm the packing scratch so the timed runs see steady state.
+        let _ = &a * &b;
+        let blocked = median_ns(samples, || &a * &b);
+        let naive = median_ns(samples, || a.mul_naive(&b));
+        eprintln!(
+            "gemm dim {dim:>4}: blocked {:>12.0} ns  naive {:>12.0} ns  speedup {:.2}x",
+            blocked,
+            naive,
+            naive / blocked
+        );
+        cases.push(Case {
+            name: format!("gemm_{dim}"),
+            kind: "gemm_speedup",
+            dim,
+            ns_per_iter: blocked,
+            naive_ns_per_iter: Some(naive),
+        });
+    }
+
+    // --- Paper-scale G solves (logarithmic reduction) ----------------
+    // Lumped N-server TPT models; phase dimension C(T+N, N).
+    let g_cases: &[(&str, usize, u32)] = &[
+        ("N2_T8", 2, 8),
+        ("N5_T4", 5, 4),
+        ("N2_T16", 2, 16),
+        ("N5_T6", 5, 6),
+    ];
+    for &(label, servers, t) in g_cases {
+        if !selected(&format!("g_solve_{label}")) {
+            continue;
+        }
+        let qbd = tpt_qbd(servers, t, 0.7);
+        let m = qbd.phase_dim();
+        // Smoke mode skips the big solves (they dominate wall-clock) but
+        // still records the case with a single sample so the JSON schema
+        // is complete.
+        let g_samples = if smoke && m > 200 { 1 } else { samples };
+        let ns = median_ns(g_samples, || {
+            qbd.g_matrix(SolveOptions::default()).unwrap()
+        });
+        eprintln!("g_solve {label} (m={m}): {ns:>14.0} ns");
+        cases.push(Case {
+            name: format!("g_solve_{label}"),
+            kind: "g_solve",
+            dim: m,
+            ns_per_iter: ns,
+            naive_ns_per_iter: None,
+        });
+    }
+
+    // --- Emit JSON (hand-rolled; the workspace carries no serde) -----
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"performa-bench-solver/v1\",\n");
+    let _ = writeln!(json, "  \"samples_per_case\": {samples},");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    json.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        json.push_str("    {\n");
+        let _ = writeln!(json, "      \"name\": \"{}\",", c.name);
+        let _ = writeln!(json, "      \"kind\": \"{}\",", c.kind);
+        let _ = writeln!(json, "      \"dim\": {},", c.dim);
+        let _ = writeln!(json, "      \"ns_per_iter\": {:.1},", c.ns_per_iter);
+        match (c.naive_ns_per_iter, c.speedup()) {
+            (Some(naive), Some(speedup)) => {
+                let _ = writeln!(json, "      \"naive_ns_per_iter\": {naive:.1},");
+                let _ = writeln!(json, "      \"speedup_vs_naive\": {speedup:.3}");
+            }
+            _ => {
+                json.push_str("      \"naive_ns_per_iter\": null,\n");
+                json.push_str("      \"speedup_vs_naive\": null\n");
+            }
+        }
+        json.push_str(if i + 1 == cases.len() { "    }\n" } else { "    },\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_OUT");
+    eprintln!("wrote {out_path} ({} cases)", cases.len());
+}

@@ -1,0 +1,69 @@
+//! Kernel-swap regression guard for the fig2 model.
+//!
+//! The golden values below were captured from the pre-blocked-GEMM
+//! solver path (naive triple-loop products, per-iteration allocation)
+//! on this exact model: N = 5 servers, truncated-power-tail repair
+//! (4 stages, α = 1.4, θ = 0.2, mean 10), exponential up-times of mean
+//! 90, degradation 0.2, utilization 0.7 — the configuration behind the
+//! paper's Fig. 2 blow-up curves, with a lumped phase dimension of 126.
+//!
+//! The blocked GEMM, workspace-LU and allocation-free QBD loops must
+//! reproduce the queue-length pmf, tail and mean to 1e-9: the kernel
+//! rewrite is a performance change, not a numerical one.
+
+// Goldens are full f64 round-trips of the old path's output on purpose.
+#![allow(clippy::excessive_precision)]
+
+use performa_core::ClusterModel;
+use performa_dist::{Exponential, TruncatedPowerTail};
+
+/// `(q, Pr(Q = q))` pairs captured from the old kernel path.
+const GOLDEN_PMF: &[(usize, f64)] = &[
+    (0, 2.91018498568488437e-1),
+    (1, 1.99359074593058044e-1),
+    (2, 1.37888172138806581e-1),
+    (5, 4.87220933149824995e-2),
+    (10, 1.11065236272417951e-2),
+    (50, 8.80395098778824302e-5),
+    (100, 9.29456750632746335e-6),
+];
+const GOLDEN_MEAN: f64 = 3.09850900478806146e0;
+const GOLDEN_TAIL_100: f64 = 3.38008871327025770e-4;
+const TOL: f64 = 1e-9;
+
+#[test]
+fn fig2_model_matches_pre_kernel_swap_goldens() {
+    let model = ClusterModel::builder()
+        .servers(5)
+        .peak_rate(2.0)
+        .degradation(0.2)
+        .up(Exponential::with_mean(90.0).unwrap())
+        .down(TruncatedPowerTail::with_mean(4, 1.4, 0.2, 10.0).unwrap())
+        .utilization(0.7)
+        .build()
+        .unwrap();
+    let qbd = model.to_qbd().unwrap();
+    assert_eq!(qbd.phase_dim(), 126, "lumped fig2 state space changed");
+
+    let sol = model.solve().unwrap();
+    let mean = sol.mean_queue_length();
+    assert!(
+        (mean - GOLDEN_MEAN).abs() < TOL,
+        "mean queue length drifted: {mean:.17e} vs golden {GOLDEN_MEAN:.17e}"
+    );
+
+    let pmf = sol.queue_length_pmf_range(101);
+    for &(q, golden) in GOLDEN_PMF {
+        let got = pmf[q];
+        assert!(
+            (got - golden).abs() < TOL,
+            "pmf[{q}] drifted: {got:.17e} vs golden {golden:.17e}"
+        );
+    }
+
+    let tail = sol.tail_probability(100);
+    assert!(
+        (tail - GOLDEN_TAIL_100).abs() < TOL,
+        "tail[100] drifted: {tail:.17e} vs golden {GOLDEN_TAIL_100:.17e}"
+    );
+}

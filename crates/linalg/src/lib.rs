@@ -39,6 +39,7 @@ mod matrix;
 mod vector;
 
 pub mod expm;
+pub mod gemm;
 pub mod kron;
 pub mod lu;
 pub mod spectral;

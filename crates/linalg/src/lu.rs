@@ -5,8 +5,220 @@
 //! methods) and `A · X = B`. Both directions are provided on the factored
 //! form [`Lu`], so a factorization can be reused across many right-hand
 //! sides (`C-INTERMEDIATE`).
+//!
+//! Two entry points share the same in-place elimination core:
+//!
+//! * [`Lu::factor`] — allocate-and-factor, the convenient form for
+//!   one-shot solves;
+//! * [`LuWorkspace`] — factor into caller-owned storage and solve whole
+//!   matrices of right-hand sides without any heap allocation, the form
+//!   the QBD inner loops use. The workspace additionally keeps a
+//!   transposed copy of the factors so left (row-vector) solves run on
+//!   unit-stride data.
+//!
+//! Multi-RHS solves are *row-blocked*: forward/backward substitution is
+//! applied to entire rows of the right-hand side at once (an `axpy` per
+//! eliminated entry), which turns the inner loops into long unit-stride
+//! streams instead of `n` separate column extractions.
 
 use crate::{LinalgError, Matrix, Result, Vector};
+
+/// In-place partial-pivoting elimination on row-major storage.
+///
+/// On success `lu` holds the combined factors (unit-lower `L` below the
+/// diagonal, `U` on and above), `perm[i]` names the original row stored
+/// in position `i`, and the returned value is the permutation sign.
+fn factor_in_place(lu: &mut Matrix, perm: &mut [usize]) -> Result<f64> {
+    let n = lu.nrows();
+    for (i, p) in perm.iter_mut().enumerate() {
+        *p = i;
+    }
+    let mut sign = 1.0;
+    for k in 0..n {
+        // Partial pivoting: pick the largest magnitude entry in column k.
+        let mut pivot_row = k;
+        let mut pivot_val = lu[(k, k)].abs();
+        for i in (k + 1)..n {
+            let v = lu[(i, k)].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = i;
+            }
+        }
+        if pivot_val == 0.0 {
+            return Err(LinalgError::Singular { pivot: k });
+        }
+        let data = lu.as_mut_slice();
+        if pivot_row != k {
+            let (a, b) = data.split_at_mut(pivot_row * n);
+            a[k * n..(k + 1) * n].swap_with_slice(&mut b[..n]);
+            perm.swap(k, pivot_row);
+            sign = -sign;
+        }
+        // Eliminate below the pivot, operating on whole row tails so the
+        // update is a unit-stride axpy.
+        let (pivot_rows, below) = data.split_at_mut((k + 1) * n);
+        let urow = &pivot_rows[k * n + k..(k + 1) * n];
+        let pivot = urow[0];
+        for chunk in below.chunks_exact_mut(n) {
+            let factor = chunk[k] / pivot;
+            chunk[k] = factor;
+            if factor != 0.0 {
+                let tail = &mut chunk[k + 1..];
+                for (t, &u) in tail.iter_mut().zip(&urow[1..]) {
+                    *t -= factor * u;
+                }
+            }
+        }
+    }
+    Ok(sign)
+}
+
+/// Row-blocked substitution for `A · X = B` on already-permuted rows:
+/// `out` must hold `P·B`; on return it holds `X`.
+fn substitute_rows_in_place(lu: &Matrix, out: &mut Matrix) {
+    let n = lu.nrows();
+    let w = out.ncols();
+    let data = out.as_mut_slice();
+    // Forward: L y = P b.
+    for i in 1..n {
+        let (above, current) = data.split_at_mut(i * w);
+        let xi = &mut current[..w];
+        let lrow = lu.row(i);
+        for (j, xj) in above.chunks_exact(w).enumerate() {
+            let lij = lrow[j];
+            if lij != 0.0 {
+                for (x, &y) in xi.iter_mut().zip(xj) {
+                    *x -= lij * y;
+                }
+            }
+        }
+    }
+    // Backward: U x = y.
+    for i in (0..n).rev() {
+        let (head, tail) = data.split_at_mut((i + 1) * w);
+        let xi = &mut head[i * w..];
+        let urow = lu.row(i);
+        for (j, xj) in tail.chunks_exact(w).enumerate() {
+            let uij = urow[i + 1 + j];
+            if uij != 0.0 {
+                for (x, &y) in xi.iter_mut().zip(xj) {
+                    *x -= uij * y;
+                }
+            }
+        }
+        let inv = 1.0 / urow[i];
+        for x in xi.iter_mut() {
+            *x *= inv;
+        }
+    }
+}
+
+/// Single right-hand-side solve `A · x = b` against factored data.
+fn solve_vec_with(lu: &Matrix, perm: &[usize], b: &[f64], x: &mut [f64]) {
+    let n = lu.nrows();
+    for (i, &p) in perm.iter().enumerate() {
+        x[i] = b[p];
+    }
+    for i in 1..n {
+        let (solved, current) = x.split_at_mut(i);
+        let mut acc = current[0];
+        for (&lij, &xj) in lu.row(i)[..i].iter().zip(solved.iter()) {
+            acc -= lij * xj;
+        }
+        current[0] = acc;
+    }
+    for i in (0..n).rev() {
+        let (current, solved) = x.split_at_mut(i + 1);
+        let row = lu.row(i);
+        let mut acc = current[i];
+        for (&uij, &xj) in row[i + 1..].iter().zip(solved.iter()) {
+            acc -= uij * xj;
+        }
+        current[i] = acc / row[i];
+    }
+}
+
+/// Single left solve `x · A = b` against factored data.
+///
+/// `x·A = b ⇔ Aᵀ·xᵀ = bᵀ`. With `P·A = L·U`: solve `Uᵀ·y = b` (forward),
+/// `Lᵀ·z = y` (backward, in place on `y`), then scatter `x = Pᵀ·z`.
+/// Accesses `lu` column-wise; [`LuWorkspace`] avoids the strided reads by
+/// keeping a transposed copy of the factors.
+fn solve_left_vec_with(lu: &Matrix, perm: &[usize], b: &[f64], y: &mut [f64], x: &mut [f64]) {
+    let n = lu.nrows();
+    for i in 0..n {
+        let mut acc = b[i];
+        for (j, yj) in y[..i].iter().enumerate() {
+            acc -= lu[(j, i)] * yj;
+        }
+        y[i] = acc / lu[(i, i)];
+    }
+    for i in (0..n).rev() {
+        let mut acc = y[i];
+        for j in (i + 1)..n {
+            acc -= lu[(j, i)] * y[j];
+        }
+        y[i] = acc;
+    }
+    for (i, &p) in perm.iter().enumerate() {
+        x[p] = y[i];
+    }
+}
+
+/// Hager-style lower-bound estimate of `‖A⁻¹‖₁` on factored data
+/// (Hager 1984, as refined by Higham): a handful of forward/adjoint
+/// solves, `O(k·n²)` instead of the `O(n³)` of an explicit inverse.
+fn inverse_norm_one_estimate_with(lu: &Matrix, perm: &[usize]) -> f64 {
+    let n = lu.nrows();
+    if n == 0 {
+        return 0.0;
+    }
+    // Start from the averaging vector; at most 5 refinement sweeps
+    // (Higham's estimator almost always converges in 2).
+    let mut x = vec![1.0 / n as f64; n];
+    let mut y = vec![0.0; n];
+    let mut scratch = vec![0.0; n];
+    let mut z = vec![0.0; n];
+    let mut estimate = 0.0;
+    let mut visited = vec![false; n];
+    for _ in 0..5 {
+        solve_vec_with(lu, perm, &x, &mut y);
+        estimate = y.iter().map(|v| v.abs()).sum();
+        if !estimate.is_finite() {
+            return f64::INFINITY;
+        }
+        // ξ = sign(y); solve z·A = ξ as a row system.
+        for (s, &v) in scratch.iter_mut().zip(&y) {
+            *s = if v >= 0.0 { 1.0 } else { -1.0 };
+        }
+        let xi = std::mem::take(&mut scratch);
+        let mut ybuf = std::mem::take(&mut y);
+        solve_left_vec_with(lu, perm, &xi, &mut ybuf, &mut z);
+        scratch = xi;
+        y = ybuf;
+        if !z.iter().all(|v| v.is_finite()) {
+            return f64::INFINITY;
+        }
+        let (mut j_max, mut z_max) = (0, 0.0);
+        for (j, &zj) in z.iter().enumerate() {
+            if zj.abs() > z_max {
+                z_max = zj.abs();
+                j_max = j;
+            }
+        }
+        // Converged when the dual norm stops growing, or when the
+        // estimator revisits a unit vector (it would cycle).
+        let zx: f64 = z.iter().zip(&x).map(|(a, b)| a * b).sum();
+        if z_max <= zx || visited[j_max] {
+            break;
+        }
+        visited[j_max] = true;
+        x.fill(0.0);
+        x[j_max] = 1.0;
+    }
+    estimate
+}
 
 /// An LU factorization `P·A = L·U` of a square matrix with partial pivoting.
 ///
@@ -51,44 +263,8 @@ impl Lu {
         let n = a.nrows();
         let a_norm1 = a.norm_one();
         let mut lu = a.clone();
-        let mut perm: Vec<usize> = (0..n).collect();
-        let mut sign = 1.0;
-
-        for k in 0..n {
-            // Partial pivoting: pick the largest magnitude entry in column k.
-            let mut pivot_row = k;
-            let mut pivot_val = lu[(k, k)].abs();
-            for i in (k + 1)..n {
-                let v = lu[(i, k)].abs();
-                if v > pivot_val {
-                    pivot_val = v;
-                    pivot_row = i;
-                }
-            }
-            if pivot_val == 0.0 {
-                return Err(LinalgError::Singular { pivot: k });
-            }
-            if pivot_row != k {
-                for j in 0..n {
-                    let tmp = lu[(k, j)];
-                    lu[(k, j)] = lu[(pivot_row, j)];
-                    lu[(pivot_row, j)] = tmp;
-                }
-                perm.swap(k, pivot_row);
-                sign = -sign;
-            }
-            let pivot = lu[(k, k)];
-            for i in (k + 1)..n {
-                let factor = lu[(i, k)] / pivot;
-                lu[(i, k)] = factor;
-                if factor != 0.0 {
-                    for j in (k + 1)..n {
-                        let ukj = lu[(k, j)];
-                        lu[(i, j)] -= factor * ukj;
-                    }
-                }
-            }
-        }
+        let mut perm: Vec<usize> = vec![0; n];
+        let sign = factor_in_place(&mut lu, &mut perm)?;
 
         if let Some(t0) = started {
             performa_obs::histogram_record("linalg.lu.factor_s", t0.elapsed().as_secs_f64());
@@ -120,7 +296,6 @@ impl Lu {
     /// # Errors
     ///
     /// [`LinalgError::ShapeMismatch`] if `b.len() != dim()`.
-    #[allow(clippy::needless_range_loop)] // substitution kernels read best indexed
     pub fn solve_vec(&self, b: &Vector) -> Result<Vector> {
         let n = self.dim();
         if b.len() != n {
@@ -130,26 +305,13 @@ impl Lu {
                 right: (b.len(), 1),
             });
         }
-        // Apply permutation, then forward/back substitution.
-        let mut x: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
-        for i in 1..n {
-            let mut acc = x[i];
-            for j in 0..i {
-                acc -= self.lu[(i, j)] * x[j];
-            }
-            x[i] = acc;
-        }
-        for i in (0..n).rev() {
-            let mut acc = x[i];
-            for j in (i + 1)..n {
-                acc -= self.lu[(i, j)] * x[j];
-            }
-            x[i] = acc / self.lu[(i, i)];
-        }
+        let mut x = vec![0.0; n];
+        solve_vec_with(&self.lu, &self.perm, b.as_slice(), &mut x);
         Ok(Vector::from(x))
     }
 
-    /// Solves `A · X = B` column by column.
+    /// Solves `A · X = B` for all right-hand-side columns at once by
+    /// row-blocked substitution.
     ///
     /// # Errors
     ///
@@ -164,12 +326,10 @@ impl Lu {
             });
         }
         let mut out = Matrix::zeros(n, b.ncols());
-        for j in 0..b.ncols() {
-            let col = self.solve_vec(&b.col(j))?;
-            for i in 0..n {
-                out[(i, j)] = col[i];
-            }
+        for (i, &p) in self.perm.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(b.row(p));
         }
+        substitute_rows_in_place(&self.lu, &mut out);
         Ok(out)
     }
 
@@ -180,7 +340,6 @@ impl Lu {
     /// # Errors
     ///
     /// [`LinalgError::ShapeMismatch`] if `b.len() != dim()`.
-    #[allow(clippy::needless_range_loop)] // substitution kernels read best indexed
     pub fn solve_left_vec(&self, b: &Vector) -> Result<Vector> {
         let n = self.dim();
         if b.len() != n {
@@ -190,27 +349,9 @@ impl Lu {
                 right: (n, n),
             });
         }
-        // x·A = b  <=>  Aᵀ·xᵀ = bᵀ. With P·A = L·U:  Aᵀ = Uᵀ·Lᵀ·P, so solve
-        // Uᵀ·y = b (forward), Lᵀ·z = y (backward), then x = P·z scattered.
         let mut y = vec![0.0; n];
-        for i in 0..n {
-            let mut acc = b[i];
-            for j in 0..i {
-                acc -= self.lu[(j, i)] * y[j];
-            }
-            y[i] = acc / self.lu[(i, i)];
-        }
-        for i in (0..n).rev() {
-            let mut acc = y[i];
-            for j in (i + 1)..n {
-                acc -= self.lu[(j, i)] * y[j];
-            }
-            y[i] = acc;
-        }
         let mut x = vec![0.0; n];
-        for i in 0..n {
-            x[self.perm[i]] = y[i];
-        }
+        solve_left_vec_with(&self.lu, &self.perm, b.as_slice(), &mut y, &mut x);
         Ok(Vector::from(x))
     }
 
@@ -229,9 +370,9 @@ impl Lu {
             });
         }
         let mut out = Matrix::zeros(b.nrows(), n);
+        let mut y = vec![0.0; n];
         for i in 0..b.nrows() {
-            let row = self.solve_left_vec(&Vector::from(b.row(i)))?;
-            out.row_mut(i).copy_from_slice(row.as_slice());
+            solve_left_vec_with(&self.lu, &self.perm, b.row(i), &mut y, out.row_mut(i));
         }
         Ok(out)
     }
@@ -258,50 +399,7 @@ impl Lu {
     /// cost. The estimate is a lower bound that is almost always within a
     /// small factor of the true norm.
     pub fn inverse_norm_one_estimate(&self) -> f64 {
-        let n = self.dim();
-        if n == 0 {
-            return 0.0;
-        }
-        // Start from the averaging vector; at most 5 refinement sweeps
-        // (Higham's estimator almost always converges in 2).
-        let mut x = Vector::from(vec![1.0 / n as f64; n]);
-        let mut estimate = 0.0;
-        let mut visited = vec![false; n];
-        for _ in 0..5 {
-            let y = match self.solve_vec(&x) {
-                Ok(y) => y,
-                Err(_) => return f64::INFINITY,
-            };
-            estimate = y.norm_one();
-            if !estimate.is_finite() {
-                return f64::INFINITY;
-            }
-            // ξ = sign(y); solve Aᵀ·z = ξ, i.e. z·A = ξ as a row system.
-            let xi = Vector::from(
-                y.iter()
-                    .map(|&v| if v >= 0.0 { 1.0 } else { -1.0 })
-                    .collect::<Vec<_>>(),
-            );
-            let z = match self.solve_left_vec(&xi) {
-                Ok(z) => z,
-                Err(_) => return f64::INFINITY,
-            };
-            let (mut j_max, mut z_max) = (0, 0.0);
-            for (j, &zj) in z.iter().enumerate() {
-                if zj.abs() > z_max {
-                    z_max = zj.abs();
-                    j_max = j;
-                }
-            }
-            // Converged when the dual norm stops growing, or when the
-            // estimator revisits a unit vector (it would cycle).
-            if z_max <= z.dot(&x) || visited[j_max] {
-                break;
-            }
-            visited[j_max] = true;
-            x = Vector::basis(n, j_max);
-        }
-        estimate
+        inverse_norm_one_estimate_with(&self.lu, &self.perm)
     }
 
     /// Cheap 1-norm condition-number estimate `κ₁(A) ≈ ‖A‖₁·‖A⁻¹‖₁`.
@@ -314,6 +412,213 @@ impl Lu {
             return 1.0;
         }
         let kappa = self.a_norm1 * self.inverse_norm_one_estimate();
+        performa_obs::histogram_record("linalg.lu.condition", kappa);
+        kappa
+    }
+}
+
+/// Reusable LU storage: factor into caller-owned buffers, solve many
+/// right-hand sides, re-factor the next matrix — all without heap
+/// allocation after construction.
+///
+/// This is the factorization form used inside the QBD fixed-point loops,
+/// where a fresh system is factored every iteration. Besides the combined
+/// factors it keeps a transposed copy so left (row-vector) solves read
+/// unit-stride data.
+///
+/// # Example
+///
+/// ```
+/// use performa_linalg::{lu::LuWorkspace, Matrix};
+///
+/// let mut ws = LuWorkspace::new(2);
+/// let a = Matrix::from_rows(&[&[4.0, 3.0], &[6.0, 3.0]]);
+/// let b = Matrix::identity(2);
+/// let mut x = Matrix::zeros(2, 2);
+/// ws.factor(&a)?;
+/// ws.solve_mat_into(&b, &mut x)?; // x = A⁻¹
+/// let round_trip = &a * &x;
+/// assert!(round_trip.max_abs_diff(&Matrix::identity(2)) < 1e-12);
+/// # Ok::<(), performa_linalg::LinalgError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuWorkspace {
+    /// Combined factors of the most recent [`LuWorkspace::factor`] call.
+    lu: Matrix,
+    /// Transposed factors, kept in sync for unit-stride left solves.
+    lut: Matrix,
+    perm: Vec<usize>,
+    /// Per-row scratch for left solves.
+    scratch: Vec<f64>,
+    a_norm1: f64,
+    factored: bool,
+}
+
+impl LuWorkspace {
+    /// Allocates workspace for `n × n` systems.
+    pub fn new(n: usize) -> Self {
+        LuWorkspace {
+            lu: Matrix::zeros(n, n),
+            lut: Matrix::zeros(n, n),
+            perm: vec![0; n],
+            scratch: vec![0.0; n],
+            a_norm1: 0.0,
+            factored: false,
+        }
+    }
+
+    /// Dimension of the systems this workspace holds.
+    pub fn dim(&self) -> usize {
+        self.lu.nrows()
+    }
+
+    /// Heap bytes owned by this workspace (for observability gauges).
+    pub fn bytes(&self) -> usize {
+        let n = self.dim();
+        2 * n * n * std::mem::size_of::<f64>()
+            + n * std::mem::size_of::<usize>()
+            + n * std::mem::size_of::<f64>()
+    }
+
+    /// Factors `a` into the workspace, replacing any previous factors.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::ShapeMismatch`] if `a` is not `dim() × dim()`.
+    /// * [`LinalgError::Singular`] on an exactly zero pivot; the
+    ///   workspace is left unfactored.
+    pub fn factor(&mut self, a: &Matrix) -> Result<()> {
+        let n = self.dim();
+        if a.shape() != (n, n) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "LuWorkspace::factor",
+                left: (n, n),
+                right: a.shape(),
+            });
+        }
+        let started = performa_obs::timing_active().then(std::time::Instant::now);
+        self.factored = false;
+        self.a_norm1 = a.norm_one();
+        self.lu.copy_from(a);
+        factor_in_place(&mut self.lu, &mut self.perm)?;
+        self.lu.transpose_into(&mut self.lut);
+        self.factored = true;
+        if let Some(t0) = started {
+            performa_obs::histogram_record("linalg.lu.factor_s", t0.elapsed().as_secs_f64());
+        }
+        Ok(())
+    }
+
+    fn require_factored(&self, op: &'static str) -> Result<()> {
+        if self.factored {
+            Ok(())
+        } else {
+            Err(LinalgError::InvalidArgument {
+                message: format!("{op}: workspace holds no factorization"),
+            })
+        }
+    }
+
+    /// Solves `A · X = B` into `out` (row-blocked, allocation-free).
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::ShapeMismatch`] on shape disagreement;
+    /// [`LinalgError::InvalidArgument`] if nothing has been factored.
+    pub fn solve_mat_into(&self, b: &Matrix, out: &mut Matrix) -> Result<()> {
+        self.require_factored("solve_mat_into")?;
+        let n = self.dim();
+        if b.nrows() != n || out.shape() != b.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "solve_mat_into",
+                left: b.shape(),
+                right: out.shape(),
+            });
+        }
+        for (i, &p) in self.perm.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(b.row(p));
+        }
+        substitute_rows_in_place(&self.lu, out);
+        Ok(())
+    }
+
+    /// Solves `X · A = B` into `out` (allocation-free; uses the
+    /// transposed factors so every inner product is unit-stride).
+    ///
+    /// # Errors
+    ///
+    /// See [`LuWorkspace::solve_mat_into`].
+    pub fn solve_left_mat_into(&mut self, b: &Matrix, out: &mut Matrix) -> Result<()> {
+        self.require_factored("solve_left_mat_into")?;
+        let n = self.dim();
+        if b.ncols() != n || out.shape() != b.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "solve_left_mat_into",
+                left: b.shape(),
+                right: out.shape(),
+            });
+        }
+        for r in 0..b.nrows() {
+            self.solve_left_row(b.row(r), out.row_mut(r));
+        }
+        Ok(())
+    }
+
+    /// One left solve `x·A = b` on the transposed factors: forward on
+    /// `Uᵀ`, backward on `Lᵀ` in place, then scatter through `P`.
+    fn solve_left_row(&mut self, b: &[f64], x: &mut [f64]) {
+        let n = self.dim();
+        let y = &mut self.scratch;
+        for i in 0..n {
+            let row = self.lut.row(i);
+            let mut acc = b[i];
+            for (&u, &yj) in row[..i].iter().zip(y[..i].iter()) {
+                acc -= u * yj;
+            }
+            y[i] = acc / row[i];
+        }
+        for i in (0..n).rev() {
+            let row = self.lut.row(i);
+            let mut acc = y[i];
+            for (&l, &zj) in row[i + 1..].iter().zip(y[i + 1..].iter()) {
+                acc -= l * zj;
+            }
+            y[i] = acc;
+        }
+        for (i, &p) in self.perm.iter().enumerate() {
+            x[p] = y[i];
+        }
+    }
+
+    /// Solves `A · x = b` into `out` (allocation-free).
+    ///
+    /// # Errors
+    ///
+    /// See [`LuWorkspace::solve_mat_into`].
+    pub fn solve_vec_into(&self, b: &Vector, out: &mut Vector) -> Result<()> {
+        self.require_factored("solve_vec_into")?;
+        let n = self.dim();
+        if b.len() != n || out.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "solve_vec_into",
+                left: (b.len(), 1),
+                right: (out.len(), 1),
+            });
+        }
+        solve_vec_with(&self.lu, &self.perm, b.as_slice(), out.as_mut_slice());
+        Ok(())
+    }
+
+    /// Cheap 1-norm condition-number estimate of the factored matrix;
+    /// see [`Lu::condition_estimate`].
+    ///
+    /// Allocates a few length-`n` scratch vectors — intended for
+    /// per-solve diagnostics, not the per-iteration hot path.
+    pub fn condition_estimate(&self) -> f64 {
+        if self.dim() == 0 || !self.factored {
+            return 1.0;
+        }
+        let kappa = self.a_norm1 * inverse_norm_one_estimate_with(&self.lu, &self.perm);
         performa_obs::histogram_record("linalg.lu.condition", kappa);
         kappa
     }
@@ -435,6 +740,25 @@ mod tests {
     }
 
     #[test]
+    fn solve_mat_with_pivoting_matches_column_solves() {
+        let a = Matrix::from_rows(&[
+            &[0.0, 2.0, 1.0],
+            &[1.0, 0.0, 3.0],
+            &[4.0, 1.0, 0.0],
+        ]);
+        let b = Matrix::from_fn(3, 5, |i, j| (i * 5 + j) as f64 / 7.0 - 1.0);
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve_mat(&b).unwrap();
+        for j in 0..5 {
+            let col = lu.solve_vec(&b.col(j)).unwrap();
+            for i in 0..3 {
+                assert!(approx(x[(i, j)], col[i], 1e-13), "({i},{j})");
+            }
+        }
+        assert!((&a * &x).max_abs_diff(&b) < 1e-12);
+    }
+
+    #[test]
     fn solve_left_mat_rows() {
         let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]);
         let b = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
@@ -512,5 +836,84 @@ mod tests {
         let b = a.mul_vec(&x_true);
         let x = solve(&a, &b).unwrap();
         assert!(x.max_abs_diff(&x_true) < 1e-10);
+    }
+
+    #[test]
+    fn workspace_factors_and_solves_repeatedly() {
+        let mut ws = LuWorkspace::new(3);
+        // Unfactored use is a typed error, not junk data.
+        assert!(matches!(
+            ws.solve_mat_into(&Matrix::identity(3), &mut Matrix::zeros(3, 3)),
+            Err(LinalgError::InvalidArgument { .. })
+        ));
+
+        let systems = [
+            Matrix::from_rows(&[&[0.0, 2.0, 1.0], &[1.0, 0.0, 3.0], &[4.0, 1.0, 0.0]]),
+            Matrix::from_rows(&[&[5.0, 1.0, 0.0], &[1.0, 5.0, 1.0], &[0.0, 1.0, 5.0]]),
+        ];
+        let b = Matrix::from_fn(3, 4, |i, j| (i + 2 * j) as f64 - 2.5);
+        let bl = Matrix::from_fn(4, 3, |i, j| (2 * i + j) as f64 - 3.5);
+        let mut x = Matrix::zeros(3, 4);
+        let mut xl = Matrix::zeros(4, 3);
+        for a in &systems {
+            ws.factor(a).unwrap();
+            ws.solve_mat_into(&b, &mut x).unwrap();
+            assert!((a * &x).max_abs_diff(&b) < 1e-12);
+            ws.solve_left_mat_into(&bl, &mut xl).unwrap();
+            assert!((&xl * a).max_abs_diff(&bl) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn workspace_matches_lu_solutions_and_condition() {
+        let a = Matrix::from_fn(8, 8, |i, j| {
+            let h = ((i * 13 + j * 29 + 3) % 41) as f64 / 41.0 - 0.5;
+            if i == j {
+                h + 9.0
+            } else {
+                h
+            }
+        });
+        let lu = Lu::factor(&a).unwrap();
+        let mut ws = LuWorkspace::new(8);
+        ws.factor(&a).unwrap();
+
+        let b = Matrix::from_fn(8, 8, |i, j| ((i * j) % 7) as f64 - 3.0);
+        let mut x = Matrix::zeros(8, 8);
+        ws.solve_mat_into(&b, &mut x).unwrap();
+        assert!(x.max_abs_diff(&lu.solve_mat(&b).unwrap()) < 1e-12);
+
+        let mut xl = Matrix::zeros(8, 8);
+        ws.solve_left_mat_into(&b, &mut xl).unwrap();
+        assert!(xl.max_abs_diff(&lu.solve_left_mat(&b).unwrap()) < 1e-12);
+
+        let bv = Vector::from((0..8).map(|i| i as f64 - 3.0).collect::<Vec<_>>());
+        let mut xv = Vector::zeros(8);
+        ws.solve_vec_into(&bv, &mut xv).unwrap();
+        assert!(xv.max_abs_diff(&lu.solve_vec(&bv).unwrap()) < 1e-13);
+
+        let k_ws = ws.condition_estimate();
+        let k_lu = lu.condition_estimate();
+        assert!((k_ws - k_lu).abs() < 1e-9 * k_lu.max(1.0));
+        assert!(ws.bytes() > 0);
+    }
+
+    #[test]
+    fn workspace_singular_factor_reports_and_stays_unfactored() {
+        let mut ws = LuWorkspace::new(2);
+        let singular = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(
+            ws.factor(&singular),
+            Err(LinalgError::Singular { .. })
+        ));
+        assert!(matches!(
+            ws.solve_mat_into(&Matrix::identity(2), &mut Matrix::zeros(2, 2)),
+            Err(LinalgError::InvalidArgument { .. })
+        ));
+        // Recovers with a good matrix.
+        ws.factor(&Matrix::identity(2)).unwrap();
+        let mut x = Matrix::zeros(2, 2);
+        ws.solve_mat_into(&Matrix::identity(2), &mut x).unwrap();
+        assert!(x.max_abs_diff(&Matrix::identity(2)) < 1e-15);
     }
 }

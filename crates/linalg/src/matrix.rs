@@ -177,6 +177,62 @@ impl Matrix {
         Matrix::from_fn(self.ncols, self.nrows, |i, j| self[(j, i)])
     }
 
+    /// Writes the transpose of `self` into `out` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not shaped `ncols × nrows`.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (self.ncols, self.nrows),
+            "transpose_into output must be {}x{}",
+            self.ncols,
+            self.nrows
+        );
+        for i in 0..self.nrows {
+            let row = self.row(i);
+            for (j, &v) in row.iter().enumerate() {
+                out.data[j * out.ncols + i] = v;
+            }
+        }
+    }
+
+    /// Copies the entries of `src` into `self` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        assert_eq!(self.shape(), src.shape(), "shape mismatch in copy_from");
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// Sets every entry to `v`.
+    pub fn fill(&mut self, v: f64) {
+        self.data.fill(v);
+    }
+
+    /// In-place scaled accumulate `self += s · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_scaled_mut(&mut self, other: &Matrix, s: f64) {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in add_scaled_mut");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += s * b;
+        }
+    }
+
+    /// Adds `s` to every diagonal entry (in place).
+    pub fn add_scaled_identity(&mut self, s: f64) {
+        let n = self.nrows.min(self.ncols);
+        for i in 0..n {
+            self.data[i * self.ncols + i] += s;
+        }
+    }
+
     /// Returns the main diagonal as a [`Vector`].
     pub fn diagonal(&self) -> Vector {
         let n = self.nrows.min(self.ncols);
@@ -296,6 +352,38 @@ impl Matrix {
     pub fn is_finite(&self) -> bool {
         self.data.iter().all(|v| v.is_finite())
     }
+
+    /// Reference matrix product by the naive `i-k-j` triple loop.
+    ///
+    /// Retained as the correctness oracle for the blocked kernel
+    /// ([`crate::gemm::gemm_into`], which backs `&a * &b`) and as the
+    /// reference point of the recorded benchmark baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn mul_naive(&self, b: &Matrix) -> Matrix {
+        assert_eq!(
+            self.ncols, b.nrows,
+            "shape mismatch in matrix product: {}x{} * {}x{}",
+            self.nrows, self.ncols, b.nrows, b.ncols
+        );
+        let mut out = Matrix::zeros(self.nrows, b.ncols);
+        for i in 0..self.nrows {
+            for k in 0..self.ncols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = b.row(k);
+                let orow = out.row_mut(i);
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += aik * bv;
+                }
+            }
+        }
+        out
+    }
 }
 
 impl fmt::Debug for Matrix {
@@ -364,21 +452,7 @@ fn mul_impl(a: &Matrix, b: &Matrix) -> Matrix {
         a.nrows, a.ncols, b.nrows, b.ncols
     );
     let mut out = Matrix::zeros(a.nrows, b.ncols);
-    // i-k-j loop order: streams through rows of `b`, cache-friendly for
-    // row-major storage.
-    for i in 0..a.nrows {
-        for k in 0..a.ncols {
-            let aik = a[(i, k)];
-            if aik == 0.0 {
-                continue;
-            }
-            let brow = b.row(k);
-            let orow = out.row_mut(i);
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += aik * bv;
-            }
-        }
-    }
+    crate::gemm::gemm_into(1.0, a, b, 0.0, &mut out);
     out
 }
 

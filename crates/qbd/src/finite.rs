@@ -1,5 +1,6 @@
 use performa_linalg::{lu::Lu, Matrix, Vector};
 
+use crate::workspace::{self, gemm};
 use crate::{QbdError, Result};
 
 /// A finite-buffer QBD: levels `0..=capacity`, homogeneous interior blocks
@@ -111,30 +112,43 @@ impl FiniteQbd {
         // R_n for n = K down to 1: π_n = π_{n−1} R_n with
         //   R_K = A0·(−(A1 + A0))⁻¹
         //   R_n = A0·(−(A1 + R_{n+1}·A2))⁻¹   for n < K.
+        //
+        // The backward sweep performs K factorizations and left solves of
+        // the same dimension — exactly the access pattern the thread
+        // workspace arena exists for, so after the first pass the loop
+        // allocates nothing beyond the stored `rs` blocks.
         let mut rs: Vec<Matrix> = vec![Matrix::zeros(m, m); k + 1];
-        let top_local = &self.a1 + &self.a0;
-        let lu = Lu::factor(&(-&top_local))?;
-        rs[k] = lu.solve_left_mat(&self.a0)?;
-        for n in (1..k).rev() {
-            let inner = &self.a1 + &(&rs[n + 1] * &self.a2);
-            let lu = Lu::factor(&(-&inner))?;
-            rs[n] = lu.solve_left_mat(&self.a0)?;
-        }
-
-        // π0 from π0·(B00 + R1·A2) = 0, normalized afterwards.
-        let m0 = &self.b00 + &(&rs[1] * &self.a2);
-        // Null left-vector: replace last column with ones, solve x·M' = e_last.
-        let mut sys = m0.clone();
+        let mut sys = workspace::with(m, |ws| {
+            ws.t1.copy_from(&self.a1);
+            ws.t1.add_scaled_mut(&self.a0, 1.0);
+            ws.t1.scale_mut(-1.0);
+            ws.lu.factor(&ws.t1)?;
+            ws.lu.solve_left_mat_into(&self.a0, &mut rs[k])?;
+            for n in (1..k).rev() {
+                // t1 ← −(A1 + R_{n+1}·A2).
+                let (lower, upper) = rs.split_at_mut(n + 1);
+                ws.t1.copy_from(&self.a1);
+                gemm(1.0, &upper[0], &self.a2, 1.0, &mut ws.t1);
+                ws.t1.scale_mut(-1.0);
+                ws.lu.factor(&ws.t1)?;
+                ws.lu.solve_left_mat_into(&self.a0, &mut lower[n])?;
+            }
+            // π0 from π0·(B00 + R1·A2) = 0: replace the last column with
+            // ones and solve x·M' = e_last (null left-vector trick).
+            let mut sys = self.b00.clone();
+            gemm(1.0, &rs[1], &self.a2, 1.0, &mut sys);
+            Ok::<_, QbdError>(sys)
+        })?;
         for i in 0..m {
             sys[(i, m - 1)] = 1.0;
         }
         let pi0 = Lu::factor(&sys)?.solve_left_vec(&Vector::basis(m, m - 1))?;
 
-        let mut levels = Vec::with_capacity(k + 1);
+        let mut levels: Vec<Vector> = Vec::with_capacity(k + 1);
         levels.push(pi0);
         for n in 1..=k {
-            let prev = levels[n - 1].clone();
-            levels.push(rs[n].vec_mul(&prev));
+            let next = rs[n].vec_mul(&levels[n - 1]);
+            levels.push(next);
         }
         // Normalize the whole law.
         let total: f64 = levels.iter().map(|v| v.sum()).sum();

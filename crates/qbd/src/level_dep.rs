@@ -1,6 +1,7 @@
 use performa_linalg::{lu::Lu, spectral, Matrix, Vector};
 
 use crate::qbd::SolveOptions;
+use crate::workspace::{self, gemm};
 use crate::{Qbd, QbdError, Result};
 
 /// A QBD with finitely many inhomogeneous boundary levels `0..k` and
@@ -195,9 +196,19 @@ impl LevelDependentQbd {
         let g = proxy.g_matrix(SolveOptions::default())?;
         let r = proxy.r_from_g(&g)?;
 
-        let i_minus_r = Matrix::identity(m) - &r;
-        let lu_imr = Lu::factor(&i_minus_r)?;
-        let geo_eps = lu_imr.solve_vec(&Vector::ones(m))?;
+        // geo_eps = (I−R)⁻¹·ε and A1 + R·A2, via the thread workspace
+        // (the G solve above has already warmed it at this dimension).
+        let (geo_eps, a1_ra2) = workspace::with(m, |ws| {
+            ws.t1.copy_from(&r);
+            ws.t1.scale_mut(-1.0);
+            ws.t1.add_scaled_identity(1.0);
+            ws.lu.factor(&ws.t1)?;
+            let mut geo_eps = Vector::zeros(m);
+            ws.lu.solve_vec_into(&Vector::ones(m), &mut geo_eps)?;
+            let mut a1_ra2 = self.a1.clone();
+            gemm(1.0, &r, &self.a2, 1.0, &mut a1_ra2);
+            Ok::<_, QbdError>((geo_eps, a1_ra2))
+        })?;
 
         // Linear system for x = [π0 … π_k] (k+1 blocks of size m):
         //   level 0:          π0·local[0] + π1·down[0] = 0
@@ -215,7 +226,6 @@ impl LevelDependentQbd {
                 }
             }
         };
-        let a1_ra2 = &self.a1 + &(&r * &self.a2);
         for n in 0..=k {
             // Local block (column n, contribution from π_n).
             if n < k {

@@ -62,6 +62,7 @@ mod level_dep;
 mod qbd;
 mod solution;
 mod supervisor;
+mod workspace;
 
 pub mod fault;
 pub mod mg1;

@@ -4,10 +4,26 @@ use performa_linalg::{lu::Lu, Matrix, Vector};
 
 use crate::fault;
 use crate::solution::QbdSolution;
+use crate::workspace::{self, gemm};
 use crate::{QbdError, Result};
 
 /// Tolerance for generator row-sum validation, scaled by the largest rate.
 const ROWSUM_TOL: f64 = 1e-8;
+
+/// Residual/watchdog/deadline checks run every this many iterations
+/// (plus the final budgeted iteration), amortizing the `O(m²)` norm and
+/// finiteness sweeps across the `O(m³)` kernel work. Iteration 0 is
+/// always checked so armed deadlines abort before any expensive work.
+/// Convergence is only ever declared on a checked iteration, and the
+/// finiteness sweep runs before the convergence test there — a NaN can
+/// never masquerade as a converged iterate (`max_abs_diff` ignores NaN).
+const CHECK_STRIDE: usize = 4;
+
+/// `true` on iterations where the amortized checks must run.
+#[inline]
+fn checked_iteration(it: usize, max_iterations: usize) -> bool {
+    it.is_multiple_of(CHECK_STRIDE) || it + 1 == max_iterations
+}
 
 /// NaN/Inf watchdog: `true` iff every entry of `m` is finite.
 pub(crate) fn all_finite(m: &Matrix) -> bool {
@@ -162,17 +178,30 @@ impl Qbd {
         require_offdiag_nonneg("B00", &b00)?;
 
         let scale = a1.max_abs().max(b00.max_abs()).max(1.0);
-        let check = |name: &str, sum: Vector| -> Result<()> {
-            if sum.norm_inf() > ROWSUM_TOL * scale * m as f64 {
+        // Row sums accumulated directly across the summand blocks — no
+        // temporary sum matrices.
+        let worst_row_sum = |blocks: &[&Matrix]| -> f64 {
+            (0..m)
+                .map(|i| {
+                    blocks
+                        .iter()
+                        .map(|blk| blk.row(i).iter().sum::<f64>())
+                        .sum::<f64>()
+                        .abs()
+                })
+                .fold(0.0, f64::max)
+        };
+        let check = |name: &str, worst: f64| -> Result<()> {
+            if worst > ROWSUM_TOL * scale * m as f64 {
                 return Err(QbdError::InvalidBlocks {
-                    message: format!("{name} row sums must vanish, worst {:.3e}", sum.norm_inf()),
+                    message: format!("{name} row sums must vanish, worst {worst:.3e}"),
                 });
             }
             Ok(())
         };
-        check("B00+B01", (&b00 + &b01).row_sums())?;
-        check("B10+A1+A0", (&(&b10 + &a1) + &a0).row_sums())?;
-        check("A2+A1+A0", (&(&a2 + &a1) + &a0).row_sums())?;
+        check("B00+B01", worst_row_sum(&[&b00, &b01]))?;
+        check("B10+A1+A0", worst_row_sum(&[&b10, &a1, &a0]))?;
+        check("A2+A1+A0", worst_row_sum(&[&a2, &a1, &a0]))?;
 
         Ok(Qbd {
             a0,
@@ -210,11 +239,19 @@ impl Qbd {
                 ),
             });
         }
-        let li = Matrix::identity(m) * lambda;
-        let l = Matrix::diag(rates.as_slice());
-        let a1 = generator - &li - &l;
-        let b00 = generator - &li;
-        Qbd::new(li.clone(), a1, l.clone(), b00, li, l)
+        // λI and L = diag(rates) only touch the diagonal, so A1 and B00
+        // are the generator with adjusted diagonals — built by one clone
+        // and an O(m) diagonal pass each, with every block moved (not
+        // cloned) into the Qbd.
+        let mut a1 = generator.clone();
+        let mut b00 = generator.clone();
+        for i in 0..m {
+            a1[(i, i)] -= lambda + rates[i];
+            b00[(i, i)] -= lambda;
+        }
+        let lambda_i = || Matrix::identity(m) * lambda;
+        let service = || Matrix::diag(rates.as_slice());
+        Qbd::new(lambda_i(), a1, service(), b00, lambda_i(), service())
     }
 
 
@@ -244,11 +281,17 @@ impl Qbd {
                 ),
             });
         }
-        let l = Matrix::diag(arrival_rates.as_slice());
-        let mu_i = Matrix::identity(m) * mu;
-        let a1 = &(generator - &l) - &mu_i;
-        let b00 = generator - &l;
-        Qbd::new(l.clone(), a1, mu_i.clone(), b00, l, mu_i)
+        // Same diagonal-only construction as [`Qbd::m_mmpp1`]: no block
+        // is cloned into the Qbd.
+        let mut a1 = generator.clone();
+        let mut b00 = generator.clone();
+        for i in 0..m {
+            a1[(i, i)] -= arrival_rates[i] + mu;
+            b00[(i, i)] -= arrival_rates[i];
+        }
+        let arrivals = || Matrix::diag(arrival_rates.as_slice());
+        let mu_i = || Matrix::identity(m) * mu;
+        Qbd::new(arrivals(), a1, mu_i(), b00, arrivals(), mu_i())
     }
 
     /// Phase-space dimension `m`.
@@ -346,46 +389,64 @@ impl Qbd {
         deadline: Option<Instant>,
     ) -> Result<(Matrix, usize)> {
         let m = self.phase_dim();
-        let neg_a1 = -&self.a1;
-        let lu = Lu::factor(&neg_a1)?;
-        // H = (−A1)⁻¹·A0 (up), L = (−A1)⁻¹·A2 (down).
-        let mut h = lu.solve_mat(&self.a0)?;
-        let mut l = lu.solve_mat(&self.a2)?;
-        let mut g = l.clone();
-        let mut t = h.clone();
-        let id = Matrix::identity(m);
+        workspace::with(m, |ws| {
+            // k1 = H = (−A1)⁻¹·A0 (up), k2 = L = (−A1)⁻¹·A2 (down);
+            // iterates x1 = G (seeded from L), x2 = T (seeded from H).
+            ws.t1.copy_from(&self.a1);
+            ws.t1.scale_mut(-1.0);
+            ws.lu.factor(&ws.t1)?;
+            ws.lu.solve_mat_into(&self.a0, &mut ws.k1)?;
+            ws.lu.solve_mat_into(&self.a2, &mut ws.k2)?;
+            ws.x1.copy_from(&ws.k2);
+            ws.x2.copy_from(&ws.k1);
 
-        for it in 0..max_iterations {
-            check_deadline("logred", it, deadline)?;
-            let u = &h * &l + &l * &h;
-            let i_minus_u = &id - &u;
-            let lu_u = Lu::factor(&i_minus_u)?;
-            let h2 = &h * &h;
-            let l2 = &l * &l;
-            h = lu_u.solve_mat(&h2)?;
-            l = lu_u.solve_mat(&l2)?;
-            let add = &t * &l;
-            g += &add;
-            t = &t * &h;
-            fault::poison("logred", it, &mut g);
+            for it in 0..max_iterations {
+                let checking = checked_iteration(it, max_iterations);
+                if checking {
+                    check_deadline("logred", it, deadline)?;
+                }
+                // U = H·L + L·H, then t1 ← I − U and factor in place.
+                gemm(1.0, &ws.k1, &ws.k2, 0.0, &mut ws.t1);
+                gemm(1.0, &ws.k2, &ws.k1, 1.0, &mut ws.t1);
+                ws.t1.scale_mut(-1.0);
+                ws.t1.add_scaled_identity(1.0);
+                ws.lu.factor(&ws.t1)?;
+                // H ← (I−U)⁻¹·H², L ← (I−U)⁻¹·L².
+                gemm(1.0, &ws.k1, &ws.k1, 0.0, &mut ws.t2);
+                ws.lu.solve_mat_into(&ws.t2, &mut ws.k1)?;
+                gemm(1.0, &ws.k2, &ws.k2, 0.0, &mut ws.t2);
+                ws.lu.solve_mat_into(&ws.t2, &mut ws.k2)?;
+                // G += T·L; T ← T·H (t2 keeps the increment for the
+                // residual check below).
+                gemm(1.0, &ws.x2, &ws.k2, 0.0, &mut ws.t2);
+                ws.x1.add_scaled_mut(&ws.t2, 1.0);
+                gemm(1.0, &ws.x2, &ws.k1, 0.0, &mut ws.t1);
+                std::mem::swap(&mut ws.x2, &mut ws.t1);
+                fault::poison("logred", it, &mut ws.x1);
 
-            if !(all_finite(&g) && all_finite(&t)) {
-                watchdog_obs("logred", it);
-                return Err(QbdError::NumericalBreakdown {
-                    stage: "logred",
-                    iteration: it,
-                });
+                if checking {
+                    if !(all_finite(&ws.x1) && all_finite(&ws.x2)) {
+                        watchdog_obs("logred", it);
+                        return Err(QbdError::NumericalBreakdown {
+                            stage: "logred",
+                            iteration: it,
+                        });
+                    }
+                    let add_norm = ws.t2.norm_inf();
+                    iter_obs("logred", it, add_norm);
+                    ws.gauge();
+                    if !fault::stalled("logred")
+                        && (ws.x2.norm_inf() < tolerance || add_norm < tolerance)
+                    {
+                        return Ok((ws.x1.clone(), it + 1));
+                    }
+                }
             }
-            let add_norm = add.norm_inf();
-            iter_obs("logred", it, add_norm);
-            if !fault::stalled("logred") && (t.norm_inf() < tolerance || add_norm < tolerance) {
-                return Ok((g, it + 1));
-            }
-        }
-        Err(QbdError::NoConvergence {
-            stage: "logarithmic reduction",
-            iterations: max_iterations,
-            residual: t.norm_inf(),
+            Err(QbdError::NoConvergence {
+                stage: "logarithmic reduction",
+                iterations: max_iterations,
+                residual: ws.x2.norm_inf(),
+            })
         })
     }
 
@@ -409,33 +470,52 @@ impl Qbd {
         max_iterations: usize,
         deadline: Option<Instant>,
     ) -> Result<(Matrix, usize)> {
-        let lu = Lu::factor(&(-&self.a1))?;
-        let base = lu.solve_mat(&self.a2)?;
-        let up = lu.solve_mat(&self.a0)?;
-        let mut g = base.clone();
-        let mut last_diff = f64::NAN;
-        for it in 0..max_iterations {
-            check_deadline("functional", it, deadline)?;
-            let mut next = &base + &(&up * &(&g * &g));
-            fault::poison("functional", it, &mut next);
-            if !all_finite(&next) {
-                watchdog_obs("functional", it);
-                return Err(QbdError::NumericalBreakdown {
-                    stage: "functional",
-                    iteration: it,
-                });
+        workspace::with(self.phase_dim(), |ws| {
+            // k1 = base = (−A1)⁻¹·A2, k2 = up = (−A1)⁻¹·A0; iterate
+            // x1 = G seeded from base.
+            ws.t1.copy_from(&self.a1);
+            ws.t1.scale_mut(-1.0);
+            ws.lu.factor(&ws.t1)?;
+            ws.lu.solve_mat_into(&self.a2, &mut ws.k1)?;
+            ws.lu.solve_mat_into(&self.a0, &mut ws.k2)?;
+            ws.x1.copy_from(&ws.k1);
+
+            let mut last_diff = f64::NAN;
+            for it in 0..max_iterations {
+                let checking = checked_iteration(it, max_iterations);
+                if checking {
+                    check_deadline("functional", it, deadline)?;
+                }
+                // next = base + up·G² assembled in t2.
+                gemm(1.0, &ws.x1, &ws.x1, 0.0, &mut ws.t1);
+                ws.t2.copy_from(&ws.k1);
+                gemm(1.0, &ws.k2, &ws.t1, 1.0, &mut ws.t2);
+                fault::poison("functional", it, &mut ws.t2);
+                if checking {
+                    if !all_finite(&ws.t2) {
+                        watchdog_obs("functional", it);
+                        return Err(QbdError::NumericalBreakdown {
+                            stage: "functional",
+                            iteration: it,
+                        });
+                    }
+                    last_diff = ws.t2.max_abs_diff(&ws.x1);
+                    iter_obs("functional", it, last_diff);
+                    ws.gauge();
+                    let converged = !fault::stalled("functional") && last_diff < tolerance;
+                    std::mem::swap(&mut ws.x1, &mut ws.t2);
+                    if converged {
+                        return Ok((ws.x1.clone(), it + 1));
+                    }
+                } else {
+                    std::mem::swap(&mut ws.x1, &mut ws.t2);
+                }
             }
-            last_diff = next.max_abs_diff(&g);
-            g = next;
-            iter_obs("functional", it, last_diff);
-            if !fault::stalled("functional") && last_diff < tolerance {
-                return Ok((g, it + 1));
-            }
-        }
-        Err(QbdError::NoConvergence {
-            stage: "functional iteration for G",
-            iterations: max_iterations,
-            residual: last_diff,
+            Err(QbdError::NoConvergence {
+                stage: "functional iteration for G",
+                iterations: max_iterations,
+                residual: last_diff,
+            })
         })
     }
 
@@ -462,33 +542,47 @@ impl Qbd {
         max_iterations: usize,
         deadline: Option<Instant>,
     ) -> Result<(Matrix, usize)> {
-        let m = self.phase_dim();
-        let mut g = Matrix::zeros(m, m);
-        let mut last_diff = f64::NAN;
-        for it in 0..max_iterations {
-            check_deadline("neuts", it, deadline)?;
-            let u = &self.a1 + &(&self.a0 * &g);
-            let lu = Lu::factor(&(-&u))?;
-            let mut next = lu.solve_mat(&self.a2)?;
-            fault::poison("neuts", it, &mut next);
-            if !all_finite(&next) {
-                watchdog_obs("neuts", it);
-                return Err(QbdError::NumericalBreakdown {
-                    stage: "neuts",
-                    iteration: it,
-                });
+        workspace::with(self.phase_dim(), |ws| {
+            // Iterate x1 = G, seeded at zero (the classical opening).
+            ws.x1.fill(0.0);
+            let mut last_diff = f64::NAN;
+            for it in 0..max_iterations {
+                let checking = checked_iteration(it, max_iterations);
+                if checking {
+                    check_deadline("neuts", it, deadline)?;
+                }
+                // t1 ← −(A1 + A0·G), factored in place; next = t2.
+                ws.t1.copy_from(&self.a1);
+                gemm(1.0, &self.a0, &ws.x1, 1.0, &mut ws.t1);
+                ws.t1.scale_mut(-1.0);
+                ws.lu.factor(&ws.t1)?;
+                ws.lu.solve_mat_into(&self.a2, &mut ws.t2)?;
+                fault::poison("neuts", it, &mut ws.t2);
+                if checking {
+                    if !all_finite(&ws.t2) {
+                        watchdog_obs("neuts", it);
+                        return Err(QbdError::NumericalBreakdown {
+                            stage: "neuts",
+                            iteration: it,
+                        });
+                    }
+                    last_diff = ws.t2.max_abs_diff(&ws.x1);
+                    iter_obs("neuts", it, last_diff);
+                    ws.gauge();
+                    let converged = !fault::stalled("neuts") && last_diff < tolerance;
+                    std::mem::swap(&mut ws.x1, &mut ws.t2);
+                    if converged {
+                        return Ok((ws.x1.clone(), it + 1));
+                    }
+                } else {
+                    std::mem::swap(&mut ws.x1, &mut ws.t2);
+                }
             }
-            last_diff = next.max_abs_diff(&g);
-            g = next;
-            iter_obs("neuts", it, last_diff);
-            if !fault::stalled("neuts") && last_diff < tolerance {
-                return Ok((g, it + 1));
-            }
-        }
-        Err(QbdError::NoConvergence {
-            stage: "neuts successive substitution",
-            iterations: max_iterations,
-            residual: last_diff,
+            Err(QbdError::NoConvergence {
+                stage: "neuts successive substitution",
+                iterations: max_iterations,
+                residual: last_diff,
+            })
         })
     }
 
@@ -506,11 +600,19 @@ impl Qbd {
     /// `−(A1 + A0·G)` — the supervisor surfaces the estimate as an
     /// `IllConditioned` warning when it is large.
     pub(crate) fn r_from_g_with_cond(&self, g: &Matrix) -> Result<(Matrix, f64)> {
-        let u = &self.a1 + &(&self.a0 * g);
-        let lu = Lu::factor(&(-&u))?;
-        let cond = lu.condition_estimate();
-        // R = A0·(−U)⁻¹ ⇔ solve X·(−U) = A0.
-        Ok((lu.solve_left_mat(&self.a0)?, cond))
+        let m = self.phase_dim();
+        workspace::with(m, |ws| {
+            // t1 ← −(A1 + A0·G), factored into the reusable workspace.
+            ws.t1.copy_from(&self.a1);
+            gemm(1.0, &self.a0, g, 1.0, &mut ws.t1);
+            ws.t1.scale_mut(-1.0);
+            ws.lu.factor(&ws.t1)?;
+            let cond = ws.lu.condition_estimate();
+            // R = A0·(−U)⁻¹ ⇔ solve X·(−U) = A0.
+            let mut r = Matrix::zeros(m, m);
+            ws.lu.solve_left_mat_into(&self.a0, &mut r)?;
+            Ok((r, cond))
+        })
     }
 
     /// Full stationary solve with default options.
@@ -553,12 +655,24 @@ impl Qbd {
         //   π0·B01 + π1·(A1 + R·A2) = 0
         // with normalization π0·ε + π1·(I−R)⁻¹·ε = 1 replacing one
         // (dependent) balance column.
-        let id = Matrix::identity(m);
-        let i_minus_r = &id - &r;
-        let lu_imr = Lu::factor(&i_minus_r)?;
-        let geo_eps = lu_imr.solve_vec(&Vector::ones(m))?; // (I−R)⁻¹ ε
+        //
+        // The m-sized pieces reuse the thread workspace; only the 2m
+        // boundary system itself is assembled fresh (it runs once per
+        // solve, not per iteration).
+        let (geo_eps, a1_ra2) = workspace::with(m, |ws| {
+            // t1 ← I − R, factored; geo_eps = (I−R)⁻¹·ε.
+            ws.t1.copy_from(&r);
+            ws.t1.scale_mut(-1.0);
+            ws.t1.add_scaled_identity(1.0);
+            ws.lu.factor(&ws.t1)?;
+            let mut geo_eps = Vector::zeros(m);
+            ws.lu.solve_vec_into(&Vector::ones(m), &mut geo_eps)?;
+            // a1_ra2 = A1 + R·A2.
+            let mut a1_ra2 = self.a1.clone();
+            gemm(1.0, &r, &self.a2, 1.0, &mut a1_ra2);
+            Ok::<_, QbdError>((geo_eps, a1_ra2))
+        })?;
 
-        let a1_ra2 = &self.a1 + &(&r * &self.a2);
         let dim = 2 * m;
         let mut sys = Matrix::zeros(dim, dim); // x · sys = rhs
         for i in 0..m {
