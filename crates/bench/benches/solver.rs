@@ -72,19 +72,27 @@ fn bench_g_paper_scale(c: &mut Criterion) {
     let mut g = c.benchmark_group("g_matrix_paper_scale");
     g.sample_size(10);
     // Lumped N-server TPT models: phase dimension C(T+N, N) — the block
-    // sizes the DSN'07 figures actually solve at (45 … 561 phases).
-    for (label, servers, t) in [
-        ("N2_T8", 2usize, 8u32),
-        ("N5_T4", 5, 4),
-        ("N2_T16", 2, 16),
-        ("N5_T6", 5, 6),
+    // sizes the DSN'07 figures actually solve at (45 … 561 phases). The
+    // near-null-recurrent N2_T32 case needs the shift-hardened solver
+    // (DESIGN.md Sect. 10); the others run the default path.
+    for (label, servers, t, hardened) in [
+        ("N2_T8", 2usize, 8u32, false),
+        ("N5_T4", 5, 4, false),
+        ("N2_T16", 2, 16, false),
+        ("N5_T6", 5, 6, false),
+        ("N2_T32", 2, 32, true),
     ] {
         let qbd = tpt_qbd_n(servers, t, 0.7);
+        let opts = if hardened {
+            SolveOptions::hardened()
+        } else {
+            SolveOptions::default()
+        };
         let id = format!("{label}_m{}", qbd.phase_dim());
         g.bench_with_input(
             BenchmarkId::new("logarithmic_reduction", id),
             &qbd,
-            |b, q| b.iter(|| black_box(q.g_matrix(SolveOptions::default()).unwrap())),
+            |b, q| b.iter(|| black_box(q.g_matrix(opts).unwrap())),
         );
     }
     g.finish();

@@ -1,0 +1,166 @@
+//! Compensated (Neumaier) floating-point summation.
+//!
+//! Near the paper's blow-up points the solver adds long, strongly
+//! cancelling series — stationary-mass normalizations, `Pr(Q ≥ 500)`
+//! tail sums, residuals of almost-converged LU solves. Plain recursive
+//! summation loses `O(n·ε·Σ|xᵢ|)` there; Neumaier's variant of Kahan
+//! summation keeps a running compensation term and is accurate to
+//! `O(ε·|Σxᵢ| + n·ε²·Σ|xᵢ|)` — effectively one rounding error total —
+//! at the cost of four extra flops per term.
+//!
+//! The iterative-refinement loop in [`crate::lu`] additionally needs
+//! *dot products* whose error is dominated by the data, not the
+//! accumulation: [`dot`] splits each product with an FMA
+//! (`x·y − fl(x·y)` is exact via [`f64::mul_add`]) and feeds both halves
+//! into the compensated accumulator, giving a twice-working-precision
+//! residual from plain `f64` storage.
+
+/// Running Neumaier-compensated sum.
+///
+/// # Example
+///
+/// ```
+/// use performa_linalg::compensated::Accumulator;
+///
+/// let mut acc = Accumulator::new();
+/// acc.add(1.0);
+/// acc.add(1e100);
+/// acc.add(1.0);
+/// acc.add(-1e100);
+/// assert_eq!(acc.value(), 2.0); // plain summation returns 0.0
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Accumulator {
+    sum: f64,
+    comp: f64,
+}
+
+impl Accumulator {
+    /// Fresh accumulator at zero.
+    pub fn new() -> Self {
+        Accumulator::default()
+    }
+
+    /// Adds one term.
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        // Neumaier's branch: compensate with whichever operand's
+        // low-order bits were lost in the addition.
+        if self.sum.abs() >= x.abs() {
+            self.comp += (self.sum - t) + x;
+        } else {
+            self.comp += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// Adds a product `x·y`, capturing its rounding error exactly via an
+    /// FMA before accumulating both halves.
+    #[inline]
+    pub fn add_product(&mut self, x: f64, y: f64) {
+        let p = x * y;
+        let err = x.mul_add(y, -p);
+        self.add(p);
+        self.add(err);
+    }
+
+    /// The compensated total.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.sum + self.comp
+    }
+}
+
+/// Neumaier-compensated sum of a slice.
+pub fn sum(xs: &[f64]) -> f64 {
+    let mut acc = Accumulator::new();
+    for &x in xs {
+        acc.add(x);
+    }
+    acc.value()
+}
+
+/// Compensated dot product `Σ aᵢ·bᵢ` with exact FMA product splitting —
+/// the residual kernel of iterative refinement.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch in compensated dot");
+    let mut acc = Accumulator::new();
+    for (&x, &y) in a.iter().zip(b) {
+        acc.add_product(x, y);
+    }
+    acc.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_cancelled_mass() {
+        // Classic Neumaier witness: naive sum is 0, true sum is 2.
+        let xs = [1.0, 1e100, 1.0, -1e100];
+        assert_eq!(sum(&xs), 2.0);
+        let naive: f64 = xs.iter().sum();
+        assert_eq!(naive, 0.0);
+    }
+
+    #[test]
+    fn matches_naive_on_benign_data() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64).sin() / 7.0).collect();
+        let naive: f64 = xs.iter().sum();
+        assert!((sum(&xs) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_terms_are_not_lost() {
+        // 1 + n·ε/2 terms: recursive summation drops every tiny term,
+        // the compensated sum keeps them all.
+        let tiny = f64::EPSILON / 2.0;
+        let n = 10_000;
+        let mut xs = vec![tiny; n + 1];
+        xs[0] = 1.0;
+        let exact = 1.0 + n as f64 * tiny;
+        assert!((sum(&xs) - exact).abs() < 1e-18);
+        let naive: f64 = xs.iter().sum();
+        assert_eq!(naive, 1.0);
+    }
+
+    #[test]
+    fn dot_beats_naive_on_cancelling_products() {
+        // x² is not exactly representable, and its rounding error is the
+        // entire answer: exact dot = x² − fl(x²). Naive evaluation
+        // returns 0; the FMA split recovers the error exactly.
+        let x = 100_000_001.0_f64; // x² = 1e16 + 2e8 + 1 needs 54 bits
+        let a = [x, 1.0];
+        let b = [x, -(x * x)];
+        let exact = x.mul_add(x, -(x * x));
+        assert!(exact != 0.0);
+        assert_eq!(dot(&a, &b), exact);
+        let naive: f64 = a.iter().zip(&b).map(|(p, q)| p * q).sum();
+        assert_eq!(naive, 0.0);
+    }
+
+    #[test]
+    fn product_splitting_is_exact() {
+        // x·y whose rounding error matters: the FMA split recovers it.
+        let x = 1.0 + f64::EPSILON;
+        let y = 1.0 + f64::EPSILON;
+        let mut acc = Accumulator::new();
+        acc.add_product(x, y);
+        acc.add(-1.0);
+        acc.add(-2.0 * f64::EPSILON);
+        // Remaining mass is exactly ε².
+        assert_eq!(acc.value(), f64::EPSILON * f64::EPSILON);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -38,6 +38,7 @@ mod error;
 mod matrix;
 mod vector;
 
+pub mod compensated;
 pub mod expm;
 pub mod gemm;
 pub mod kron;

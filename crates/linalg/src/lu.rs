@@ -21,7 +21,61 @@
 //! eliminated entry), which turns the inner loops into long unit-stride
 //! streams instead of `n` separate column extractions.
 
+use crate::compensated::Accumulator;
 use crate::{LinalgError, Matrix, Result, Vector};
+
+/// How [`LuWorkspace::factor_with`] prepares a system.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FactorOptions {
+    /// Row/column equilibration: scale the matrix to unit max-norm rows
+    /// and columns before elimination (`Aₛ = R·A·C`), undoing the
+    /// scaling transparently inside every solve. Tames the wild row
+    /// scales of stiff generators (TPT stage rates spanning `p³²`)
+    /// that otherwise distort partial pivoting.
+    pub equilibrate: bool,
+    /// Keep a copy of the unscaled input so solves can be iteratively
+    /// refined against the *original* system
+    /// ([`LuWorkspace::solve_mat_refined_into`] and friends require it).
+    pub retain: bool,
+}
+
+impl FactorOptions {
+    /// Equilibration and refinement both enabled — the hardened
+    /// configuration the QBD recovery ladder escalates to.
+    pub fn hardened() -> Self {
+        FactorOptions {
+            equilibrate: true,
+            retain: true,
+        }
+    }
+}
+
+/// Componentwise backward error at which iterative refinement declares
+/// victory: a couple of units in the last place, the best a single
+/// `f64` correction loop can reliably certify.
+pub const REFINE_TOL: f64 = 4.0 * f64::EPSILON;
+
+/// Correction steps refinement attempts before reporting a stall.
+pub const REFINE_MAX_ITERS: usize = 8;
+
+/// Outcome of one iterative-refinement loop.
+///
+/// The error measure is the Oettli–Prager *componentwise backward
+/// error* `ω = maxᵢⱼ |B − A·X|ᵢⱼ / (|A|·|X| + |B|)ᵢⱼ` — the smallest
+/// relative perturbation of `A` and `B` for which the computed `X` is
+/// exact. `ω ≈ ε` means the solve is as good as f64 allows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefineStats {
+    /// Correction steps actually applied.
+    pub iterations: usize,
+    /// Componentwise backward error of the unrefined solve.
+    pub initial_backward_error: f64,
+    /// Componentwise backward error after refinement.
+    pub backward_error: f64,
+    /// Whether the requested tolerance was reached (otherwise the loop
+    /// stalled or exhausted its budget — the stats say how far it got).
+    pub converged: bool,
+}
 
 /// In-place partial-pivoting elimination on row-major storage.
 ///
@@ -116,10 +170,16 @@ fn substitute_rows_in_place(lu: &Matrix, out: &mut Matrix) {
 
 /// Single right-hand-side solve `A · x = b` against factored data.
 fn solve_vec_with(lu: &Matrix, perm: &[usize], b: &[f64], x: &mut [f64]) {
-    let n = lu.nrows();
     for (i, &p) in perm.iter().enumerate() {
         x[i] = b[p];
     }
+    substitute_vec_in_place(lu, x);
+}
+
+/// Forward/backward substitution for a single right-hand side whose
+/// rows are already permuted (and, for equilibrated factors, scaled).
+fn substitute_vec_in_place(lu: &Matrix, x: &mut [f64]) {
+    let n = lu.nrows();
     for i in 1..n {
         let (solved, current) = x.split_at_mut(i);
         let mut acc = current[0];
@@ -164,6 +224,74 @@ fn solve_left_vec_with(lu: &Matrix, perm: &[usize], b: &[f64], y: &mut [f64], x:
     for (i, &p) in perm.iter().enumerate() {
         x[p] = y[i];
     }
+}
+
+/// One Oettli–Prager term `|r| / (|A||X| + |B|)`; zero denominators with
+/// zero residuals are exact, non-finite residuals are reported as
+/// unbounded so a destroyed solve can never look converged.
+#[inline]
+fn omega_term(r: f64, denom: f64) -> f64 {
+    if !r.is_finite() {
+        f64::INFINITY
+    } else if denom > 0.0 {
+        (r / denom).abs()
+    } else if r == 0.0 {
+        0.0
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Writes the residual `R = B − A·X` into `resid` using compensated
+/// (twice-working-precision) dot products and returns the componentwise
+/// backward error `ω = maxᵢⱼ |R|ᵢⱼ / (|A|·|X| + |B|)ᵢⱼ`.
+fn residual_omega_right(a: &Matrix, x: &Matrix, b: &Matrix, resid: &mut Matrix) -> f64 {
+    let n = a.nrows();
+    let w = b.ncols();
+    let mut omega = 0.0_f64;
+    for i in 0..n {
+        let arow = a.row(i);
+        for j in 0..w {
+            let bij = b[(i, j)];
+            let mut acc = Accumulator::new();
+            acc.add(bij);
+            let mut denom = bij.abs();
+            for (k, &aik) in arow.iter().enumerate() {
+                let xkj = x[(k, j)];
+                acc.add_product(-aik, xkj);
+                denom += aik.abs() * xkj.abs();
+            }
+            let r = acc.value();
+            resid[(i, j)] = r;
+            omega = omega.max(omega_term(r, denom));
+        }
+    }
+    omega
+}
+
+/// Left-system counterpart of [`residual_omega_right`]: residual
+/// `R = B − X·A` and its componentwise backward error.
+fn residual_omega_left(a: &Matrix, x: &Matrix, b: &Matrix, resid: &mut Matrix) -> f64 {
+    let n = a.nrows();
+    let mut omega = 0.0_f64;
+    for i in 0..b.nrows() {
+        let xrow = x.row(i);
+        for j in 0..n {
+            let bij = b[(i, j)];
+            let mut acc = Accumulator::new();
+            acc.add(bij);
+            let mut denom = bij.abs();
+            for (k, &xik) in xrow.iter().enumerate() {
+                let akj = a[(k, j)];
+                acc.add_product(-xik, akj);
+                denom += xik.abs() * akj.abs();
+            }
+            let r = acc.value();
+            resid[(i, j)] = r;
+            omega = omega.max(omega_term(r, denom));
+        }
+    }
+    omega
 }
 
 /// Hager-style lower-bound estimate of `‖A⁻¹‖₁` on factored data
@@ -450,6 +578,17 @@ pub struct LuWorkspace {
     perm: Vec<usize>,
     /// Per-row scratch for left solves.
     scratch: Vec<f64>,
+    /// Row equilibration scales `r` (`Aₛ = R·A·C`); all ones when
+    /// equilibration is off.
+    row_scale: Vec<f64>,
+    /// Column equilibration scales `c`.
+    col_scale: Vec<f64>,
+    equilibrated: bool,
+    /// Unscaled copy of the factored matrix, kept only when
+    /// [`FactorOptions::retain`] asked for refinement support.
+    retained: Option<Matrix>,
+    /// Residual / correction buffers for refinement, grown on first use.
+    refine_buf: Option<Box<(Matrix, Matrix)>>,
     a_norm1: f64,
     factored: bool,
 }
@@ -462,6 +601,11 @@ impl LuWorkspace {
             lut: Matrix::zeros(n, n),
             perm: vec![0; n],
             scratch: vec![0.0; n],
+            row_scale: vec![1.0; n],
+            col_scale: vec![1.0; n],
+            equilibrated: false,
+            retained: None,
+            refine_buf: None,
             a_norm1: 0.0,
             factored: false,
         }
@@ -475,12 +619,23 @@ impl LuWorkspace {
     /// Heap bytes owned by this workspace (for observability gauges).
     pub fn bytes(&self) -> usize {
         let n = self.dim();
-        2 * n * n * std::mem::size_of::<f64>()
+        let f64s = std::mem::size_of::<f64>();
+        let mat = |m: &Matrix| m.nrows() * m.ncols() * f64s;
+        2 * n * n * f64s
             + n * std::mem::size_of::<usize>()
-            + n * std::mem::size_of::<f64>()
+            + 4 * n * f64s
+            + self.retained.as_ref().map_or(0, mat)
+            + self
+                .refine_buf
+                .as_ref()
+                .map_or(0, |b| mat(&b.0) + mat(&b.1))
     }
 
     /// Factors `a` into the workspace, replacing any previous factors.
+    ///
+    /// Equivalent to [`LuWorkspace::factor_with`] with default options
+    /// (no equilibration, no retained copy) — the bit-identical fast
+    /// path the solver inner loops use.
     ///
     /// # Errors
     ///
@@ -488,6 +643,21 @@ impl LuWorkspace {
     /// * [`LinalgError::Singular`] on an exactly zero pivot; the
     ///   workspace is left unfactored.
     pub fn factor(&mut self, a: &Matrix) -> Result<()> {
+        self.factor_with(a, FactorOptions::default())
+    }
+
+    /// Factors `a` with explicit [`FactorOptions`].
+    ///
+    /// With `equilibrate` the workspace factors `Aₛ = R·A·C` (rows then
+    /// columns scaled to unit max-norm) and undoes the scaling inside
+    /// every subsequent solve, so callers see solutions of the original
+    /// system. With `retain` an unscaled copy of `a` is kept so the
+    /// `*_refined_into` solves can iterate against the true residual.
+    ///
+    /// # Errors
+    ///
+    /// See [`LuWorkspace::factor`].
+    pub fn factor_with(&mut self, a: &Matrix, opts: FactorOptions) -> Result<()> {
         let n = self.dim();
         if a.shape() != (n, n) {
             return Err(LinalgError::ShapeMismatch {
@@ -498,8 +668,25 @@ impl LuWorkspace {
         }
         let started = performa_obs::timing_active().then(std::time::Instant::now);
         self.factored = false;
-        self.a_norm1 = a.norm_one();
         self.lu.copy_from(a);
+        if opts.retain {
+            match &mut self.retained {
+                Some(r) if r.shape() == (n, n) => r.copy_from(a),
+                slot => *slot = Some(a.clone()),
+            }
+        } else {
+            self.retained = None;
+        }
+        if opts.equilibrate {
+            self.equilibrate_in_place();
+        } else {
+            self.equilibrated = false;
+            self.row_scale.fill(1.0);
+            self.col_scale.fill(1.0);
+        }
+        // Norm of the matrix actually factored, so the condition
+        // estimate describes the system substitution runs on.
+        self.a_norm1 = self.lu.norm_one();
         factor_in_place(&mut self.lu, &mut self.perm)?;
         self.lu.transpose_into(&mut self.lut);
         self.factored = true;
@@ -507,6 +694,51 @@ impl LuWorkspace {
             performa_obs::histogram_record("linalg.lu.factor_s", t0.elapsed().as_secs_f64());
         }
         Ok(())
+    }
+
+    /// Scales `self.lu` to unit max-norm rows, then unit max-norm
+    /// columns, recording the scales for the solve paths. Rows or
+    /// columns that are all zero (or non-finite) keep scale 1 so the
+    /// singularity surfaces in elimination instead of here.
+    fn equilibrate_in_place(&mut self) {
+        let n = self.dim();
+        for i in 0..n {
+            let row = self.lu.row_mut(i);
+            let max = row.iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
+            let r = if max > 0.0 && max.is_finite() {
+                1.0 / max
+            } else {
+                1.0
+            };
+            self.row_scale[i] = r;
+            if r != 1.0 {
+                for v in row.iter_mut() {
+                    *v *= r;
+                }
+            }
+        }
+        self.col_scale.fill(0.0);
+        for i in 0..n {
+            for (m, &v) in self.col_scale.iter_mut().zip(self.lu.row(i)) {
+                *m = m.max(v.abs());
+            }
+        }
+        for c in &mut self.col_scale {
+            *c = if *c > 0.0 && c.is_finite() { 1.0 / *c } else { 1.0 };
+        }
+        for i in 0..n {
+            for (v, &c) in self.lu.row_mut(i).iter_mut().zip(&self.col_scale) {
+                if c != 1.0 {
+                    *v *= c;
+                }
+            }
+        }
+        self.equilibrated = true;
+    }
+
+    /// Whether the current factorization was equilibrated.
+    pub fn is_equilibrated(&self) -> bool {
+        self.equilibrated
     }
 
     fn require_factored(&self, op: &'static str) -> Result<()> {
@@ -537,8 +769,21 @@ impl LuWorkspace {
         }
         for (i, &p) in self.perm.iter().enumerate() {
             out.row_mut(i).copy_from_slice(b.row(p));
+            if self.equilibrated {
+                let r = self.row_scale[p];
+                for v in out.row_mut(i).iter_mut() {
+                    *v *= r;
+                }
+            }
         }
         substitute_rows_in_place(&self.lu, out);
+        if self.equilibrated {
+            for (i, &c) in self.col_scale.iter().enumerate() {
+                for v in out.row_mut(i).iter_mut() {
+                    *v *= c;
+                }
+            }
+        }
         Ok(())
     }
 
@@ -566,12 +811,20 @@ impl LuWorkspace {
 
     /// One left solve `x·A = b` on the transposed factors: forward on
     /// `Uᵀ`, backward on `Lᵀ` in place, then scatter through `P`.
+    ///
+    /// For equilibrated factors (`x·R⁻¹AₛC⁻¹ = b`) the right-hand side
+    /// is prescaled by the column scales on the way in and the solution
+    /// postscaled by the row scales on the way out.
     fn solve_left_row(&mut self, b: &[f64], x: &mut [f64]) {
         let n = self.dim();
         let y = &mut self.scratch;
         for i in 0..n {
             let row = self.lut.row(i);
-            let mut acc = b[i];
+            let mut acc = if self.equilibrated {
+                b[i] * self.col_scale[i]
+            } else {
+                b[i]
+            };
             for (&u, &yj) in row[..i].iter().zip(y[..i].iter()) {
                 acc -= u * yj;
             }
@@ -585,8 +838,14 @@ impl LuWorkspace {
             }
             y[i] = acc;
         }
-        for (i, &p) in self.perm.iter().enumerate() {
-            x[p] = y[i];
+        if self.equilibrated {
+            for (i, &p) in self.perm.iter().enumerate() {
+                x[p] = y[i] * self.row_scale[p];
+            }
+        } else {
+            for (i, &p) in self.perm.iter().enumerate() {
+                x[p] = y[i];
+            }
         }
     }
 
@@ -605,12 +864,186 @@ impl LuWorkspace {
                 right: (out.len(), 1),
             });
         }
-        solve_vec_with(&self.lu, &self.perm, b.as_slice(), out.as_mut_slice());
+        let x = out.as_mut_slice();
+        let bs = b.as_slice();
+        if self.equilibrated {
+            for (i, &p) in self.perm.iter().enumerate() {
+                x[i] = bs[p] * self.row_scale[p];
+            }
+            substitute_vec_in_place(&self.lu, x);
+            for (xi, &c) in x.iter_mut().zip(&self.col_scale) {
+                *xi *= c;
+            }
+        } else {
+            solve_vec_with(&self.lu, &self.perm, bs, x);
+        }
         Ok(())
+    }
+
+    /// Takes (or grows) the residual/correction buffers for a
+    /// refinement pass over a `rows × cols` right-hand side.
+    fn take_refine_buf(&mut self, rows: usize, cols: usize) -> Box<(Matrix, Matrix)> {
+        match self.refine_buf.take() {
+            Some(b) if b.0.shape() == (rows, cols) => b,
+            _ => Box::new((Matrix::zeros(rows, cols), Matrix::zeros(rows, cols))),
+        }
+    }
+
+    /// Temporarily removes the retained original matrix so refinement
+    /// can solve corrections through `&self` without aliasing it.
+    fn take_retained(&mut self, op: &'static str) -> Result<Matrix> {
+        self.retained.take().ok_or_else(|| LinalgError::InvalidArgument {
+            message: format!("{op}: refinement requires FactorOptions::retain at factor time"),
+        })
+    }
+
+    /// Solves `A · X = B` and iteratively refines the result against the
+    /// retained original system until the Oettli–Prager componentwise
+    /// backward error reaches [`REFINE_TOL`] or stalls.
+    ///
+    /// Residuals are computed in twice working precision (FMA product
+    /// splitting + Neumaier accumulation); a correction step is kept
+    /// only if it strictly improves the backward error, so the refined
+    /// answer is never worse than the plain solve. The final error is
+    /// published on the `linalg.refine_residual` gauge.
+    ///
+    /// # Errors
+    ///
+    /// As [`LuWorkspace::solve_mat_into`], plus
+    /// [`LinalgError::InvalidArgument`] when the factorization was made
+    /// without [`FactorOptions::retain`].
+    pub fn solve_mat_refined_into(&mut self, b: &Matrix, out: &mut Matrix) -> Result<RefineStats> {
+        self.solve_mat_into(b, out)?;
+        let a = self.take_retained("solve_mat_refined_into")?;
+        let mut bufs = self.take_refine_buf(b.nrows(), b.ncols());
+        let (resid, corr) = &mut *bufs;
+        let initial = residual_omega_right(&a, out, b, resid);
+        let mut omega = initial;
+        let mut iterations = 0;
+        while omega > REFINE_TOL && iterations < REFINE_MAX_ITERS {
+            if self.solve_mat_into(resid, corr).is_err() {
+                break;
+            }
+            *out += &*corr;
+            let improved = residual_omega_right(&a, out, b, resid);
+            if improved < omega {
+                omega = improved;
+                iterations += 1;
+            } else {
+                *out -= &*corr;
+                break;
+            }
+        }
+        self.retained = Some(a);
+        self.refine_buf = Some(bufs);
+        performa_obs::gauge_set("linalg.refine_residual", omega);
+        Ok(RefineStats {
+            iterations,
+            initial_backward_error: initial,
+            backward_error: omega,
+            converged: omega <= REFINE_TOL,
+        })
+    }
+
+    /// Left-system counterpart of
+    /// [`LuWorkspace::solve_mat_refined_into`]: solves `X · A = B` and
+    /// refines against the retained original system.
+    ///
+    /// # Errors
+    ///
+    /// See [`LuWorkspace::solve_mat_refined_into`].
+    pub fn solve_left_mat_refined_into(
+        &mut self,
+        b: &Matrix,
+        out: &mut Matrix,
+    ) -> Result<RefineStats> {
+        self.solve_left_mat_into(b, out)?;
+        let a = self.take_retained("solve_left_mat_refined_into")?;
+        let mut bufs = self.take_refine_buf(b.nrows(), b.ncols());
+        let (resid, corr) = &mut *bufs;
+        let initial = residual_omega_left(&a, out, b, resid);
+        let mut omega = initial;
+        let mut iterations = 0;
+        while omega > REFINE_TOL && iterations < REFINE_MAX_ITERS {
+            if self.solve_left_mat_into(resid, corr).is_err() {
+                break;
+            }
+            *out += &*corr;
+            let improved = residual_omega_left(&a, out, b, resid);
+            if improved < omega {
+                omega = improved;
+                iterations += 1;
+            } else {
+                *out -= &*corr;
+                break;
+            }
+        }
+        self.retained = Some(a);
+        self.refine_buf = Some(bufs);
+        performa_obs::gauge_set("linalg.refine_residual", omega);
+        Ok(RefineStats {
+            iterations,
+            initial_backward_error: initial,
+            backward_error: omega,
+            converged: omega <= REFINE_TOL,
+        })
+    }
+
+    /// Refined single right-hand-side solve `A · x = b`. One-shot
+    /// convenience over [`LuWorkspace::solve_mat_refined_into`];
+    /// allocates two `n × 1` staging matrices.
+    ///
+    /// # Errors
+    ///
+    /// See [`LuWorkspace::solve_mat_refined_into`].
+    pub fn solve_vec_refined_into(&mut self, b: &Vector, out: &mut Vector) -> Result<RefineStats> {
+        let n = self.dim();
+        if b.len() != n || out.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "solve_vec_refined_into",
+                left: (b.len(), 1),
+                right: (out.len(), 1),
+            });
+        }
+        let bm = Matrix::from_fn(n, 1, |i, _| b[i]);
+        let mut xm = Matrix::zeros(n, 1);
+        let stats = self.solve_mat_refined_into(&bm, &mut xm)?;
+        for (i, v) in out.as_mut_slice().iter_mut().enumerate() {
+            *v = xm[(i, 0)];
+        }
+        Ok(stats)
+    }
+
+    /// Refined single left solve `x · A = b` — the boundary-system form.
+    ///
+    /// # Errors
+    ///
+    /// See [`LuWorkspace::solve_mat_refined_into`].
+    pub fn solve_left_vec_refined_into(
+        &mut self,
+        b: &Vector,
+        out: &mut Vector,
+    ) -> Result<RefineStats> {
+        let n = self.dim();
+        if b.len() != n || out.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "solve_left_vec_refined_into",
+                left: (1, b.len()),
+                right: (1, out.len()),
+            });
+        }
+        let bm = Matrix::from_fn(1, n, |_, j| b[j]);
+        let mut xm = Matrix::zeros(1, n);
+        let stats = self.solve_left_mat_refined_into(&bm, &mut xm)?;
+        out.as_mut_slice().copy_from_slice(xm.row(0));
+        Ok(stats)
     }
 
     /// Cheap 1-norm condition-number estimate of the factored matrix;
     /// see [`Lu::condition_estimate`].
+    ///
+    /// For an equilibrated factorization the estimate describes the
+    /// scaled system that substitution actually runs on.
     ///
     /// Allocates a few length-`n` scratch vectors — intended for
     /// per-solve diagnostics, not the per-iteration hot path.
@@ -896,6 +1329,137 @@ mod tests {
         let k_lu = lu.condition_estimate();
         assert!((k_ws - k_lu).abs() < 1e-9 * k_lu.max(1.0));
         assert!(ws.bytes() > 0);
+    }
+
+    /// Badly row- and column-scaled but intrinsically benign system:
+    /// `D₁·Q·D₂` with orthogonal-ish `Q` and scales spanning 1e±8.
+    fn wildly_scaled(n: usize) -> Matrix {
+        Matrix::from_fn(n, n, |i, j| {
+            let q = ((i * 37 + j * 11 + 5) % 19) as f64 / 19.0 - 0.5;
+            let base = if i == j { q + 2.0 } else { q };
+            let r = 10f64.powi((i as i32 % 5) * 4 - 8);
+            let c = 10f64.powi(8 - (j as i32 % 5) * 4);
+            base * r * c
+        })
+    }
+
+    #[test]
+    fn equilibrated_solves_match_plain_on_benign_systems() {
+        // On a well-scaled matrix equilibration must not change answers
+        // beyond roundoff, in any solve direction.
+        let a = Matrix::from_rows(&[
+            &[0.0, 2.0, 1.0],
+            &[1.0, 0.0, 3.0],
+            &[4.0, 1.0, 0.0],
+        ]);
+        let b = Matrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64 - 4.0);
+        let bv = Vector::from(vec![1.0, -2.0, 0.5]);
+
+        let mut plain = LuWorkspace::new(3);
+        let mut eq = LuWorkspace::new(3);
+        plain.factor(&a).unwrap();
+        eq.factor_with(&a, FactorOptions { equilibrate: true, retain: false })
+            .unwrap();
+        assert!(eq.is_equilibrated());
+        assert!(!plain.is_equilibrated());
+
+        let (mut x1, mut x2) = (Matrix::zeros(3, 3), Matrix::zeros(3, 3));
+        plain.solve_mat_into(&b, &mut x1).unwrap();
+        eq.solve_mat_into(&b, &mut x2).unwrap();
+        assert!(x1.max_abs_diff(&x2) < 1e-12);
+
+        plain.solve_left_mat_into(&b, &mut x1).unwrap();
+        eq.solve_left_mat_into(&b, &mut x2).unwrap();
+        assert!(x1.max_abs_diff(&x2) < 1e-12);
+
+        let (mut v1, mut v2) = (Vector::zeros(3), Vector::zeros(3));
+        plain.solve_vec_into(&bv, &mut v1).unwrap();
+        eq.solve_vec_into(&bv, &mut v2).unwrap();
+        assert!(v1.max_abs_diff(&v2) < 1e-12);
+    }
+
+    #[test]
+    fn equilibration_solves_wildly_scaled_systems() {
+        let n = 12;
+        let a = wildly_scaled(n);
+        let x_true = Matrix::from_fn(n, 2, |i, j| (i + j) as f64 / 5.0 - 1.0);
+        let b = &a * &x_true;
+        let mut ws = LuWorkspace::new(n);
+        ws.factor_with(&a, FactorOptions { equilibrate: true, retain: false })
+            .unwrap();
+        let mut x = Matrix::zeros(n, 2);
+        ws.solve_mat_into(&b, &mut x).unwrap();
+        // Residual relative to the data scale, not the (huge) solution.
+        let back = &a * &x;
+        assert!(back.max_abs_diff(&b) <= 1e-8 * b.norm_inf());
+
+        // Left direction on the same factors.
+        let xl_true = Matrix::from_fn(2, n, |i, j| (2 * i + j) as f64 / 7.0 - 0.5);
+        let bl = &xl_true * &a;
+        let mut xl = Matrix::zeros(2, n);
+        ws.solve_left_mat_into(&bl, &mut xl).unwrap();
+        assert!((&xl * &a).max_abs_diff(&bl) <= 1e-8 * bl.norm_inf());
+    }
+
+    #[test]
+    fn refined_solve_requires_retained_matrix() {
+        let mut ws = LuWorkspace::new(2);
+        ws.factor_with(
+            &Matrix::identity(2),
+            FactorOptions { equilibrate: true, retain: false },
+        )
+        .unwrap();
+        let b = Matrix::identity(2);
+        let mut x = Matrix::zeros(2, 2);
+        assert!(matches!(
+            ws.solve_mat_refined_into(&b, &mut x),
+            Err(LinalgError::InvalidArgument { .. })
+        ));
+    }
+
+    #[test]
+    fn refinement_reaches_working_precision_on_scaled_system() {
+        let n = 10;
+        let a = wildly_scaled(n);
+        let x_true = Matrix::from_fn(n, 1, |i, _| (i as f64 + 1.0) / 3.0);
+        let b = &a * &x_true;
+        let mut ws = LuWorkspace::new(n);
+        ws.factor_with(&a, FactorOptions::hardened()).unwrap();
+        let mut x = Matrix::zeros(n, 1);
+        let stats = ws.solve_mat_refined_into(&b, &mut x).unwrap();
+        assert!(
+            stats.backward_error <= stats.initial_backward_error,
+            "refinement made things worse: {stats:?}"
+        );
+        assert!(stats.converged, "no convergence: {stats:?}");
+        assert!(stats.backward_error <= REFINE_TOL);
+
+        // Vector forms agree with the matrix form.
+        let bv = Vector::from((0..n).map(|i| b[(i, 0)]).collect::<Vec<_>>());
+        let mut xv = Vector::zeros(n);
+        let vstats = ws.solve_vec_refined_into(&bv, &mut xv).unwrap();
+        assert!(vstats.converged);
+        for i in 0..n {
+            assert!(approx(xv[i], x[(i, 0)], 1e-12 * x_true.norm_inf()));
+        }
+    }
+
+    #[test]
+    fn left_refinement_certifies_boundary_style_solves() {
+        let n = 9;
+        let a = wildly_scaled(n);
+        let b = Matrix::from_fn(1, n, |_, j| (j as f64) / 4.0 - 1.0);
+        let mut ws = LuWorkspace::new(n);
+        ws.factor_with(&a, FactorOptions::hardened()).unwrap();
+        let mut x = Matrix::zeros(1, n);
+        let stats = ws.solve_left_mat_refined_into(&b, &mut x).unwrap();
+        assert!(stats.converged, "left refinement stalled: {stats:?}");
+
+        let bv = Vector::from(b.row(0).to_vec());
+        let mut xv = Vector::zeros(n);
+        let vstats = ws.solve_left_vec_refined_into(&bv, &mut xv).unwrap();
+        assert!(vstats.converged);
+        assert!(xv.max_abs_diff(&Vector::from(x.row(0).to_vec())) < 1e-12);
     }
 
     #[test]

@@ -73,6 +73,13 @@ impl Vector {
         self.0.iter().sum()
     }
 
+    /// Neumaier-compensated sum of the entries — immune to the
+    /// cancellation that plain [`Vector::sum`] suffers on long
+    /// mixed-sign series (see [`crate::compensated`]).
+    pub fn sum_compensated(&self) -> f64 {
+        crate::compensated::sum(&self.0)
+    }
+
     /// Dot product with another vector.
     ///
     /// # Panics
@@ -81,6 +88,17 @@ impl Vector {
     pub fn dot(&self, other: &Vector) -> f64 {
         assert_eq!(self.len(), other.len(), "length mismatch in dot product");
         self.0.iter().zip(&other.0).map(|(a, b)| a * b).sum()
+    }
+
+    /// Compensated dot product (FMA product splitting + Neumaier
+    /// accumulation) — used for probability-mass inner products where
+    /// tail terms are many orders below the head.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn dot_compensated(&self, other: &Vector) -> f64 {
+        crate::compensated::dot(&self.0, &other.0)
     }
 
     /// Largest absolute entry; `0.0` for an empty vector.
@@ -111,6 +129,17 @@ impl Vector {
     /// and `0.0` is returned.
     pub fn normalize_sum(&mut self) -> f64 {
         let s = self.sum();
+        if s != 0.0 {
+            self.scale_mut(1.0 / s);
+        }
+        s
+    }
+
+    /// Like [`Vector::normalize_sum`] but with the total computed by
+    /// Neumaier-compensated summation — the right normalizer for
+    /// stationary vectors whose entries span many orders of magnitude.
+    pub fn normalize_sum_compensated(&mut self) -> f64 {
+        let s = self.sum_compensated();
         if s != 0.0 {
             self.scale_mut(1.0 / s);
         }

@@ -25,11 +25,13 @@
 //! * `metric`: `metric` (`counter`/`gauge`/`histogram`), `value`
 //!   (number).
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::record::Record;
@@ -146,13 +148,31 @@ pub fn to_json_line(record: &Record) -> String {
 }
 
 /// File sink writing one NDJSON line per record.
+///
+/// Observability must never take the solver down: a full disk, a broken
+/// pipe or a poisoned writer lock drops the affected record instead of
+/// panicking. Drops are counted — readable via
+/// [`NdjsonSink::dropped_records`] and mirrored to the
+/// `obs.dropped_records` counter metric — so silent trace truncation is
+/// still detectable.
 pub struct NdjsonSink {
     writer: Mutex<BufWriter<File>>,
+    dropped: AtomicU64,
+}
+
+thread_local! {
+    /// Re-entrancy guard for drop accounting: the `obs.dropped_records`
+    /// counter fans back out through the recorder to every sink —
+    /// including the failing one, whose nested failure must not emit
+    /// another counter.
+    static COUNTING_DROP: Cell<bool> = const { Cell::new(false) };
 }
 
 impl fmt::Debug for NdjsonSink {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("NdjsonSink").finish_non_exhaustive()
+        f.debug_struct("NdjsonSink")
+            .field("dropped", &self.dropped.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
     }
 }
 
@@ -167,23 +187,45 @@ impl NdjsonSink {
         let file = File::create(path)?;
         Ok(NdjsonSink {
             writer: Mutex::new(BufWriter::new(file)),
+            dropped: AtomicU64::new(0),
         })
+    }
+
+    /// Number of records this sink failed to persist (I/O errors or a
+    /// poisoned writer lock).
+    pub fn dropped_records(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    fn count_drop(&self) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+        COUNTING_DROP.with(|guard| {
+            if !guard.get() {
+                guard.set(true);
+                crate::counter_add("obs.dropped_records", 1);
+                guard.set(false);
+            }
+        });
     }
 }
 
 impl Sink for NdjsonSink {
     fn record(&self, record: &Record) {
         let line = to_json_line(record);
-        let mut w = self.writer.lock().expect("ndjson sink poisoned");
-        let _ = writeln!(w, "{line}");
+        let Ok(mut w) = self.writer.lock() else {
+            self.count_drop();
+            return;
+        };
+        if writeln!(w, "{line}").is_err() {
+            drop(w);
+            self.count_drop();
+        }
     }
 
     fn flush(&self) {
-        let _ = self
-            .writer
-            .lock()
-            .expect("ndjson sink poisoned")
-            .flush();
+        if let Ok(mut w) = self.writer.lock() {
+            let _ = w.flush();
+        }
     }
 }
 
@@ -713,6 +755,33 @@ mod tests {
         let stats = validate_file(&path).expect("valid file");
         assert_eq!(stats.metric, 1);
         assert_eq!(stats.event, 1);
+        assert_eq!(sink.dropped_records(), 0);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A sink whose device rejects writes must drop records (and count
+    /// them) rather than panic: observability never takes the solver down.
+    #[cfg(unix)]
+    #[test]
+    fn full_device_drops_records_without_panicking() {
+        let path = Path::new("/dev/full");
+        let Ok(sink) = NdjsonSink::create(path) else {
+            // Sandboxes without /dev/full: nothing to exercise.
+            return;
+        };
+        // BufWriter only surfaces ENOSPC once its 8 KiB buffer spills, so
+        // push enough lines to guarantee several flush attempts.
+        for i in 0..2000u64 {
+            sink.record(&Record::Metric {
+                kind: MetricKind::Counter,
+                name: "sim.events",
+                t: i as f64,
+                value: i as f64,
+            });
+        }
+        assert!(
+            sink.dropped_records() > 0,
+            "writes to /dev/full should have been counted as drops"
+        );
     }
 }

@@ -71,7 +71,7 @@ pub mod mm1;
 pub use error::QbdError;
 pub use finite::{FiniteQbd, FiniteSolution};
 pub use level_dep::{LevelDependentQbd, LevelDependentSolution};
-pub use qbd::{Qbd, SolveOptions};
+pub use qbd::{DriftClass, Hardening, Qbd, SolveOptions};
 pub use solution::QbdSolution;
 pub use supervisor::{
     GStrategy, SolveReport, SolveWarning, SolverSupervisor, StageAttempt, StageBudget,

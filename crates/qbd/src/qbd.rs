@@ -1,6 +1,9 @@
 use std::time::Instant;
 
-use performa_linalg::{lu::Lu, Matrix, Vector};
+use performa_linalg::{
+    lu::{FactorOptions, Lu, LuWorkspace},
+    Matrix, Vector,
+};
 
 use crate::fault;
 use crate::solution::QbdSolution;
@@ -66,6 +69,103 @@ fn watchdog_obs(stage: &'static str, iteration: usize) {
     );
 }
 
+/// Subtracts the rank-one shift term `(Mε)uᵀ` (`u = ε/m`) from `out`:
+/// every entry of row `i` loses `rowsum[i]/m`.
+fn subtract_rank_one_rowsum(out: &mut Matrix, row_sums: &Vector, um: f64) {
+    for i in 0..out.nrows() {
+        let s = row_sums[i] * um;
+        for v in out.row_mut(i).iter_mut() {
+            *v -= s;
+        }
+    }
+}
+
+/// Undoes the spectral shift on a computed `Ĝ = G − εuᵀ`: adds `1/m`
+/// back to every entry.
+fn undo_shift(g: &mut Matrix, um: f64) {
+    for i in 0..g.nrows() {
+        for v in g.row_mut(i).iter_mut() {
+            *v += um;
+        }
+    }
+}
+
+/// Numerical-hardening switches for the `G`-matrix stages.
+///
+/// All off by default — the default path is bit-identical to the
+/// unhardened solver. The supervisor's recovery ladder escalates to
+/// [`Hardening::full`] when a stage breaks down or the drift
+/// classifier reports a near-null-recurrent chain.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Hardening {
+    /// Spectral shift: deflate the unit eigenvalue of `A0+A1+A2` with
+    /// the rank-one update `Ã1 = A1 + (A0ε)uᵀ`, `Ã2 = A2 − (A2ε)uᵀ`
+    /// (`u = ε/m`), solve the shifted equation for `Ĝ = G − εuᵀ` and
+    /// undo the shift on the result. Restores quadratic convergence on
+    /// near-null-recurrent chains where the unshifted iteration stalls
+    /// and overflows. Valid only for recurrent chains (`Gε = ε`);
+    /// requesting it on an unstable chain yields [`QbdError::Unstable`].
+    /// Applied by logarithmic reduction and functional iteration; Neuts
+    /// substitution ignores it (the shift breaks the non-negativity its
+    /// monotone convergence relies on) but still enforces the
+    /// recurrence gate.
+    pub shift: bool,
+    /// Row/column equilibration of every LU factorization in the stage
+    /// (see [`performa_linalg::lu::FactorOptions::equilibrate`]).
+    pub equilibrate: bool,
+    /// Iterative refinement of the one-shot setup solves (the hot
+    /// inner-loop solves stay plain: a per-iteration residual pass
+    /// would dominate the kernel work).
+    pub refine: bool,
+}
+
+impl Hardening {
+    /// Every mitigation enabled — the top rung of the recovery ladder.
+    pub fn full() -> Self {
+        Hardening {
+            shift: true,
+            equilibrate: true,
+            refine: true,
+        }
+    }
+
+    /// `true` when any mitigation is enabled.
+    pub fn any(&self) -> bool {
+        self.shift || self.equilibrate || self.refine
+    }
+
+    /// Factor options for the stage's one-shot setup systems.
+    fn setup_factor(&self) -> FactorOptions {
+        FactorOptions {
+            equilibrate: self.equilibrate,
+            retain: self.refine,
+        }
+    }
+
+    /// Factor options for per-iteration systems: equilibration only,
+    /// never the retained copy refinement needs.
+    fn inner_factor(&self) -> FactorOptions {
+        FactorOptions {
+            equilibrate: self.equilibrate,
+            retain: false,
+        }
+    }
+}
+
+/// Drift classification of a QBD, produced by [`Qbd::classify_drift`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftClass {
+    /// `ρ` comfortably below one: the default solver path suffices.
+    PositiveRecurrent,
+    /// `ρ` within the margin of one: recurrent, but the unit eigenvalue
+    /// of `A0+A1+A2` nearly collides with the decay eigenvalue and the
+    /// unshifted iterations lose their convergence rate — harden from
+    /// the start.
+    NearNullRecurrent,
+    /// `ρ ≥ 1`: no stationary distribution exists.
+    Unstable,
+}
+
 /// Options controlling the iterative stages of [`Qbd::solve`].
 #[derive(Debug, Clone, Copy)]
 pub struct SolveOptions {
@@ -73,6 +173,8 @@ pub struct SolveOptions {
     pub tolerance: f64,
     /// Iteration cap for the `G` computation.
     pub max_iterations: usize,
+    /// Numerical hardening applied to the `G` stages (default: none).
+    pub hardening: Hardening,
 }
 
 impl Default for SolveOptions {
@@ -80,6 +182,18 @@ impl Default for SolveOptions {
         SolveOptions {
             tolerance: 1e-14,
             max_iterations: 200,
+            hardening: Hardening::default(),
+        }
+    }
+}
+
+impl SolveOptions {
+    /// Default tolerances with full hardening — the configuration that
+    /// recovers the paper-scale near-null-recurrent cases (`N2_T32`).
+    pub fn hardened() -> Self {
+        SolveOptions {
+            hardening: Hardening::full(),
+            ..SolveOptions::default()
         }
     }
 }
@@ -332,7 +446,7 @@ impl Qbd {
             }
         }
         let mut phi = Lu::factor(&at)?.solve_vec(&Vector::basis(n, n - 1))?;
-        phi.normalize_sum();
+        phi.normalize_sum_compensated();
         Ok(phi)
     }
 
@@ -361,6 +475,43 @@ impl Qbd {
         Ok(up < down)
     }
 
+    /// Drift pre-check: classifies the chain by `ρ = φ·A0·ε / φ·A2·ε`,
+    /// with `margin` defining the near-null-recurrent band
+    /// `1 − margin < ρ < 1` where the unshifted `G` iterations lose
+    /// their convergence rate and hardening should be on from the start.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Qbd::drift`] errors.
+    pub fn classify_drift(&self, margin: f64) -> Result<DriftClass> {
+        let (up, down) = self.drift()?;
+        if up >= down {
+            Ok(DriftClass::Unstable)
+        } else if up > (1.0 - margin) * down {
+            Ok(DriftClass::NearNullRecurrent)
+        } else {
+            Ok(DriftClass::PositiveRecurrent)
+        }
+    }
+
+    /// Recurrence gate for the spectral shift: the deflation assumes
+    /// `Gε = ε`, which only holds for recurrent chains. A shifted solve
+    /// on an unstable chain would silently converge to a wrong `G`, so
+    /// the gate turns it into a typed error instead.
+    fn shift_gate(&self, hardening: Hardening) -> Result<()> {
+        if !hardening.shift {
+            return Ok(());
+        }
+        let (up, down) = self.drift()?;
+        if up >= down {
+            return Err(QbdError::Unstable {
+                up_rate: up,
+                down_rate: down,
+            });
+        }
+        Ok(())
+    }
+
     /// Computes the matrix `G` (first-passage phase probabilities one level
     /// down) by **logarithmic reduction** (Latouche & Ramaswami), the
     /// quadratically convergent standard algorithm.
@@ -375,28 +526,64 @@ impl Qbd {
     /// [`QbdError::Linalg`] on singular intermediate systems.
     pub fn g_matrix(&self, opts: SolveOptions) -> Result<Matrix> {
         Ok(self
-            .g_logred_counted(opts.tolerance, opts.max_iterations, None)?
+            .g_logred_counted(opts.tolerance, opts.max_iterations, None, opts.hardening)?
             .0)
     }
 
     /// Counted logarithmic reduction with NaN/Inf watchdog, optional
-    /// wall-clock deadline and fault-injection hooks (stage key
-    /// `"logred"`). Backs both [`Qbd::g_matrix`] and the supervisor.
+    /// wall-clock deadline, fault-injection hooks (stage key `"logred"`)
+    /// and [`Hardening`] mitigations. Backs both [`Qbd::g_matrix`] and
+    /// the supervisor.
+    ///
+    /// With `hardening.shift` the recursion runs on the deflated blocks
+    /// `(A0, Ã1, Ã2)` and converges to `Ĝ = G − εuᵀ`; the shift is
+    /// undone before returning. Near null recurrence this restores the
+    /// quadratic convergence the unshifted recursion loses (`‖T‖` then
+    /// stays O(1) instead of vanishing, so termination comes from the
+    /// increment norm — already part of the convergence test).
     pub(crate) fn g_logred_counted(
         &self,
         tolerance: f64,
         max_iterations: usize,
         deadline: Option<Instant>,
+        hardening: Hardening,
     ) -> Result<(Matrix, usize)> {
+        self.shift_gate(hardening)?;
         let m = self.phase_dim();
+        let um = 1.0 / m as f64;
+        if hardening.shift {
+            performa_obs::counter_add("qbd.shift_applied", 1);
+        }
         workspace::with(m, |ws| {
-            // k1 = H = (−A1)⁻¹·A0 (up), k2 = L = (−A1)⁻¹·A2 (down);
+            // k1 = H = (−Ã1)⁻¹·A0 (up), k2 = L = (−Ã1)⁻¹·Ã2 (down);
             // iterates x1 = G (seeded from L), x2 = T (seeded from H).
+            // Unshifted, Ã1 = A1 and Ã2 = A2.
             ws.t1.copy_from(&self.a1);
             ws.t1.scale_mut(-1.0);
-            ws.lu.factor(&ws.t1)?;
-            ws.lu.solve_mat_into(&self.a0, &mut ws.k1)?;
-            ws.lu.solve_mat_into(&self.a2, &mut ws.k2)?;
+            if hardening.shift {
+                // −Ã1 = −A1 − (A0ε)uᵀ.
+                subtract_rank_one_rowsum(&mut ws.t1, &self.a0.row_sums(), um);
+            }
+            ws.lu.factor_with(&ws.t1, hardening.setup_factor())?;
+            let down_block = if hardening.shift {
+                // Ã2 = A2 − (A2ε)uᵀ, staged in t2 (free until the loop).
+                ws.t2.copy_from(&self.a2);
+                subtract_rank_one_rowsum(&mut ws.t2, &self.a2.row_sums(), um);
+                &ws.t2
+            } else {
+                &self.a2
+            };
+            if hardening.refine {
+                let s1 = ws.lu.solve_mat_refined_into(&self.a0, &mut ws.k1)?;
+                let s2 = ws.lu.solve_mat_refined_into(down_block, &mut ws.k2)?;
+                performa_obs::counter_add(
+                    "qbd.refine_iters",
+                    (s1.iterations + s2.iterations) as u64,
+                );
+            } else {
+                ws.lu.solve_mat_into(&self.a0, &mut ws.k1)?;
+                ws.lu.solve_mat_into(down_block, &mut ws.k2)?;
+            }
             ws.x1.copy_from(&ws.k2);
             ws.x2.copy_from(&ws.k1);
 
@@ -410,7 +597,7 @@ impl Qbd {
                 gemm(1.0, &ws.k2, &ws.k1, 1.0, &mut ws.t1);
                 ws.t1.scale_mut(-1.0);
                 ws.t1.add_scaled_identity(1.0);
-                ws.lu.factor(&ws.t1)?;
+                ws.lu.factor_with(&ws.t1, hardening.inner_factor())?;
                 // H ← (I−U)⁻¹·H², L ← (I−U)⁻¹·L².
                 gemm(1.0, &ws.k1, &ws.k1, 0.0, &mut ws.t2);
                 ws.lu.solve_mat_into(&ws.t2, &mut ws.k1)?;
@@ -438,7 +625,11 @@ impl Qbd {
                     if !fault::stalled("logred")
                         && (ws.x2.norm_inf() < tolerance || add_norm < tolerance)
                     {
-                        return Ok((ws.x1.clone(), it + 1));
+                        let mut g = ws.x1.clone();
+                        if hardening.shift {
+                            undo_shift(&mut g, um);
+                        }
+                        return Ok((g, it + 1));
                     }
                 }
             }
@@ -459,25 +650,69 @@ impl Qbd {
     /// Same conditions as [`Qbd::g_matrix`], with a larger default budget
     /// needed in practice.
     pub fn g_matrix_functional(&self, tolerance: f64, max_iterations: usize) -> Result<Matrix> {
-        Ok(self.g_functional_counted(tolerance, max_iterations, None)?.0)
+        Ok(self
+            .g_functional_counted(tolerance, max_iterations, None, Hardening::default())?
+            .0)
+    }
+
+    /// [`Qbd::g_matrix_functional`] with explicit [`SolveOptions`],
+    /// including hardening (shift + equilibration + refinement).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Qbd::g_matrix_functional`], plus
+    /// [`QbdError::Unstable`] when a shift is requested on an unstable
+    /// chain.
+    pub fn g_matrix_functional_with(&self, opts: SolveOptions) -> Result<Matrix> {
+        Ok(self
+            .g_functional_counted(opts.tolerance, opts.max_iterations, None, opts.hardening)?
+            .0)
     }
 
     /// Counted functional iteration with watchdogs (stage key
-    /// `"functional"`); see [`Qbd::g_logred_counted`].
+    /// `"functional"`); see [`Qbd::g_logred_counted`]. The shift runs
+    /// the iteration `Ĝ ← (−Ã1)⁻¹(Ã2 + A0·Ĝ²)` on the deflated blocks
+    /// and undoes the shift on the result.
     pub(crate) fn g_functional_counted(
         &self,
         tolerance: f64,
         max_iterations: usize,
         deadline: Option<Instant>,
+        hardening: Hardening,
     ) -> Result<(Matrix, usize)> {
-        workspace::with(self.phase_dim(), |ws| {
-            // k1 = base = (−A1)⁻¹·A2, k2 = up = (−A1)⁻¹·A0; iterate
-            // x1 = G seeded from base.
+        self.shift_gate(hardening)?;
+        let m = self.phase_dim();
+        let um = 1.0 / m as f64;
+        if hardening.shift {
+            performa_obs::counter_add("qbd.shift_applied", 1);
+        }
+        workspace::with(m, |ws| {
+            // k1 = base = (−Ã1)⁻¹·Ã2, k2 = up = (−Ã1)⁻¹·A0; iterate
+            // x1 = Ĝ seeded from base (Ã1 = A1, Ã2 = A2 unshifted).
             ws.t1.copy_from(&self.a1);
             ws.t1.scale_mut(-1.0);
-            ws.lu.factor(&ws.t1)?;
-            ws.lu.solve_mat_into(&self.a2, &mut ws.k1)?;
-            ws.lu.solve_mat_into(&self.a0, &mut ws.k2)?;
+            if hardening.shift {
+                subtract_rank_one_rowsum(&mut ws.t1, &self.a0.row_sums(), um);
+            }
+            ws.lu.factor_with(&ws.t1, hardening.setup_factor())?;
+            let down_block = if hardening.shift {
+                ws.t2.copy_from(&self.a2);
+                subtract_rank_one_rowsum(&mut ws.t2, &self.a2.row_sums(), um);
+                &ws.t2
+            } else {
+                &self.a2
+            };
+            if hardening.refine {
+                let s1 = ws.lu.solve_mat_refined_into(down_block, &mut ws.k1)?;
+                let s2 = ws.lu.solve_mat_refined_into(&self.a0, &mut ws.k2)?;
+                performa_obs::counter_add(
+                    "qbd.refine_iters",
+                    (s1.iterations + s2.iterations) as u64,
+                );
+            } else {
+                ws.lu.solve_mat_into(down_block, &mut ws.k1)?;
+                ws.lu.solve_mat_into(&self.a0, &mut ws.k2)?;
+            }
             ws.x1.copy_from(&ws.k1);
 
             let mut last_diff = f64::NAN;
@@ -505,7 +740,11 @@ impl Qbd {
                     let converged = !fault::stalled("functional") && last_diff < tolerance;
                     std::mem::swap(&mut ws.x1, &mut ws.t2);
                     if converged {
-                        return Ok((ws.x1.clone(), it + 1));
+                        let mut g = ws.x1.clone();
+                        if hardening.shift {
+                            undo_shift(&mut g, um);
+                        }
+                        return Ok((g, it + 1));
                     }
                 } else {
                     std::mem::swap(&mut ws.x1, &mut ws.t2);
@@ -531,17 +770,38 @@ impl Qbd {
     ///
     /// Same conditions as [`Qbd::g_matrix`].
     pub fn g_matrix_neuts(&self, tolerance: f64, max_iterations: usize) -> Result<Matrix> {
-        Ok(self.g_neuts_counted(tolerance, max_iterations, None)?.0)
+        Ok(self
+            .g_neuts_counted(tolerance, max_iterations, None, Hardening::default())?
+            .0)
+    }
+
+    /// [`Qbd::g_matrix_neuts`] with explicit [`SolveOptions`]. Neuts
+    /// substitution honors equilibration but not the spectral shift
+    /// (see [`Hardening::shift`]); with `shift` set it still enforces
+    /// the recurrence gate.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Qbd::g_matrix_neuts`], plus
+    /// [`QbdError::Unstable`] when a shift is requested on an unstable
+    /// chain.
+    pub fn g_matrix_neuts_with(&self, opts: SolveOptions) -> Result<Matrix> {
+        Ok(self
+            .g_neuts_counted(opts.tolerance, opts.max_iterations, None, opts.hardening)?
+            .0)
     }
 
     /// Counted Neuts substitution with watchdogs (stage key `"neuts"`);
-    /// see [`Qbd::g_logred_counted`].
+    /// see [`Qbd::g_logred_counted`]. Hardening applies equilibration to
+    /// the per-iteration factorizations; the shift flag only gates.
     pub(crate) fn g_neuts_counted(
         &self,
         tolerance: f64,
         max_iterations: usize,
         deadline: Option<Instant>,
+        hardening: Hardening,
     ) -> Result<(Matrix, usize)> {
+        self.shift_gate(hardening)?;
         workspace::with(self.phase_dim(), |ws| {
             // Iterate x1 = G, seeded at zero (the classical opening).
             ws.x1.fill(0.0);
@@ -555,7 +815,7 @@ impl Qbd {
                 ws.t1.copy_from(&self.a1);
                 gemm(1.0, &self.a0, &ws.x1, 1.0, &mut ws.t1);
                 ws.t1.scale_mut(-1.0);
-                ws.lu.factor(&ws.t1)?;
+                ws.lu.factor_with(&ws.t1, hardening.inner_factor())?;
                 ws.lu.solve_mat_into(&self.a2, &mut ws.t2)?;
                 fault::poison("neuts", it, &mut ws.t2);
                 if checking {
@@ -593,24 +853,36 @@ impl Qbd {
     /// [`QbdError::Linalg`] if the inner matrix is singular (never for a
     /// valid stable QBD).
     pub fn r_from_g(&self, g: &Matrix) -> Result<Matrix> {
-        Ok(self.r_from_g_with_cond(g)?.0)
+        Ok(self.r_from_g_with_cond(g, Hardening::default())?.0)
     }
 
     /// `R` plus the 1-norm condition estimate of the factored system
     /// `−(A1 + A0·G)` — the supervisor surfaces the estimate as an
-    /// `IllConditioned` warning when it is large.
-    pub(crate) fn r_from_g_with_cond(&self, g: &Matrix) -> Result<(Matrix, f64)> {
+    /// `IllConditioned` warning when it is large. This is a one-shot
+    /// solve, so `hardening.refine` buys a componentwise-certified `R`
+    /// at negligible cost; the shift flag is meaningless here and
+    /// ignored.
+    pub(crate) fn r_from_g_with_cond(
+        &self,
+        g: &Matrix,
+        hardening: Hardening,
+    ) -> Result<(Matrix, f64)> {
         let m = self.phase_dim();
         workspace::with(m, |ws| {
             // t1 ← −(A1 + A0·G), factored into the reusable workspace.
             ws.t1.copy_from(&self.a1);
             gemm(1.0, &self.a0, g, 1.0, &mut ws.t1);
             ws.t1.scale_mut(-1.0);
-            ws.lu.factor(&ws.t1)?;
+            ws.lu.factor_with(&ws.t1, hardening.setup_factor())?;
             let cond = ws.lu.condition_estimate();
             // R = A0·(−U)⁻¹ ⇔ solve X·(−U) = A0.
             let mut r = Matrix::zeros(m, m);
-            ws.lu.solve_left_mat_into(&self.a0, &mut r)?;
+            if hardening.refine {
+                let stats = ws.lu.solve_left_mat_refined_into(&self.a0, &mut r)?;
+                performa_obs::counter_add("qbd.refine_iters", stats.iterations as u64);
+            } else {
+                ws.lu.solve_left_mat_into(&self.a0, &mut r)?;
+            }
             Ok((r, cond))
         })
     }
@@ -640,14 +912,25 @@ impl Qbd {
             });
         }
         let g = self.g_matrix(opts)?;
-        let r = self.r_from_g(&g)?;
-        Ok(self.boundary_from_gr(g, r)?.0)
+        let r = self.r_from_g_with_cond(&g, opts.hardening)?.0;
+        Ok(self.boundary_from_gr(g, r, opts.hardening)?.0)
     }
 
     /// Assembles the boundary vectors `(π₀, π₁)` and the full solution
     /// from already-computed `G` and `R`, returning the 1-norm condition
     /// estimate of the boundary linear system alongside.
-    pub(crate) fn boundary_from_gr(&self, g: Matrix, r: Matrix) -> Result<(QbdSolution, f64)> {
+    ///
+    /// The boundary system inherits the generator's full dynamic range
+    /// (TPT stage rates span `p^T`), so it is the single most
+    /// ill-conditioned solve in the pipeline; `hardening` applies
+    /// equilibration and iterative refinement to it (the shift flag has
+    /// no meaning here and is ignored).
+    pub(crate) fn boundary_from_gr(
+        &self,
+        g: Matrix,
+        r: Matrix,
+        hardening: Hardening,
+    ) -> Result<(QbdSolution, f64)> {
         let m = self.phase_dim();
 
         // Boundary system for x = [π0, π1]:
@@ -688,15 +971,26 @@ impl Qbd {
             sys[(i, dim - 1)] = 1.0;
             sys[(m + i, dim - 1)] = geo_eps[i];
         }
-        let lu_sys = Lu::factor(&sys)?;
+        // The 2m system runs once per solve, outside the workspace arena
+        // (which is keyed to m); a dedicated factorization is fine here.
+        let mut lu_sys = LuWorkspace::new(dim);
+        lu_sys.factor_with(&sys, hardening.setup_factor())?;
         let cond = lu_sys.condition_estimate();
-        let x = lu_sys.solve_left_vec(&Vector::basis(dim, dim - 1))?;
+        let mut rhs = Matrix::zeros(1, dim);
+        rhs[(0, dim - 1)] = 1.0;
+        let mut x = Matrix::zeros(1, dim);
+        if hardening.refine {
+            let stats = lu_sys.solve_left_mat_refined_into(&rhs, &mut x)?;
+            performa_obs::counter_add("qbd.refine_iters", stats.iterations as u64);
+        } else {
+            lu_sys.solve_left_mat_into(&rhs, &mut x)?;
+        }
 
         let mut pi0 = Vector::zeros(m);
         let mut pi1 = Vector::zeros(m);
         for i in 0..m {
-            pi0[i] = x[i].max(0.0);
-            pi1[i] = x[m + i].max(0.0);
+            pi0[i] = x[(0, i)].max(0.0);
+            pi1[i] = x[(0, m + i)].max(0.0);
         }
         Ok((QbdSolution::assemble(pi0, pi1, r, g)?, cond))
     }
@@ -942,9 +1236,9 @@ mod tests {
         let qbd = mmpp2(1.0);
         let past = Some(std::time::Instant::now() - std::time::Duration::from_millis(1));
         for result in [
-            qbd.g_neuts_counted(1e-12, 100, past),
-            qbd.g_functional_counted(1e-12, 100, past),
-            qbd.g_logred_counted(1e-12, 100, past),
+            qbd.g_neuts_counted(1e-12, 100, past, Hardening::default()),
+            qbd.g_functional_counted(1e-12, 100, past, Hardening::default()),
+            qbd.g_logred_counted(1e-12, 100, past, Hardening::default()),
         ] {
             assert!(matches!(result, Err(QbdError::DeadlineExceeded { .. })));
         }
@@ -987,6 +1281,90 @@ mod tests {
         let phi = qbd.phase_steady_state().unwrap();
         let marginal = sol.marginal_phase();
         assert!(marginal.max_abs_diff(&phi) < 1e-10);
+    }
+
+    #[test]
+    fn shifted_logred_agrees_with_plain() {
+        for lambda in [0.4, 1.0, 1.5] {
+            let qbd = mmpp2(lambda);
+            let plain = qbd.g_matrix(SolveOptions::default()).unwrap();
+            let shifted = qbd.g_matrix(SolveOptions::hardened()).unwrap();
+            assert!(
+                plain.max_abs_diff(&shifted) < 1e-10,
+                "lambda={lambda}: diff {}",
+                plain.max_abs_diff(&shifted)
+            );
+        }
+    }
+
+    #[test]
+    fn shifted_functional_agrees_with_plain() {
+        let qbd = mmpp2(1.0);
+        let plain = qbd.g_matrix_functional(1e-13, 100_000).unwrap();
+        let opts = SolveOptions {
+            tolerance: 1e-13,
+            max_iterations: 100_000,
+            hardening: Hardening::full(),
+        };
+        let shifted = qbd.g_matrix_functional_with(opts).unwrap();
+        assert!(plain.max_abs_diff(&shifted) < 1e-10);
+    }
+
+    #[test]
+    fn hardened_neuts_agrees_with_plain() {
+        let qbd = mmpp2(1.0);
+        let plain = qbd.g_matrix_neuts(1e-13, 50_000).unwrap();
+        let opts = SolveOptions {
+            tolerance: 1e-13,
+            max_iterations: 50_000,
+            hardening: Hardening::full(),
+        };
+        let hardened = qbd.g_matrix_neuts_with(opts).unwrap();
+        assert!(plain.max_abs_diff(&hardened) < 1e-10);
+    }
+
+    #[test]
+    fn shift_on_unstable_chain_is_a_typed_error() {
+        let qbd = mm1(2.0, 1.0);
+        let opts = SolveOptions::hardened();
+        assert!(matches!(
+            qbd.g_matrix(opts),
+            Err(QbdError::Unstable { .. })
+        ));
+        assert!(matches!(
+            qbd.g_matrix_functional_with(opts),
+            Err(QbdError::Unstable { .. })
+        ));
+        assert!(matches!(
+            qbd.g_matrix_neuts_with(opts),
+            Err(QbdError::Unstable { .. })
+        ));
+    }
+
+    #[test]
+    fn drift_classification_bands() {
+        assert_eq!(
+            mm1(0.5, 1.0).classify_drift(0.02).unwrap(),
+            DriftClass::PositiveRecurrent
+        );
+        assert_eq!(
+            mm1(0.995, 1.0).classify_drift(0.02).unwrap(),
+            DriftClass::NearNullRecurrent
+        );
+        assert_eq!(
+            mm1(2.0, 1.0).classify_drift(0.02).unwrap(),
+            DriftClass::Unstable
+        );
+    }
+
+    #[test]
+    fn hardened_solve_matches_closed_form() {
+        // Full pipeline with hardening on: the M/M/1 closed form must
+        // survive the shift → R → boundary chain.
+        let rho: f64 = 0.9;
+        let sol = mm1(rho, 1.0).solve_with(SolveOptions::hardened()).unwrap();
+        let expect = rho / (1.0 - rho);
+        assert!((sol.mean_queue_length() - expect).abs() < 1e-8 * expect);
     }
 
     #[test]

@@ -6,7 +6,11 @@ use crate::Result;
 ///
 /// Holds the boundary vectors `π₀`, `π₁` and the rate matrix `R`, from
 /// which every level obeys `π_n = π₁·Rⁿ⁻¹` (`n ≥ 1`). All the paper's
-/// queue-length metrics are derived from this object.
+/// queue-length metrics are derived from this object. Probability-mass
+/// sums and inner products (pmf, tails, moments, quantiles) use
+/// Neumaier-compensated accumulation — near the blow-up points these
+/// series mix magnitudes across many orders, where plain recursive
+/// summation loses the tail.
 #[derive(Debug, Clone)]
 pub struct QbdSolution {
     pi0: Vector,
@@ -80,7 +84,7 @@ impl QbdSolution {
 
     /// Probability of exactly `n` customers: `π_n · ε`.
     pub fn level_probability(&self, n: usize) -> f64 {
-        self.level(n).sum()
+        self.level(n).sum_compensated()
     }
 
     /// Tail probability `Pr(Q > k) = π₁·Rᵏ·(I−R)⁻¹·ε`.
@@ -89,7 +93,7 @@ impl QbdSolution {
     /// arriving task finds more than `k` tasks in the system.
     pub fn tail_probability(&self, k: usize) -> f64 {
         let rk = spectral::matrix_power(&self.r, k);
-        rk.vec_mul(&self.pi1).dot(&self.geo_eps)
+        rk.vec_mul(&self.pi1).dot_compensated(&self.geo_eps)
     }
 
     /// Probability that the queue length is at least `k`, `Pr(Q ≥ k)`.
@@ -104,14 +108,14 @@ impl QbdSolution {
     /// Mean queue length `E[Q] = π₁·(I−R)⁻²·ε` (tasks in system,
     /// including those in service — the paper's convention).
     pub fn mean_queue_length(&self) -> f64 {
-        self.pi1.dot(&self.geo2_eps)
+        self.pi1.dot_compensated(&self.geo2_eps)
     }
 
     /// Second raw moment `E[Q²] = π₁·(I+R)·(I−R)⁻³·ε`
     /// (from `Σ n²·xⁿ⁻¹ = (1+x)/(1−x)³`).
     pub fn second_moment_queue_length(&self) -> f64 {
         let w = self.r.mul_vec(&self.geo3_eps);
-        self.pi1.dot(&self.geo3_eps) + self.pi1.dot(&w)
+        self.pi1.dot_compensated(&self.geo3_eps) + self.pi1.dot_compensated(&w)
     }
 
     /// Variance of the queue length.
@@ -132,13 +136,13 @@ impl QbdSolution {
     /// Panics unless `0 < p < 1`.
     pub fn queue_length_quantile(&self, p: f64, max_k: usize) -> Option<usize> {
         assert!(p > 0.0 && p < 1.0, "quantile level must be in (0, 1)");
-        let mut cdf = self.pi0.sum();
+        let mut cdf = self.pi0.sum_compensated();
         if cdf >= p {
             return Some(0);
         }
         let mut v = self.pi1.clone();
         for k in 1..=max_k {
-            cdf += v.sum();
+            cdf += v.sum_compensated();
             if cdf >= p {
                 return Some(k);
             }
@@ -178,10 +182,10 @@ impl QbdSolution {
         if len == 0 {
             return out;
         }
-        out.push(self.pi0.sum());
+        out.push(self.pi0.sum_compensated());
         let mut v = self.pi1.clone();
         for _ in 1..len {
-            out.push(v.sum());
+            out.push(v.sum_compensated());
             v = self.r.vec_mul(&v);
         }
         out
@@ -193,7 +197,7 @@ impl QbdSolution {
         let mut out = Vec::with_capacity(len);
         let mut v = self.pi1.clone();
         for _ in 0..len {
-            out.push(v.dot(&self.geo_eps));
+            out.push(v.dot_compensated(&self.geo_eps));
             v = self.r.vec_mul(&v);
         }
         out

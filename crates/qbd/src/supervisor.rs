@@ -32,7 +32,7 @@ use std::time::{Duration, Instant};
 
 use performa_linalg::Matrix;
 
-use crate::qbd::{all_finite, Qbd};
+use crate::qbd::{all_finite, Hardening, Qbd};
 use crate::solution::QbdSolution;
 use crate::{QbdError, Result};
 
@@ -132,6 +132,12 @@ pub struct SupervisorOptions {
     pub renormalization_cap: f64,
     /// Optional wall-clock budget for the whole solve.
     pub deadline: Option<Duration>,
+    /// Baseline numerical hardening for every stage. Independent of
+    /// this setting the supervisor escalates to [`Hardening::full`] —
+    /// always reported via [`SolveWarning::Hardened`] — when the drift
+    /// classifier puts the chain in the near-null-recurrent band or a
+    /// stage dies of [`QbdError::NumericalBreakdown`].
+    pub hardening: Hardening,
 }
 
 impl Default for SupervisorOptions {
@@ -158,6 +164,7 @@ impl Default for SupervisorOptions {
             condition_threshold: 1e12,
             renormalization_cap: 1e-2,
             deadline: None,
+            hardening: Hardening::default(),
         }
     }
 }
@@ -193,6 +200,12 @@ impl SupervisorOptions {
     /// Replaces the fallback chain.
     pub fn with_chain(mut self, chain: Vec<StageBudget>) -> Self {
         self.chain = chain;
+        self
+    }
+
+    /// Sets the baseline hardening applied to every stage.
+    pub fn with_hardening(mut self, hardening: Hardening) -> Self {
+        self.hardening = hardening;
         self
     }
 
@@ -377,6 +390,15 @@ pub enum SolveWarning {
         /// 1-norm condition estimate.
         estimate: f64,
     },
+    /// Numerical hardening (equilibration, iterative refinement and the
+    /// spectral shift) engaged beyond the configured baseline — never
+    /// silently.
+    Hardened {
+        /// What engaged it: `"near_null_recurrent"` (drift pre-check),
+        /// `"numerical_breakdown"` (stage retry) or `"ill_conditioned"`
+        /// (refined `R` recompute).
+        cause: &'static str,
+    },
 }
 
 impl SolveWarning {
@@ -416,6 +438,11 @@ impl SolveWarning {
                 "qbd.ill_conditioned",
                 vec![("context", (*context).into()), ("estimate", (*estimate).into())],
             ),
+            SolveWarning::Hardened { cause } => event(
+                TraceLevel::Warn,
+                "qbd.hardened",
+                vec![("cause", (*cause).into())],
+            ),
         }
     }
 }
@@ -440,6 +467,10 @@ impl fmt::Display for SolveWarning {
             SolveWarning::IllConditioned { context, estimate } => write!(
                 f,
                 "{context} is ill-conditioned (estimate {estimate:.3e})"
+            ),
+            SolveWarning::Hardened { cause } => write!(
+                f,
+                "numerical hardening engaged (cause: {cause})"
             ),
         }
     }
@@ -475,6 +506,8 @@ pub struct StageAttempt {
     pub tolerance: f64,
     /// Iterations spent.
     pub iterations: usize,
+    /// Whether the attempt ran with any [`Hardening`] mitigation.
+    pub hardened: bool,
     /// Whether the attempt produced the accepted `G`.
     pub converged: bool,
     /// Typed outcome ([`StageOutcome::Converged`] or the failure cause).
@@ -613,8 +646,21 @@ impl SolverSupervisor {
             warnings.push(w);
         };
         let rho = up / down;
+        let mut base_hardening = self.options.hardening;
         if rho > 1.0 - self.options.saturation_margin {
             warn(&mut warnings, SolveWarning::NearSaturation { rho });
+            // Near null recurrence the unshifted iterations stall or
+            // overflow; harden every stage from the start rather than
+            // waiting for the breakdown retry.
+            if base_hardening != Hardening::full() {
+                base_hardening = Hardening::full();
+                warn(
+                    &mut warnings,
+                    SolveWarning::Hardened {
+                        cause: "near_null_recurrent",
+                    },
+                );
+            }
         }
 
         // Residual acceptance is scaled by the block magnitudes so the
@@ -629,34 +675,91 @@ impl SolverSupervisor {
         let mut best_residual = f64::INFINITY;
         let mut deadline_hit = false;
 
+        let mut accepted_hardening = base_hardening;
         'levels: for level in 0..=self.options.max_relaxations {
             let tol = self.options.tolerance * self.options.relaxation_factor.powi(level as i32);
-            for stage in &self.options.chain {
+            'stages: for stage in &self.options.chain {
                 if deadline.is_some_and(|d| Instant::now() >= d) {
                     deadline_hit = true;
                     break 'levels;
                 }
-                let _attempt_span = performa_obs::span_with(
-                    "qbd.attempt",
-                    vec![
-                        ("strategy", stage.strategy.key().into()),
-                        ("tolerance", tol.into()),
-                        ("relaxation", level.into()),
-                    ],
-                );
-                let outcome = self.run_stage(*stage, tol, deadline);
-                match outcome {
-                    Ok((mut g, iters)) => {
-                        let drift = renormalize_g(&mut g);
-                        if drift > self.options.renormalization_cap {
-                            let reason = StageFailureReason::StochasticDrift {
-                                drift,
-                                cap: self.options.renormalization_cap,
+                // The recovery ladder within one stage: a first run at
+                // the baseline hardening, and on NumericalBreakdown one
+                // retry with every mitigation on before falling back to
+                // the next strategy.
+                let mut hardening = base_hardening;
+                loop {
+                    let _attempt_span = performa_obs::span_with(
+                        "qbd.attempt",
+                        vec![
+                            ("strategy", stage.strategy.key().into()),
+                            ("tolerance", tol.into()),
+                            ("relaxation", level.into()),
+                            ("hardened", hardening.any().into()),
+                        ],
+                    );
+                    let outcome = self.run_stage(*stage, tol, deadline, hardening);
+                    match outcome {
+                        Ok((mut g, iters)) => {
+                            let drift = renormalize_g(&mut g);
+                            if drift > self.options.renormalization_cap {
+                                let reason = StageFailureReason::StochasticDrift {
+                                    drift,
+                                    cap: self.options.renormalization_cap,
+                                };
+                                attempts.push(StageAttempt {
+                                    strategy: stage.strategy,
+                                    tolerance: tol,
+                                    iterations: iters,
+                                    hardened: hardening.any(),
+                                    converged: false,
+                                    outcome: StageOutcome::Failed(reason.clone()),
+                                });
+                                warn(
+                                    &mut warnings,
+                                    SolveWarning::StageFailed {
+                                        strategy: stage.strategy,
+                                        reason,
+                                    },
+                                );
+                                continue 'stages;
+                            }
+                            if drift > tol * 10.0 {
+                                warn(&mut warnings, SolveWarning::Renormalized { drift });
+                            }
+                            let residual = g_residual(&self.qbd, &g);
+                            best_residual = best_residual.min(residual);
+                            if residual <= tol * scale {
+                                performa_obs::event(
+                                    performa_obs::TraceLevel::Info,
+                                    "qbd.converged",
+                                    vec![
+                                        ("strategy", stage.strategy.key().into()),
+                                        ("iterations", iters.into()),
+                                        ("residual", residual.into()),
+                                    ],
+                                );
+                                attempts.push(StageAttempt {
+                                    strategy: stage.strategy,
+                                    tolerance: tol,
+                                    iterations: iters,
+                                    hardened: hardening.any(),
+                                    converged: true,
+                                    outcome: StageOutcome::Converged,
+                                });
+                                accepted = Some((g, stage.strategy, iters, residual, tol));
+                                accepted_hardening = hardening;
+                                break 'levels;
+                            }
+                            let reason = StageFailureReason::ResidualAboveBudget {
+                                residual,
+                                budget: tol * scale,
                             };
                             attempts.push(StageAttempt {
                                 strategy: stage.strategy,
                                 tolerance: tol,
                                 iterations: iters,
+                                hardened: hardening.any(),
                                 converged: false,
                                 outcome: StageOutcome::Failed(reason.clone()),
                             });
@@ -667,92 +770,64 @@ impl SolverSupervisor {
                                     reason,
                                 },
                             );
-                            continue;
+                            continue 'stages;
                         }
-                        if drift > tol * 10.0 {
-                            warn(&mut warnings, SolveWarning::Renormalized { drift });
-                        }
-                        let residual = g_residual(&self.qbd, &g);
-                        best_residual = best_residual.min(residual);
-                        if residual <= tol * scale {
+                        Err(QbdError::DeadlineExceeded { iterations, .. }) => {
                             performa_obs::event(
-                                performa_obs::TraceLevel::Info,
-                                "qbd.converged",
+                                performa_obs::TraceLevel::Warn,
+                                "qbd.deadline",
                                 vec![
                                     ("strategy", stage.strategy.key().into()),
-                                    ("iterations", iters.into()),
-                                    ("residual", residual.into()),
+                                    ("iterations", iterations.into()),
                                 ],
                             );
                             attempts.push(StageAttempt {
                                 strategy: stage.strategy,
                                 tolerance: tol,
-                                iterations: iters,
-                                converged: true,
-                                outcome: StageOutcome::Converged,
+                                iterations,
+                                hardened: hardening.any(),
+                                converged: false,
+                                outcome: StageOutcome::DeadlineExceeded,
                             });
-                            accepted = Some((g, stage.strategy, iters, residual, tol));
+                            deadline_hit = true;
                             break 'levels;
                         }
-                        let reason = StageFailureReason::ResidualAboveBudget {
-                            residual,
-                            budget: tol * scale,
-                        };
-                        attempts.push(StageAttempt {
-                            strategy: stage.strategy,
-                            tolerance: tol,
-                            iterations: iters,
-                            converged: false,
-                            outcome: StageOutcome::Failed(reason.clone()),
-                        });
-                        warn(
-                            &mut warnings,
-                            SolveWarning::StageFailed {
+                        Err(e) => {
+                            let iterations = match e {
+                                QbdError::NoConvergence { iterations, .. } => iterations,
+                                QbdError::NumericalBreakdown { iteration, .. } => iteration,
+                                _ => 0,
+                            };
+                            let breakdown =
+                                matches!(e, QbdError::NumericalBreakdown { .. });
+                            let reason = StageFailureReason::from_error(&e);
+                            attempts.push(StageAttempt {
                                 strategy: stage.strategy,
-                                reason,
-                            },
-                        );
-                    }
-                    Err(QbdError::DeadlineExceeded { iterations, .. }) => {
-                        performa_obs::event(
-                            performa_obs::TraceLevel::Warn,
-                            "qbd.deadline",
-                            vec![
-                                ("strategy", stage.strategy.key().into()),
-                                ("iterations", iterations.into()),
-                            ],
-                        );
-                        attempts.push(StageAttempt {
-                            strategy: stage.strategy,
-                            tolerance: tol,
-                            iterations,
-                            converged: false,
-                            outcome: StageOutcome::DeadlineExceeded,
-                        });
-                        deadline_hit = true;
-                        break 'levels;
-                    }
-                    Err(e) => {
-                        let iterations = match e {
-                            QbdError::NoConvergence { iterations, .. } => iterations,
-                            QbdError::NumericalBreakdown { iteration, .. } => iteration,
-                            _ => 0,
-                        };
-                        let reason = StageFailureReason::from_error(&e);
-                        attempts.push(StageAttempt {
-                            strategy: stage.strategy,
-                            tolerance: tol,
-                            iterations,
-                            converged: false,
-                            outcome: StageOutcome::Failed(reason.clone()),
-                        });
-                        warn(
-                            &mut warnings,
-                            SolveWarning::StageFailed {
-                                strategy: stage.strategy,
-                                reason,
-                            },
-                        );
+                                tolerance: tol,
+                                iterations,
+                                hardened: hardening.any(),
+                                converged: false,
+                                outcome: StageOutcome::Failed(reason.clone()),
+                            });
+                            warn(
+                                &mut warnings,
+                                SolveWarning::StageFailed {
+                                    strategy: stage.strategy,
+                                    reason,
+                                },
+                            );
+                            if breakdown && hardening != Hardening::full() {
+                                hardening = Hardening::full();
+                                warn(
+                                    &mut warnings,
+                                    SolveWarning::Hardened {
+                                        cause: "numerical_breakdown",
+                                    },
+                                );
+                                continue;
+                            }
+                            continue 'stages;
+                        }
                     }
                 }
             }
@@ -783,7 +858,7 @@ impl SolverSupervisor {
             );
         }
 
-        let (r, cond_r) = self.qbd.r_from_g_with_cond(&g)?;
+        let (mut r, cond_r) = self.qbd.r_from_g_with_cond(&g, accepted_hardening)?;
         if !all_finite(&r) {
             return Err(QbdError::NumericalBreakdown {
                 stage: "R computation",
@@ -798,8 +873,29 @@ impl SolverSupervisor {
                     estimate: cond_r,
                 },
             );
+            // Last rung: recompute R with equilibration + iterative
+            // refinement. The warning stays — refinement certifies the
+            // backward error of the solve, not the conditioning of the
+            // system — but the returned R is the certified one.
+            if !accepted_hardening.refine {
+                warn(
+                    &mut warnings,
+                    SolveWarning::Hardened {
+                        cause: "ill_conditioned",
+                    },
+                );
+                let refined = Hardening {
+                    equilibrate: true,
+                    refine: true,
+                    ..accepted_hardening
+                };
+                let r2 = self.qbd.r_from_g_with_cond(&g, refined)?.0;
+                if all_finite(&r2) {
+                    r = r2;
+                }
+            }
         }
-        let (solution, cond_b) = self.qbd.boundary_from_gr(g, r)?;
+        let (solution, cond_b) = self.qbd.boundary_from_gr(g, r, accepted_hardening)?;
         if cond_b > self.options.condition_threshold {
             warn(
                 &mut warnings,
@@ -833,19 +929,20 @@ impl SolverSupervisor {
         stage: StageBudget,
         tolerance: f64,
         deadline: Option<Instant>,
+        hardening: Hardening,
     ) -> Result<(Matrix, usize)> {
         match stage.strategy {
             GStrategy::NeutsSubstitution => {
                 self.qbd
-                    .g_neuts_counted(tolerance, stage.max_iterations, deadline)
+                    .g_neuts_counted(tolerance, stage.max_iterations, deadline, hardening)
             }
             GStrategy::FunctionalIteration => {
                 self.qbd
-                    .g_functional_counted(tolerance, stage.max_iterations, deadline)
+                    .g_functional_counted(tolerance, stage.max_iterations, deadline, hardening)
             }
             GStrategy::LogarithmicReduction => {
                 self.qbd
-                    .g_logred_counted(tolerance, stage.max_iterations, deadline)
+                    .g_logred_counted(tolerance, stage.max_iterations, deadline, hardening)
             }
         }
     }
@@ -1052,6 +1149,68 @@ mod tests {
             assert!((s - 1.0).abs() < 1e-12);
             assert!(g.row(i).iter().all(|&v| v >= 0.0));
         }
+    }
+
+    #[test]
+    fn near_null_recurrent_chain_is_hardened_from_the_start() {
+        // rho = 0.995 sits inside the default 0.02 saturation margin:
+        // the drift pre-check must engage full hardening pre-emptively
+        // and say so, and the solve must still be clean (not degraded).
+        let qbd = mm1(0.995, 1.0);
+        let (sol, report) = SolverSupervisor::new(qbd).solve().unwrap();
+        assert!(report
+            .warnings
+            .iter()
+            .any(|w| matches!(w, SolveWarning::Hardened { cause } if *cause == "near_null_recurrent")));
+        assert!(report.attempts.iter().all(|a| a.hardened));
+        assert!(!report.degraded);
+        let exact = 0.995 / (1.0 - 0.995);
+        assert!((sol.mean_queue_length() - exact).abs() < 1e-6 * exact);
+    }
+
+    #[test]
+    fn baseline_hardening_is_honored_and_reported_in_attempts() {
+        let qbd = mmpp2(1.0);
+        let options = SupervisorOptions::default().with_hardening(Hardening::full());
+        let (sol, report) = SolverSupervisor::with_options(qbd.clone(), options)
+            .solve()
+            .unwrap();
+        assert!(report.attempts.iter().all(|a| a.hardened));
+        // No escalation happened, so no Hardened warning is emitted for
+        // a hardening level the caller chose themselves.
+        assert!(!report
+            .warnings
+            .iter()
+            .any(|w| matches!(w, SolveWarning::Hardened { .. })));
+        let reference = qbd.solve().unwrap();
+        assert!((sol.mean_queue_length() - reference.mean_queue_length()).abs() < 1e-8);
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn breakdown_triggers_hardened_retry_of_the_same_stage() {
+        // Poison logred at iteration 1: the first (plain) run breaks
+        // down, the supervisor retries the SAME stage hardened (the
+        // poison hits again), and only then falls back — visible as two
+        // logred attempts, the second hardened.
+        let _guard = crate::fault::arm(crate::fault::FaultPlan {
+            poison: Some(("logred", 1)),
+            ..Default::default()
+        });
+        let (_, report) = SolverSupervisor::new(mmpp2(1.0)).solve().unwrap();
+        let logred: Vec<_> = report
+            .attempts
+            .iter()
+            .filter(|a| a.strategy == GStrategy::LogarithmicReduction && !a.converged)
+            .collect();
+        assert!(logred.len() >= 2, "expected a hardened retry: {logred:?}");
+        assert!(!logred[0].hardened);
+        assert!(logred[1].hardened);
+        assert!(report
+            .warnings
+            .iter()
+            .any(|w| matches!(w, SolveWarning::Hardened { cause } if *cause == "numerical_breakdown")));
+        assert!(report.degraded);
     }
 
     #[test]

@@ -8,7 +8,12 @@
 use proptest::prelude::*;
 
 use performa_linalg::{Matrix, Vector};
-use performa_qbd::{mg1, mm1, Qbd, SolveOptions, SolverSupervisor};
+use performa_qbd::{mg1, mm1, Qbd, QbdError, SolveOptions, SolverSupervisor};
+
+/// True iff every entry of `g` is finite (no NaN/Inf leaked out).
+fn all_entries_finite(g: &Matrix) -> bool {
+    (0..g.nrows()).all(|i| (0..g.ncols()).all(|j| g[(i, j)].is_finite()))
+}
 
 /// Builds a random irreducible MMPP `⟨Q, L⟩` with `n` phases from the
 /// raw proptest draws: off-diagonal rates from `qs`, service rates from
@@ -99,6 +104,84 @@ proptest! {
 
         prop_assert!(qbd.solve().is_err());
         prop_assert!(SolverSupervisor::new(qbd).solve().is_err());
+    }
+
+    /// On unstable inputs every G strategy — hardened or not — either
+    /// returns a typed error or a fully finite matrix; shift-hardened
+    /// paths specifically refuse up-front with `Unstable` (the shift is
+    /// only valid for recurrent chains).
+    #[test]
+    fn hardened_strategies_reject_unstable_inputs_with_typed_errors(
+        n in 2usize..5,
+        qs in prop::collection::vec(0.0f64..2.0, 16),
+        ls in prop::collection::vec(0.5f64..4.0, 4),
+        excess in 1.0f64..3.0,
+    ) {
+        let (q, rates) = random_mmpp(n, &qs, &ls);
+        let max_rate = (0..n).map(|i| rates[i]).fold(0.0f64, f64::max);
+        let qbd = Qbd::m_mmpp1(excess * max_rate, &q, &rates).unwrap();
+        prop_assume!(!qbd.is_stable().unwrap());
+
+        let hardened = SolveOptions::hardened();
+        for (name, result) in [
+            ("logred", qbd.g_matrix(hardened)),
+            ("functional", qbd.g_matrix_functional_with(hardened)),
+            ("neuts", qbd.g_matrix_neuts_with(hardened)),
+        ] {
+            match result {
+                Err(QbdError::Unstable { .. }) => {}
+                Err(e) => prop_assert!(
+                    matches!(e, QbdError::NumericalBreakdown { .. } | QbdError::NoConvergence { .. }),
+                    "{name}: unexpected error kind {e}"
+                ),
+                Ok(g) => prop_assert!(false, "{name}: shift gate let an unstable chain through \
+                    (finite = {})", all_entries_finite(&g)),
+            }
+        }
+        // Unhardened strategies may legitimately converge to the minimal
+        // (sub-stochastic) G of the transient chain — but must never leak
+        // NaN/Inf out of a `Ok` return.
+        for g in [
+            qbd.g_matrix(SolveOptions::default()),
+            qbd.g_matrix_functional(1e-12, 50_000),
+            qbd.g_matrix_neuts(1e-12, 50_000),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            prop_assert!(all_entries_finite(&g), "non-finite entries in returned G");
+        }
+    }
+
+    /// On stable inputs the shifted (hardened) solves must agree with the
+    /// plain ones: the shift is an acceleration, not an approximation.
+    #[test]
+    fn shifted_and_plain_g_agree_on_stable_inputs(
+        n in 2usize..5,
+        qs in prop::collection::vec(0.0f64..2.0, 16),
+        ls in prop::collection::vec(0.5f64..4.0, 4),
+        frac in 0.1f64..0.85,
+    ) {
+        let (q, rates) = random_mmpp(n, &qs, &ls);
+        let min_rate = (0..n).map(|i| rates[i]).fold(f64::INFINITY, f64::min);
+        let qbd = Qbd::m_mmpp1(frac * min_rate, &q, &rates).unwrap();
+        prop_assume!(qbd.is_stable().unwrap());
+
+        let plain = qbd.g_matrix(SolveOptions::default()).unwrap();
+        let hard = qbd.g_matrix(SolveOptions::hardened()).unwrap();
+        prop_assert!(all_entries_finite(&hard));
+        prop_assert!(plain.max_abs_diff(&hard) < 1e-10,
+            "shifted logred diverges from plain by {}", plain.max_abs_diff(&hard));
+
+        let fun_hard = qbd.g_matrix_functional_with(SolveOptions::hardened()).unwrap();
+        prop_assert!(plain.max_abs_diff(&fun_hard) < 1e-8,
+            "shifted functional diverges from plain logred by {}",
+            plain.max_abs_diff(&fun_hard));
+
+        let neu_hard = qbd.g_matrix_neuts_with(SolveOptions::hardened()).unwrap();
+        prop_assert!(plain.max_abs_diff(&neu_hard) < 1e-8,
+            "hardened neuts diverges from plain logred by {}",
+            plain.max_abs_diff(&neu_hard));
     }
 
     #[test]
