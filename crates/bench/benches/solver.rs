@@ -92,7 +92,7 @@ fn bench_g_paper_scale(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::new("logarithmic_reduction", id),
             &qbd,
-            |b, q| b.iter(|| black_box(q.g_matrix(opts).unwrap())),
+            |b, q| b.iter(|| black_box(q.g_matrix(opts.clone()).unwrap())),
         );
     }
     g.finish();

@@ -1,8 +1,9 @@
 //! `bench-record` — records the solver performance baseline as
 //! machine-readable JSON (`BENCH_solver.json`).
 //!
-//! Two kinds of cases are timed with plain `std::time::Instant` medians
-//! (no criterion, so the binary builds on the default feature set):
+//! Three kinds of cases are timed with plain `std::time::Instant`
+//! medians (no criterion, so the binary builds on the default feature
+//! set):
 //!
 //! * `gemm_speedup` — the cache-blocked kernel (`&a * &b`) against the
 //!   retained naive triple loop (`Matrix::mul_naive`) at square
@@ -10,6 +11,10 @@
 //!   reports `speedup_vs_naive`.
 //! * `g_solve` — logarithmic-reduction `G` solves for lumped N-server
 //!   TPT models at the phase dimensions the DSN'07 figures use.
+//! * `sweep` — a Fig. 1-style ρ sweep through the parallel sweep
+//!   engine (4 workers, modulator cache, warm starts) against the
+//!   serial per-point loop it replaced; `residual` reports the worst
+//!   per-point G residual so warm starts are provably as converged.
 //!
 //! Environment knobs:
 //!
@@ -24,7 +29,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use performa_core::ClusterModel;
+use performa_core::{Axis, ClusterModel, Scenario, SweepOptions, SweepPlan};
 use performa_dist::{Exponential, TruncatedPowerTail};
 use performa_linalg::Matrix;
 use performa_qbd::{Qbd, SolveOptions};
@@ -49,7 +54,7 @@ fn dense(dim: usize, seed: usize) -> Matrix {
     })
 }
 
-fn tpt_qbd(servers: usize, t: u32, rho: f64) -> Qbd {
+fn tpt_cluster(servers: usize, t: u32, rho: f64) -> ClusterModel {
     ClusterModel::builder()
         .servers(servers)
         .peak_rate(2.0)
@@ -59,8 +64,10 @@ fn tpt_qbd(servers: usize, t: u32, rho: f64) -> Qbd {
         .utilization(rho)
         .build()
         .unwrap()
-        .to_qbd()
-        .unwrap()
+}
+
+fn tpt_qbd(servers: usize, t: u32, rho: f64) -> Qbd {
+    tpt_cluster(servers, t, rho).to_qbd().unwrap()
 }
 
 struct Case {
@@ -145,7 +152,7 @@ fn main() {
         // still records the case with a single sample so the JSON schema
         // is complete.
         let g_samples = if smoke && m > 200 { 1 } else { samples };
-        let ns = median_ns(g_samples, || qbd.g_matrix(opts).unwrap());
+        let ns = median_ns(g_samples, || qbd.g_matrix(opts.clone()).unwrap());
         let g = qbd.g_matrix(opts).unwrap();
         let residual = (qbd.a2() + &(qbd.a1() * &g) + &(qbd.a0() * &(&g * &g))).norm_inf();
         eprintln!("g_solve {label} (m={m}): {ns:>14.0} ns  residual {residual:.2e}");
@@ -155,6 +162,79 @@ fn main() {
             dim: m,
             ns_per_iter: ns,
             naive_ns_per_iter: None,
+            residual: Some(residual),
+        });
+    }
+
+    // --- Fig. 1-style ρ sweep: serial loop vs the sweep engine -------
+    // `ns_per_iter` is the engine in its default configuration (4
+    // workers, shared modulator cache) over the whole grid;
+    // `naive_ns_per_iter` is the pre-engine serial rebuild-and-solve
+    // loop on the same points, so `speedup_vs_naive` is the end-to-end
+    // sweep gain (≈1x on a single core, where only the modulator-cache
+    // savings show). `residual` is the max ∞-norm G residual over a
+    // separate warm-started run — warm starting trades latency for
+    // iteration reuse and is not the timing configuration, but its
+    // solutions must be exactly as converged as cold ones.
+    if selected("sweep_fig1") {
+        let grid = SweepPlan::grid(0.05, 0.95, if smoke { 8 } else { 24 })
+            .refine_near(&[0.2174, 0.6087])
+            .into_values();
+        let template = tpt_cluster(2, 5, 0.5);
+        let serial = median_ns(samples, || {
+            grid.iter()
+                .map(|&rho| {
+                    template
+                        .with_utilization(rho)
+                        .unwrap()
+                        .solve()
+                        .unwrap()
+                        .normalized_mean_queue_length()
+                })
+                .sum::<f64>()
+        });
+        let engine = median_ns(samples, || {
+            Scenario::new(template.clone(), Axis::Rho(grid.clone()))
+                .compile()
+                .with_options(SweepOptions {
+                    threads: 4,
+                    ..SweepOptions::default()
+                })
+                .run_map(|sol| sol.normalized_mean_queue_length())
+                .expect_values("grid is stable")
+                .iter()
+                .sum::<f64>()
+        });
+        // Untimed verification pass under warm starting: every solution
+        // (warm-accepted or cold fallback) must satisfy the G
+        // fixed-point equation to the same standard.
+        let gs = Scenario::new(template.clone(), Axis::Rho(grid.clone()))
+            .compile()
+            .with_options(SweepOptions {
+                threads: 4,
+                warm_start: true,
+                ..SweepOptions::default()
+            })
+            .run_map(|sol| sol.qbd().g_matrix().clone())
+            .expect_values("grid is stable");
+        let residual = grid
+            .iter()
+            .zip(&gs)
+            .map(|(&rho, g)| tpt_qbd(2, 5, rho).g_residual(g))
+            .fold(0.0f64, f64::max);
+        eprintln!(
+            "sweep_fig1 ({} points): engine {:>14.0} ns  serial {:>14.0} ns  speedup {:.2}x  max residual {residual:.2e}",
+            grid.len(),
+            engine,
+            serial,
+            serial / engine
+        );
+        cases.push(Case {
+            name: "sweep_fig1".to_string(),
+            kind: "sweep",
+            dim: grid.len(),
+            ns_per_iter: engine,
+            naive_ns_per_iter: Some(serial),
             residual: Some(residual),
         });
     }

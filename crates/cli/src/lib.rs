@@ -21,11 +21,10 @@ use std::fmt;
 use std::time::Duration;
 
 use performa_core::{
-    blowup, sensitivity, ClusterModel, GStrategy, StageBudget, SupervisorOptions,
+    blowup, sensitivity, Axis, ClusterModel, GStrategy, Scenario, StageBudget, SupervisorOptions,
+    SweepOptions, SweepPlan,
 };
-use performa_dist::{
-    Dist, Erlang, Exponential, HyperExponential, Moments, Pareto, TruncatedPowerTail, Weibull,
-};
+use performa_dist::{Dist, DistSpec};
 use performa_sim::{
     replicate, ClusterSim, ClusterSimConfig, FailureStrategy, StopCriterion,
 };
@@ -58,7 +57,7 @@ DISTRIBUTION SPECS:
 
 SOLVE OPTIONS:    --tail K (report Pr(Q >= K))   --delay-bound D (report Pr(S > D))
 SWEEP OPTIONS:    --param rho|lambda|delta|availability  --from F --to T --steps N
-                  --metric mean|normalized|tail:K
+                  --metric mean|normalized|tail:K  --threads N (0 = all cores)
 SIMULATE OPTIONS: --task exp:0.5  --strategy discard|resume-front|resume-back|
                   restart-front|restart-back  --cycles 20000 --reps 5 --seed 0
                   --resume-penalty W (checkpoint-restore work)
@@ -284,34 +283,11 @@ impl ObsSession {
     }
 }
 
-/// Parses a distribution spec (see [`USAGE`]).
+/// Parses a distribution spec (see [`USAGE`]) — a thin wrapper over
+/// [`DistSpec`]'s `FromStr`, kept for the CLI's error type.
 pub fn parse_dist(spec: &str) -> Result<Dist> {
-    let parts: Vec<&str> = spec.split(':').collect();
-    let num = |s: &str| -> Result<f64> {
-        s.parse()
-            .map_err(|_| CliError(format!("bad number `{s}` in spec `{spec}`")))
-    };
-    match parts.as_slice() {
-        ["exp", m] => Ok(Exponential::with_mean(num(m)?)?.into()),
-        ["erlang", k, m] => {
-            let k: u32 = k
-                .parse()
-                .map_err(|_| CliError(format!("bad stage count in `{spec}`")))?;
-            Ok(Erlang::with_mean(k, num(m)?)?.into())
-        }
-        ["hyp2", m, scv] => Ok(HyperExponential::balanced(num(m)?, num(scv)?)?.into()),
-        ["tpt", t, a, th, m] => {
-            let t: u32 = t
-                .parse()
-                .map_err(|_| CliError(format!("bad truncation level in `{spec}`")))?;
-            Ok(TruncatedPowerTail::with_mean(t, num(a)?, num(th)?, num(m)?)?.into())
-        }
-        ["pareto", a, m] => Ok(Pareto::with_mean(num(a)?, num(m)?)?.into()),
-        ["weibull", k, m] => Ok(Weibull::with_mean(num(k)?, num(m)?)?.into()),
-        _ => Err(CliError(format!(
-            "unknown distribution spec `{spec}` (see --help)"
-        ))),
-    }
+    let parsed: DistSpec = spec.parse()?;
+    Ok(parsed.to_dist()?)
 }
 
 /// Builds the cluster model from common options.
@@ -509,14 +485,21 @@ pub fn run<W: std::io::Write>(command: &str, args: &Args, out: &mut W) -> Result
             }
             let metric = args.get_str("metric", "normalized");
             writeln!(out, "{param},{metric}").map_err(io)?;
-            for i in 0..=steps {
-                let x = from + (to - from) * i as f64 / steps as f64;
-                let m = model_at(args, &param, x)?;
-                let value = match m.solve() {
-                    Ok(sol) => metric_value(&sol, &metric)?,
+            let plan = sweep_plan(args, &param, from, to, steps)?;
+            let opts = SweepOptions {
+                threads: args.get("threads", 0usize)?,
+                ..SweepOptions::default()
+            };
+            let result = plan
+                .with_options(opts)
+                .run_map(|sol| metric_value(sol, &metric));
+            for point in result.points() {
+                let value = match &point.outcome {
+                    Ok(Ok(v)) => *v,
+                    Ok(Err(e)) => return Err(CliError(e.to_string())),
                     Err(_) => f64::NAN, // unstable probe points print NaN
                 };
-                writeln!(out, "{x:.6},{value:.8e}").map_err(io)?;
+                writeln!(out, "{:.6},{value:.8e}", point.x).map_err(io)?;
             }
             Ok(RunStatus::Exact)
         }
@@ -599,6 +582,33 @@ pub fn run<W: std::io::Write>(command: &str, args: &Args, out: &mut W) -> Result
     }
 }
 
+/// Compiles the `sweep` subcommand's plan. The axes that only move the
+/// arrival rate (`rho`, `lambda`) go through a [`Scenario`] so every
+/// point shares one cached modulator; the axes that rebuild the model
+/// (`delta`, `availability`) compile point-by-point through
+/// [`SweepPlan::from_builder`] over [`model_at`].
+fn sweep_plan(args: &Args, param: &str, from: f64, to: f64, steps: usize) -> Result<SweepPlan> {
+    let grid = SweepPlan::grid(from, to, steps).into_values();
+    let from_model_at = |label: &'static str| {
+        SweepPlan::from_builder(label, grid.clone(), |x| {
+            model_at(args, label, x).map_err(|e| performa_core::CoreError::InvalidParameter {
+                message: e.to_string(),
+            })
+        })
+    };
+    Ok(match param {
+        "rho" => Scenario::new(build_model(args)?, Axis::Rho(grid)).compile(),
+        "lambda" => Scenario::new(build_model(args)?, Axis::Lambda(grid)).compile(),
+        "delta" => from_model_at("delta"),
+        "availability" => from_model_at("availability"),
+        other => {
+            return Err(CliError(format!(
+                "unknown sweep parameter `{other}` (rho|lambda|delta|availability)"
+            )))
+        }
+    })
+}
+
 /// Rebuilds the model with sweep parameter `param` set to `x`.
 fn model_at(args: &Args, param: &str, x: f64) -> Result<ClusterModel> {
     match param {
@@ -653,23 +663,12 @@ fn model_at(args: &Args, param: &str, x: f64) -> Result<ClusterModel> {
     }
 }
 
-/// Re-parses a distribution spec with its mean replaced.
+/// Parses a distribution spec with its mean replaced — a thin wrapper
+/// over [`DistSpec::with_mean`], which preserves the family's shape
+/// parameters exactly.
 fn rescale_spec(spec: &str, new_mean: f64) -> Result<Dist> {
-    let d = parse_dist(spec)?;
-    let factor = new_mean / d.mean();
-    let parts: Vec<&str> = spec.split(':').collect();
-    let rebuilt = match parts.as_slice() {
-        ["exp", _] => format!("exp:{new_mean}"),
-        ["erlang", k, _] => format!("erlang:{k}:{new_mean}"),
-        ["hyp2", _, scv] => format!("hyp2:{new_mean}:{scv}"),
-        ["tpt", t, a, th, _] => format!("tpt:{t}:{a}:{th}:{new_mean}"),
-        _ => {
-            return Err(CliError(format!(
-                "cannot rescale spec `{spec}` by {factor}"
-            )))
-        }
-    };
-    parse_dist(&rebuilt)
+    let parsed: DistSpec = spec.parse()?;
+    Ok(parsed.with_mean(new_mean).to_dist()?)
 }
 
 /// Metric selector for `sweep`.
@@ -694,6 +693,7 @@ fn metric_value(sol: &performa_core::ClusterSolution, metric: &str) -> Result<f6
 #[cfg(test)]
 mod tests {
     use super::*;
+    use performa_dist::Moments;
 
     fn args(pairs: &[(&str, &str)]) -> Args {
         let raw: Vec<String> = pairs

@@ -40,7 +40,7 @@ fn solve_default_model() {
 fn solve_rejects_bad_spec_with_helpful_error() {
     let (ok, _, err) = performa(&["solve", "--down", "gamma:1:2"]);
     assert!(!ok);
-    assert!(err.contains("unknown distribution spec"));
+    assert!(err.contains("invalid distribution spec"));
 }
 
 #[test]

@@ -54,6 +54,7 @@
 
 pub mod blowup;
 pub mod sensitivity;
+pub mod sweep;
 pub mod telco;
 
 mod crash_discard;
@@ -73,6 +74,9 @@ pub use map_arrivals::{MeArrivalCluster, MeArrivalSolution};
 pub use model::{ClusterBuilder, ClusterModel};
 pub use performability::TransientAnalysis;
 pub use solution::ClusterSolution;
+pub use sweep::{
+    Axis, Grid, Scenario, SweepOptions, SweepPlan, SweepPoint, SweepResult, SweepStats,
+};
 
 // Re-exported so callers of [`ClusterModel::solve_supervised`] can
 // configure the resilient solver pipeline without a direct QBD

@@ -117,6 +117,34 @@ impl ClusterModel {
         self.with_arrival_rate(rho * self.capacity())
     }
 
+    /// Returns a copy with the per-node availability set to `a` by a
+    /// **cycle-preserving rescale**: both period distributions keep
+    /// their family and shape (SCV, tail exponent, stage structure) and
+    /// only their means move, to `MTTF' = a·c` and `MTTR' = (1−a)·c`
+    /// where `c = MTTF + MTTR` is the original failure/repair cycle
+    /// length. The arrival rate is left untouched, so sweeping `a`
+    /// downward at fixed λ walks the model into the instability
+    /// region of the paper's Fig. 5 (`A* = 0.3125` for the base
+    /// cluster at λ = 1.8).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] unless `0 < a < 1`;
+    /// [`CoreError::Dist`] if a rescaled period leaves its family's
+    /// domain.
+    pub fn with_availability(&self, a: f64) -> Result<Self> {
+        if !(a.is_finite() && a > 0.0 && a < 1.0) {
+            return Err(CoreError::InvalidParameter {
+                message: format!("availability {a} must lie in (0, 1)"),
+            });
+        }
+        let cycle = self.mttf() + self.mttr();
+        let mut m = self.clone();
+        m.up = self.up.with_mean(a * cycle)?;
+        m.down = self.down.with_mean((1.0 - a) * cycle)?;
+        Ok(m)
+    }
+
     /// The per-server UP/DOWN modulator used by the aggregation step.
     ///
     /// # Errors
@@ -384,7 +412,7 @@ impl ClusterBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use performa_dist::{Exponential, Pareto, TruncatedPowerTail};
+    use performa_dist::{Exponential, Moments, Pareto, TruncatedPowerTail};
 
     fn paper_model(rho: f64) -> ClusterModel {
         ClusterModel::builder()
@@ -408,6 +436,43 @@ mod tests {
         assert_eq!(m.servers(), 2);
         assert_eq!(m.peak_rate(), 2.0);
         assert_eq!(m.degradation(), 0.2);
+    }
+
+    #[test]
+    fn with_availability_pins_fig5_instability_at_a_star() {
+        // Fig. 5 base cluster at λ = 1.8: capacity ν̄ = 4·(A + 0.2(1−A))
+        // meets λ exactly at A* = (λ/(N·ν_p) − δ)/(1 − δ) = 0.3125.
+        let base = ClusterModel::builder()
+            .servers(2)
+            .peak_rate(2.0)
+            .degradation(0.2)
+            .up(Exponential::with_mean(90.0).unwrap())
+            .down(TruncatedPowerTail::with_mean(10, 1.4, 0.2, 10.0).unwrap())
+            .arrival_rate(1.8)
+            .build()
+            .unwrap();
+        let cycle = base.mttf() + base.mttr();
+
+        let critical = base.with_availability(0.3125).unwrap();
+        assert!((critical.capacity() - 1.8).abs() < 1e-12);
+        assert!((critical.availability() - 0.3125).abs() < 1e-12);
+        // Cycle-preserving: both periods moved, their sum did not.
+        assert!((critical.mttf() + critical.mttr() - cycle).abs() < 1e-9);
+        // Shape-preserving: the repair tail keeps its SCV.
+        assert!((critical.down().scv() - base.down().scv()).abs() < 1e-9);
+
+        // Below A* the model is unstable at this λ; comfortably above it
+        // the model solves.
+        assert!(matches!(
+            base.with_availability(0.31).unwrap().solve(),
+            Err(CoreError::Unstable { .. })
+        ));
+        assert!(base.with_availability(0.35).unwrap().solve().is_ok());
+
+        // Domain validation.
+        assert!(base.with_availability(0.0).is_err());
+        assert!(base.with_availability(1.0).is_err());
+        assert!(base.with_availability(f64::NAN).is_err());
     }
 
     #[test]

@@ -1,0 +1,1088 @@
+//! Declarative parameter sweeps with a parallel, caching execution
+//! engine.
+//!
+//! Every headline figure of the paper is a *sweep*: the same cluster
+//! model solved at dozens of grid points along one axis (utilization,
+//! availability, repair-tail truncation, …). This module replaces the
+//! hand-rolled serial loops of the experiment binaries and the CLI with
+//! a declarative pipeline:
+//!
+//! 1. A [`Scenario`] pairs a template [`ClusterModel`] with a named
+//!    [`Axis`] and compiles into a [`SweepPlan`] — one prebuilt model
+//!    per grid point (a bad point records its error and never kills the
+//!    sweep).
+//! 2. [`SweepPlan::run`] / [`SweepPlan::run_map`] execute the points on
+//!    a work-stealing pool of `std` scoped threads (the worker pattern
+//!    of `performa_sim::replicate`) and collect results **in index
+//!    order**, so the output is deterministic regardless of thread
+//!    count.
+//! 3. Two caching layers cut redundant work: a **modulator cache**
+//!    shares the lumped MMPP service process between points whose
+//!    failure/repair side is identical (every λ/ρ sweep), and
+//!    **neighbor warm-starting** seeds each worker's next `G` solve
+//!    with its previous converged `G`
+//!    ([`performa_qbd::SolveOptions::initial_g`]), falling back to a
+//!    cold solve whenever the seeded iteration does not converge or
+//!    its residual is not acceptable.
+//!
+//! # Determinism
+//!
+//! With the default [`SweepOptions`] the engine is **bit-identical** to
+//! the serial loop `for x { model_at(x).solve() }`: each point is an
+//! independent plain [`ClusterModel::solve`] (the cached modulator is
+//! built by the same deterministic construction it replaces), and
+//! results are stored by index. Warm-starting (`warm_start: true`)
+//! trades bit-identity for speed: accepted seeds converge to the same
+//! `G` only up to the acceptance residual (see
+//! [`SweepOptions::warm_start`]).
+//!
+//! # Example
+//!
+//! ```
+//! use performa_core::{Axis, ClusterModel, Scenario};
+//! use performa_dist::{Exponential, TruncatedPowerTail};
+//!
+//! let template = ClusterModel::builder()
+//!     .servers(2)
+//!     .peak_rate(2.0)
+//!     .degradation(0.2)
+//!     .up(Exponential::with_mean(90.0)?)
+//!     .down(TruncatedPowerTail::with_mean(5, 1.4, 0.2, 10.0)?)
+//!     .utilization(0.5)
+//!     .build()?;
+//! let result = Scenario::new(template, Axis::Rho(vec![0.2, 0.4, 0.6]))
+//!     .compile()
+//!     .run_map(|sol| sol.normalized_mean_queue_length());
+//! assert_eq!(result.points().len(), 3);
+//! assert!(result.points().iter().all(|p| p.outcome.is_ok()));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use performa_dist::{Dist, Moments, TruncatedPowerTail};
+use performa_linalg::Matrix;
+use performa_markov::Mmpp;
+use performa_qbd::{Qbd, SolveOptions, SolverSupervisor, SupervisorOptions};
+
+use crate::model::ClusterModel;
+use crate::solution::ClusterSolution;
+use crate::{CoreError, Result};
+
+/// Relative residual acceptance for warm-started `G` candidates: a
+/// seeded functional iteration is accepted only if
+/// `‖A2 + A1·G + A0·G²‖∞ ≤ WARM_ACCEPT_TOL × (‖A0‖ + ‖A1‖ + ‖A2‖)`
+/// (the supervisor's block-scaled residual metric); otherwise the point
+/// falls back to a cold logarithmic-reduction solve.
+const WARM_ACCEPT_TOL: f64 = 1e-12;
+
+/// A refinable one-dimensional grid of sweep coordinates.
+///
+/// [`Grid::refine_near`] densifies the grid around interesting
+/// abscissae (the blow-up thresholds `ρ_i` of the paper) exactly the
+/// way the historical `performa_experiments::rho_grid` helper did, so
+/// ported figures reproduce their grids bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid {
+    values: Vec<f64>,
+}
+
+impl Grid {
+    /// A linear grid of `steps + 1` points from `lo` to `hi` inclusive.
+    pub fn linear(lo: f64, hi: f64, steps: usize) -> Grid {
+        let steps = steps.max(1);
+        Grid {
+            values: (0..=steps)
+                .map(|i| lo + (hi - lo) * i as f64 / steps as f64)
+                .collect(),
+        }
+    }
+
+    /// Adds refinement points at `±0.02` and `±0.005` around each
+    /// threshold (clamped to the open interval of the grid), then sorts
+    /// and deduplicates at `1e-9` — the exact refinement scheme the
+    /// paper figures use near the blow-up utilizations `ρ_i`.
+    #[must_use]
+    pub fn refine_near(mut self, thresholds: &[f64]) -> Grid {
+        let (lo, hi) = match (self.values.first(), self.values.last()) {
+            (Some(&lo), Some(&hi)) => (lo, hi),
+            _ => return self,
+        };
+        for &r in thresholds {
+            for eps in [-0.02, -0.005, 0.005, 0.02] {
+                let x = r + eps;
+                if x > lo && x < hi {
+                    self.values.push(x);
+                }
+            }
+        }
+        self.values
+            .sort_by(|a, b| a.partial_cmp(b).expect("grid values are not NaN"));
+        self.values.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        self
+    }
+
+    /// The grid coordinates, ascending.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Consumes the grid into its coordinate vector.
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+}
+
+/// The swept model parameter, with one value per grid point.
+///
+/// Each axis fixes how a grid coordinate `x` transforms the scenario's
+/// template model:
+///
+/// * [`Axis::Rho`] — utilization; `λ` is set to `x·ν̄`.
+/// * [`Axis::Lambda`] — raw arrival rate.
+/// * [`Axis::Delta`] — degradation factor `δ` at fixed `λ`.
+/// * [`Axis::Availability`] — cycle-preserving availability rescale
+///   ([`ClusterModel::with_availability`]) at fixed `λ`.
+/// * [`Axis::TptOrder`] — truncation order `T` of a TPT repair
+///   distribution (same `α`, `θ`, mean) at fixed `λ`.
+/// * [`Axis::Servers`] — cluster size `N` at fixed utilization.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Axis {
+    /// Sweep utilization `ρ = λ/ν̄`.
+    Rho(Vec<f64>),
+    /// Sweep the arrival rate `λ`.
+    Lambda(Vec<f64>),
+    /// Sweep the degradation factor `δ` at fixed arrival rate.
+    Delta(Vec<f64>),
+    /// Sweep per-node availability by cycle-preserving rescale, at
+    /// fixed arrival rate.
+    Availability(Vec<f64>),
+    /// Sweep the repair-tail truncation order `T` (requires a
+    /// truncated-power-tail DOWN distribution), at fixed arrival rate.
+    TptOrder(Vec<u32>),
+    /// Sweep the cluster size `N` at fixed utilization.
+    Servers(Vec<usize>),
+}
+
+impl Axis {
+    /// The axis name used for spans and CSV headers.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Axis::Rho(_) => "rho",
+            Axis::Lambda(_) => "lambda",
+            Axis::Delta(_) => "delta",
+            Axis::Availability(_) => "availability",
+            Axis::TptOrder(_) => "tpt_order",
+            Axis::Servers(_) => "servers",
+        }
+    }
+
+    /// The grid coordinates as `f64` (integer axes are widened).
+    pub fn coordinates(&self) -> Vec<f64> {
+        match self {
+            Axis::Rho(v) | Axis::Lambda(v) | Axis::Delta(v) | Axis::Availability(v) => v.clone(),
+            Axis::TptOrder(v) => v.iter().map(|&t| f64::from(t)).collect(),
+            Axis::Servers(v) => v.iter().map(|&n| n as f64).collect(),
+        }
+    }
+
+    /// Builds the model for coordinate index `i` from the template.
+    fn apply(&self, template: &ClusterModel, i: usize) -> Result<ClusterModel> {
+        match self {
+            Axis::Rho(v) => template.with_utilization(v[i]),
+            Axis::Lambda(v) => template.with_arrival_rate(v[i]),
+            Axis::Delta(v) => ClusterModel::builder()
+                .servers(template.servers())
+                .peak_rate(template.peak_rate())
+                .degradation(v[i])
+                .up(template.up().clone())
+                .down(template.down().clone())
+                .arrival_rate(template.arrival_rate())
+                .build(),
+            Axis::Availability(v) => template.with_availability(v[i]),
+            Axis::TptOrder(v) => {
+                let down = match template.down() {
+                    Dist::TruncatedPowerTail(t) => TruncatedPowerTail::with_mean(
+                        v[i],
+                        t.alpha(),
+                        t.theta(),
+                        t.mean(),
+                    )?,
+                    other => {
+                        return Err(CoreError::InvalidParameter {
+                            message: format!(
+                                "TptOrder axis requires a TPT repair distribution, got {}",
+                                other.family()
+                            ),
+                        })
+                    }
+                };
+                ClusterModel::builder()
+                    .servers(template.servers())
+                    .peak_rate(template.peak_rate())
+                    .degradation(template.degradation())
+                    .up(template.up().clone())
+                    .down(down)
+                    .arrival_rate(template.arrival_rate())
+                    .build()
+            }
+            Axis::Servers(v) => ClusterModel::builder()
+                .servers(v[i])
+                .peak_rate(template.peak_rate())
+                .degradation(template.degradation())
+                .up(template.up().clone())
+                .down(template.down().clone())
+                .utilization(template.utilization())
+                .build(),
+        }
+    }
+}
+
+/// A model template plus the axis to sweep — the declarative input of
+/// the engine.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    template: ClusterModel,
+    axis: Axis,
+}
+
+impl Scenario {
+    /// Pairs a template model with a sweep axis.
+    pub fn new(template: ClusterModel, axis: Axis) -> Self {
+        Scenario { template, axis }
+    }
+
+    /// Compiles the scenario into an executable [`SweepPlan`]: one
+    /// model per grid point, built eagerly. A point whose model cannot
+    /// be built (e.g. a parameter outside its domain) is recorded as a
+    /// failed point; it does not abort compilation.
+    pub fn compile(self) -> SweepPlan {
+        let xs = self.axis.coordinates();
+        let models = (0..xs.len()).map(|i| self.axis.apply(&self.template, i));
+        SweepPlan::assemble(self.axis.label(), xs.clone().into_iter(), models)
+    }
+}
+
+/// Execution knobs of a [`SweepPlan`].
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Worker threads; `0` means all available parallelism. The thread
+    /// count never changes results — collection is index-ordered.
+    pub threads: usize,
+    /// Seed each worker's next `G` solve with its previous converged
+    /// `G` (neighbor warm-starting). Accepted seeds agree with a cold
+    /// solve only up to the acceptance residual, so this is off by
+    /// default; leave it off when bit-identity with the serial loop
+    /// matters.
+    pub warm_start: bool,
+    /// Share the lumped MMPP service process between points with an
+    /// identical failure/repair side (`⟨Q₁,L₁⟩` and the lumped
+    /// aggregate are λ-independent, so every ρ/λ sweep builds them
+    /// once). The cached construction is bit-identical to the per-point
+    /// rebuild it replaces; on by default.
+    pub reuse_modulator: bool,
+    /// Solve each point through the resilient [`SolverSupervisor`]
+    /// instead of the plain default-tolerance solve. `None` (default)
+    /// keeps the plain path, which is what the paper figures use —
+    /// the supervisor's relaxed acceptance and `G` renormalization are
+    /// not bit-identical to [`ClusterModel::solve`].
+    pub supervisor: Option<SupervisorOptions>,
+    /// Iteration budget for a warm-started functional attempt before
+    /// the point falls back to a cold solve.
+    pub warm_budget: usize,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            threads: 0,
+            warm_start: false,
+            reuse_modulator: true,
+            supervisor: None,
+            warm_budget: 2000,
+        }
+    }
+}
+
+/// One compiled grid point: coordinate, prebuilt model (or its build
+/// error) and the modulator-cache group it belongs to.
+#[derive(Debug, Clone)]
+struct PlanPoint {
+    x: f64,
+    model: std::result::Result<ClusterModel, String>,
+    group: usize,
+}
+
+/// A compiled, executable sweep: prebuilt per-point models, the
+/// modulator-cache grouping, and the execution options.
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    label: &'static str,
+    points: Vec<PlanPoint>,
+    groups: usize,
+    options: SweepOptions,
+}
+
+/// λ-independent fingerprint of the model's failure/repair side — the
+/// modulator-cache key ("the model minus the swept axis"). Two points
+/// with equal fingerprints have bit-identical `⟨Q₁,L₁⟩` server models
+/// and lumped aggregates.
+fn modulator_fingerprint(model: &ClusterModel) -> String {
+    format!(
+        "n={};nu={};delta={};up={:?};down={:?}",
+        model.servers(),
+        model.peak_rate().to_bits(),
+        model.degradation().to_bits(),
+        model.up(),
+        model.down(),
+    )
+}
+
+impl SweepPlan {
+    /// Starts a [`Grid`] builder (`SweepPlan::grid(lo, hi, steps)
+    /// .refine_near(&thresholds)` is the canonical figure grid).
+    pub fn grid(lo: f64, hi: f64, steps: usize) -> Grid {
+        Grid::linear(lo, hi, steps)
+    }
+
+    /// Compiles a plan from explicit coordinates and a model builder —
+    /// the escape hatch for sweeps no named [`Axis`] expresses (e.g.
+    /// Fig. 5's per-point re-fitted HYP-2 repair distribution). The
+    /// builder runs eagerly, once per coordinate; a failed build is
+    /// recorded as a failed point.
+    pub fn from_builder<F>(label: &'static str, xs: Vec<f64>, mut build: F) -> SweepPlan
+    where
+        F: FnMut(f64) -> Result<ClusterModel>,
+    {
+        let models: Vec<Result<ClusterModel>> = xs.iter().map(|&x| build(x)).collect();
+        SweepPlan::assemble(label, xs.into_iter(), models.into_iter())
+    }
+
+    fn assemble(
+        label: &'static str,
+        xs: impl Iterator<Item = f64>,
+        models: impl Iterator<Item = Result<ClusterModel>>,
+    ) -> SweepPlan {
+        let mut group_of: HashMap<String, usize> = HashMap::new();
+        let points = xs
+            .zip(models)
+            .map(|(x, model)| match model {
+                Ok(m) => {
+                    let next = group_of.len();
+                    let group = *group_of.entry(modulator_fingerprint(&m)).or_insert(next);
+                    PlanPoint {
+                        x,
+                        model: Ok(m),
+                        group,
+                    }
+                }
+                Err(e) => PlanPoint {
+                    x,
+                    model: Err(e.to_string()),
+                    group: usize::MAX,
+                },
+            })
+            .collect::<Vec<_>>();
+        let groups = group_of.len();
+        SweepPlan {
+            label,
+            points,
+            groups,
+            options: SweepOptions::default(),
+        }
+    }
+
+    /// Replaces the execution options.
+    #[must_use]
+    pub fn with_options(mut self, options: SweepOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The axis label the plan was compiled from.
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the plan has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The grid coordinates, in plan order.
+    pub fn coordinates(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.x).collect()
+    }
+
+    /// Solves every point and returns the full per-point solutions.
+    pub fn run(&self) -> SweepResult<ClusterSolution> {
+        self.run_map(|sol| sol.clone())
+    }
+
+    /// Solves every point and projects each solution through `f`
+    /// inside the worker (so full solutions are never retained).
+    pub fn run_map<T, F>(&self, f: F) -> SweepResult<T>
+    where
+        T: Send,
+        F: Fn(&ClusterSolution) -> T + Sync,
+    {
+        let ctx = ExecContext::new(self);
+        let out = self.execute(|i, worker| {
+            let point = &self.points[i];
+            let _span = performa_obs::span_with(
+                "sweep.point",
+                vec![
+                    ("axis", self.label.into()),
+                    ("index", i.into()),
+                    ("x", point.x.into()),
+                ],
+            );
+            let sol = ctx.solve_point(point, worker)?;
+            Ok(f(&sol))
+        });
+        ctx.finish(out)
+    }
+
+    /// Maps every point's *model* through `f` on the worker pool
+    /// without solving — for analytic per-point work such as the
+    /// blow-up threshold tables.
+    pub fn map_models<T, F>(&self, f: F) -> SweepResult<T>
+    where
+        T: Send,
+        F: Fn(&ClusterModel) -> Result<T> + Sync,
+    {
+        let ctx = ExecContext::new(self);
+        let out = self.execute(|i, _worker| {
+            let point = &self.points[i];
+            let _span = performa_obs::span_with(
+                "sweep.point",
+                vec![
+                    ("axis", self.label.into()),
+                    ("index", i.into()),
+                    ("x", point.x.into()),
+                ],
+            );
+            match &point.model {
+                Ok(model) => f(model),
+                Err(msg) => Err(CoreError::InvalidParameter {
+                    message: msg.clone(),
+                }),
+            }
+        });
+        ctx.finish(out)
+    }
+
+    /// Work-stealing execution over the point indices with index-ordered
+    /// collection — the worker pattern of `performa_sim::replicate`.
+    fn execute<T, F>(&self, job: F) -> Vec<(f64, Result<T>)>
+    where
+        T: Send,
+        F: Fn(usize, &mut WorkerState) -> Result<T> + Sync,
+    {
+        enum Slot<T> {
+            Pending,
+            Done(Result<T>),
+        }
+        let n = self.points.len();
+        let threads = effective_threads(self.options.threads, n);
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Slot<T>> = (0..n).map(|_| Slot::Pending).collect();
+        let slots_mx = Mutex::new(&mut slots);
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut worker = WorkerState::default();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        // One bad point must not kill the sweep: typed
+                        // errors flow into the slot, and a panic in the
+                        // solver is captured the same way.
+                        let out = catch_unwind(AssertUnwindSafe(|| job(i, &mut worker)))
+                            .unwrap_or_else(|payload| {
+                                Err(CoreError::InvalidParameter {
+                                    message: format!(
+                                        "sweep point {i} panicked: {}",
+                                        panic_message(payload.as_ref())
+                                    ),
+                                })
+                            });
+                        let mut guard =
+                            slots_mx.lock().unwrap_or_else(|poison| poison.into_inner());
+                        guard[i] = Slot::Done(out);
+                    }
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .zip(&self.points)
+            .map(|(slot, point)| match slot {
+                Slot::Done(out) => (point.x, out),
+                Slot::Pending => (
+                    point.x,
+                    Err(CoreError::InvalidParameter {
+                        message: "sweep point was never executed".to_string(),
+                    }),
+                ),
+            })
+            .collect()
+    }
+}
+
+fn effective_threads(requested: usize, points: usize) -> usize {
+    let requested = if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        requested
+    };
+    requested.clamp(1, points.max(1))
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+/// Per-worker mutable state: the last converged `G` of this worker,
+/// used as the warm-start seed of its next claimed point.
+#[derive(Default)]
+struct WorkerState {
+    last_g: Option<Matrix>,
+}
+
+/// Shared execution context of one run: the modulator cache and the
+/// run's counters.
+struct ExecContext<'a> {
+    plan: &'a SweepPlan,
+    /// One cell per fingerprint group; the first point of a group
+    /// builds, later points reuse the `Arc`.
+    modulators: Vec<OnceLock<std::result::Result<Arc<Mmpp>, String>>>,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    warm_accepted: AtomicU64,
+    warm_rejected: AtomicU64,
+    started: Instant,
+}
+
+impl<'a> ExecContext<'a> {
+    fn new(plan: &'a SweepPlan) -> Self {
+        ExecContext {
+            plan,
+            modulators: (0..plan.groups).map(|_| OnceLock::new()).collect(),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            warm_accepted: AtomicU64::new(0),
+            warm_rejected: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// The lumped MMPP for this point, through the cache when enabled.
+    /// The cached object is bit-identical to a fresh
+    /// [`ClusterModel::service_process`], so the cache never changes
+    /// results — only skips rebuilding.
+    fn modulator(&self, point: &PlanPoint, model: &ClusterModel) -> Result<Arc<Mmpp>> {
+        let cell = &self.modulators[point.group];
+        if let Some(cached) = cell.get() {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            performa_obs::counter_add("sweep.cache_hit", 1);
+            return cached.clone().map_err(|message| CoreError::InvalidParameter { message });
+        }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let built = model
+            .service_process()
+            .map(Arc::new)
+            .map_err(|e| e.to_string());
+        // Two workers may race on the first points of a group; both
+        // build the same bits, and whichever `set` wins is equivalent.
+        let _ = cell.set(built.clone());
+        built.map_err(|message| CoreError::InvalidParameter { message })
+    }
+
+    /// Solves one point: modulator (cached), then `G`/`R`/boundary via
+    /// warm start, supervisor, or the plain bit-identical default path.
+    fn solve_point(&self, point: &PlanPoint, worker: &mut WorkerState) -> Result<ClusterSolution> {
+        let model = match &point.model {
+            Ok(m) => m,
+            Err(msg) => {
+                return Err(CoreError::InvalidParameter {
+                    message: msg.clone(),
+                })
+            }
+        };
+        // Same stability gate as `ClusterModel::solve`, so failed points
+        // carry the same typed error the serial loop produced.
+        if model.arrival_rate() >= model.capacity() {
+            return Err(CoreError::Unstable {
+                lambda: model.arrival_rate(),
+                capacity: model.capacity(),
+            });
+        }
+        let qbd = if self.plan.options.reuse_modulator && point.group != usize::MAX {
+            let mmpp = self.modulator(point, model)?;
+            Qbd::m_mmpp1(model.arrival_rate(), mmpp.generator(), mmpp.rates())
+                .map_err(CoreError::from)?
+        } else {
+            model.to_qbd()?
+        };
+
+        if let Some(sup) = &self.plan.options.supervisor {
+            let (sol, _report) = SolverSupervisor::with_options(qbd, sup.clone()).solve()?;
+            return Ok(ClusterSolution::new(model.clone(), sol));
+        }
+
+        if self.plan.options.warm_start {
+            if let Some(sol) = self.try_warm(&qbd, model, worker) {
+                return Ok(sol);
+            }
+        }
+
+        // Cold path — exactly `ClusterModel::solve`'s solver invocation.
+        let sol = qbd.solve()?;
+        if self.plan.options.warm_start {
+            worker.last_g = Some(sol.g_matrix().clone());
+        }
+        Ok(ClusterSolution::new(model.clone(), sol))
+    }
+
+    /// Attempts a warm-started solve from the worker's previous `G`.
+    /// Returns `None` (after counting the rejection) when there is no
+    /// usable seed, the seeded iteration fails to converge within the
+    /// budget, or the converged candidate's residual is above the
+    /// acceptance threshold — the caller then cold-starts.
+    fn try_warm(
+        &self,
+        qbd: &Qbd,
+        model: &ClusterModel,
+        worker: &mut WorkerState,
+    ) -> Option<ClusterSolution> {
+        let seed = worker
+            .last_g
+            .as_ref()
+            .filter(|g| g.nrows() == qbd.phase_dim())?;
+        let opts = SolveOptions::default()
+            .with_initial_g(seed.clone())
+            .tap_budget(self.plan.options.warm_budget);
+        let g = match qbd.g_matrix_functional_with(opts) {
+            Ok(g) => g,
+            Err(_) => {
+                self.warm_rejected.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        let scale = qbd.a0().norm_inf() + qbd.a1().norm_inf() + qbd.a2().norm_inf();
+        // NaN residuals must reject, hence the explicit is_nan arm.
+        let residual = qbd.g_residual(&g);
+        if residual.is_nan() || residual > WARM_ACCEPT_TOL * scale {
+            self.warm_rejected.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        self.warm_accepted.fetch_add(1, Ordering::Relaxed);
+        performa_obs::counter_add("sweep.warm_start_accepted", 1);
+        worker.last_g = Some(g.clone());
+        let sol = qbd
+            .solve_from_g(g, performa_qbd::Hardening::default())
+            .ok()?;
+        Some(ClusterSolution::new(model.clone(), sol))
+    }
+
+    /// Assembles the ordered results and the run statistics, and emits
+    /// the run-level gauges.
+    fn finish<T>(self, out: Vec<(f64, Result<T>)>) -> SweepResult<T> {
+        let elapsed = self.started.elapsed();
+        let solved = out.iter().filter(|(_, r)| r.is_ok()).count();
+        let stats = SweepStats {
+            points: out.len(),
+            solved,
+            failed: out.len() - solved,
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            warm_accepted: self.warm_accepted.load(Ordering::Relaxed),
+            warm_rejected: self.warm_rejected.load(Ordering::Relaxed),
+            threads: effective_threads(self.plan.options.threads, out.len()),
+            elapsed,
+        };
+        performa_obs::gauge_set("sweep.points_per_sec", stats.points_per_sec());
+        let points = out
+            .into_iter()
+            .map(|(x, outcome)| SweepPoint { x, outcome })
+            .collect();
+        SweepResult { points, stats }
+    }
+}
+
+/// Extension used internally to cap a warm attempt's budget.
+trait TapBudget {
+    fn tap_budget(self, budget: usize) -> Self;
+}
+
+impl TapBudget for SolveOptions {
+    fn tap_budget(mut self, budget: usize) -> Self {
+        self.max_iterations = budget.max(1);
+        self
+    }
+}
+
+/// One executed grid point: its coordinate and the typed outcome.
+#[derive(Debug)]
+pub struct SweepPoint<T> {
+    /// The grid coordinate this point was solved at.
+    pub x: f64,
+    /// The projected result, or the typed per-point error.
+    pub outcome: Result<T>,
+}
+
+/// Run statistics of a sweep, including both caching layers' hit
+/// counters.
+#[derive(Debug, Clone, Default)]
+pub struct SweepStats {
+    /// Total grid points.
+    pub points: usize,
+    /// Points that produced a value.
+    pub solved: usize,
+    /// Points that recorded a typed error.
+    pub failed: usize,
+    /// Modulator-cache hits (points that reused a lumped MMPP).
+    pub cache_hits: u64,
+    /// Modulator-cache misses (points that built a lumped MMPP).
+    pub cache_misses: u64,
+    /// Warm-started `G` solves accepted by the residual test.
+    pub warm_accepted: u64,
+    /// Warm attempts that fell back to a cold solve.
+    pub warm_rejected: u64,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall clock of the run.
+    pub elapsed: Duration,
+}
+
+impl SweepStats {
+    /// Throughput over the whole run.
+    pub fn points_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.points as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Index-ordered results of a sweep: one [`SweepPoint`] per grid point
+/// plus the run's [`SweepStats`].
+#[derive(Debug)]
+pub struct SweepResult<T> {
+    points: Vec<SweepPoint<T>>,
+    stats: SweepStats,
+}
+
+impl<T> SweepResult<T> {
+    /// The per-point outcomes, in grid order.
+    pub fn points(&self) -> &[SweepPoint<T>] {
+        &self.points
+    }
+
+    /// Consumes the result into its per-point outcomes.
+    pub fn into_points(self) -> Vec<SweepPoint<T>> {
+        self.points
+    }
+
+    /// The run statistics.
+    pub fn stats(&self) -> &SweepStats {
+        &self.stats
+    }
+
+    /// The values in grid order, panicking on the first failed point
+    /// with its coordinate and typed error — the moral equivalent of
+    /// the serial loops' `.expect(context)`.
+    ///
+    /// # Panics
+    ///
+    /// If any point failed.
+    pub fn expect_values(self, context: &str) -> Vec<T> {
+        self.points
+            .into_iter()
+            .map(|p| match p.outcome {
+                Ok(v) => v,
+                Err(e) => panic!("{context}: sweep point x = {} failed: {e}", p.x),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use performa_dist::Exponential;
+
+    /// Small, fast paper-style cluster (T = 3 keeps the phase dimension
+    /// at 10, so debug-mode solves stay cheap).
+    fn cluster(t: u32, rho: f64) -> ClusterModel {
+        ClusterModel::builder()
+            .servers(2)
+            .peak_rate(2.0)
+            .degradation(0.2)
+            .up(Exponential::with_mean(90.0).unwrap())
+            .down(TruncatedPowerTail::with_mean(t, 1.4, 0.2, 10.0).unwrap())
+            .utilization(rho)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn grid_linear_and_refine_matches_legacy_rho_grid() {
+        // The exact numbers `rho_grid(0.1, 0.9, 8, &[0.5])` produced.
+        let grid = Grid::linear(0.1, 0.9, 8).refine_near(&[0.5]);
+        let mut expected: Vec<f64> = (0..=8).map(|i| 0.1 + 0.8 * i as f64 / 8.0).collect();
+        for eps in [-0.02, -0.005, 0.005, 0.02] {
+            let x = 0.5 + eps;
+            if x > 0.1 && x < 0.9 {
+                expected.push(x);
+            }
+        }
+        expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        expected.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        assert_eq!(grid.values(), expected.as_slice());
+    }
+
+    #[test]
+    fn parallel_equals_serial_bitwise() {
+        let grid = Grid::linear(0.1, 0.9, 7).into_values();
+        let template = cluster(3, 0.5);
+
+        // Ground truth: the historical serial loop.
+        let serial: Vec<u64> = grid
+            .iter()
+            .map(|&rho| {
+                template
+                    .with_utilization(rho)
+                    .unwrap()
+                    .solve()
+                    .unwrap()
+                    .normalized_mean_queue_length()
+                    .to_bits()
+            })
+            .collect();
+
+        for threads in [1usize, 4] {
+            let res = Scenario::new(template.clone(), Axis::Rho(grid.clone()))
+                .compile()
+                .with_options(SweepOptions {
+                    threads,
+                    ..SweepOptions::default()
+                })
+                .run_map(|sol| sol.normalized_mean_queue_length());
+            let engine: Vec<u64> = res
+                .expect_values("stable grid")
+                .into_iter()
+                .map(f64::to_bits)
+                .collect();
+            assert_eq!(engine, serial, "threads = {threads} must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn modulator_cache_hits_on_rho_sweeps_and_respects_opt_out() {
+        let grid = Grid::linear(0.2, 0.8, 5).into_values();
+        let n = grid.len();
+        let plan = Scenario::new(cluster(3, 0.5), Axis::Rho(grid.clone())).compile();
+
+        let cached = plan
+            .clone()
+            .with_options(SweepOptions {
+                threads: 1,
+                ..SweepOptions::default()
+            })
+            .run_map(|sol| sol.mean_queue_length());
+        assert_eq!(cached.stats().cache_misses, 1);
+        assert_eq!(cached.stats().cache_hits, (n - 1) as u64);
+
+        let uncached = plan
+            .with_options(SweepOptions {
+                threads: 1,
+                reuse_modulator: false,
+                ..SweepOptions::default()
+            })
+            .run_map(|sol| sol.mean_queue_length());
+        assert_eq!(uncached.stats().cache_hits, 0);
+
+        let a: Vec<u64> = cached
+            .expect_values("stable")
+            .into_iter()
+            .map(f64::to_bits)
+            .collect();
+        let b: Vec<u64> = uncached
+            .expect_values("stable")
+            .into_iter()
+            .map(f64::to_bits)
+            .collect();
+        assert_eq!(a, b, "modulator cache must not change bits");
+    }
+
+    #[test]
+    fn warm_start_agrees_with_cold_across_rho1_threshold() {
+        // Grid straddling the first blow-up threshold ρ₁ = 0.6087 of
+        // the N = 2, δ = 0.2, A = 0.9 base cluster.
+        let grid = Grid::linear(0.58, 0.64, 6).refine_near(&[0.6087]).into_values();
+        let plan = Scenario::new(cluster(4, 0.5), Axis::Rho(grid)).compile();
+
+        let cold = plan
+            .clone()
+            .with_options(SweepOptions {
+                threads: 1,
+                ..SweepOptions::default()
+            })
+            .run();
+        let warm = plan
+            .with_options(SweepOptions {
+                threads: 1,
+                warm_start: true,
+                ..SweepOptions::default()
+            })
+            .run();
+        assert!(
+            warm.stats().warm_accepted >= 1,
+            "warm starts should be accepted on a fine grid, stats = {:?}",
+            warm.stats()
+        );
+        for (c, w) in cold.points().iter().zip(warm.points()) {
+            let (c, w) = (c.outcome.as_ref().unwrap(), w.outcome.as_ref().unwrap());
+            let dg = c.qbd().g_matrix().max_abs_diff(w.qbd().g_matrix());
+            assert!(dg <= 1e-10, "G agreement at x = {}: ‖ΔG‖ = {dg:.3e}", 0);
+            let dm = (c.mean_queue_length() - w.mean_queue_length()).abs();
+            assert!(dm <= 1e-8, "metric agreement: Δ = {dm:.3e}");
+        }
+    }
+
+    #[test]
+    fn bad_point_does_not_kill_the_sweep() {
+        // ρ = 1.2 is unstable; ρ ≤ 0 cannot even build a model.
+        let plan = Scenario::new(
+            cluster(3, 0.5),
+            Axis::Rho(vec![0.4, 1.2, -0.5, 0.6]),
+        )
+        .compile();
+        let res = plan.run_map(|sol| sol.mean_queue_length());
+        assert_eq!(res.stats().points, 4);
+        assert_eq!(res.stats().solved, 2);
+        assert_eq!(res.stats().failed, 2);
+        assert!(res.points()[0].outcome.is_ok());
+        assert!(matches!(
+            res.points()[1].outcome,
+            Err(CoreError::Unstable { .. })
+        ));
+        assert!(res.points()[2].outcome.is_err());
+        assert!(res.points()[3].outcome.is_ok());
+    }
+
+    #[test]
+    fn cache_hit_counter_reaches_memory_sink() {
+        use performa_obs as obs;
+        use std::sync::Arc;
+        let _guard = obs::test_lock();
+        let sink = Arc::new(obs::MemorySink::new());
+        let id = obs::add_sink(sink.clone());
+        obs::set_level(obs::TraceLevel::Debug);
+
+        let grid = Grid::linear(0.3, 0.6, 3).into_values();
+        let res = Scenario::new(cluster(3, 0.5), Axis::Rho(grid))
+            .compile()
+            .with_options(SweepOptions {
+                threads: 1,
+                ..SweepOptions::default()
+            })
+            .run_map(|sol| sol.mean_queue_length());
+
+        obs::set_level(obs::TraceLevel::Off);
+        obs::remove_sink(id);
+
+        let hits = sink
+            .records()
+            .iter()
+            .filter(|r| matches!(r, obs::Record::Metric { name, .. } if *name == "sweep.cache_hit"))
+            .count() as u64;
+        assert_eq!(hits, res.stats().cache_hits);
+        assert!(hits > 0, "expected sweep.cache_hit metrics in the sink");
+        let spans = sink
+            .records()
+            .iter()
+            .filter(|r| matches!(r, obs::Record::SpanOpen { name, .. } if *name == "sweep.point"))
+            .count();
+        assert_eq!(spans, res.stats().points);
+    }
+
+    #[test]
+    fn axes_transform_the_template_as_documented() {
+        let template = cluster(3, 0.5);
+
+        let lam = Scenario::new(template.clone(), Axis::Lambda(vec![1.0, 1.5])).compile();
+        assert_eq!(lam.coordinates(), vec![1.0, 1.5]);
+
+        let delta = Scenario::new(template.clone(), Axis::Delta(vec![0.0, 0.4]))
+            .compile()
+            .map_models(|m| Ok(m.degradation()))
+            .expect_values("delta axis");
+        assert_eq!(delta, vec![0.0, 0.4]);
+
+        let avail = Scenario::new(template.clone(), Axis::Availability(vec![0.5, 0.9]))
+            .compile()
+            .map_models(|m| Ok(m.availability()))
+            .expect_values("availability axis");
+        assert!((avail[0] - 0.5).abs() < 1e-12 && (avail[1] - 0.9).abs() < 1e-12);
+
+        let servers = Scenario::new(template.clone(), Axis::Servers(vec![1, 5]))
+            .compile()
+            .map_models(|m| Ok((m.servers(), m.utilization())))
+            .expect_values("servers axis");
+        assert_eq!(servers[0].0, 1);
+        assert_eq!(servers[1].0, 5);
+        assert!((servers[0].1 - 0.5).abs() < 1e-12);
+
+        let orders = Scenario::new(template.clone(), Axis::TptOrder(vec![2, 5]))
+            .compile()
+            .map_models(|m| {
+                Ok(match m.down() {
+                    Dist::TruncatedPowerTail(t) => (t.truncation(), t.mean()),
+                    _ => unreachable!(),
+                })
+            })
+            .expect_values("tpt order axis");
+        assert_eq!((orders[0].0, orders[1].0), (2, 5));
+        assert!((orders[0].1 - 10.0).abs() < 1e-9);
+
+        // TptOrder on a non-TPT repair distribution is a per-point error.
+        let exp_down = ClusterModel::builder()
+            .servers(2)
+            .peak_rate(2.0)
+            .degradation(0.2)
+            .up(Exponential::with_mean(90.0).unwrap())
+            .down(Exponential::with_mean(10.0).unwrap())
+            .utilization(0.5)
+            .build()
+            .unwrap();
+        let res = Scenario::new(exp_down, Axis::TptOrder(vec![2]))
+            .compile()
+            .map_models(|m| Ok(m.servers()));
+        assert!(res.points()[0].outcome.is_err());
+    }
+}

@@ -73,6 +73,56 @@ impl Dist {
         }
     }
 
+    /// The same family rescaled to a new mean with its shape preserved:
+    /// the normalized variability (SCV, tail exponent, stage count, …)
+    /// is unchanged and only the time scale moves. This is the
+    /// distribution-level primitive behind cycle-preserving
+    /// availability rescaling (`ClusterModel::with_availability`).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::DistError::InvalidParameter`] when `new_mean` is outside
+    /// the family's domain (non-positive or non-finite).
+    pub fn with_mean(&self, new_mean: f64) -> Result<Dist, crate::DistError> {
+        Ok(match self {
+            Dist::Exponential(_) => Exponential::with_mean(new_mean)?.into(),
+            Dist::Erlang(d) => Erlang::with_mean(d.stages(), new_mean)?.into(),
+            Dist::HyperExponential(d) => {
+                // Keep the mixing probabilities; scaling every phase rate
+                // by old/new scales the whole distribution in time.
+                if !(new_mean.is_finite() && new_mean > 0.0) {
+                    return Err(crate::DistError::InvalidParameter {
+                        name: "mean",
+                        value: new_mean,
+                        constraint: "finite and > 0",
+                    });
+                }
+                let factor = d.mean() / new_mean;
+                let rates: Vec<f64> = d.rates().iter().map(|r| r * factor).collect();
+                HyperExponential::new(d.probs(), &rates)?.into()
+            }
+            Dist::TruncatedPowerTail(d) => {
+                TruncatedPowerTail::with_mean(d.truncation(), d.alpha(), d.theta(), new_mean)?
+                    .into()
+            }
+            Dist::Deterministic(_) => Deterministic::new(new_mean)?.into(),
+            Dist::Uniform(d) => {
+                if !(new_mean.is_finite() && new_mean > 0.0) {
+                    return Err(crate::DistError::InvalidParameter {
+                        name: "mean",
+                        value: new_mean,
+                        constraint: "finite and > 0",
+                    });
+                }
+                let factor = new_mean / d.mean();
+                Uniform::new(d.low() * factor, d.high() * factor)?.into()
+            }
+            Dist::Pareto(d) => Pareto::with_mean(d.alpha(), new_mean)?.into(),
+            Dist::Weibull(d) => Weibull::with_mean(d.shape(), new_mean)?.into(),
+            Dist::LogNormal(d) => LogNormal::with_mean_scv(new_mean, d.scv())?.into(),
+        })
+    }
+
     /// Short human-readable family label (used in experiment output).
     pub fn family(&self) -> &'static str {
         match self {

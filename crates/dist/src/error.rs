@@ -25,6 +25,13 @@ pub enum DistError {
     },
     /// An underlying linear-algebra operation failed.
     Linalg(performa_linalg::LinalgError),
+    /// A textual distribution spec failed to parse (see `DistSpec`).
+    InvalidSpec {
+        /// The offending spec string.
+        spec: String,
+        /// Explanation of the defect.
+        message: String,
+    },
 }
 
 impl fmt::Display for DistError {
@@ -42,6 +49,9 @@ impl fmt::Display for DistError {
                 write!(f, "invalid matrix-exponential representation: {message}")
             }
             DistError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            DistError::InvalidSpec { spec, message } => {
+                write!(f, "invalid distribution spec `{spec}`: {message}")
+            }
         }
     }
 }

@@ -43,6 +43,7 @@ mod hyperexp;
 mod me;
 mod sample;
 mod simple;
+mod spec;
 mod tpt;
 
 pub mod fit;
@@ -55,6 +56,7 @@ pub use hyperexp::HyperExponential;
 pub use me::MatrixExp;
 pub use sample::{standard_normal, Sampler};
 pub use simple::{Deterministic, LogNormal, Pareto, Uniform, Weibull};
+pub use spec::DistSpec;
 pub use tpt::TruncatedPowerTail;
 
 /// Result alias for fallible distribution operations.

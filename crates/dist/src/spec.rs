@@ -1,0 +1,285 @@
+//! Typed, parseable distribution specifications.
+//!
+//! A [`DistSpec`] is the declarative counterpart of [`Dist`]: a small
+//! value type naming a distribution family and its parameters, with a
+//! `family:param:...` text form (`FromStr` + `Display` round-trip) shared
+//! by the CLI, the experiment binaries and configuration files.
+//!
+//! The spec keeps the *mean* as an explicit parameter for every family,
+//! which is what makes cycle-preserving availability sweeps a pure
+//! operation: [`DistSpec::with_mean`] replaces the mean and leaves every
+//! shape parameter untouched.
+//!
+//! ```
+//! use performa_dist::{DistSpec, Moments};
+//!
+//! let spec: DistSpec = "tpt:10:1.4:0.2:10".parse()?;
+//! assert_eq!(spec.to_string(), "tpt:10:1.4:0.2:10");
+//! let dist = spec.with_mean(2.5).to_dist()?;
+//! assert!((dist.mean() - 2.5).abs() < 1e-12);
+//! # Ok::<(), performa_dist::DistError>(())
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::{
+    Dist, DistError, Erlang, Exponential, HyperExponential, Pareto, TruncatedPowerTail, Weibull,
+};
+
+/// A declarative distribution specification.
+///
+/// Text form (one token per parameter, `:`-separated):
+///
+/// | Spec | Family |
+/// |---|---|
+/// | `exp:MEAN` | [`Exponential`] |
+/// | `erlang:K:MEAN` | [`Erlang`] with `K` stages |
+/// | `hyp2:MEAN:SCV` | balanced [`HyperExponential`] |
+/// | `tpt:T:ALPHA:THETA:MEAN` | [`TruncatedPowerTail`] |
+/// | `pareto:ALPHA:MEAN` | [`Pareto`] (simulation only) |
+/// | `weibull:SHAPE:MEAN` | [`Weibull`] (simulation only) |
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum DistSpec {
+    /// Exponential with the given mean.
+    Exp {
+        /// Mean duration.
+        mean: f64,
+    },
+    /// Erlang-k with the given stage count and mean.
+    Erlang {
+        /// Number of stages `k ≥ 1`.
+        stages: u32,
+        /// Mean duration.
+        mean: f64,
+    },
+    /// Balanced two-phase hyperexponential matching mean and SCV.
+    Hyp2 {
+        /// Mean duration.
+        mean: f64,
+        /// Squared coefficient of variation (`> 1`).
+        scv: f64,
+    },
+    /// Truncated power tail `⟨T, α, θ⟩` normalized to the given mean.
+    Tpt {
+        /// Truncation level `T`.
+        truncation: u32,
+        /// Tail exponent `α`.
+        alpha: f64,
+        /// Geometric stage-probability parameter `θ ∈ (0, 1)`.
+        theta: f64,
+        /// Mean duration.
+        mean: f64,
+    },
+    /// Pareto power tail with the given exponent and mean.
+    Pareto {
+        /// Tail exponent `α > 1`.
+        alpha: f64,
+        /// Mean duration.
+        mean: f64,
+    },
+    /// Weibull with the given shape and mean.
+    Weibull {
+        /// Shape parameter `k > 0`.
+        shape: f64,
+        /// Mean duration.
+        mean: f64,
+    },
+}
+
+impl DistSpec {
+    /// The mean parameter of the spec.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            DistSpec::Exp { mean }
+            | DistSpec::Erlang { mean, .. }
+            | DistSpec::Hyp2 { mean, .. }
+            | DistSpec::Tpt { mean, .. }
+            | DistSpec::Pareto { mean, .. }
+            | DistSpec::Weibull { mean, .. } => mean,
+        }
+    }
+
+    /// The same spec with its mean replaced and every shape parameter
+    /// kept — the primitive behind cycle-preserving availability
+    /// rescaling. Domain violations (e.g. a non-positive mean) surface
+    /// when the spec is materialized with [`DistSpec::to_dist`].
+    #[must_use]
+    pub fn with_mean(mut self, mean: f64) -> Self {
+        match &mut self {
+            DistSpec::Exp { mean: m }
+            | DistSpec::Erlang { mean: m, .. }
+            | DistSpec::Hyp2 { mean: m, .. }
+            | DistSpec::Tpt { mean: m, .. }
+            | DistSpec::Pareto { mean: m, .. }
+            | DistSpec::Weibull { mean: m, .. } => *m = mean,
+        }
+        self
+    }
+
+    /// Materializes the spec into a concrete [`Dist`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the family constructor's [`DistError`] when a
+    /// parameter is outside its domain.
+    pub fn to_dist(&self) -> Result<Dist, DistError> {
+        Ok(match *self {
+            DistSpec::Exp { mean } => Exponential::with_mean(mean)?.into(),
+            DistSpec::Erlang { stages, mean } => Erlang::with_mean(stages, mean)?.into(),
+            DistSpec::Hyp2 { mean, scv } => HyperExponential::balanced(mean, scv)?.into(),
+            DistSpec::Tpt {
+                truncation,
+                alpha,
+                theta,
+                mean,
+            } => TruncatedPowerTail::with_mean(truncation, alpha, theta, mean)?.into(),
+            DistSpec::Pareto { alpha, mean } => Pareto::with_mean(alpha, mean)?.into(),
+            DistSpec::Weibull { shape, mean } => Weibull::with_mean(shape, mean)?.into(),
+        })
+    }
+}
+
+impl fmt::Display for DistSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DistSpec::Exp { mean } => write!(f, "exp:{mean}"),
+            DistSpec::Erlang { stages, mean } => write!(f, "erlang:{stages}:{mean}"),
+            DistSpec::Hyp2 { mean, scv } => write!(f, "hyp2:{mean}:{scv}"),
+            DistSpec::Tpt {
+                truncation,
+                alpha,
+                theta,
+                mean,
+            } => write!(f, "tpt:{truncation}:{alpha}:{theta}:{mean}"),
+            DistSpec::Pareto { alpha, mean } => write!(f, "pareto:{alpha}:{mean}"),
+            DistSpec::Weibull { shape, mean } => write!(f, "weibull:{shape}:{mean}"),
+        }
+    }
+}
+
+fn bad_spec(spec: &str, message: impl Into<String>) -> DistError {
+    DistError::InvalidSpec {
+        spec: spec.to_string(),
+        message: message.into(),
+    }
+}
+
+fn num(spec: &str, token: &str) -> Result<f64, DistError> {
+    token
+        .parse()
+        .map_err(|_| bad_spec(spec, format!("bad number `{token}`")))
+}
+
+fn int(spec: &str, token: &str, what: &str) -> Result<u32, DistError> {
+    token
+        .parse()
+        .map_err(|_| bad_spec(spec, format!("bad {what} `{token}`")))
+}
+
+impl FromStr for DistSpec {
+    type Err = DistError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = s.split(':').collect();
+        match parts.as_slice() {
+            ["exp", m] => Ok(DistSpec::Exp { mean: num(s, m)? }),
+            ["erlang", k, m] => Ok(DistSpec::Erlang {
+                stages: int(s, k, "stage count")?,
+                mean: num(s, m)?,
+            }),
+            ["hyp2", m, scv] => Ok(DistSpec::Hyp2 {
+                mean: num(s, m)?,
+                scv: num(s, scv)?,
+            }),
+            ["tpt", t, a, th, m] => Ok(DistSpec::Tpt {
+                truncation: int(s, t, "truncation level")?,
+                alpha: num(s, a)?,
+                theta: num(s, th)?,
+                mean: num(s, m)?,
+            }),
+            ["pareto", a, m] => Ok(DistSpec::Pareto {
+                alpha: num(s, a)?,
+                mean: num(s, m)?,
+            }),
+            ["weibull", k, m] => Ok(DistSpec::Weibull {
+                shape: num(s, k)?,
+                mean: num(s, m)?,
+            }),
+            _ => Err(bad_spec(s, "unknown distribution family or arity")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Moments;
+
+    #[test]
+    fn round_trips_canonical_strings() {
+        for s in [
+            "exp:90",
+            "erlang:3:10",
+            "hyp2:10:20",
+            "tpt:10:1.4:0.2:10",
+            "pareto:1.4:10",
+            "weibull:0.5:10",
+        ] {
+            let spec: DistSpec = s.parse().unwrap();
+            assert_eq!(spec.to_string(), s, "display round-trip for `{s}`");
+            let again: DistSpec = spec.to_string().parse().unwrap();
+            assert_eq!(again, spec, "parse round-trip for `{s}`");
+        }
+    }
+
+    #[test]
+    fn to_dist_matches_direct_constructors() {
+        let spec: DistSpec = "tpt:10:1.4:0.2:10".parse().unwrap();
+        let via_spec = spec.to_dist().unwrap();
+        let direct: Dist = TruncatedPowerTail::with_mean(10, 1.4, 0.2, 10.0)
+            .unwrap()
+            .into();
+        assert_eq!(via_spec, direct);
+    }
+
+    #[test]
+    fn with_mean_replaces_only_the_mean() {
+        let spec: DistSpec = "tpt:10:1.4:0.2:10".parse().unwrap();
+        let rescaled = spec.with_mean(2.5);
+        assert_eq!(rescaled.to_string(), "tpt:10:1.4:0.2:2.5");
+        let d = rescaled.to_dist().unwrap();
+        assert!((d.mean() - 2.5).abs() < 1e-12);
+        assert!((d.scv() - spec.to_dist().unwrap().scv()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn with_mean_matches_string_rescale() {
+        // The historical CLI path formatted the new mean into the spec
+        // string and re-parsed; the typed path must produce bit-identical
+        // parameters (f64 Display is shortest-roundtrip).
+        let new_mean = 0.3125 * 100.0;
+        let via_string: DistSpec = format!("exp:{new_mean}").parse().unwrap();
+        let via_typed = "exp:90".parse::<DistSpec>().unwrap().with_mean(new_mean);
+        assert_eq!(via_string, via_typed);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for s in ["", "exp", "exp:abc", "tpt:1.5:1.4:0.2:10", "gauss:1:2"] {
+            let err = s.parse::<DistSpec>().unwrap_err();
+            assert!(
+                matches!(err, DistError::InvalidSpec { .. }),
+                "`{s}` should fail with InvalidSpec, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_accessor() {
+        let spec: DistSpec = "hyp2:10:20".parse().unwrap();
+        assert_eq!(spec.mean(), 10.0);
+        assert_eq!(spec.with_mean(4.0).mean(), 4.0);
+    }
+}

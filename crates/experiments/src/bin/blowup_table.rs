@@ -1,8 +1,12 @@
 //! Blow-up boundary table (paper Eqs. 3–5): threshold rates ν_i,
 //! utilization thresholds ρ_i, availability intervals, and predicted
 //! queue-tail exponents β_i for a range of cluster sizes.
+//!
+//! The cluster sizes are a [`performa_core::Axis::Servers`] sweep; the
+//! per-size threshold analysis is pure model arithmetic, so it runs
+//! through [`performa_core::SweepPlan::map_models`] without solving.
 
-use performa_core::blowup;
+use performa_core::{blowup, Axis, Scenario};
 use performa_experiments::{params, tpt_cluster_with, write_csv};
 
 fn main() {
@@ -10,18 +14,34 @@ fn main() {
     println!("# Blow-up boundary placement (Eqs. 3-5), nu_p=2, delta=0.2, A=0.9, alpha=1.4");
     println!();
 
+    let sizes: Vec<usize> = vec![1, 2, 3, 5, 10];
+    let tables = Scenario::new(
+        tpt_cluster_with(1, params::DELTA, 5, 0.5),
+        Axis::Servers(sizes.clone()),
+    )
+    .compile()
+    .map_models(|model| {
+        let n = model.servers();
+        let per_i: Vec<(usize, f64, f64, f64)> = (1..=n)
+            .map(|i| {
+                let nu_i = blowup::degraded_rate(model, i);
+                let rho_i = nu_i / model.capacity();
+                let beta = blowup::queue_tail_exponent(i, params::ALPHA);
+                (i, nu_i, rho_i, beta)
+            })
+            .collect();
+        Ok((n, model.capacity(), per_i))
+    })
+    .expect_values("paper parameters are valid");
+
     let mut rows = Vec::new();
-    for n in [1usize, 2, 3, 5, 10] {
-        let model = tpt_cluster_with(n, params::DELTA, 5, 0.5);
-        println!("N = {n}: capacity nu_bar = {:.4}", model.capacity());
+    for (n, capacity, per_i) in tables {
+        println!("N = {n}: capacity nu_bar = {capacity:.4}");
         println!(
             "  {:>3} {:>12} {:>12} {:>10}",
             "i", "nu_i", "rho_i", "beta_i"
         );
-        for i in 1..=n {
-            let nu_i = blowup::degraded_rate(&model, i);
-            let rho_i = nu_i / model.capacity();
-            let beta = blowup::queue_tail_exponent(i, params::ALPHA);
+        for (i, nu_i, rho_i, beta) in per_i {
             println!("  {i:>3} {nu_i:>12.4} {rho_i:>12.4} {beta:>10.3}");
             rows.push(vec![n as f64, i as f64, nu_i, rho_i, beta]);
         }

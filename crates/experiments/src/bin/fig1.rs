@@ -4,14 +4,24 @@
 //! Expected shape (paper): the T = 1 (exponential) curve grows smoothly;
 //! T = 9, 10 show blow-ups at ρ ≈ 21.7 % and ≈ 60.9 %, reaching ~100×
 //! the M/M/1 mean in the rightmost region.
+//!
+//! Each T-curve is one [`SweepPlan`] over the shared ρ grid: the lumped
+//! MMPP is built once per curve (modulator cache) and the points run on
+//! the worker pool.
 
-use performa_experiments::{ascii_plot_logy, base_thresholds, print_row, rho_grid, tpt_cluster, write_csv};
+use performa_core::{Axis, Scenario, SweepPlan};
+use performa_experiments::{
+    arg_or, ascii_plot_logy, base_thresholds, print_row, tpt_cluster, write_csv,
+};
 
 fn main() {
     let _obs = performa_experiments::init_obs();
     let ts: Vec<u32> = vec![1, 5, 9, 10];
+    let threads: usize = arg_or("--threads", 0);
     let thresholds = base_thresholds();
-    let grid = rho_grid(0.02, 0.98, 48, &thresholds);
+    let grid = SweepPlan::grid(0.02, 0.98, 48)
+        .refine_near(&thresholds)
+        .into_values();
 
     println!(
         "# Figure 1: M/2-Burst/1, UP=90 DOWN=10, nu_p=2.0, delta=0.2, alpha=1.4, theta=0.2"
@@ -25,12 +35,27 @@ fn main() {
         ts
     );
 
+    // One sweep per truncation level; every sweep shares the ρ grid.
+    let curves: Vec<Vec<f64>> = ts
+        .iter()
+        .map(|&t| {
+            let mut plan = Scenario::new(tpt_cluster(t, 0.5), Axis::Rho(grid.clone())).compile();
+            if threads != 0 {
+                plan = plan.with_options(performa_core::SweepOptions {
+                    threads,
+                    ..Default::default()
+                });
+            }
+            plan.run_map(|sol| sol.normalized_mean_queue_length())
+                .expect_values("stable for rho < 1")
+        })
+        .collect();
+
     let mut rows = Vec::new();
-    for &rho in &grid {
+    for (i, &rho) in grid.iter().enumerate() {
         let mut row = vec![rho];
-        for &t in &ts {
-            let sol = tpt_cluster(t, rho).solve().expect("stable for rho < 1");
-            row.push(sol.normalized_mean_queue_length());
+        for curve in &curves {
+            row.push(curve[i]);
         }
         print_row(&row);
         rows.push(row);

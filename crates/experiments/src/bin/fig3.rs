@@ -5,23 +5,35 @@
 //! visible as jumps; the exponential case (T = 1) only shows
 //! non-negligible tail mass for ρ close to 1.
 
-use performa_experiments::{base_thresholds, print_row, rho_grid, tpt_cluster, write_csv};
+use performa_core::{Axis, Scenario, SweepPlan};
+use performa_experiments::{base_thresholds, print_row, tpt_cluster, write_csv};
 
 fn main() {
     let _obs = performa_experiments::init_obs();
     let ts: Vec<u32> = vec![1, 5, 9, 10];
     let k = 500;
-    let grid = rho_grid(0.02, 0.98, 48, &base_thresholds());
+    let grid = SweepPlan::grid(0.02, 0.98, 48)
+        .refine_near(&base_thresholds())
+        .into_values();
 
     println!("# Figure 3: Pr(Q >= {k}) vs rho, TPT repair, T = {ts:?}");
     println!("# columns: rho, then Pr(Q >= {k}) for each T");
 
+    let curves: Vec<Vec<f64>> = ts
+        .iter()
+        .map(|&t| {
+            Scenario::new(tpt_cluster(t, 0.5), Axis::Rho(grid.clone()))
+                .compile()
+                .run_map(|sol| sol.at_least_probability(k))
+                .expect_values("stable")
+        })
+        .collect();
+
     let mut rows = Vec::new();
-    for &rho in &grid {
+    for (i, &rho) in grid.iter().enumerate() {
         let mut row = vec![rho];
-        for &t in &ts {
-            let sol = tpt_cluster(t, rho).solve().expect("stable");
-            row.push(sol.at_least_probability(k));
+        for curve in &curves {
+            row.push(curve[i]);
         }
         print_row(&row);
         rows.push(row);

@@ -5,14 +5,17 @@
 //! rightmost region the values closely match the TPT results, in the
 //! intermediate region they are slightly lower.
 
+use performa_core::{Axis, Scenario, SweepPlan};
 use performa_experiments::{
-    base_thresholds, fit_error, hyp2_cluster, params, print_row, rho_grid, tpt_cluster, write_csv,
+    base_thresholds, fit_error, hyp2_cluster, params, print_row, tpt_cluster, write_csv,
 };
 
 fn main() {
     let _obs = performa_experiments::init_obs();
     let ts: Vec<u32> = vec![1, 5, 9, 10];
-    let grid = rho_grid(0.02, 0.98, 48, &base_thresholds());
+    let grid = SweepPlan::grid(0.02, 0.98, 48)
+        .refine_near(&base_thresholds())
+        .into_values();
 
     println!("# Figure 4: HYP-2 repair matched to TPT first 3 moments, N=2, delta=0.2");
     for &t in &ts[1..] {
@@ -20,29 +23,27 @@ fn main() {
     }
     println!("# columns: rho, norm-mean HYP2(T1..T10), then norm-mean TPT T=10 for comparison");
 
+    let sweep = |template| {
+        Scenario::new(template, Axis::Rho(grid.clone()))
+            .compile()
+            .run_map(|sol: &performa_core::ClusterSolution| sol.normalized_mean_queue_length())
+            .expect_values("stable")
+    };
+    // T = 1 is exactly exponential; the HYP-2 fit degenerates there, so
+    // the first curve uses the TPT (= exponential) model directly. The
+    // last curve is the reference: the true TPT T = 10 results.
+    let mut curves: Vec<Vec<f64>> = vec![sweep(tpt_cluster(1, 0.5))];
+    for &t in &ts[1..] {
+        curves.push(sweep(hyp2_cluster(params::N, params::DELTA, t, 0.5)));
+    }
+    curves.push(sweep(tpt_cluster(10, 0.5)));
+
     let mut rows = Vec::new();
-    for &rho in &grid {
+    for (i, &rho) in grid.iter().enumerate() {
         let mut row = vec![rho];
-        for &t in &ts {
-            // T = 1 is exactly exponential; hyp2 fit degenerates. Use the
-            // TPT (=exponential) model directly there.
-            let norm = if t == 1 {
-                tpt_cluster(1, rho).solve().expect("stable")
-            } else {
-                hyp2_cluster(params::N, params::DELTA, t, rho)
-                    .solve()
-                    .expect("stable")
-            }
-            .normalized_mean_queue_length();
-            row.push(norm);
+        for curve in &curves {
+            row.push(curve[i]);
         }
-        // Reference column: the true TPT T = 10 curve.
-        row.push(
-            tpt_cluster(10, rho)
-                .solve()
-                .expect("stable")
-                .normalized_mean_queue_length(),
-        );
         print_row(&row);
         rows.push(row);
     }

@@ -5,8 +5,12 @@
 //! Expected shape (paper): vertical asymptote at the stability bound
 //! A ≈ 31.25 %; monotone decrease toward A = 1; for any A < 1 the model
 //! is at least in the intermediate blow-up region.
+//!
+//! The per-point HYP-2 re-fit makes this sweep inexpressible as a named
+//! [`performa_core::Axis`], so the plan is compiled through
+//! [`SweepPlan::from_builder`].
 
-use performa_core::blowup;
+use performa_core::{blowup, SweepPlan};
 use performa_experiments::{ascii_plot_logy, hyp2_cluster_with_availability, print_row, write_csv};
 
 fn main() {
@@ -26,19 +30,25 @@ fn main() {
     println!("# blow-up region 2:        A in {r2:?}");
     println!("# columns: A, normalized mean queue length");
 
-    let mut rows = Vec::new();
+    // Sweep from just above the bound to just below 1.
     let steps = 60;
-    for i in 0..=steps {
-        // Sweep from just above the bound to just below 1.
-        let a = a_min + 0.004 + (0.999 - a_min - 0.004) * i as f64 / steps as f64;
-        let model = hyp2_cluster_with_availability(t, cycle, a, lambda);
-        match model.solve() {
-            Ok(sol) => {
-                let row = vec![a, sol.normalized_mean_queue_length()];
+    let grid: Vec<f64> = (0..=steps)
+        .map(|i| a_min + 0.004 + (0.999 - a_min - 0.004) * f64::from(i) / f64::from(steps))
+        .collect();
+    let result = SweepPlan::from_builder("availability", grid, |a| {
+        Ok(hyp2_cluster_with_availability(t, cycle, a, lambda))
+    })
+    .run_map(|sol| sol.normalized_mean_queue_length());
+
+    let mut rows = Vec::new();
+    for point in result.points() {
+        match &point.outcome {
+            Ok(norm) => {
+                let row = vec![point.x, *norm];
                 print_row(&row);
                 rows.push(row);
             }
-            Err(e) => println!("# A = {a:.4}: {e}"),
+            Err(e) => println!("# A = {:.4}: {e}", point.x),
         }
     }
     write_csv(

@@ -4,8 +4,8 @@
 //! The 2-phase HYP-2 keeps the lumped modulator at C(7,2) = 21 states,
 //! which is what makes N = 5 cheap (paper Sect. 3.2).
 
-use performa_core::blowup;
-use performa_experiments::{hyp2_cluster, params, print_row, rho_grid, write_csv};
+use performa_core::{blowup, Axis, Scenario, SweepPlan};
+use performa_experiments::{hyp2_cluster, params, print_row, write_csv};
 
 fn main() {
     let _obs = performa_experiments::init_obs();
@@ -19,18 +19,21 @@ fn main() {
     println!("# blow-up thresholds rho_5..rho_1: {thresholds:?}");
     println!("# columns: rho, Pr(Q >= {k}) HYP-2, Pr(Q >= {k}) exponential repair");
 
-    let grid = rho_grid(0.02, 0.98, 64, &thresholds);
+    let grid = SweepPlan::grid(0.02, 0.98, 64)
+        .refine_near(&thresholds)
+        .into_values();
+    let sweep = |template| {
+        Scenario::new(template, Axis::Rho(grid.clone()))
+            .compile()
+            .run_map(|sol: &performa_core::ClusterSolution| sol.at_least_probability(k))
+            .expect_values("stable")
+    };
+    let heavy = sweep(probe);
+    let light = sweep(performa_experiments::tpt_cluster_with(n, params::DELTA, 1, 0.5));
+
     let mut rows = Vec::new();
-    for &rho in &grid {
-        let heavy = hyp2_cluster(n, params::DELTA, t, rho)
-            .solve()
-            .expect("stable")
-            .at_least_probability(k);
-        let light = performa_experiments::tpt_cluster_with(n, params::DELTA, 1, rho)
-            .solve()
-            .expect("stable")
-            .at_least_probability(k);
-        let row = vec![rho, heavy, light];
+    for (i, &rho) in grid.iter().enumerate() {
+        let row = vec![rho, heavy[i], light[i]];
         print_row(&row);
         rows.push(row);
     }

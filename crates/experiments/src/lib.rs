@@ -7,8 +7,8 @@
 use std::io::Write as _;
 use std::path::PathBuf;
 
-use performa_core::ClusterModel;
-use performa_dist::{fit, Exponential, HyperExponential, Moments, TruncatedPowerTail};
+use performa_core::{ClusterModel, SweepPlan};
+use performa_dist::{fit, Dist, DistSpec, Exponential, HyperExponential, Moments, TruncatedPowerTail};
 
 /// The paper's shared base parameters (Sect. 3, figure captions).
 pub mod params {
@@ -28,6 +28,37 @@ pub mod params {
     pub const N: usize = 2;
 }
 
+/// The paper's repair-time spec at truncation `t`: a TPT with
+/// `α = 1.4`, `θ = 0.2` normalized to the paper's MTTR of 10.
+pub fn tpt_spec(t: u32) -> DistSpec {
+    DistSpec::Tpt {
+        truncation: t,
+        alpha: params::ALPHA,
+        theta: params::THETA,
+        mean: params::DOWN_MEAN,
+    }
+}
+
+/// Builds a paper-style cluster (exponential UP of mean 90, peak rate
+/// `ν_p = 2`) with the repair distribution described by `spec`, at
+/// utilization `rho`.
+///
+/// # Panics
+///
+/// Panics on invalid parameters — experiment binaries use fixed, valid
+/// settings.
+pub fn cluster_with_down_spec(n: usize, delta: f64, spec: &DistSpec, rho: f64) -> ClusterModel {
+    ClusterModel::builder()
+        .servers(n)
+        .peak_rate(params::NU_P)
+        .degradation(delta)
+        .up(Exponential::with_mean(params::UP_MEAN).expect("valid"))
+        .down(spec.to_dist().expect("valid repair spec"))
+        .utilization(rho)
+        .build()
+        .expect("paper parameters are valid")
+}
+
 /// Builds the paper's TPT-repair cluster model at utilization `rho`.
 ///
 /// # Panics
@@ -44,18 +75,7 @@ pub fn tpt_cluster(t: u32, rho: f64) -> ClusterModel {
 ///
 /// See [`tpt_cluster`].
 pub fn tpt_cluster_with(n: usize, delta: f64, t: u32, rho: f64) -> ClusterModel {
-    ClusterModel::builder()
-        .servers(n)
-        .peak_rate(params::NU_P)
-        .degradation(delta)
-        .up(Exponential::with_mean(params::UP_MEAN).expect("valid"))
-        .down(
-            TruncatedPowerTail::with_mean(t, params::ALPHA, params::THETA, params::DOWN_MEAN)
-                .expect("valid"),
-        )
-        .utilization(rho)
-        .build()
-        .expect("paper parameters are valid")
+    cluster_with_down_spec(n, delta, &tpt_spec(t), rho)
 }
 
 /// The HYP-2 repair distribution moment-matched to the paper's TPT with
@@ -66,8 +86,9 @@ pub fn tpt_cluster_with(n: usize, delta: f64, t: u32, rho: f64) -> ClusterModel 
 /// Panics if the fit is infeasible (never for `t ≥ 2` with the paper's
 /// parameters).
 pub fn hyp2_matched_to_tpt(t: u32) -> HyperExponential {
-    let tpt = TruncatedPowerTail::with_mean(t, params::ALPHA, params::THETA, params::DOWN_MEAN)
-        .expect("valid");
+    let Ok(Dist::TruncatedPowerTail(tpt)) = tpt_spec(t).to_dist() else {
+        unreachable!("tpt_spec builds a TPT")
+    };
     fit::hyp2_matching(&tpt).expect("paper TPT moments are HYP-2 feasible")
 }
 
@@ -101,8 +122,9 @@ pub fn hyp2_cluster_with_availability(t: u32, cycle: f64, a: f64, lambda: f64) -
     // Re-fit the HYP-2 to the TPT shape rescaled to the new mean: the
     // paper scales the repair-time distribution, preserving its relative
     // variability.
-    let tpt = TruncatedPowerTail::with_mean(t, params::ALPHA, params::THETA, down_mean)
-        .expect("valid");
+    let Ok(Dist::TruncatedPowerTail(tpt)) = tpt_spec(t).with_mean(down_mean).to_dist() else {
+        unreachable!("tpt_spec builds a TPT")
+    };
     let hyp = fit::hyp2_matching(&tpt).expect("feasible");
     ClusterModel::builder()
         .servers(params::N)
@@ -237,23 +259,16 @@ pub fn print_row(cols: &[f64]) {
     println!("{line}");
 }
 
-/// Geometrically spaced utilization grid on `(lo, hi)` with extra
+/// Linearly spaced utilization grid on `[lo, hi]` with extra
 /// refinement near the paper's blow-up thresholds.
+///
+/// Thin shim over [`performa_core::sweep::Grid`] — kept for the
+/// historical call sites; new code should use
+/// `SweepPlan::grid(lo, hi, steps).refine_near(thresholds)` directly.
 pub fn rho_grid(lo: f64, hi: f64, steps: usize, refine_at: &[f64]) -> Vec<f64> {
-    let mut grid: Vec<f64> = (0..=steps)
-        .map(|i| lo + (hi - lo) * i as f64 / steps as f64)
-        .collect();
-    for &r in refine_at {
-        for eps in [-0.02, -0.005, 0.005, 0.02] {
-            let v = r + eps;
-            if v > lo && v < hi {
-                grid.push(v);
-            }
-        }
-    }
-    grid.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    grid.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
-    grid
+    SweepPlan::grid(lo, hi, steps)
+        .refine_near(refine_at)
+        .into_values()
 }
 
 /// Convenience: the paper's blow-up thresholds for the base 2-server

@@ -167,7 +167,7 @@ pub enum DriftClass {
 }
 
 /// Options controlling the iterative stages of [`Qbd::solve`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SolveOptions {
     /// Convergence tolerance on the `G` iteration (infinity norm).
     pub tolerance: f64,
@@ -175,6 +175,18 @@ pub struct SolveOptions {
     pub max_iterations: usize,
     /// Numerical hardening applied to the `G` stages (default: none).
     pub hardening: Hardening,
+    /// Optional warm-start seed for `G` — a converged `G` from a nearby
+    /// model (e.g. the neighboring point of a parameter sweep).
+    ///
+    /// When set, [`Qbd::solve_with`] first runs the *functional*
+    /// iteration `G ← (−A1)⁻¹(A2 + A0·G²)` from this seed; close seeds
+    /// converge in a handful of cheap iterations instead of a full
+    /// logarithmic-reduction solve. If the seeded iteration does not
+    /// converge within the budget, the solve falls back to a plain
+    /// cold-start logarithmic reduction, so the seed can never make a
+    /// solvable problem fail. A seed whose dimension does not match the
+    /// phase dimension is ignored.
+    pub initial_g: Option<Matrix>,
 }
 
 impl Default for SolveOptions {
@@ -183,6 +195,7 @@ impl Default for SolveOptions {
             tolerance: 1e-14,
             max_iterations: 200,
             hardening: Hardening::default(),
+            initial_g: None,
         }
     }
 }
@@ -195,6 +208,14 @@ impl SolveOptions {
             hardening: Hardening::full(),
             ..SolveOptions::default()
         }
+    }
+
+    /// The same options with a warm-start seed for `G` (see
+    /// [`SolveOptions::initial_g`]).
+    #[must_use]
+    pub fn with_initial_g(mut self, g: Matrix) -> Self {
+        self.initial_g = Some(g);
+        self
     }
 }
 
@@ -651,12 +672,13 @@ impl Qbd {
     /// needed in practice.
     pub fn g_matrix_functional(&self, tolerance: f64, max_iterations: usize) -> Result<Matrix> {
         Ok(self
-            .g_functional_counted(tolerance, max_iterations, None, Hardening::default())?
+            .g_functional_counted(tolerance, max_iterations, None, Hardening::default(), None)?
             .0)
     }
 
     /// [`Qbd::g_matrix_functional`] with explicit [`SolveOptions`],
-    /// including hardening (shift + equilibration + refinement).
+    /// including hardening (shift + equilibration + refinement) and the
+    /// warm-start seed [`SolveOptions::initial_g`].
     ///
     /// # Errors
     ///
@@ -665,7 +687,13 @@ impl Qbd {
     /// chain.
     pub fn g_matrix_functional_with(&self, opts: SolveOptions) -> Result<Matrix> {
         Ok(self
-            .g_functional_counted(opts.tolerance, opts.max_iterations, None, opts.hardening)?
+            .g_functional_counted(
+                opts.tolerance,
+                opts.max_iterations,
+                None,
+                opts.hardening,
+                opts.initial_g.as_ref(),
+            )?
             .0)
     }
 
@@ -673,12 +701,19 @@ impl Qbd {
     /// `"functional"`); see [`Qbd::g_logred_counted`]. The shift runs
     /// the iteration `Ĝ ← (−Ã1)⁻¹(Ã2 + A0·Ĝ²)` on the deflated blocks
     /// and undoes the shift on the result.
+    ///
+    /// `initial_g` seeds the iterate with an (unshifted) `G` from a
+    /// nearby model instead of the cold default `(−Ã1)⁻¹·Ã2`; under the
+    /// spectral shift the seed is deflated (`Ĝ₀ = G₀ − ε·uᵀ`) so the
+    /// iteration still converges to the shifted fixed point. A seed of
+    /// the wrong dimension is ignored.
     pub(crate) fn g_functional_counted(
         &self,
         tolerance: f64,
         max_iterations: usize,
         deadline: Option<Instant>,
         hardening: Hardening,
+        initial_g: Option<&Matrix>,
     ) -> Result<(Matrix, usize)> {
         self.shift_gate(hardening)?;
         let m = self.phase_dim();
@@ -713,7 +748,17 @@ impl Qbd {
                 ws.lu.solve_mat_into(down_block, &mut ws.k1)?;
                 ws.lu.solve_mat_into(&self.a0, &mut ws.k2)?;
             }
-            ws.x1.copy_from(&ws.k1);
+            match initial_g {
+                Some(seed) if seed.nrows() == m && seed.ncols() == m => {
+                    ws.x1.copy_from(seed);
+                    if hardening.shift {
+                        // The iteration converges to Ĝ = G − εuᵀ; deflate
+                        // the (unshifted) seed to match.
+                        undo_shift(&mut ws.x1, -um);
+                    }
+                }
+                _ => ws.x1.copy_from(&ws.k1),
+            }
 
             let mut last_diff = f64::NAN;
             for it in 0..max_iterations {
@@ -900,6 +945,12 @@ impl Qbd {
 
     /// Full stationary solve: `G` → `R` → boundary vectors `(π₀, π₁)`.
     ///
+    /// With [`SolveOptions::initial_g`] set, the `G` stage first tries
+    /// the functional iteration warm-started from the seed and falls
+    /// back to a cold logarithmic reduction if the seeded iteration
+    /// does not converge — the fallback path is bit-identical to a
+    /// seedless solve.
+    ///
     /// # Errors
     ///
     /// See [`Qbd::solve`].
@@ -911,9 +962,48 @@ impl Qbd {
                 down_rate: down,
             });
         }
-        let g = self.g_matrix(opts)?;
+        let warm = opts.initial_g.as_ref().and_then(|seed| {
+            self.g_functional_counted(
+                opts.tolerance,
+                opts.max_iterations,
+                None,
+                opts.hardening,
+                Some(seed),
+            )
+            .ok()
+        });
+        let g = match warm {
+            Some((g, _)) => g,
+            None => {
+                self.g_logred_counted(opts.tolerance, opts.max_iterations, None, opts.hardening)?
+                    .0
+            }
+        };
         let r = self.r_from_g_with_cond(&g, opts.hardening)?.0;
         Ok(self.boundary_from_gr(g, r, opts.hardening)?.0)
+    }
+
+    /// Assembles the full stationary solution from an already-computed
+    /// `G` (e.g. a warm-started sweep point): `R = A0·(−(A1+A0·G))⁻¹`
+    /// and the boundary system, with `hardening` applied to both solves.
+    ///
+    /// The caller is responsible for `g` actually solving
+    /// `A2 + A1·G + A0·G² = 0` to an acceptable [`Qbd::g_residual`];
+    /// this method performs no iteration of its own.
+    ///
+    /// # Errors
+    ///
+    /// [`QbdError::Linalg`] on singular intermediate systems.
+    pub fn solve_from_g(&self, g: Matrix, hardening: Hardening) -> Result<QbdSolution> {
+        let r = self.r_from_g_with_cond(&g, hardening)?.0;
+        Ok(self.boundary_from_gr(g, r, hardening)?.0)
+    }
+
+    /// True residual `‖A2 + A1·G + A0·G²‖∞` of a candidate `G` — the
+    /// acceptance metric used by the supervisor and by warm-started
+    /// sweeps.
+    pub fn g_residual(&self, g: &Matrix) -> f64 {
+        (self.a2() + &(self.a1() * g) + &(self.a0() * &(g * g))).norm_inf()
     }
 
     /// Assembles the boundary vectors `(π₀, π₁)` and the full solution
@@ -1237,7 +1327,7 @@ mod tests {
         let past = Some(std::time::Instant::now() - std::time::Duration::from_millis(1));
         for result in [
             qbd.g_neuts_counted(1e-12, 100, past, Hardening::default()),
-            qbd.g_functional_counted(1e-12, 100, past, Hardening::default()),
+            qbd.g_functional_counted(1e-12, 100, past, Hardening::default(), None),
             qbd.g_logred_counted(1e-12, 100, past, Hardening::default()),
         ] {
             assert!(matches!(result, Err(QbdError::DeadlineExceeded { .. })));
@@ -1305,6 +1395,7 @@ mod tests {
             tolerance: 1e-13,
             max_iterations: 100_000,
             hardening: Hardening::full(),
+            initial_g: None,
         };
         let shifted = qbd.g_matrix_functional_with(opts).unwrap();
         assert!(plain.max_abs_diff(&shifted) < 1e-10);
@@ -1318,6 +1409,7 @@ mod tests {
             tolerance: 1e-13,
             max_iterations: 50_000,
             hardening: Hardening::full(),
+            initial_g: None,
         };
         let hardened = qbd.g_matrix_neuts_with(opts).unwrap();
         assert!(plain.max_abs_diff(&hardened) < 1e-10);
@@ -1328,11 +1420,11 @@ mod tests {
         let qbd = mm1(2.0, 1.0);
         let opts = SolveOptions::hardened();
         assert!(matches!(
-            qbd.g_matrix(opts),
+            qbd.g_matrix(opts.clone()),
             Err(QbdError::Unstable { .. })
         ));
         assert!(matches!(
-            qbd.g_matrix_functional_with(opts),
+            qbd.g_matrix_functional_with(opts.clone()),
             Err(QbdError::Unstable { .. })
         ));
         assert!(matches!(

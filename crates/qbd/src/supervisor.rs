@@ -938,7 +938,7 @@ impl SolverSupervisor {
             }
             GStrategy::FunctionalIteration => {
                 self.qbd
-                    .g_functional_counted(tolerance, stage.max_iterations, deadline, hardening)
+                    .g_functional_counted(tolerance, stage.max_iterations, deadline, hardening, None)
             }
             GStrategy::LogarithmicReduction => {
                 self.qbd
@@ -950,7 +950,7 @@ impl SolverSupervisor {
 
 /// True residual of the G fixed-point equation.
 fn g_residual(qbd: &Qbd, g: &Matrix) -> f64 {
-    (qbd.a2() + &(qbd.a1() * g) + &(qbd.a0() * &(g * g))).norm_inf()
+    qbd.g_residual(g)
 }
 
 /// Clamps negative entries to zero and rescales each row of `G` to sum

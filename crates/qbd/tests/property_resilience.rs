@@ -124,8 +124,8 @@ proptest! {
 
         let hardened = SolveOptions::hardened();
         for (name, result) in [
-            ("logred", qbd.g_matrix(hardened)),
-            ("functional", qbd.g_matrix_functional_with(hardened)),
+            ("logred", qbd.g_matrix(hardened.clone())),
+            ("functional", qbd.g_matrix_functional_with(hardened.clone())),
             ("neuts", qbd.g_matrix_neuts_with(hardened)),
         ] {
             match result {

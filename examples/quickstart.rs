@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --example quickstart --release`
 
-use performa::core::{blowup, ClusterModel};
+use performa::core::{blowup, Axis, ClusterModel, Scenario, SweepOptions, SweepPlan};
 use performa::dist::{Exponential, Moments, TruncatedPowerTail};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -66,6 +66,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "with exponential repairs of equal mean: E[Q] = {:.2} — the repair \
          *distribution*, not its mean, drives the damage",
         light.mean_queue_length()
+    );
+
+    // Whole figures are parameter sweeps. The sweep engine runs a grid
+    // declaratively: parallel workers, a shared service-process cache,
+    // per-point error capture, and results always in grid order.
+    let grid = SweepPlan::grid(0.05, 0.95, 20).refine_near(&thresholds);
+    let swept = Scenario::new(model, Axis::Rho(grid.into_values()))
+        .compile()
+        .with_options(SweepOptions {
+            threads: 4,
+            ..Default::default()
+        })
+        .run_map(|sol| sol.normalized_mean_queue_length());
+    println!();
+    println!("rho sweep (every 6th point):");
+    for p in swept.points().iter().step_by(6) {
+        match &p.outcome {
+            Ok(v) => println!("  rho = {:.3} -> {v:>8.1}x M/M/1", p.x),
+            Err(e) => println!("  rho = {:.3} -> {e}", p.x),
+        }
+    }
+    let stats = swept.stats();
+    println!(
+        "  ({} points, {} modulator-cache hits, {:.0} points/s)",
+        stats.points,
+        stats.cache_hits,
+        stats.points_per_sec()
     );
     Ok(())
 }
