@@ -29,7 +29,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use performa_core::{Axis, ClusterModel, Scenario, SweepOptions, SweepPlan};
+use performa_core::{Axis, ClusterModel, Scenario, StoreHandle, SweepOptions, SweepPlan};
 use performa_dist::{Exponential, TruncatedPowerTail};
 use performa_linalg::Matrix;
 use performa_qbd::{Qbd, SolveOptions};
@@ -236,6 +236,58 @@ fn main() {
             ns_per_iter: engine,
             naive_ns_per_iter: Some(serial),
             residual: Some(residual),
+        });
+    }
+
+    // --- Fig. 1 sweep against a warm result store --------------------
+    // `naive_ns_per_iter` is the cold path: every point solved and
+    // appended to a fresh store. `ns_per_iter` replays a fully
+    // populated store — the crash-resume fabric's best case, bounded
+    // by decode + solution reassembly instead of QBD iteration.
+    if selected("sweep_fig1_warm_store") {
+        let grid = SweepPlan::grid(0.05, 0.95, if smoke { 8 } else { 24 })
+            .refine_near(&[0.2174, 0.6087])
+            .into_values();
+        let template = tpt_cluster(2, 5, 0.5);
+        let store_path = std::env::temp_dir().join(format!(
+            "performa_bench_store_{}.log",
+            std::process::id()
+        ));
+        let run_with_store = |path: &std::path::Path| {
+            let (handle, _) = StoreHandle::open(path).expect("bench store opens");
+            Scenario::new(template.clone(), Axis::Rho(grid.clone()))
+                .compile()
+                .with_options(SweepOptions {
+                    threads: 4,
+                    store: Some(handle),
+                    ..SweepOptions::default()
+                })
+                .run_map(|sol| sol.normalized_mean_queue_length())
+                .expect_values("grid is stable")
+                .iter()
+                .sum::<f64>()
+        };
+        let cold = median_ns(samples, || {
+            let _ = std::fs::remove_file(&store_path);
+            run_with_store(&store_path)
+        });
+        // Populate once, then time pure replays (zero re-solves).
+        let _ = std::fs::remove_file(&store_path);
+        run_with_store(&store_path);
+        let warm = median_ns(samples, || run_with_store(&store_path));
+        let _ = std::fs::remove_file(&store_path);
+        eprintln!(
+            "sweep_fig1_warm_store ({} points): warm {warm:>14.0} ns  cold {cold:>14.0} ns  speedup {:.2}x",
+            grid.len(),
+            cold / warm
+        );
+        cases.push(Case {
+            name: "sweep_fig1_warm_store".to_string(),
+            kind: "sweep_store",
+            dim: grid.len(),
+            ns_per_iter: warm,
+            naive_ns_per_iter: Some(cold),
+            residual: None,
         });
     }
 

@@ -6,7 +6,9 @@
 //! * `blowup` — blow-up thresholds, regions and tail exponents,
 //! * `sweep` — CSV series of a metric over a parameter range,
 //! * `simulate` — discrete-event simulation with failure strategies,
-//! * `sensitivity` — local parameter sensitivities.
+//! * `sensitivity` — local parameter sensitivities,
+//! * `store` — maintenance verbs (`verify`, `merge`) for the durable
+//!   sweep-result store.
 //!
 //! Distributions are written as compact specs:
 //! `exp:MEAN`, `erlang:K:MEAN`, `hyp2:MEAN:SCV`,
@@ -18,11 +20,12 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::path::PathBuf;
 use std::time::Duration;
 
 use performa_core::{
-    blowup, sensitivity, Axis, ClusterModel, GStrategy, Scenario, StageBudget, SupervisorOptions,
-    SweepOptions, SweepPlan,
+    blowup, sensitivity, store_merge, store_verify, Axis, ClusterModel, GStrategy, Scenario,
+    StageBudget, StoreError, StoreHandle, SupervisorOptions, SweepOptions, SweepPlan,
 };
 use performa_dist::{Dist, DistSpec};
 use performa_sim::{
@@ -42,6 +45,7 @@ COMMANDS:
   sweep        metric series over a parameter range (CSV on stdout)
   simulate     discrete-event simulation (physical cluster)
   sensitivity  local parameter sensitivities at the operating point
+  store        result-store maintenance: verify | merge
 
 COMMON MODEL OPTIONS (with defaults):
   --servers 2            number of nodes N
@@ -58,6 +62,23 @@ DISTRIBUTION SPECS:
 SOLVE OPTIONS:    --tail K (report Pr(Q >= K))   --delay-bound D (report Pr(S > D))
 SWEEP OPTIONS:    --param rho|lambda|delta|availability  --from F --to T --steps N
                   --metric mean|normalized|tail:K  --threads N (0 = all cores)
+
+SWEEP STORE OPTIONS (crash-safe resume):
+  --store PATH           durable result store (append-only, checksummed
+                         log); solved points are appended as they finish
+                         and cached points replay bit-identically
+  --resume               require PATH to already exist (guards against a
+                         typo silently starting a fresh run)
+  --shard I/N            solve only the points with index = I mod N
+                         (0-based); merge the shard stores afterwards
+  --retry-failed         re-attempt points whose stored record is a
+                         failure instead of replaying the failure
+
+STORE COMMANDS:
+  store verify --store PATH           read-only integrity check
+  store merge  --out PATH --in A,B    union shard stores into PATH
+                                      (first record of a key wins;
+                                      already-present keys are skipped)
 SIMULATE OPTIONS: --task exp:0.5  --strategy discard|resume-front|resume-back|
                   restart-front|restart-back  --cycles 20000 --reps 5 --seed 0
                   --resume-penalty W (checkpoint-restore work)
@@ -85,6 +106,8 @@ EXIT CODES:
   10  degraded but bounded (fallback strategy, relaxed tolerance, or
       partial replication set — details are printed)
   20  failed (no usable result)
+  30  result store corrupt beyond automatic recovery (interior damage;
+      only a torn tail is repaired in place)
 ";
 
 /// Errors surfaced to the terminal with usage help.
@@ -133,15 +156,20 @@ pub enum RunStatus {
     /// needed, the tolerance was relaxed, or only part of the requested
     /// replications completed before the deadline.
     Degraded,
+    /// A result store has interior corruption that recovery cannot
+    /// repair (only a damaged *tail* is truncated in place). The store
+    /// must be rebuilt or restored; no sweep work was started.
+    StoreCorrupt,
 }
 
 impl RunStatus {
-    /// Process exit code: `0` for exact, `10` for degraded. Failures
-    /// exit with [`EXIT_FAILED`].
+    /// Process exit code: `0` for exact, `10` for degraded, `30` for an
+    /// unrecoverable store. Failures exit with [`EXIT_FAILED`].
     pub fn exit_code(self) -> u8 {
         match self {
             RunStatus::Exact => 0,
             RunStatus::Degraded => 10,
+            RunStatus::StoreCorrupt => 30,
         }
     }
 }
@@ -153,7 +181,7 @@ pub struct Args {
 }
 
 /// Options that are bare flags (no value token follows them).
-const BOOL_FLAGS: &[&str] = &["profile"];
+const BOOL_FLAGS: &[&str] = &["profile", "resume", "retry-failed"];
 
 impl Args {
     /// Parses `--key value` pairs; rejects dangling keys and stray
@@ -484,12 +512,30 @@ pub fn run<W: std::io::Write>(command: &str, args: &Args, out: &mut W) -> Result
                 return Err(CliError("need --from < --to and --steps > 0".into()));
             }
             let metric = args.get_str("metric", "normalized");
-            writeln!(out, "{param},{metric}").map_err(io)?;
-            let plan = sweep_plan(args, &param, from, to, steps)?;
-            let opts = SweepOptions {
+            let mut plan = sweep_plan(args, &param, from, to, steps)?;
+            if args.has("shard") {
+                let (i, n) = parse_shard(&args.get_str("shard", ""))?;
+                plan = plan.shard(i, n);
+            }
+            let mut opts = SweepOptions {
                 threads: args.get("threads", 0usize)?,
+                retry_failed: args.has("retry-failed"),
                 ..SweepOptions::default()
             };
+            if args.has("store") {
+                match open_store(args)? {
+                    StoreOpen::Ready(handle) => opts.store = Some(handle),
+                    StoreOpen::Corrupt(detail) => {
+                        writeln!(out, "store corrupt: {detail}").map_err(io)?;
+                        return Ok(RunStatus::StoreCorrupt);
+                    }
+                }
+            } else if args.has("resume") || args.has("retry-failed") {
+                return Err(CliError(
+                    "--resume and --retry-failed need --store PATH".into(),
+                ));
+            }
+            writeln!(out, "{param},{metric}").map_err(io)?;
             let result = plan
                 .with_options(opts)
                 .run_map(|sol| metric_value(sol, &metric));
@@ -572,6 +618,66 @@ pub fn run<W: std::io::Write>(command: &str, args: &Args, out: &mut W) -> Result
             } else {
                 writeln!(out, "status            : exact").map_err(io)?;
                 Ok(RunStatus::Exact)
+            }
+        }
+        "store-verify" => {
+            let path = require_path(args, "store")?;
+            match store_verify(&path) {
+                Ok(stats) => {
+                    writeln!(out, "store          : {}", path.display()).map_err(io)?;
+                    writeln!(out, "frames         : {}", stats.frames).map_err(io)?;
+                    writeln!(out, "records        : {}", stats.records).map_err(io)?;
+                    writeln!(out, "torn tail bytes: {}", stats.torn_tail_bytes).map_err(io)?;
+                    writeln!(
+                        out,
+                        "status         : {}",
+                        if stats.torn_tail_bytes == 0 {
+                            "ok"
+                        } else {
+                            "ok (torn tail; next open truncates it)"
+                        }
+                    )
+                    .map_err(io)?;
+                    Ok(RunStatus::Exact)
+                }
+                Err(e @ StoreError::Corrupt { .. }) => {
+                    writeln!(out, "store corrupt: {e}").map_err(io)?;
+                    Ok(RunStatus::StoreCorrupt)
+                }
+                Err(e) => Err(CliError(format!("store verify failed: {e}"))),
+            }
+        }
+        "store-merge" => {
+            let out_path = require_path(args, "out")?;
+            let inputs: Vec<PathBuf> = args
+                .get_str("in", "")
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(PathBuf::from)
+                .collect();
+            if inputs.is_empty() {
+                return Err(CliError(
+                    "store merge needs --in A,B,... (comma-separated shard stores)".into(),
+                ));
+            }
+            match store_merge(&inputs, &out_path) {
+                Ok(stats) => {
+                    writeln!(
+                        out,
+                        "merged {} record(s) into {} ({} already present)",
+                        stats.added,
+                        out_path.display(),
+                        stats.skipped
+                    )
+                    .map_err(io)?;
+                    Ok(RunStatus::Exact)
+                }
+                Err(e @ StoreError::Corrupt { .. }) => {
+                    writeln!(out, "store corrupt: {e}").map_err(io)?;
+                    Ok(RunStatus::StoreCorrupt)
+                }
+                Err(e) => Err(CliError(format!("store merge failed: {e}"))),
             }
         }
         "help" | "--help" | "-h" => {
@@ -669,6 +775,58 @@ fn model_at(args: &Args, param: &str, x: f64) -> Result<ClusterModel> {
 fn rescale_spec(spec: &str, new_mean: f64) -> Result<Dist> {
     let parsed: DistSpec = spec.parse()?;
     Ok(parsed.with_mean(new_mean).to_dist()?)
+}
+
+/// Outcome of opening a `--store`: a live handle, or the corruption
+/// diagnostic that the caller maps to [`RunStatus::StoreCorrupt`].
+enum StoreOpen {
+    Ready(StoreHandle),
+    Corrupt(String),
+}
+
+/// Opens the sweep's `--store`, honoring `--resume` (which insists the
+/// store already exists, guarding a mistyped path from silently
+/// starting over). Interior corruption becomes [`StoreOpen::Corrupt`];
+/// plain I/O trouble is an ordinary error.
+fn open_store(args: &Args) -> Result<StoreOpen> {
+    let path = require_path(args, "store")?;
+    if args.has("resume") && !path.exists() {
+        return Err(CliError(format!(
+            "--resume: store `{}` does not exist (drop --resume to start fresh)",
+            path.display()
+        )));
+    }
+    match StoreHandle::open(&path) {
+        Ok((handle, _stats)) => Ok(StoreOpen::Ready(handle)),
+        Err(e @ StoreError::Corrupt { .. }) => Ok(StoreOpen::Corrupt(e.to_string())),
+        Err(e) => Err(CliError(format!(
+            "cannot open --store `{}`: {e}",
+            path.display()
+        ))),
+    }
+}
+
+/// Fetches a required path-valued option.
+fn require_path(args: &Args, key: &str) -> Result<PathBuf> {
+    let raw = args.get_str(key, "");
+    if raw.is_empty() {
+        return Err(CliError(format!("--{key} PATH is required")));
+    }
+    Ok(PathBuf::from(raw))
+}
+
+/// Parses `--shard I/N` (0-based shard index out of N).
+fn parse_shard(spec: &str) -> Result<(usize, usize)> {
+    let bad = || CliError(format!("bad --shard `{spec}` (expected I/N, e.g. 0/4)"));
+    let (i, n) = spec.split_once('/').ok_or_else(bad)?;
+    let i: usize = i.trim().parse().map_err(|_| bad())?;
+    let n: usize = n.trim().parse().map_err(|_| bad())?;
+    if n == 0 || i >= n {
+        return Err(CliError(format!(
+            "--shard {spec}: the index must satisfy 0 <= I < N"
+        )));
+    }
+    Ok((i, n))
 }
 
 /// Metric selector for `sweep`.
@@ -808,6 +966,127 @@ mod tests {
         assert_eq!(RunStatus::Exact.exit_code(), 0);
         assert_eq!(RunStatus::Degraded.exit_code(), 10);
         assert_eq!(EXIT_FAILED, 20);
+        assert_eq!(RunStatus::StoreCorrupt.exit_code(), 30);
+    }
+
+    #[test]
+    fn shard_spec_parsing() {
+        assert_eq!(parse_shard("0/4").unwrap(), (0, 4));
+        assert_eq!(parse_shard(" 3 / 4 ").unwrap(), (3, 4));
+        assert!(parse_shard("4/4").is_err());
+        assert!(parse_shard("0/0").is_err());
+        assert!(parse_shard("1").is_err());
+        assert!(parse_shard("a/b").is_err());
+    }
+
+    #[test]
+    fn store_flags_are_bare_and_gated_on_store() {
+        let a = Args::parse(vec![
+            "--resume".into(),
+            "--retry-failed".into(),
+            "--steps".into(),
+            "2".into(),
+        ])
+        .unwrap();
+        assert!(a.has("resume"));
+        assert!(a.has("retry-failed"));
+        let mut buf = Vec::new();
+        let err = run("sweep", &a, &mut buf).unwrap_err();
+        assert!(err.to_string().contains("--store"), "{err}");
+    }
+
+    #[test]
+    fn resume_demands_an_existing_store() {
+        let missing = std::env::temp_dir().join(format!(
+            "performa_cli_resume_missing_{}.log",
+            std::process::id()
+        ));
+        // `--resume` is a bare flag; splice it in through the parser.
+        let raw: Vec<String> = [
+            "--resume",
+            "--store",
+            missing.to_str().unwrap(),
+            "--steps",
+            "2",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let with_resume = Args::parse(raw).unwrap();
+        let mut buf = Vec::new();
+        let err = run("sweep", &with_resume, &mut buf).unwrap_err();
+        assert!(err.to_string().contains("does not exist"), "{err}");
+    }
+
+    #[test]
+    fn sweep_with_store_replays_and_verify_reports() {
+        let path = std::env::temp_dir().join(format!(
+            "performa_cli_store_unit_{}.log",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let sweep_args = args(&[
+            ("param", "rho"),
+            ("from", "0.3"),
+            ("to", "0.6"),
+            ("steps", "2"),
+            ("metric", "mean"),
+            ("down", "exp:10"),
+            ("store", path.to_str().unwrap()),
+        ]);
+        let mut first = Vec::new();
+        run("sweep", &sweep_args, &mut first).unwrap();
+        let mut second = Vec::new();
+        run("sweep", &sweep_args, &mut second).unwrap();
+        assert_eq!(first, second, "replayed CSV differs");
+
+        let verify_args = args(&[("store", path.to_str().unwrap())]);
+        let mut buf = Vec::new();
+        let status = run("store-verify", &verify_args, &mut buf).unwrap();
+        assert_eq!(status, RunStatus::Exact);
+        let report = String::from_utf8(buf).unwrap();
+        assert!(report.contains("records        : 3"), "{report}");
+        assert!(report.contains("torn tail bytes: 0"), "{report}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_store_maps_to_exit_thirty() {
+        let path = std::env::temp_dir().join(format!(
+            "performa_cli_store_corrupt_{}.log",
+            std::process::id()
+        ));
+        std::fs::write(&path, b"NOT A PERFORMA STORE AT ALL").unwrap();
+        let a = args(&[
+            ("steps", "2"),
+            ("down", "exp:10"),
+            ("store", path.to_str().unwrap()),
+        ]);
+        let mut buf = Vec::new();
+        assert_eq!(run("sweep", &a, &mut buf).unwrap(), RunStatus::StoreCorrupt);
+        assert!(String::from_utf8(buf).unwrap().contains("store corrupt"));
+
+        let mut buf = Vec::new();
+        let verify_args = args(&[("store", path.to_str().unwrap())]);
+        assert_eq!(
+            run("store-verify", &verify_args, &mut buf).unwrap(),
+            RunStatus::StoreCorrupt
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn store_merge_validates_its_inputs() {
+        let out_path = std::env::temp_dir().join(format!(
+            "performa_cli_merge_out_{}.log",
+            std::process::id()
+        ));
+        let mut buf = Vec::new();
+        assert!(run("store-merge", &args(&[]), &mut buf).is_err());
+        let no_inputs = args(&[("out", out_path.to_str().unwrap())]);
+        let err = run("store-merge", &no_inputs, &mut buf).unwrap_err();
+        assert!(err.to_string().contains("--in"), "{err}");
+        std::fs::remove_file(&out_path).ok();
     }
 
     #[test]

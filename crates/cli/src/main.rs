@@ -7,10 +7,22 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1);
-    let Some(command) = argv.next() else {
+    let Some(mut command) = argv.next() else {
         eprintln!("{}", performa_cli::USAGE);
         return ExitCode::from(performa_cli::EXIT_FAILED);
     };
+    // `store` takes a verb (`performa store verify ...`); fold it into
+    // a single command word so the `--key value` parser never sees a
+    // positional token.
+    if command == "store" {
+        match argv.next() {
+            Some(verb) => command = format!("store-{verb}"),
+            None => {
+                eprintln!("error: `store` needs a verb: verify | merge");
+                return ExitCode::from(performa_cli::EXIT_FAILED);
+            }
+        }
+    }
     let args = match performa_cli::Args::parse(argv) {
         Ok(a) => a,
         Err(e) => {

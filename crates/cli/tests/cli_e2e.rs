@@ -116,3 +116,108 @@ fn unknown_option_value_is_reported() {
     assert!(!ok);
     assert!(err.contains("cannot parse --servers"));
 }
+
+/// Like [`performa`] but exposing the raw exit code, for the store
+/// layer's structured exit-code contract.
+fn performa_code(args: &[&str]) -> (Option<i32>, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_performa"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("performa_e2e_{tag}_{}.log", std::process::id()))
+}
+
+#[test]
+fn sharded_sweeps_merge_back_to_the_unsharded_csv() {
+    let shard_a = scratch("shard_a");
+    let shard_b = scratch("shard_b");
+    let merged = scratch("shard_merged");
+    for p in [&shard_a, &shard_b, &merged] {
+        let _ = std::fs::remove_file(p);
+    }
+    let sweep = [
+        "sweep", "--param", "rho", "--from", "0.3", "--to", "0.7", "--steps", "4",
+        "--metric", "mean", "--down", "exp:10",
+    ];
+    let (ok, unsharded, err) = performa(&sweep);
+    assert!(ok, "{err}");
+
+    fn with<'a>(base: &[&'a str], extra: &[&'a str]) -> Vec<&'a str> {
+        base.iter().chain(extra).copied().collect()
+    }
+    let (ok, _, err) = performa(&with(
+        &sweep,
+        &["--store", shard_a.to_str().unwrap(), "--shard", "0/2"],
+    ));
+    assert!(ok, "{err}");
+    let (ok, _, err) = performa(&with(
+        &sweep,
+        &["--store", shard_b.to_str().unwrap(), "--shard", "1/2"],
+    ));
+    assert!(ok, "{err}");
+
+    let inputs = format!(
+        "{},{}",
+        shard_a.to_str().unwrap(),
+        shard_b.to_str().unwrap()
+    );
+    let (ok, out, err) = performa(&[
+        "store", "merge", "--out", merged.to_str().unwrap(), "--in", &inputs,
+    ]);
+    assert!(ok, "{err}");
+    assert!(out.contains("merged 5 record(s)"), "{out}");
+
+    // The merged store replays the full grid byte-for-byte.
+    let (ok, replayed, err) = performa(&with(&sweep, &["--store", merged.to_str().unwrap()]));
+    assert!(ok, "{err}");
+    assert_eq!(replayed, unsharded, "merged shards differ from the unsharded sweep");
+
+    let (ok, out, _) = performa(&["store", "verify", "--store", merged.to_str().unwrap()]);
+    assert!(ok, "{out}");
+    assert!(out.contains("records        : 5"), "{out}");
+
+    for p in [&shard_a, &shard_b, &merged] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn corrupt_store_exits_with_code_thirty() {
+    let store = scratch("corrupt");
+    std::fs::write(&store, b"garbage that is definitely not a store").unwrap();
+    let (code, out, _) = performa_code(&[
+        "sweep", "--steps", "2", "--down", "exp:10", "--store", store.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(30), "{out}");
+    assert!(out.contains("store corrupt"), "{out}");
+
+    let (code, out, _) = performa_code(&["store", "verify", "--store", store.to_str().unwrap()]);
+    assert_eq!(code, Some(30), "{out}");
+    std::fs::remove_file(&store).ok();
+}
+
+#[test]
+fn store_command_requires_a_verb() {
+    let (ok, _, err) = performa(&["store"]);
+    assert!(!ok);
+    assert!(err.contains("verify | merge"), "{err}");
+}
+
+#[test]
+fn resume_against_a_missing_store_is_refused() {
+    let store = scratch("missing_resume");
+    let _ = std::fs::remove_file(&store);
+    let (code, _, err) = performa_code(&[
+        "sweep", "--steps", "2", "--store", store.to_str().unwrap(), "--resume",
+    ]);
+    assert_eq!(code, Some(20), "{err}");
+    assert!(err.contains("does not exist"), "{err}");
+}

@@ -1,0 +1,169 @@
+//! Crash-safety integration test of the compiled `performa` binary:
+//! SIGKILL a sweep mid-grid, vandalize the store's tail, then `--resume`
+//! and demand a byte-identical CSV with zero re-solves.
+//!
+//! The zero-re-solve claim is asserted through the observability layer:
+//! `--trace-json` captures every `store.hit` / `store.append` counter
+//! increment as an NDJSON metric record.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "performa_crash_{tag}_{}.tmp",
+        std::process::id()
+    ))
+}
+
+/// Sweep grid shared by every phase: 17 points, all stable, solved on
+/// one thread so the killed run persists a clean prefix of the grid.
+const SWEEP: &[&str] = &[
+    "sweep", "--param", "rho", "--from", "0.2", "--to", "0.8", "--steps", "16",
+    "--metric", "mean", "--down", "tpt:10:1.4:0.2:10", "--threads", "1",
+];
+const POINTS: u64 = 17;
+
+fn run(extra: &[&str]) -> std::process::Output {
+    let mut args: Vec<&str> = SWEEP.to_vec();
+    args.extend_from_slice(extra);
+    Command::new(env!("CARGO_BIN_EXE_performa"))
+        .args(&args)
+        .output()
+        .expect("binary runs")
+}
+
+/// Counts NDJSON metric records for the named counter and sums their
+/// values.
+fn counter_total(trace: &str, name: &str) -> u64 {
+    let needle = format!("\"name\":\"{name}\"");
+    trace
+        .lines()
+        .filter(|l| l.contains("\"metric\":\"counter\"") && l.contains(&needle))
+        .map(|l| {
+            l.split("\"value\":")
+                .nth(1)
+                .and_then(|v| v.split(['}', ',']).next())
+                .and_then(|v| v.trim().parse::<f64>().ok())
+                .expect("counter record has a numeric value")
+        })
+        .map(|v| v as u64)
+        .sum()
+}
+
+#[test]
+fn sigkill_mid_sweep_resumes_byte_identically_with_zero_resolves() {
+    let store = scratch("store");
+    let trace1 = scratch("trace1");
+    let trace2 = scratch("trace2");
+    for p in [&store, &trace1, &trace2] {
+        let _ = std::fs::remove_file(p);
+    }
+
+    // Ground truth: the same sweep, uninterrupted and storeless.
+    let truth = run(&[]);
+    assert!(truth.status.success());
+    let truth_csv = truth.stdout.clone();
+
+    // Victim run: kill it once the store holds at least two appended
+    // frames (the file length grows once per solved point, so three
+    // distinct sizes = magic + two frames).
+    let mut args: Vec<&str> = SWEEP.to_vec();
+    let store_str = store.to_str().unwrap();
+    args.extend_from_slice(&["--store", store_str]);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_performa"))
+        .args(&args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("victim spawns");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut sizes_seen = Vec::new();
+    let killed_midway = loop {
+        if Instant::now() > deadline {
+            let _ = child.kill();
+            panic!("victim never appended two frames within 120s; store sizes {sizes_seen:?}");
+        }
+        if let Ok(len) = std::fs::metadata(&store).map(|m| m.len()) {
+            if len > 0 && sizes_seen.last() != Some(&len) {
+                sizes_seen.push(len);
+            }
+            // magic, first frame, second frame
+            if sizes_seen.len() >= 3 {
+                child.kill().expect("SIGKILL delivered");
+                break true;
+            }
+        }
+        if child.try_wait().expect("poll child").is_some() {
+            break false; // finished before we could kill it
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    };
+    child.wait().expect("child reaped");
+    assert!(
+        killed_midway,
+        "victim completed all {POINTS} points before the kill; store sizes {sizes_seen:?}"
+    );
+
+    // Synthetic torn tail on top of whatever the kill left behind: a
+    // frame header promising 4096 payload bytes backed by only six.
+    {
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&store)
+            .unwrap();
+        f.write_all(&4096u32.to_le_bytes()).unwrap();
+        f.write_all(&0xDEAD_BEEFu32.to_le_bytes()).unwrap();
+        f.write_all(b"\x01\x02\x03\x04\x05\x06").unwrap();
+    }
+
+    // Resume: the damaged tail is truncated on open, the surviving
+    // prefix replays, only the missing points are solved.
+    let resumed = run(&[
+        "--store",
+        store_str,
+        "--resume",
+        "--trace-json",
+        trace1.to_str().unwrap(),
+    ]);
+    assert!(
+        resumed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(
+        resumed.stdout, truth_csv,
+        "resumed CSV differs from the uninterrupted run"
+    );
+    let t1 = std::fs::read_to_string(&trace1).unwrap();
+    assert_eq!(
+        counter_total(&t1, "store.recovered_truncation"),
+        1,
+        "torn tail was not recovered"
+    );
+    let hits1 = counter_total(&t1, "store.hit");
+    let appends1 = counter_total(&t1, "store.append");
+    assert!(hits1 >= 1, "kill landed before any point was persisted");
+    assert_eq!(hits1 + appends1, POINTS, "every point must hit or append");
+
+    // Second resume: the store is now complete — all hits, zero
+    // re-solves, and still the exact same bytes on stdout.
+    let warm = run(&[
+        "--store",
+        store_str,
+        "--resume",
+        "--trace-json",
+        trace2.to_str().unwrap(),
+    ]);
+    assert!(warm.status.success());
+    assert_eq!(warm.stdout, truth_csv, "warm replay CSV differs");
+    let t2 = std::fs::read_to_string(&trace2).unwrap();
+    assert_eq!(counter_total(&t2, "store.hit"), POINTS);
+    assert_eq!(counter_total(&t2, "store.append"), 0, "warm replay re-solved a point");
+    assert_eq!(counter_total(&t2, "store.recovered_truncation"), 0);
+
+    for p in [&store, &trace1, &trace2] {
+        let _ = std::fs::remove_file(p);
+    }
+}

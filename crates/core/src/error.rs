@@ -27,6 +27,20 @@ pub enum CoreError {
     Markov(performa_markov::MarkovError),
     /// Underlying QBD-solver failure.
     Qbd(performa_qbd::QbdError),
+    /// A persisted failure record replayed from the durable result
+    /// store: the point failed identically in an earlier run and is
+    /// not re-attempted (pass `retry_failed` to force a re-solve).
+    ReplayedFailure {
+        /// Machine-readable failure class of the original error.
+        kind: String,
+        /// The original error's rendered message.
+        message: String,
+    },
+    /// The durable result store failed (I/O or corruption).
+    Store {
+        /// The store layer's rendered error.
+        message: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -43,6 +57,10 @@ impl fmt::Display for CoreError {
             CoreError::Dist(e) => write!(f, "distribution error: {e}"),
             CoreError::Markov(e) => write!(f, "Markov model error: {e}"),
             CoreError::Qbd(e) => write!(f, "QBD solver error: {e}"),
+            CoreError::ReplayedFailure { kind, message } => {
+                write!(f, "replayed {kind} failure from result store: {message}")
+            }
+            CoreError::Store { message } => write!(f, "result store error: {message}"),
         }
     }
 }

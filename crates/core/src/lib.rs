@@ -75,7 +75,14 @@ pub use model::{ClusterBuilder, ClusterModel};
 pub use performability::TransientAnalysis;
 pub use solution::ClusterSolution;
 pub use sweep::{
-    Axis, Grid, Scenario, SweepOptions, SweepPlan, SweepPoint, SweepResult, SweepStats,
+    store_key, Axis, Grid, Scenario, SweepOptions, SweepPlan, SweepPoint, SweepResult, SweepStats,
+};
+
+// Re-exported so sweep callers can open/merge/verify the durable
+// result store without a direct store dependency.
+pub use performa_store::{
+    merge as store_merge, verify as store_verify, OpenStats, PointKey, PointRecord, StoreError,
+    StoreHandle,
 };
 
 // Re-exported so callers of [`ClusterModel::solve_supervised`] can

@@ -65,9 +65,12 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use performa_dist::{Dist, Moments, TruncatedPowerTail};
-use performa_linalg::Matrix;
+use performa_linalg::{Matrix, Vector};
 use performa_markov::Mmpp;
-use performa_qbd::{Qbd, SolveOptions, SolverSupervisor, SupervisorOptions};
+use performa_qbd::{
+    Qbd, QbdError, QbdSolution, SolveOptions, SolverSupervisor, SupervisorOptions, SOLVER_VERSION,
+};
+use performa_store::{PointKey, PointRecord, StoreHandle};
 
 use crate::model::ClusterModel;
 use crate::solution::ClusterSolution;
@@ -295,6 +298,18 @@ pub struct SweepOptions {
     /// Iteration budget for a warm-started functional attempt before
     /// the point falls back to a cold solve.
     pub warm_budget: usize,
+    /// Durable result store. When set, the pool consults the store
+    /// before solving each point (a hit replays the persisted solution
+    /// bit-identically via [`performa_qbd::QbdSolution::from_parts`])
+    /// and appends every fresh outcome — solved points *and* typed
+    /// solver failures — after solving. A killed sweep rerun with the
+    /// same store therefore re-solves only the gap.
+    pub store: Option<StoreHandle>,
+    /// Re-attempt points whose store record is a persisted *failure*
+    /// instead of replaying the failure. (Solved records are always
+    /// replayed; a solver-version bump invalidates both kinds by
+    /// changing the key.)
+    pub retry_failed: bool,
 }
 
 impl Default for SweepOptions {
@@ -305,6 +320,8 @@ impl Default for SweepOptions {
             reuse_modulator: true,
             supervisor: None,
             warm_budget: 2000,
+            store: None,
+            retry_failed: false,
         }
     }
 }
@@ -341,6 +358,22 @@ fn modulator_fingerprint(model: &ClusterModel) -> String {
         model.up(),
         model.down(),
     )
+}
+
+/// The durable-store key of one sweep point: the λ-completed model
+/// fingerprint (every builder input, with `f64`s as exact bits), the
+/// grid coordinate, and the solver-stack version. Equal keys guarantee
+/// bit-identical solves, which is what makes store replay safe.
+pub fn store_key(model: &ClusterModel, x: f64) -> PointKey {
+    PointKey {
+        fingerprint: format!(
+            "{};lambda={}",
+            modulator_fingerprint(model),
+            model.arrival_rate().to_bits()
+        ),
+        solver_version: SOLVER_VERSION,
+        x_bits: x.to_bits(),
+    }
 }
 
 impl SweepPlan {
@@ -401,6 +434,32 @@ impl SweepPlan {
     #[must_use]
     pub fn with_options(mut self, options: SweepOptions) -> Self {
         self.options = options;
+        self
+    }
+
+    /// Restricts the plan to shard `i` of `n`: the points whose plan
+    /// index is `≡ i (mod n)`. Round-robin assignment keeps every
+    /// shard's load comparable even when cost varies smoothly along
+    /// the axis (it spikes near the blow-up thresholds). Runs of all
+    /// `n` shards against per-shard stores, followed by a store merge,
+    /// reproduce the unsharded run exactly — store keys depend on the
+    /// model and coordinate, never on the sharding.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `i < n` and `n > 0`.
+    #[must_use]
+    pub fn shard(mut self, i: usize, n: usize) -> Self {
+        assert!(n > 0 && i < n, "shard index {i} out of range for {n} shards");
+        let mut idx = 0usize;
+        self.points.retain(|_| {
+            let keep = idx % n == i;
+            idx += 1;
+            keep
+        });
+        // Group ids and the group count stay as compiled: unused
+        // modulator-cache cells are harmless, and keeping ids stable
+        // means a shard still shares cells exactly like the full plan.
         self
     }
 
@@ -553,6 +612,30 @@ fn effective_threads(requested: usize, points: usize) -> usize {
     requested.clamp(1, points.max(1))
 }
 
+/// Solver failures that earn the one hardened retry of the ladder:
+/// numerical breakdowns and exhausted iteration budgets. Everything
+/// else (bad blocks, instability, deadlines) retries identically and
+/// is not worth a second attempt.
+fn retryable(e: &QbdError) -> bool {
+    matches!(
+        e,
+        QbdError::NumericalBreakdown { .. } | QbdError::NoConvergence { .. }
+    )
+}
+
+/// The persisted failure class of a point error — `None` for
+/// deterministic model-level errors (bad parameters, instability),
+/// which recompute for free and never enter the store log.
+fn failure_kind(e: &CoreError) -> Option<&'static str> {
+    match e {
+        CoreError::Qbd(QbdError::NumericalBreakdown { .. }) => Some("numerical_breakdown"),
+        CoreError::Qbd(QbdError::NoConvergence { .. }) => Some("no_convergence"),
+        CoreError::Qbd(QbdError::DeadlineExceeded { .. }) => Some("deadline_exceeded"),
+        CoreError::Qbd(QbdError::Linalg(_)) => Some("linalg"),
+        _ => None,
+    }
+}
+
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
     if let Some(s) = payload.downcast_ref::<&str>() {
         s
@@ -581,6 +664,9 @@ struct ExecContext<'a> {
     cache_misses: AtomicU64,
     warm_accepted: AtomicU64,
     warm_rejected: AtomicU64,
+    store_hits: AtomicU64,
+    store_appends: AtomicU64,
+    retries: AtomicU64,
     started: Instant,
 }
 
@@ -593,6 +679,9 @@ impl<'a> ExecContext<'a> {
             cache_misses: AtomicU64::new(0),
             warm_accepted: AtomicU64::new(0),
             warm_rejected: AtomicU64::new(0),
+            store_hits: AtomicU64::new(0),
+            store_appends: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
@@ -619,8 +708,11 @@ impl<'a> ExecContext<'a> {
         built.map_err(|message| CoreError::InvalidParameter { message })
     }
 
-    /// Solves one point: modulator (cached), then `G`/`R`/boundary via
-    /// warm start, supervisor, or the plain bit-identical default path.
+    /// Solves one point: the durable store first (a hit replays the
+    /// persisted solution without touching the solver), then modulator
+    /// (cached) and `G`/`R`/boundary via warm start, supervisor, or the
+    /// plain bit-identical default path; fresh outcomes are appended
+    /// back to the store.
     fn solve_point(&self, point: &PlanPoint, worker: &mut WorkerState) -> Result<ClusterSolution> {
         let model = match &point.model {
             Ok(m) => m,
@@ -631,13 +723,117 @@ impl<'a> ExecContext<'a> {
             }
         };
         // Same stability gate as `ClusterModel::solve`, so failed points
-        // carry the same typed error the serial loop produced.
+        // carry the same typed error the serial loop produced. Running
+        // it before the store consult keeps deterministic model-level
+        // errors out of the log entirely.
         if model.arrival_rate() >= model.capacity() {
             return Err(CoreError::Unstable {
                 lambda: model.arrival_rate(),
                 capacity: model.capacity(),
             });
         }
+        let Some(store) = &self.plan.options.store else {
+            return self.solve_point_fresh(point, model, worker);
+        };
+        let key = store_key(model, point.x);
+        match store.get(&key) {
+            Some(PointRecord::Solved { m, pi0, pi1, r, g }) => {
+                self.store_hits.fetch_add(1, Ordering::Relaxed);
+                self.replay_solved(model, m as usize, pi0, pi1, r, g)
+            }
+            Some(PointRecord::Failed { kind, message }) if !self.plan.options.retry_failed => {
+                self.store_hits.fetch_add(1, Ordering::Relaxed);
+                Err(CoreError::ReplayedFailure { kind, message })
+            }
+            _ => {
+                let outcome = self.solve_point_fresh(point, model, worker);
+                self.persist(store, &key, &outcome)?;
+                outcome
+            }
+        }
+    }
+
+    /// Rebuilds a [`ClusterSolution`] from a persisted solved record.
+    /// The stored vectors carry the exact bits of the original solve,
+    /// and [`QbdSolution::from_parts`] recomputes the derived caches
+    /// through the same deterministic path — so every metric read off
+    /// the replayed solution is bit-identical to the original.
+    fn replay_solved(
+        &self,
+        model: &ClusterModel,
+        m: usize,
+        pi0: Vec<f64>,
+        pi1: Vec<f64>,
+        r: Vec<f64>,
+        g: Vec<f64>,
+    ) -> Result<ClusterSolution> {
+        if pi0.len() != m || pi1.len() != m {
+            return Err(CoreError::Store {
+                message: format!(
+                    "stored record is inconsistent: m = {m} but boundary vectors have {} / {} \
+                     entries",
+                    pi0.len(),
+                    pi1.len()
+                ),
+            });
+        }
+        let to_matrix = |data: Vec<f64>, name: &str| {
+            Matrix::from_vec(m, m, data).map_err(|e| CoreError::Store {
+                message: format!("stored {name} matrix malformed: {e}"),
+            })
+        };
+        let r = to_matrix(r, "R")?;
+        let g = to_matrix(g, "G")?;
+        let sol = QbdSolution::from_parts(Vector::from(pi0), Vector::from(pi1), r, g)
+            .map_err(CoreError::from)?;
+        Ok(ClusterSolution::new(model.clone(), sol))
+    }
+
+    /// Appends a fresh point outcome to the store. Solved points are
+    /// always persisted; failures only when they are solver-stage
+    /// errors (see [`failure_kind`]) — deterministic model-level errors
+    /// recompute for free and never enter the log.
+    fn persist(
+        &self,
+        store: &StoreHandle,
+        key: &PointKey,
+        outcome: &Result<ClusterSolution>,
+    ) -> Result<()> {
+        let record = match outcome {
+            Ok(sol) => {
+                let q = sol.qbd();
+                PointRecord::Solved {
+                    m: q.phase_dim() as u32,
+                    pi0: q.pi0().as_slice().to_vec(),
+                    pi1: q.pi1().as_slice().to_vec(),
+                    r: q.r_matrix().as_slice().to_vec(),
+                    g: q.g_matrix().as_slice().to_vec(),
+                }
+            }
+            Err(e) => match failure_kind(e) {
+                Some(kind) => PointRecord::Failed {
+                    kind: kind.to_string(),
+                    message: e.to_string(),
+                },
+                None => return Ok(()),
+            },
+        };
+        store.append(key, &record).map_err(|e| CoreError::Store {
+            message: e.to_string(),
+        })?;
+        self.store_appends.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// The pre-store solve path: modulator (cached), then supervisor,
+    /// warm start, or the plain cold solve with its bounded
+    /// retry-with-hardening ladder.
+    fn solve_point_fresh(
+        &self,
+        point: &PlanPoint,
+        model: &ClusterModel,
+        worker: &mut WorkerState,
+    ) -> Result<ClusterSolution> {
         let qbd = if self.plan.options.reuse_modulator && point.group != usize::MAX {
             let mmpp = self.modulator(point, model)?;
             Qbd::m_mmpp1(model.arrival_rate(), mmpp.generator(), mmpp.rates())
@@ -658,7 +854,21 @@ impl<'a> ExecContext<'a> {
         }
 
         // Cold path — exactly `ClusterModel::solve`'s solver invocation.
-        let sol = qbd.solve()?;
+        // A numerical failure earns one retry with the hardened option
+        // set before the error is allowed to stand: near the blow-up
+        // thresholds the default-tolerance solve occasionally breaks
+        // down where the hardened schedule still converges. The retry
+        // can only turn an error into a solution, so bit-identity of
+        // successful points is unaffected.
+        let sol = match qbd.solve() {
+            Ok(sol) => sol,
+            Err(e) if retryable(&e) => {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+                performa_obs::counter_add("sweep.retry", 1);
+                qbd.solve_with(SolveOptions::hardened())?
+            }
+            Err(e) => return Err(e.into()),
+        };
         if self.plan.options.warm_start {
             worker.last_g = Some(sol.g_matrix().clone());
         }
@@ -706,9 +916,21 @@ impl<'a> ExecContext<'a> {
         Some(ClusterSolution::new(model.clone(), sol))
     }
 
-    /// Assembles the ordered results and the run statistics, and emits
-    /// the run-level gauges.
-    fn finish<T>(self, out: Vec<(f64, Result<T>)>) -> SweepResult<T> {
+    /// Assembles the ordered results and the run statistics, flushes
+    /// the store, and emits the run-level gauges.
+    fn finish<T>(self, mut out: Vec<(f64, Result<T>)>) -> SweepResult<T> {
+        if let Some(store) = &self.plan.options.store {
+            // End-of-run durability point: batched appends hit disk
+            // here. A flush failure is surfaced on the first
+            // otherwise-successful point rather than silently dropped.
+            if let Err(e) = store.flush() {
+                if let Some(slot) = out.iter_mut().find(|(_, r)| r.is_ok()) {
+                    slot.1 = Err(CoreError::Store {
+                        message: format!("final flush failed: {e}"),
+                    });
+                }
+            }
+        }
         let elapsed = self.started.elapsed();
         let solved = out.iter().filter(|(_, r)| r.is_ok()).count();
         let stats = SweepStats {
@@ -719,6 +941,9 @@ impl<'a> ExecContext<'a> {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             warm_accepted: self.warm_accepted.load(Ordering::Relaxed),
             warm_rejected: self.warm_rejected.load(Ordering::Relaxed),
+            store_hits: self.store_hits.load(Ordering::Relaxed),
+            store_appends: self.store_appends.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
             threads: effective_threads(self.plan.options.threads, out.len()),
             elapsed,
         };
@@ -770,6 +995,13 @@ pub struct SweepStats {
     pub warm_accepted: u64,
     /// Warm attempts that fell back to a cold solve.
     pub warm_rejected: u64,
+    /// Points replayed from the durable result store (solved records
+    /// and non-retried failure records alike).
+    pub store_hits: u64,
+    /// Fresh outcomes appended to the durable result store.
+    pub store_appends: u64,
+    /// Cold solves that took the hardened retry of the ladder.
+    pub retries: u64,
     /// Worker threads used.
     pub threads: usize,
     /// Wall clock of the run.

@@ -1,0 +1,239 @@
+//! Sweep ↔ durable-store integration: resume replays cached points
+//! bit-identically, stale failures follow the documented semantics,
+//! and sharded runs merge back to the unsharded result.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use performa_core::{
+    store_key, Axis, ClusterModel, CoreError, PointKey, PointRecord, Scenario, StoreHandle,
+    SweepOptions, SweepPlan,
+};
+use performa_dist::Exponential;
+use performa_store::{merge, Store};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "performa_core_store_{tag}_{}_{}.log",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_file(&path);
+        Scratch(path)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// Small, fast paper-style cluster (exponential repairs keep the phase
+/// dimension tiny, so debug-mode solves stay cheap).
+fn template() -> ClusterModel {
+    ClusterModel::builder()
+        .servers(2)
+        .peak_rate(2.0)
+        .degradation(0.2)
+        .up(Exponential::with_mean(90.0).unwrap())
+        .down(Exponential::with_mean(10.0).unwrap())
+        .utilization(0.5)
+        .build()
+        .unwrap()
+}
+
+fn rho_plan(rhos: Vec<f64>) -> SweepPlan {
+    Scenario::new(template(), Axis::Rho(rhos)).compile()
+}
+
+fn opts_with_store(path: &Path) -> (SweepOptions, StoreHandle) {
+    let (handle, _) = StoreHandle::open(path).unwrap();
+    (
+        SweepOptions {
+            store: Some(handle.clone()),
+            ..SweepOptions::default()
+        },
+        handle,
+    )
+}
+
+#[test]
+fn resume_replays_cached_points_bit_identically() {
+    let scratch = Scratch::new("resume");
+    let rhos = vec![0.2, 0.35, 0.5, 0.65, 0.8];
+    let n = rhos.len();
+
+    // Ground truth: the same plan without any store.
+    let baseline = rho_plan(rhos.clone())
+        .run_map(|sol| sol.normalized_mean_queue_length())
+        .expect_values("baseline");
+
+    // First run populates the store.
+    let (opts, _handle) = opts_with_store(&scratch.0);
+    let first = rho_plan(rhos.clone())
+        .with_options(opts)
+        .run_map(|sol| sol.normalized_mean_queue_length());
+    assert_eq!(first.stats().store_hits, 0);
+    assert_eq!(first.stats().store_appends, n as u64);
+    let first_vals = first.expect_values("first run");
+    for (a, b) in baseline.iter().zip(&first_vals) {
+        assert_eq!(a.to_bits(), b.to_bits(), "store write path changed results");
+    }
+
+    // Second run against a freshly opened handle (proves durability):
+    // every point replays, the solver never runs.
+    let (opts, _handle) = opts_with_store(&scratch.0);
+    let second = rho_plan(rhos)
+        .with_options(opts)
+        .run_map(|sol| sol.normalized_mean_queue_length());
+    assert_eq!(second.stats().store_hits, n as u64);
+    assert_eq!(second.stats().store_appends, 0);
+    let second_vals = second.expect_values("resumed run");
+    for (a, b) in baseline.iter().zip(&second_vals) {
+        assert_eq!(a.to_bits(), b.to_bits(), "replay is not bit-identical");
+    }
+}
+
+#[test]
+fn deterministic_model_errors_never_enter_the_store() {
+    let scratch = Scratch::new("unstable");
+    // ρ = 1.2 is unstable: a typed model-level error, not a solver
+    // failure — it must not be persisted.
+    let rhos = vec![0.3, 1.2, 0.6];
+    let (opts, handle) = opts_with_store(&scratch.0);
+    let result = rho_plan(rhos.clone())
+        .with_options(opts)
+        .run_map(|sol| sol.normalized_mean_queue_length());
+    assert_eq!(result.stats().solved, 2);
+    assert_eq!(result.stats().failed, 1);
+    assert_eq!(result.stats().store_appends, 2);
+    assert_eq!(handle.len(), 2);
+    assert!(matches!(
+        result.points()[1].outcome,
+        Err(CoreError::Unstable { .. })
+    ));
+
+    // On resume the two solved points replay and the unstable point
+    // fails by the same gate again — still nothing new in the log.
+    let (opts, _handle) = opts_with_store(&scratch.0);
+    let resumed = rho_plan(rhos).with_options(opts).run_map(|sol| sol.mean_queue_length());
+    assert_eq!(resumed.stats().store_hits, 2);
+    assert_eq!(resumed.stats().store_appends, 0);
+    assert!(matches!(
+        resumed.points()[1].outcome,
+        Err(CoreError::Unstable { .. })
+    ));
+}
+
+#[test]
+fn stale_failure_semantics_version_bump_and_retry_failed() {
+    let scratch = Scratch::new("stale");
+    let rhos = vec![0.3, 0.6];
+    // Hand-plant failure records: for ρ = 0.3 under the *current*
+    // solver version, and for ρ = 0.6 under an obsolete version.
+    let current = store_key(&template().with_utilization(0.3).unwrap(), 0.3);
+    let stale = PointKey {
+        solver_version: current.solver_version.wrapping_sub(1),
+        ..store_key(&template().with_utilization(0.6).unwrap(), 0.6)
+    };
+    let failure = PointRecord::Failed {
+        kind: "numerical_breakdown".to_string(),
+        message: "planted by test".to_string(),
+    };
+    {
+        let (mut store, _) = Store::open(&scratch.0).unwrap();
+        store.append(&current, &failure).unwrap();
+        store.append(&stale, &failure).unwrap();
+        store.flush().unwrap();
+    }
+
+    // Default semantics: the current-version failure replays as a
+    // typed error; the stale-version record misses and re-solves.
+    let (opts, handle) = opts_with_store(&scratch.0);
+    let result = rho_plan(rhos.clone())
+        .with_options(opts)
+        .run_map(|sol| sol.mean_queue_length());
+    match &result.points()[0].outcome {
+        Err(CoreError::ReplayedFailure { kind, message }) => {
+            assert_eq!(kind, "numerical_breakdown");
+            assert!(message.contains("planted by test"));
+        }
+        other => panic!("expected ReplayedFailure, got {other:?}"),
+    }
+    assert!(result.points()[1].outcome.is_ok());
+    assert_eq!(result.stats().store_hits, 1, "stale record must not hit");
+    assert_eq!(result.stats().store_appends, 1, "re-solved point is persisted");
+    drop(handle);
+
+    // `retry_failed` re-attempts the persisted failure; the fresh
+    // success then shadows it for all later runs.
+    let (mut opts, _handle) = opts_with_store(&scratch.0);
+    opts.retry_failed = true;
+    let retried = rho_plan(rhos.clone())
+        .with_options(opts)
+        .run_map(|sol| sol.mean_queue_length());
+    assert!(retried.points().iter().all(|p| p.outcome.is_ok()));
+    assert_eq!(retried.stats().store_appends, 1);
+
+    let (opts, _handle) = opts_with_store(&scratch.0);
+    let replayed = rho_plan(rhos).with_options(opts).run_map(|sol| sol.mean_queue_length());
+    assert!(replayed.points().iter().all(|p| p.outcome.is_ok()));
+    assert_eq!(replayed.stats().store_hits, 2);
+    assert_eq!(replayed.stats().store_appends, 0);
+}
+
+#[test]
+fn sharded_runs_merge_back_to_the_unsharded_result() {
+    let shard_a = Scratch::new("shard_a");
+    let shard_b = Scratch::new("shard_b");
+    let merged = Scratch::new("shard_merged");
+    let rhos = vec![0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
+    let n = rhos.len();
+
+    let baseline = rho_plan(rhos.clone())
+        .run_map(|sol| sol.normalized_mean_queue_length())
+        .expect_values("unsharded");
+
+    // Shards partition the plan round-robin.
+    let plan_a = rho_plan(rhos.clone()).shard(0, 2);
+    let plan_b = rho_plan(rhos.clone()).shard(1, 2);
+    assert_eq!(plan_a.len() + plan_b.len(), n);
+    assert_eq!(plan_a.coordinates(), vec![0.2, 0.4, 0.6, 0.8]);
+    assert_eq!(plan_b.coordinates(), vec![0.3, 0.5, 0.7]);
+
+    let (opts_a, _a) = opts_with_store(&shard_a.0);
+    let ra = plan_a.with_options(opts_a).run_map(|s| s.normalized_mean_queue_length());
+    assert_eq!(ra.stats().store_appends, 4);
+    let (opts_b, _b) = opts_with_store(&shard_b.0);
+    let rb = plan_b.with_options(opts_b).run_map(|s| s.normalized_mean_queue_length());
+    assert_eq!(rb.stats().store_appends, 3);
+
+    let stats = merge(&[shard_a.0.clone(), shard_b.0.clone()], &merged.0).unwrap();
+    assert_eq!(stats.added, n);
+    assert_eq!(stats.skipped, 0);
+
+    // The full plan over the merged store replays every point.
+    let (opts, _m) = opts_with_store(&merged.0);
+    let full = rho_plan(rhos)
+        .with_options(opts)
+        .run_map(|sol| sol.normalized_mean_queue_length());
+    assert_eq!(full.stats().store_hits, n as u64);
+    assert_eq!(full.stats().store_appends, 0);
+    let vals = full.expect_values("merged run");
+    for (a, b) in baseline.iter().zip(&vals) {
+        assert_eq!(a.to_bits(), b.to_bits(), "sharded+merged differs from unsharded");
+    }
+}
+
+#[test]
+fn shard_bounds_are_enforced() {
+    let plan = rho_plan(vec![0.2, 0.4]);
+    let caught = std::panic::catch_unwind(move || plan.shard(2, 2));
+    assert!(caught.is_err());
+}

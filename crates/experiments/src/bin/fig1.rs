@@ -11,13 +11,14 @@
 
 use performa_core::{Axis, Scenario, SweepPlan};
 use performa_experiments::{
-    arg_or, ascii_plot_logy, base_thresholds, print_row, tpt_cluster, write_csv,
+    ascii_plot_logy, base_thresholds, print_row, sweep_options_from_args, tpt_cluster, write_csv,
 };
 
 fn main() {
     let _obs = performa_experiments::init_obs();
     let ts: Vec<u32> = vec![1, 5, 9, 10];
-    let threads: usize = arg_or("--threads", 0);
+    // `--threads`, `--store PATH` (crash-safe resume), `--retry-failed`.
+    let opts = sweep_options_from_args();
     let thresholds = base_thresholds();
     let grid = SweepPlan::grid(0.02, 0.98, 48)
         .refine_near(&thresholds)
@@ -39,14 +40,10 @@ fn main() {
     let curves: Vec<Vec<f64>> = ts
         .iter()
         .map(|&t| {
-            let mut plan = Scenario::new(tpt_cluster(t, 0.5), Axis::Rho(grid.clone())).compile();
-            if threads != 0 {
-                plan = plan.with_options(performa_core::SweepOptions {
-                    threads,
-                    ..Default::default()
-                });
-            }
-            plan.run_map(|sol| sol.normalized_mean_queue_length())
+            Scenario::new(tpt_cluster(t, 0.5), Axis::Rho(grid.clone()))
+                .compile()
+                .with_options(opts.clone())
+                .run_map(|sol| sol.normalized_mean_queue_length())
                 .expect_values("stable for rho < 1")
         })
         .collect();

@@ -6,12 +6,15 @@
 //! non-negligible tail mass for ρ close to 1.
 
 use performa_core::{Axis, Scenario, SweepPlan};
-use performa_experiments::{base_thresholds, print_row, tpt_cluster, write_csv};
+use performa_experiments::{
+    base_thresholds, print_row, sweep_options_from_args, tpt_cluster, write_csv,
+};
 
 fn main() {
     let _obs = performa_experiments::init_obs();
     let ts: Vec<u32> = vec![1, 5, 9, 10];
     let k = 500;
+    let opts = sweep_options_from_args();
     let grid = SweepPlan::grid(0.02, 0.98, 48)
         .refine_near(&base_thresholds())
         .into_values();
@@ -24,6 +27,7 @@ fn main() {
         .map(|&t| {
             Scenario::new(tpt_cluster(t, 0.5), Axis::Rho(grid.clone()))
                 .compile()
+                .with_options(opts.clone())
                 .run_map(|sol| sol.at_least_probability(k))
                 .expect_values("stable")
         })

@@ -7,7 +7,8 @@
 
 use performa_core::{Axis, Scenario, SweepPlan};
 use performa_experiments::{
-    base_thresholds, fit_error, hyp2_cluster, params, print_row, tpt_cluster, write_csv,
+    base_thresholds, fit_error, hyp2_cluster, params, print_row, sweep_options_from_args,
+    tpt_cluster, write_csv,
 };
 
 fn main() {
@@ -23,9 +24,11 @@ fn main() {
     }
     println!("# columns: rho, norm-mean HYP2(T1..T10), then norm-mean TPT T=10 for comparison");
 
+    let opts = sweep_options_from_args();
     let sweep = |template| {
         Scenario::new(template, Axis::Rho(grid.clone()))
             .compile()
+            .with_options(opts.clone())
             .run_map(|sol: &performa_core::ClusterSolution| sol.normalized_mean_queue_length())
             .expect_values("stable")
     };

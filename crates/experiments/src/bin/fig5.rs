@@ -11,7 +11,9 @@
 //! [`SweepPlan::from_builder`].
 
 use performa_core::{blowup, SweepPlan};
-use performa_experiments::{ascii_plot_logy, hyp2_cluster_with_availability, print_row, write_csv};
+use performa_experiments::{
+    ascii_plot_logy, hyp2_cluster_with_availability, print_row, sweep_options_from_args, write_csv,
+};
 
 fn main() {
     let _obs = performa_experiments::init_obs();
@@ -38,6 +40,7 @@ fn main() {
     let result = SweepPlan::from_builder("availability", grid, |a| {
         Ok(hyp2_cluster_with_availability(t, cycle, a, lambda))
     })
+    .with_options(sweep_options_from_args())
     .run_map(|sol| sol.normalized_mean_queue_length());
 
     let mut rows = Vec::new();

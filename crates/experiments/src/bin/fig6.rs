@@ -5,7 +5,9 @@
 //! which is what makes N = 5 cheap (paper Sect. 3.2).
 
 use performa_core::{blowup, Axis, Scenario, SweepPlan};
-use performa_experiments::{hyp2_cluster, params, print_row, write_csv};
+use performa_experiments::{
+    hyp2_cluster, params, print_row, sweep_options_from_args, write_csv,
+};
 
 fn main() {
     let _obs = performa_experiments::init_obs();
@@ -22,9 +24,11 @@ fn main() {
     let grid = SweepPlan::grid(0.02, 0.98, 64)
         .refine_near(&thresholds)
         .into_values();
+    let opts = sweep_options_from_args();
     let sweep = |template| {
         Scenario::new(template, Axis::Rho(grid.clone()))
             .compile()
+            .with_options(opts.clone())
             .run_map(|sol: &performa_core::ClusterSolution| sol.at_least_probability(k))
             .expect_values("stable")
     };

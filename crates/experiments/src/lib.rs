@@ -7,7 +7,7 @@
 use std::io::Write as _;
 use std::path::PathBuf;
 
-use performa_core::{ClusterModel, SweepPlan};
+use performa_core::{ClusterModel, StoreHandle, SweepOptions, SweepPlan};
 use performa_dist::{fit, Dist, DistSpec, Exponential, HyperExponential, Moments, TruncatedPowerTail};
 
 /// The paper's shared base parameters (Sect. 3, figure captions).
@@ -225,6 +225,52 @@ pub fn arg_or<T: std::str::FromStr>(key: &str, default: T) -> T {
         }
     }
     default
+}
+
+/// Builds the [`SweepOptions`] shared by every figure binary from the
+/// command line:
+///
+/// * `--threads N` — worker pool size (`0` = all cores),
+/// * `--store PATH` — durable result store; cached points replay
+///   bit-identically, so a re-run after a crash (or a parameter-subset
+///   run) only solves what is missing,
+/// * `--retry-failed` — re-attempt points whose stored record is a
+///   persisted failure.
+///
+/// Binaries that run several plans (one per curve) should `clone()` the
+/// returned options so every curve shares the one open store handle.
+///
+/// # Panics
+///
+/// Panics if `--store` cannot be opened (experiment binaries want loud
+/// failures); a corrupt store's diagnostic names the damaged offset.
+pub fn sweep_options_from_args() -> SweepOptions {
+    let mut opts = SweepOptions {
+        threads: arg_or("--threads", 0),
+        retry_failed: std::env::args().any(|a| a == "--retry-failed"),
+        ..SweepOptions::default()
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let store_path = argv
+        .iter()
+        .position(|a| a == "--store")
+        .and_then(|i| argv.get(i + 1))
+        .cloned();
+    if let Some(path) = store_path {
+        let (handle, stats) =
+            StoreHandle::open(std::path::Path::new(&path)).expect("usable --store");
+        if stats.recovered_truncation {
+            eprintln!(
+                "store: truncated a damaged tail ({} byte(s)) of {path}",
+                stats.truncated_bytes
+            );
+        }
+        if stats.records > 0 {
+            eprintln!("store: {path} holds {} cached point(s)", stats.records);
+        }
+        opts.store = Some(handle);
+    }
+    opts
 }
 
 /// Writes a CSV file under `results/`, creating the directory if needed.

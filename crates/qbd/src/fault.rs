@@ -20,6 +20,7 @@
 mod imp {
     use performa_linalg::Matrix;
     use std::cell::RefCell;
+    use std::sync::Mutex;
 
     /// A per-thread sabotage plan for the G-matrix stages.
     #[derive(Debug, Clone, Default)]
@@ -36,6 +37,16 @@ mod imp {
         static PLAN: RefCell<Option<FaultPlan>> = const { RefCell::new(None) };
     }
 
+    /// Process-wide plan, visible to every thread — the sweep pool's
+    /// workers are spawned fresh per sweep, so a thread-local plan
+    /// armed in the test thread would never reach them. Unlike the
+    /// thread-local plan, a global **poison** is one-shot: the first
+    /// solve that reaches the target stage/iteration consumes it.
+    /// That is exactly what the retry-ladder tests need — the plain
+    /// attempt is sabotaged, the hardened retry runs clean. A global
+    /// **stall** stays armed until disarmed.
+    static GLOBAL_PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
+
     /// Arms `plan` for the current thread; returns a guard that disarms
     /// it when dropped (including on panic).
     #[must_use = "the plan is disarmed when the guard drops"]
@@ -44,9 +55,26 @@ mod imp {
         Armed { _private: () }
     }
 
+    /// Arms `plan` for *every* thread in the process; returns a guard
+    /// that disarms it when dropped. The poison component is one-shot
+    /// (consumed by the first hit); the stall component persists until
+    /// the guard drops. Tests using this must not run concurrently
+    /// with other fault-armed tests — keep one such test per
+    /// integration-test binary, or serialize them under a shared lock.
+    #[must_use = "the plan is disarmed when the guard drops"]
+    pub fn arm_global(plan: FaultPlan) -> ArmedGlobal {
+        *GLOBAL_PLAN.lock().unwrap_or_else(|e| e.into_inner()) = Some(plan);
+        ArmedGlobal { _private: () }
+    }
+
     /// Disarms any plan on the current thread.
     pub fn disarm() {
         PLAN.with(|p| *p.borrow_mut() = None);
+    }
+
+    /// Disarms the process-wide plan.
+    pub fn disarm_global() {
+        *GLOBAL_PLAN.lock().unwrap_or_else(|e| e.into_inner()) = None;
     }
 
     /// Guard returned by [`arm`]; disarms the thread's plan on drop.
@@ -61,27 +89,63 @@ mod imp {
         }
     }
 
+    /// Guard returned by [`arm_global`]; disarms the process-wide plan
+    /// on drop.
+    #[derive(Debug)]
+    pub struct ArmedGlobal {
+        _private: (),
+    }
+
+    impl Drop for ArmedGlobal {
+        fn drop(&mut self) {
+            disarm_global();
+        }
+    }
+
     pub(crate) fn poison(stage: &str, iteration: usize, g: &mut Matrix) {
-        PLAN.with(|p| {
+        let local_hit = PLAN.with(|p| {
             if let Some(FaultPlan {
                 poison: Some((s, it)),
                 ..
             }) = p.borrow().as_ref()
             {
-                if *s == stage && *it == iteration {
+                *s == stage && *it == iteration
+            } else {
+                false
+            }
+        });
+        if local_hit {
+            g[(0, 0)] = f64::NAN;
+            return;
+        }
+        let mut global = GLOBAL_PLAN.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(plan) = global.as_mut() {
+            if let Some((s, it)) = plan.poison {
+                if s == stage && it == iteration {
+                    plan.poison = None; // one-shot
                     g[(0, 0)] = f64::NAN;
                 }
             }
-        });
+        }
     }
 
     pub(crate) fn stalled(stage: &str) -> bool {
-        PLAN.with(|p| {
+        let local = PLAN.with(|p| {
             matches!(
                 p.borrow().as_ref(),
                 Some(FaultPlan { stall: Some(s), .. }) if *s == stage
             )
-        })
+        });
+        if local {
+            return true;
+        }
+        matches!(
+            GLOBAL_PLAN
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .as_ref(),
+            Some(FaultPlan { stall: Some(s), .. }) if *s == stage
+        )
     }
 }
 
@@ -99,6 +163,6 @@ mod imp {
 }
 
 #[cfg(feature = "fault-injection")]
-pub use imp::{arm, disarm, Armed, FaultPlan};
+pub use imp::{arm, arm_global, disarm, disarm_global, Armed, ArmedGlobal, FaultPlan};
 
 pub(crate) use imp::{poison, stalled};

@@ -80,3 +80,13 @@ pub use supervisor::{
 
 /// Result alias for fallible QBD operations.
 pub type Result<T> = std::result::Result<T, QbdError>;
+
+/// Version of the numerical solver stack, baked into every persisted
+/// sweep-point record's key.
+///
+/// Bump this whenever a change alters the *bits* a solve produces —
+/// tolerance defaults, iteration schedules, kernel blocking, summation
+/// order. Stale store records (successes and failures alike) then miss
+/// on lookup and are transparently re-solved, so a resumed sweep can
+/// never mix outputs from two different numerical regimes.
+pub const SOLVER_VERSION: u32 = 1;

@@ -1,0 +1,116 @@
+//! Fault-injection hooks for the store layer.
+//!
+//! Mirrors the solver-side hooks in `performa-qbd`: compiled to no-ops
+//! unless the `fault-injection` feature is on, armed per-thread with a
+//! guard that disarms on drop. Three failure modes cover the recovery
+//! paths:
+//!
+//! * **short write** — persist only a prefix of one append's frame and
+//!   report an I/O error, simulating a crash mid-write; the next
+//!   [`crate::Store::open`] must truncate the torn tail.
+//! * **bit flip** — corrupt one bit of one append's frame before it is
+//!   written; the next open must reject the frame by checksum.
+//! * **fsync failure** — make every sync fail, so flush paths report
+//!   [`crate::StoreError::Io`] instead of claiming durability.
+
+#[cfg(feature = "fault-injection")]
+mod imp {
+    use std::cell::RefCell;
+
+    /// A per-thread sabotage plan for store appends. Append sequence
+    /// numbers are 1-based and counted per [`crate::Store`] instance.
+    #[derive(Debug, Clone, Default)]
+    pub struct FaultPlan {
+        /// On append number `.0`, write only the first `.1` bytes of
+        /// the frame and fail the append.
+        pub short_write: Option<(u64, usize)>,
+        /// On append number `.0`, XOR bit `.1` (counted from the start
+        /// of the frame, header included) before writing.
+        pub bit_flip: Option<(u64, usize)>,
+        /// Make every fsync fail.
+        pub fail_sync: bool,
+    }
+
+    thread_local! {
+        static PLAN: RefCell<Option<FaultPlan>> = const { RefCell::new(None) };
+    }
+
+    /// Arms `plan` for the current thread; returns a guard that disarms
+    /// it when dropped (including on panic).
+    #[must_use = "the plan is disarmed when the guard drops"]
+    pub fn arm(plan: FaultPlan) -> Armed {
+        PLAN.with(|p| *p.borrow_mut() = Some(plan));
+        Armed { _private: () }
+    }
+
+    /// Disarms any plan on the current thread.
+    pub fn disarm() {
+        PLAN.with(|p| *p.borrow_mut() = None);
+    }
+
+    /// Guard returned by [`arm`]; disarms the thread's plan on drop.
+    #[derive(Debug)]
+    pub struct Armed {
+        _private: (),
+    }
+
+    impl Drop for Armed {
+        fn drop(&mut self) {
+            disarm();
+        }
+    }
+
+    pub(crate) fn flip_bit(seq: u64, frame: &mut [u8]) {
+        PLAN.with(|p| {
+            if let Some(FaultPlan {
+                bit_flip: Some((s, bit)),
+                ..
+            }) = p.borrow().as_ref()
+            {
+                if *s == seq && bit / 8 < frame.len() {
+                    frame[bit / 8] ^= 1 << (bit % 8);
+                }
+            }
+        });
+    }
+
+    pub(crate) fn short_write(seq: u64, frame_len: usize) -> Option<usize> {
+        PLAN.with(|p| {
+            if let Some(FaultPlan {
+                short_write: Some((s, n)),
+                ..
+            }) = p.borrow().as_ref()
+            {
+                if *s == seq {
+                    return Some((*n).min(frame_len.saturating_sub(1)));
+                }
+            }
+            None
+        })
+    }
+
+    pub(crate) fn sync_fails() -> bool {
+        PLAN.with(|p| matches!(p.borrow().as_ref(), Some(FaultPlan { fail_sync: true, .. })))
+    }
+}
+
+#[cfg(not(feature = "fault-injection"))]
+mod imp {
+    #[inline(always)]
+    pub(crate) fn flip_bit(_seq: u64, _frame: &mut [u8]) {}
+
+    #[inline(always)]
+    pub(crate) fn short_write(_seq: u64, _frame_len: usize) -> Option<usize> {
+        None
+    }
+
+    #[inline(always)]
+    pub(crate) fn sync_fails() -> bool {
+        false
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+pub use imp::{arm, disarm, Armed, FaultPlan};
+
+pub(crate) use imp::{flip_bit, short_write, sync_fails};

@@ -1,0 +1,26 @@
+//! performa-store: the durable, crash-safe sweep-result store.
+//!
+//! An append-only log of CRC-framed, hand-serialized records mapping
+//! `(model fingerprint, axis point, solver version)` to a solved
+//! sweep point (exact `f64` bit patterns, so replay is byte-identical)
+//! or a typed failure. The whole index rebuilds from a single forward
+//! scan at [`Store::open`]; a torn final frame — the normal residue of
+//! a SIGKILL mid-append — is truncated without losing any prior
+//! record, while interior corruption refuses to open (see
+//! [`store`] module docs for the invariants).
+//!
+//! Layering: [`frame`] knows bytes and checksums, [`record`] knows the
+//! payload schema, [`store`] owns the file, index, recovery, and the
+//! `verify`/`merge` maintenance entry points. The crate deliberately
+//! depends only on `performa-obs`: solutions cross the boundary as raw
+//! `Vec<f64>`, and `performa-core` converts them to matrices.
+
+pub mod fault;
+pub mod frame;
+pub mod record;
+pub mod store;
+
+pub use record::{DecodeError, PointKey, PointRecord};
+pub use store::{
+    merge, verify, MergeStats, OpenStats, Store, StoreError, StoreHandle, VerifyStats, SYNC_EVERY,
+};

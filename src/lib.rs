@@ -10,6 +10,7 @@
 //! * [`markov`] — CTMCs, MAP/MMPP processes, server aggregation and
 //!   uniformization,
 //! * [`qbd`] — the matrix-geometric QBD solver stack,
+//! * [`store`] — the durable, crash-safe sweep-result store,
 //! * [`sim`] — discrete-event simulators and simulation statistics,
 //! * [`linalg`] — the dense linear-algebra kernel underneath it all.
 //!
@@ -51,3 +52,4 @@ pub use performa_linalg as linalg;
 pub use performa_markov as markov;
 pub use performa_qbd as qbd;
 pub use performa_sim as sim;
+pub use performa_store as store;
