@@ -19,14 +19,27 @@
 //! Environment knobs:
 //!
 //! * `BENCH_OUT` — output path (default `BENCH_solver.json`);
+//! * `BENCH_HISTORY` — append-only NDJSON trend log (default
+//!   `BENCH_history.ndjson`; empty string disables the append);
 //! * `BENCH_SAMPLES` — samples per case (default 5; median reported);
 //! * `BENCH_SMOKE=1` — CI smoke mode: 2 samples and single-sample big
 //!   `g_solve` cases, but the full case list, so the schema validation
 //!   downstream sees every expected case name;
 //! * `BENCH_FILTER` — substring filter on case names (dev loop only;
-//!   the emitted file then contains just the matching cases).
+//!   the emitted file then contains just the matching cases);
+//! * `BENCH_TIMESTAMP` — ISO-8601 override for the history record's
+//!   `recorded_at` (for reproducible tests; defaults to the current
+//!   UTC time);
+//! * `BENCH_GIT_SHA` — commit override for the history record
+//!   (defaults to `GITHUB_SHA`, then `git rev-parse --short HEAD`,
+//!   then `"unknown"`).
+//!
+//! Besides overwriting `BENCH_OUT` with the latest snapshot, every run
+//! appends one self-contained NDJSON line to `BENCH_HISTORY` so
+//! `performa obs bench-trend` can detect regressions across runs.
 
 use std::fmt::Write as _;
+use std::io::Write as _;
 use std::time::Instant;
 
 use performa_core::{Axis, ClusterModel, Scenario, StoreHandle, SweepOptions, SweepPlan};
@@ -84,6 +97,126 @@ impl Case {
     fn speedup(&self) -> Option<f64> {
         self.naive_ns_per_iter.map(|n| n / self.ns_per_iter)
     }
+}
+
+/// Current UTC time as `YYYY-MM-DDTHH:MM:SSZ` (proleptic Gregorian,
+/// Howard Hinnant's civil-from-days), unless `BENCH_TIMESTAMP`
+/// overrides it for reproducible tests.
+fn recorded_at() -> String {
+    if let Ok(ts) = std::env::var("BENCH_TIMESTAMP") {
+        if !ts.is_empty() {
+            return ts;
+        }
+    }
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs() as i64)
+        .unwrap_or(0);
+    let days = secs.div_euclid(86_400);
+    let tod = secs.rem_euclid(86_400);
+    let (h, m, s) = (tod / 3600, (tod % 3600) / 60, tod % 60);
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let mo = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if mo <= 2 { y + 1 } else { y };
+    format!("{y:04}-{mo:02}-{d:02}T{h:02}:{m:02}:{s:02}Z")
+}
+
+/// Commit identity for the history line: `BENCH_GIT_SHA`, then
+/// `GITHUB_SHA`, then `git rev-parse --short HEAD`, then `"unknown"`.
+fn git_sha() -> String {
+    for var in ["BENCH_GIT_SHA", "GITHUB_SHA"] {
+        if let Ok(sha) = std::env::var(var) {
+            if !sha.is_empty() {
+                return sha;
+            }
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Coarse host fingerprint (`hostname/os/arch`) so trend comparisons
+/// can refuse to mix measurements from different machines.
+fn host_fingerprint() -> String {
+    let hostname = std::env::var("HOSTNAME")
+        .ok()
+        .filter(|h| !h.is_empty())
+        .or_else(|| {
+            std::fs::read_to_string("/etc/hostname")
+                .ok()
+                .map(|h| h.trim().to_string())
+                .filter(|h| !h.is_empty())
+        })
+        .unwrap_or_else(|| "unknown-host".to_string());
+    format!(
+        "{hostname}/{}/{}",
+        std::env::consts::OS,
+        std::env::consts::ARCH
+    )
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One self-contained `performa-bench-history/v1` NDJSON line for this
+/// run — the record `performa obs bench-trend` consumes.
+fn history_line(cases: &[Case], samples: usize, smoke: bool) -> String {
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "{{\"schema\":\"performa-bench-history/v1\",\"recorded_at\":\"{}\",\"git_sha\":\"{}\",\"host\":\"{}\",\"samples_per_case\":{samples},\"smoke\":{smoke},\"cases\":[",
+        json_escape(&recorded_at()),
+        json_escape(&git_sha()),
+        json_escape(&host_fingerprint()),
+    );
+    for (i, c) in cases.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        let _ = write!(
+            line,
+            "{{\"name\":\"{}\",\"kind\":\"{}\",\"dim\":{},\"ns_per_iter\":{:.1}",
+            json_escape(&c.name),
+            c.kind,
+            c.dim,
+            c.ns_per_iter
+        );
+        if let Some(speedup) = c.speedup() {
+            let _ = write!(line, ",\"speedup_vs_naive\":{speedup:.3}");
+        }
+        if let Some(r) = c.residual {
+            let _ = write!(line, ",\"residual\":{r:e}");
+        }
+        line.push('}');
+    }
+    line.push_str("]}");
+    line
 }
 
 fn main() {
@@ -326,4 +459,19 @@ fn main() {
 
     std::fs::write(&out_path, &json).expect("write BENCH_OUT");
     eprintln!("wrote {out_path} ({} cases)", cases.len());
+
+    // Append-only trend log: one line per run, never rewritten, so
+    // `performa obs bench-trend` can compare runs across commits.
+    let history_path =
+        std::env::var("BENCH_HISTORY").unwrap_or_else(|_| "BENCH_history.ndjson".to_string());
+    if !history_path.is_empty() {
+        let line = history_line(&cases, samples, smoke);
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&history_path)
+            .expect("open BENCH_HISTORY for append");
+        writeln!(f, "{line}").expect("append BENCH_HISTORY");
+        eprintln!("appended run to {history_path}");
+    }
 }

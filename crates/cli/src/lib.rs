@@ -8,7 +8,9 @@
 //! * `simulate` — discrete-event simulation with failure strategies,
 //! * `sensitivity` — local parameter sensitivities,
 //! * `store` — maintenance verbs (`verify`, `merge`) for the durable
-//!   sweep-result store.
+//!   sweep-result store,
+//! * `obs` — trace-consumption verbs (`report`, `diff`, `bench-trend`)
+//!   over `--trace-json` output and the bench trend log.
 //!
 //! Distributions are written as compact specs:
 //! `exp:MEAN`, `erlang:K:MEAN`, `hyp2:MEAN:SCV`,
@@ -46,6 +48,7 @@ COMMANDS:
   simulate     discrete-event simulation (physical cluster)
   sensitivity  local parameter sensitivities at the operating point
   store        result-store maintenance: verify | merge
+  obs          trace consumption: report | diff | bench-trend
 
 COMMON MODEL OPTIONS (with defaults):
   --servers 2            number of nodes N
@@ -79,6 +82,22 @@ STORE COMMANDS:
   store merge  --out PATH --in A,B    union shard stores into PATH
                                       (first record of a key wins;
                                       already-present keys are skipped)
+
+OBS COMMANDS (consume traces written with --trace-json):
+  obs report <trace.ndjson>           wall-clock attribution tree, hot
+                                      spans, counter summary and
+                                      flight-recorder extracts
+                                      (--top N rows, default 8; exits 10
+                                      when the trace dropped records)
+  obs diff <a.ndjson> <b.ndjson>      span-time / counter / gauge deltas;
+                                      --threshold R (default 0.2) flags
+                                      regressions and exits 10
+  obs bench-trend [history.ndjson]    regression check over appended
+                                      bench-record runs (default
+                                      BENCH_history.ndjson); --threshold R
+                                      (default 0.3) tolerance above the
+                                      per-case baseline median; exits 10
+                                      on regression
 SIMULATE OPTIONS: --task exp:0.5  --strategy discard|resume-front|resume-back|
                   restart-front|restart-back  --cycles 20000 --reps 5 --seed 0
                   --resume-penalty W (checkpoint-restore work)
@@ -100,6 +119,8 @@ OBSERVABILITY OPTIONS (all commands):
                          (implies debug verbosity unless --trace-level is set)
   --profile              print a timing/metrics summary table on stderr
                          after the run
+  --metrics-out PATH     write the final metrics snapshot in Prometheus
+                         text exposition format to PATH after the run
 
 EXIT CODES:
   0   exact result
@@ -235,6 +256,10 @@ impl Args {
 pub struct ObsSession {
     sinks: Vec<performa_obs::SinkId>,
     profile: bool,
+    /// The `--trace-json` sink (path, handle), retained so `finish` can
+    /// check its drop counters after the flush.
+    json: Option<(String, std::sync::Arc<performa_obs::NdjsonSink>)>,
+    metrics_out: Option<PathBuf>,
 }
 
 /// Configures the global recorder from `--trace-level`, `--trace-json`
@@ -255,7 +280,12 @@ pub struct ObsSession {
 pub fn init_obs(args: &Args) -> Result<ObsSession> {
     let mut sinks = Vec::new();
     let profile = args.has("profile");
-    if profile {
+    let metrics_out = if args.has("metrics-out") {
+        Some(PathBuf::from(args.get_str("metrics-out", "metrics.prom")))
+    } else {
+        None
+    };
+    if profile || metrics_out.is_some() {
         performa_obs::reset_metrics();
         performa_obs::set_metrics(true);
     }
@@ -272,11 +302,14 @@ pub fn init_obs(args: &Args) -> Result<ObsSession> {
             )));
         }
     }
+    let mut json = None;
     if args.has("trace-json") {
         let path = args.get_str("trace-json", "trace.ndjson");
         let sink = performa_obs::NdjsonSink::create(std::path::Path::new(&path))
             .map_err(|e| CliError(format!("cannot open --trace-json `{path}`: {e}")))?;
-        sinks.push(performa_obs::add_sink(std::sync::Arc::new(sink)));
+        let sink = std::sync::Arc::new(sink);
+        sinks.push(performa_obs::add_sink(sink.clone()));
+        json = Some((path, sink));
         if level.is_none() {
             level = Some(performa_obs::TraceLevel::Debug);
         }
@@ -284,7 +317,12 @@ pub fn init_obs(args: &Args) -> Result<ObsSession> {
     if let Some(l) = level {
         performa_obs::set_level(l);
     }
-    Ok(ObsSession { sinks, profile })
+    Ok(ObsSession {
+        sinks,
+        profile,
+        json,
+        metrics_out,
+    })
 }
 
 impl ObsSession {
@@ -300,8 +338,31 @@ impl ObsSession {
         if self.profile {
             let table = performa_obs::metrics_snapshot().profile_table();
             write!(err, "{table}").map_err(|e| CliError(format!("output error: {e}")))?;
+        }
+        if let Some(path) = &self.metrics_out {
+            let text = performa_obs::expose::render(&performa_obs::metrics_snapshot());
+            std::fs::write(path, text).map_err(|e| {
+                CliError(format!("cannot write --metrics-out `{}`: {e}", path.display()))
+            })?;
+        }
+        if self.profile || self.metrics_out.is_some() {
             performa_obs::set_metrics(false);
             performa_obs::reset_metrics();
+        }
+        // A trace with silently missing records is worse than no trace:
+        // say loudly that (and why) the NDJSON file is incomplete.
+        if let Some((path, sink)) = &self.json {
+            let dropped = sink.dropped_records();
+            if dropped > 0 {
+                writeln!(
+                    err,
+                    "WARNING: trace `{path}` is INCOMPLETE — {dropped} record(s) dropped \
+                     ({} io error(s), {} poisoned-lock skip(s))",
+                    sink.dropped_io_errors(),
+                    sink.dropped_lock_poisoned()
+                )
+                .map_err(|e| CliError(format!("output error: {e}")))?;
+            }
         }
         performa_obs::set_level(performa_obs::TraceLevel::Off);
         for id in self.sinks {
@@ -680,6 +741,41 @@ pub fn run<W: std::io::Write>(command: &str, args: &Args, out: &mut W) -> Result
                 Err(e) => Err(CliError(format!("store merge failed: {e}"))),
             }
         }
+        "obs-report" => {
+            let path = require_path(args, "trace")?;
+            let agg = load_aggregate(&path)?;
+            let top = args.get("top", 8usize)?;
+            render_report(&agg, top, out)?;
+            if agg.dropped_records() > 0.0 {
+                writeln!(
+                    out,
+                    "status            : degraded — {} record(s) dropped, attribution is a lower bound",
+                    agg.dropped_records()
+                )
+                .map_err(io)?;
+                Ok(RunStatus::Degraded)
+            } else {
+                Ok(RunStatus::Exact)
+            }
+        }
+        "obs-diff" => {
+            let a = load_aggregate(&require_path(args, "a")?)?;
+            let b = load_aggregate(&require_path(args, "b")?)?;
+            let threshold = args.get("threshold", 0.2)?;
+            let report = performa_obs::agg::diff(&a, &b, threshold);
+            render_diff(&report, threshold, out)?;
+            if report.regressions() > 0 {
+                Ok(RunStatus::Degraded)
+            } else {
+                Ok(RunStatus::Exact)
+            }
+        }
+        "obs-bench-trend" => {
+            let path = PathBuf::from(args.get_str("history", "BENCH_history.ndjson"));
+            let threshold = args.get("threshold", 0.3)?;
+            let runs = load_bench_history(&path)?;
+            render_bench_trend(&runs, threshold, out)
+        }
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}").map_err(io)?;
             Ok(RunStatus::Exact)
@@ -848,6 +944,339 @@ fn metric_value(sol: &performa_core::ClusterSolution, metric: &str) -> Result<f6
     )))
 }
 
+// ── `obs` verbs: trace consumption ──────────────────────────────────
+
+/// Folds the `obs` verbs' leading positional operands into the flags
+/// the `--key value` parser expects: `obs report T` → `--trace T`,
+/// `obs diff A B` → `--a A --b B`, `obs bench-trend [H]` → `--history H`.
+/// Tokens from the first `--flag` on are passed through untouched
+/// ([`Args::parse`] still rejects stray positionals there).
+pub fn fold_positionals(command: &str, argv: Vec<String>) -> Vec<String> {
+    let keys: &[&str] = match command {
+        "obs-report" => &["trace"],
+        "obs-diff" => &["a", "b"],
+        "obs-bench-trend" => &["history"],
+        _ => return argv,
+    };
+    let mut out = Vec::with_capacity(argv.len() + 2);
+    let mut keys = keys.iter();
+    let mut it = argv.into_iter().peekable();
+    while let Some(tok) = it.peek() {
+        if tok.starts_with("--") {
+            break;
+        }
+        let Some(key) = keys.next() else { break };
+        out.push(format!("--{key}"));
+        out.push(it.next().expect("peeked"));
+    }
+    out.extend(it);
+    out
+}
+
+/// Loads and folds one NDJSON trace, mapping both I/O trouble and the
+/// first malformed line to CLI errors with file/line context.
+fn load_aggregate(path: &std::path::Path) -> Result<performa_obs::agg::Aggregate> {
+    match performa_obs::agg::Aggregate::from_file(path) {
+        Ok(Ok(agg)) => Ok(agg),
+        Ok(Err((line, msg))) => Err(CliError(format!(
+            "{}:{line}: malformed trace line: {msg}",
+            path.display()
+        ))),
+        Err(e) => Err(CliError(format!("cannot read `{}`: {e}", path.display()))),
+    }
+}
+
+fn fmt_secs(s: f64) -> String {
+    if !s.is_finite() {
+        format!("{s}")
+    } else if s.abs() >= 1.0 {
+        format!("{s:.3}s")
+    } else if s.abs() >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+/// Renders the `obs report` body: trace summary, attribution tree, hot
+/// spans, counter summary and flight-recorder extracts.
+fn render_report<W: std::io::Write>(
+    agg: &performa_obs::agg::Aggregate,
+    top: usize,
+    out: &mut W,
+) -> Result<()> {
+    let io = |e: std::io::Error| CliError(format!("output error: {e}"));
+    writeln!(out, "records           : {}", agg.records).map_err(io)?;
+    writeln!(out, "trace wall clock  : {}", fmt_secs(agg.wall_clock())).map_err(io)?;
+    let coverage = if agg.wall_clock() > 0.0 {
+        100.0 * agg.root_total() / agg.wall_clock()
+    } else {
+        0.0
+    };
+    writeln!(
+        out,
+        "traced span time  : {} ({coverage:.1}% of wall clock)",
+        fmt_secs(agg.root_total())
+    )
+    .map_err(io)?;
+    if agg.unmatched_closes + agg.unclosed_spans > 0 {
+        writeln!(
+            out,
+            "incomplete spans  : {} unmatched close(s), {} left open",
+            agg.unmatched_closes, agg.unclosed_spans
+        )
+        .map_err(io)?;
+    }
+    writeln!(out).map_err(io)?;
+    write!(out, "{}", agg.render_tree()).map_err(io)?;
+
+    let hot = agg.hot_spans(top);
+    if !hot.is_empty() {
+        writeln!(out, "\nhot spans (self time, top {top}):").map_err(io)?;
+        for (name, stat) in hot {
+            writeln!(
+                out,
+                "  {:<42} {:>7}x {:>12} self {:>12} total",
+                name,
+                stat.count,
+                fmt_secs(stat.self_s),
+                fmt_secs(stat.total_s)
+            )
+            .map_err(io)?;
+        }
+    }
+
+    if !agg.counters.is_empty() {
+        writeln!(out, "\ncounters:").map_err(io)?;
+        for (name, value) in &agg.counters {
+            writeln!(out, "  {:<42} {:>14}", name, value).map_err(io)?;
+        }
+    }
+
+    for (i, dump) in agg.flights.iter().enumerate() {
+        writeln!(
+            out,
+            "\nflight dump #{}: trigger={} strategy={} hardened={} ({} iteration(s) remembered)",
+            i + 1,
+            dump.trigger,
+            dump.strategy,
+            dump.hardened,
+            dump.iters.len()
+        )
+        .map_err(io)?;
+        for it in &dump.iters {
+            writeln!(
+                out,
+                "  {:<12} iteration {:>6}  residual {:.6e}",
+                it.stage, it.iteration, it.residual
+            )
+            .map_err(io)?;
+        }
+    }
+    Ok(())
+}
+
+/// Renders the `obs diff` body: changed rows only, then the verdict.
+fn render_diff<W: std::io::Write>(
+    report: &performa_obs::agg::DiffReport,
+    threshold: f64,
+    out: &mut W,
+) -> Result<()> {
+    let io = |e: std::io::Error| CliError(format!("output error: {e}"));
+    let changed =
+        |rows: &[performa_obs::agg::DeltaRow]| -> Vec<performa_obs::agg::DeltaRow> {
+            rows.iter()
+                .filter(|r| r.delta() != 0.0 || r.regressed)
+                .cloned()
+                .collect()
+        };
+    let spans = changed(&report.span_time);
+    if !spans.is_empty() {
+        writeln!(out, "span time (a -> b):").map_err(io)?;
+        for row in &spans {
+            writeln!(
+                out,
+                "  {:<42} {:>12} -> {:>12} ({:+.1}%){}",
+                row.name,
+                fmt_secs(row.a),
+                fmt_secs(row.b),
+                if row.a > 0.0 {
+                    100.0 * row.delta() / row.a
+                } else {
+                    f64::INFINITY
+                },
+                if row.regressed { "  REGRESSED" } else { "" }
+            )
+            .map_err(io)?;
+        }
+    }
+    let counters = changed(&report.counters);
+    if !counters.is_empty() {
+        writeln!(out, "counters (a -> b):").map_err(io)?;
+        for row in &counters {
+            writeln!(
+                out,
+                "  {:<42} {:>12} -> {:>12}{}",
+                row.name,
+                row.a,
+                row.b,
+                if row.regressed { "  REGRESSED" } else { "" }
+            )
+            .map_err(io)?;
+        }
+    }
+    let gauges = changed(&report.gauges);
+    if !gauges.is_empty() {
+        writeln!(out, "gauges, final value (a -> b, informational):").map_err(io)?;
+        for row in &gauges {
+            writeln!(out, "  {:<42} {:>12.6e} -> {:>12.6e}", row.name, row.a, row.b)
+                .map_err(io)?;
+        }
+    }
+    writeln!(
+        out,
+        "regressions: {} (threshold {:.0}%)",
+        report.regressions(),
+        threshold * 100.0
+    )
+    .map_err(io)?;
+    Ok(())
+}
+
+/// One run parsed from `BENCH_history.ndjson`.
+struct BenchRun {
+    recorded_at: String,
+    git_sha: String,
+    /// `(case name, ns_per_iter)` pairs.
+    cases: Vec<(String, f64)>,
+}
+
+/// Parses the append-only `performa-bench-history/v1` trend log.
+fn load_bench_history(path: &std::path::Path) -> Result<Vec<BenchRun>> {
+    use performa_obs::ndjson::{parse_json, Json};
+    let content = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read `{}`: {e}", path.display())))?;
+    let mut runs = Vec::new();
+    for (i, line) in content.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let bad = |msg: String| CliError(format!("{}:{}: {msg}", path.display(), i + 1));
+        let doc = parse_json(line).map_err(|e| bad(format!("malformed history line: {e}")))?;
+        let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+        if schema != "performa-bench-history/v1" {
+            return Err(bad(format!("unexpected schema `{schema}`")));
+        }
+        let mut run = BenchRun {
+            recorded_at: doc
+                .get("recorded_at")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            git_sha: doc
+                .get("git_sha")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            cases: Vec::new(),
+        };
+        let Some(Json::Arr(cases)) = doc.get("cases") else {
+            return Err(bad("history line without `cases` array".into()));
+        };
+        for case in cases {
+            let name = case
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("case without `name`".into()))?;
+            let ns = case
+                .get("ns_per_iter")
+                .and_then(Json::as_num)
+                .ok_or_else(|| bad(format!("case `{name}` without numeric ns_per_iter")))?;
+            run.cases.push((name.to_string(), ns));
+        }
+        runs.push(run);
+    }
+    Ok(runs)
+}
+
+/// Renders the `obs bench-trend` table: the latest run's cases against
+/// the per-case median of every earlier run. A case regresses when the
+/// latest median-of-samples exceeds the baseline by more than the
+/// relative `threshold` (bench noise floor).
+fn render_bench_trend<W: std::io::Write>(
+    runs: &[BenchRun],
+    threshold: f64,
+    out: &mut W,
+) -> Result<RunStatus> {
+    let io = |e: std::io::Error| CliError(format!("output error: {e}"));
+    if runs.len() < 2 {
+        writeln!(
+            out,
+            "bench-trend: {} run(s) in history — need at least 2 to compare",
+            runs.len()
+        )
+        .map_err(io)?;
+        return Ok(RunStatus::Exact);
+    }
+    let (latest, prior) = runs.split_last().expect("len >= 2");
+    writeln!(
+        out,
+        "latest run {} ({}) vs {} earlier run(s), threshold {:.0}%",
+        latest.recorded_at,
+        latest.git_sha,
+        prior.len(),
+        threshold * 100.0
+    )
+    .map_err(io)?;
+    writeln!(
+        out,
+        "{:<26} {:>14} {:>14} {:>8}  status",
+        "case", "baseline ns", "latest ns", "ratio"
+    )
+    .map_err(io)?;
+    let mut regressed = 0usize;
+    for (name, latest_ns) in &latest.cases {
+        let mut history: Vec<f64> = prior
+            .iter()
+            .flat_map(|r| r.cases.iter())
+            .filter(|(n, _)| n == name)
+            .map(|(_, ns)| *ns)
+            .collect();
+        if history.is_empty() {
+            writeln!(
+                out,
+                "{:<26} {:>14} {:>14.0} {:>8}  new case",
+                name, "-", latest_ns, "-"
+            )
+            .map_err(io)?;
+            continue;
+        }
+        history.sort_by(|a, b| a.total_cmp(b));
+        let baseline = history[history.len() / 2];
+        let ratio = latest_ns / baseline;
+        let is_regressed = ratio > 1.0 + threshold;
+        if is_regressed {
+            regressed += 1;
+        }
+        writeln!(
+            out,
+            "{:<26} {:>14.0} {:>14.0} {:>7.2}x  {}",
+            name,
+            baseline,
+            latest_ns,
+            ratio,
+            if is_regressed { "REGRESSED" } else { "ok" }
+        )
+        .map_err(io)?;
+    }
+    writeln!(out, "regressions: {regressed}").map_err(io)?;
+    if regressed > 0 {
+        Ok(RunStatus::Degraded)
+    } else {
+        Ok(RunStatus::Exact)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -874,6 +1303,72 @@ mod tests {
         assert!(Args::parse(vec!["--dangling".into()]).is_err());
         let bad = args(&[("servers", "many")]);
         assert!(bad.get("servers", 0usize).is_err());
+    }
+
+    #[test]
+    fn obs_positionals_fold_into_flags() {
+        let v = |parts: &[&str]| parts.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            fold_positionals("obs-report", v(&["t.ndjson", "--top", "3"])),
+            v(&["--trace", "t.ndjson", "--top", "3"])
+        );
+        assert_eq!(
+            fold_positionals("obs-diff", v(&["a.ndjson", "b.ndjson"])),
+            v(&["--a", "a.ndjson", "--b", "b.ndjson"])
+        );
+        // bench-trend's operand is optional.
+        assert_eq!(
+            fold_positionals("obs-bench-trend", v(&["--threshold", "0.5"])),
+            v(&["--threshold", "0.5"])
+        );
+        assert_eq!(
+            fold_positionals("obs-bench-trend", v(&["h.ndjson"])),
+            v(&["--history", "h.ndjson"])
+        );
+        // Flags can also be spelled out directly; other commands are
+        // untouched (their stray positionals still get rejected later).
+        assert_eq!(
+            fold_positionals("obs-report", v(&["--trace", "t.ndjson"])),
+            v(&["--trace", "t.ndjson"])
+        );
+        assert_eq!(
+            fold_positionals("solve", v(&["stray"])),
+            v(&["stray"])
+        );
+    }
+
+    #[test]
+    fn bench_trend_regression_semantics() {
+        let runs = |latest: f64| {
+            vec![
+                BenchRun {
+                    recorded_at: "2026-08-01T00:00:00Z".into(),
+                    git_sha: "aaa".into(),
+                    cases: vec![("gemm_128".into(), 1000.0)],
+                },
+                BenchRun {
+                    recorded_at: "2026-08-02T00:00:00Z".into(),
+                    git_sha: "bbb".into(),
+                    cases: vec![("gemm_128".into(), 900.0)],
+                },
+                BenchRun {
+                    recorded_at: "2026-08-03T00:00:00Z".into(),
+                    git_sha: "ccc".into(),
+                    cases: vec![("gemm_128".into(), latest), ("new_case".into(), 5.0)],
+                },
+            ]
+        };
+        // Baseline is the median of the prior runs (1000), so +30%
+        // exactly is still ok and anything above regresses.
+        let mut buf = Vec::new();
+        let status = render_bench_trend(&runs(1300.0), 0.3, &mut buf).unwrap();
+        assert_eq!(status, RunStatus::Exact, "{}", String::from_utf8_lossy(&buf));
+        let mut buf = Vec::new();
+        let status = render_bench_trend(&runs(1301.0), 0.3, &mut buf).unwrap();
+        assert_eq!(status, RunStatus::Degraded);
+        let text = String::from_utf8_lossy(&buf);
+        assert!(text.contains("REGRESSED"), "{text}");
+        assert!(text.contains("new case"), "{text}");
     }
 
     #[test]

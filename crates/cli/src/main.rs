@@ -23,6 +23,19 @@ fn main() -> ExitCode {
             }
         }
     }
+    // Same treatment for `obs` (`performa obs report trace.ndjson`);
+    // its path operands then fold into `--trace`/`--a`/`--b`/`--history`
+    // flags so the parser still sees pure `--key value` pairs.
+    if command == "obs" {
+        match argv.next() {
+            Some(verb) => command = format!("obs-{verb}"),
+            None => {
+                eprintln!("error: `obs` needs a verb: report | diff | bench-trend");
+                return ExitCode::from(performa_cli::EXIT_FAILED);
+            }
+        }
+    }
+    let argv = performa_cli::fold_positionals(&command, argv.collect());
     let args = match performa_cli::Args::parse(argv) {
         Ok(a) => a,
         Err(e) => {

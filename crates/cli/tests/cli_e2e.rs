@@ -221,3 +221,130 @@ fn resume_against_a_missing_store_is_refused() {
     assert_eq!(code, Some(20), "{err}");
     assert!(err.contains("does not exist"), "{err}");
 }
+
+// ── `obs` verbs: trace consumption ──────────────────────────────────
+
+#[test]
+fn obs_command_requires_a_verb() {
+    let (ok, _, err) = performa(&["obs"]);
+    assert!(!ok);
+    assert!(err.contains("report | diff | bench-trend"), "{err}");
+}
+
+/// Acceptance: `obs report` on a sweep trace prints an attribution tree
+/// whose root (self + children) accounts for at least 95% of the trace
+/// wall clock, and a self-diff of the same trace is a zero-delta exact
+/// run.
+#[test]
+fn obs_report_and_self_diff_on_a_sweep_trace() {
+    let trace = std::env::temp_dir().join(format!(
+        "performa_e2e_obs_trace_{}.ndjson",
+        std::process::id()
+    ));
+    let trace_str = trace.to_str().unwrap();
+    // Default model = the Fig. 1 TPT repair family: solves are heavy
+    // enough that span time dominates the pre-sweep trace prelude.
+    let (ok, out, err) = performa(&["sweep", "--steps", "4", "--trace-json", trace_str]);
+    assert!(ok, "{out}\n{err}");
+
+    let (code, report, err) = performa_code(&["obs", "report", trace_str]);
+    assert_eq!(code, Some(0), "{report}\n{err}");
+    assert!(report.contains("sweep.point"), "{report}");
+    assert!(report.contains("%root"), "{report}");
+    // Parse "traced span time  : ... (NN.N% of wall clock)".
+    let coverage_line = report
+        .lines()
+        .find(|l| l.starts_with("traced span time"))
+        .expect("coverage line present");
+    let pct: f64 = coverage_line
+        .split('(')
+        .nth(1)
+        .and_then(|s| s.split('%').next())
+        .expect("percentage in coverage line")
+        .parse()
+        .expect("numeric percentage");
+    assert!(pct >= 95.0, "root attribution covers {pct}% of wall clock");
+    // Nothing dropped on a healthy run.
+    assert!(!report.contains("degraded"), "{report}");
+
+    let (code, diff, err) = performa_code(&["obs", "diff", trace_str, trace_str]);
+    assert_eq!(code, Some(0), "{diff}\n{err}");
+    assert!(diff.contains("regressions: 0"), "{diff}");
+
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn obs_report_on_a_missing_trace_fails_cleanly() {
+    let (code, _, err) = performa_code(&["obs", "report", "/nonexistent/trace.ndjson"]);
+    assert_eq!(code, Some(20));
+    assert!(err.contains("cannot read"), "{err}");
+}
+
+/// Acceptance: `obs bench-trend` over appended runs exits 10 exactly
+/// when a case regresses beyond the noise threshold, 0 otherwise.
+#[test]
+fn obs_bench_trend_exit_code_contract() {
+    let history = std::env::temp_dir().join(format!(
+        "performa_e2e_bench_history_{}.ndjson",
+        std::process::id()
+    ));
+    let run = |sha: &str, gemm_ns: f64| {
+        format!(
+            "{{\"schema\":\"performa-bench-history/v1\",\"recorded_at\":\"2026-08-08T00:00:00Z\",\
+             \"git_sha\":\"{sha}\",\"host\":\"ci/linux/x86_64\",\"samples_per_case\":2,\
+             \"smoke\":true,\"cases\":[{{\"name\":\"gemm_128\",\"kind\":\"gemm_speedup\",\
+             \"dim\":128,\"ns_per_iter\":{gemm_ns}}}]}}"
+        )
+    };
+    let history_str = history.to_str().unwrap();
+
+    // One run: nothing to compare, exact.
+    std::fs::write(&history, format!("{}\n", run("aaa", 1000.0))).unwrap();
+    let (code, out, err) = performa_code(&["obs", "bench-trend", history_str]);
+    assert_eq!(code, Some(0), "{out}\n{err}");
+    assert!(out.contains("need at least 2"), "{out}");
+
+    // Two runs within the noise threshold: exact.
+    std::fs::write(
+        &history,
+        format!("{}\n{}\n", run("aaa", 1000.0), run("bbb", 1100.0)),
+    )
+    .unwrap();
+    let (code, out, _) = performa_code(&["obs", "bench-trend", history_str]);
+    assert_eq!(code, Some(0), "{out}");
+    assert!(out.contains("regressions: 0"), "{out}");
+
+    // The latest run regressed 2x: degraded exit.
+    std::fs::write(
+        &history,
+        format!(
+            "{}\n{}\n{}\n",
+            run("aaa", 1000.0),
+            run("bbb", 1100.0),
+            run("ccc", 2000.0)
+        ),
+    )
+    .unwrap();
+    let (code, out, _) = performa_code(&["obs", "bench-trend", history_str]);
+    assert_eq!(code, Some(10), "{out}");
+    assert!(out.contains("REGRESSED"), "{out}");
+
+    std::fs::remove_file(&history).ok();
+}
+
+#[test]
+fn metrics_out_writes_valid_prometheus_exposition() {
+    let path = std::env::temp_dir().join(format!(
+        "performa_e2e_metrics_{}.prom",
+        std::process::id()
+    ));
+    let path_str = path.to_str().unwrap();
+    let (ok, out, err) =
+        performa(&["solve", "--down", "exp:10", "--metrics-out", path_str]);
+    assert!(ok, "{out}\n{err}");
+    let text = std::fs::read_to_string(&path).expect("exposition written");
+    performa_obs::expose::validate(&text).expect("exposition validates");
+    assert!(text.contains("# TYPE performa_"), "{text}");
+    std::fs::remove_file(&path).ok();
+}

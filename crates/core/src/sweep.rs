@@ -506,7 +506,12 @@ impl SweepPlan {
                     ("x", point.x.into()),
                 ],
             );
-            let sol = ctx.solve_point(point, worker)?;
+            let started = Instant::now();
+            let mut cost = PointCost::default();
+            let outcome = ctx.solve_point(point, worker, &mut cost);
+            cost.elapsed = started.elapsed();
+            ctx.record_cost(i, cost);
+            let sol = outcome?;
             Ok(f(&sol))
         });
         ctx.finish(out)
@@ -531,12 +536,21 @@ impl SweepPlan {
                     ("x", point.x.into()),
                 ],
             );
-            match &point.model {
+            let started = Instant::now();
+            let outcome = match &point.model {
                 Ok(model) => f(model),
                 Err(msg) => Err(CoreError::InvalidParameter {
                     message: msg.clone(),
                 }),
-            }
+            };
+            ctx.record_cost(
+                i,
+                PointCost {
+                    elapsed: started.elapsed(),
+                    ..PointCost::default()
+                },
+            );
+            outcome
         });
         ctx.finish(out)
     }
@@ -667,6 +681,9 @@ struct ExecContext<'a> {
     store_hits: AtomicU64,
     store_appends: AtomicU64,
     retries: AtomicU64,
+    /// Per-point cost records, indexed by grid position; workers write
+    /// their slot once, after solving.
+    costs: Mutex<Vec<PointCost>>,
     started: Instant,
 }
 
@@ -682,8 +699,15 @@ impl<'a> ExecContext<'a> {
             store_hits: AtomicU64::new(0),
             store_appends: AtomicU64::new(0),
             retries: AtomicU64::new(0),
+            costs: Mutex::new(vec![PointCost::default(); plan.points.len()]),
             started: Instant::now(),
         }
+    }
+
+    /// Stores the cost record of point `i`.
+    fn record_cost(&self, i: usize, cost: PointCost) {
+        let mut costs = self.costs.lock().unwrap_or_else(|p| p.into_inner());
+        costs[i] = cost;
     }
 
     /// The lumped MMPP for this point, through the cache when enabled.
@@ -713,7 +737,12 @@ impl<'a> ExecContext<'a> {
     /// (cached) and `G`/`R`/boundary via warm start, supervisor, or the
     /// plain bit-identical default path; fresh outcomes are appended
     /// back to the store.
-    fn solve_point(&self, point: &PlanPoint, worker: &mut WorkerState) -> Result<ClusterSolution> {
+    fn solve_point(
+        &self,
+        point: &PlanPoint,
+        worker: &mut WorkerState,
+        cost: &mut PointCost,
+    ) -> Result<ClusterSolution> {
         let model = match &point.model {
             Ok(m) => m,
             Err(msg) => {
@@ -733,20 +762,24 @@ impl<'a> ExecContext<'a> {
             });
         }
         let Some(store) = &self.plan.options.store else {
-            return self.solve_point_fresh(point, model, worker);
+            return self.solve_point_fresh(point, model, worker, cost);
         };
         let key = store_key(model, point.x);
         match store.get(&key) {
             Some(PointRecord::Solved { m, pi0, pi1, r, g }) => {
                 self.store_hits.fetch_add(1, Ordering::Relaxed);
+                cost.source = CostSource::Store;
+                cost.strategy = "replay";
                 self.replay_solved(model, m as usize, pi0, pi1, r, g)
             }
             Some(PointRecord::Failed { kind, message }) if !self.plan.options.retry_failed => {
                 self.store_hits.fetch_add(1, Ordering::Relaxed);
+                cost.source = CostSource::Store;
+                cost.strategy = "replay";
                 Err(CoreError::ReplayedFailure { kind, message })
             }
             _ => {
-                let outcome = self.solve_point_fresh(point, model, worker);
+                let outcome = self.solve_point_fresh(point, model, worker, cost);
                 self.persist(store, &key, &outcome)?;
                 outcome
             }
@@ -833,6 +866,7 @@ impl<'a> ExecContext<'a> {
         point: &PlanPoint,
         model: &ClusterModel,
         worker: &mut WorkerState,
+        cost: &mut PointCost,
     ) -> Result<ClusterSolution> {
         let qbd = if self.plan.options.reuse_modulator && point.group != usize::MAX {
             let mmpp = self.modulator(point, model)?;
@@ -843,12 +877,15 @@ impl<'a> ExecContext<'a> {
         };
 
         if let Some(sup) = &self.plan.options.supervisor {
-            let (sol, _report) = SolverSupervisor::with_options(qbd, sup.clone()).solve()?;
+            cost.source = CostSource::Supervisor;
+            let (sol, report) = SolverSupervisor::with_options(qbd, sup.clone()).solve()?;
+            cost.strategy = report.strategy.key();
+            cost.iterations = report.total_iterations as u64;
             return Ok(ClusterSolution::new(model.clone(), sol));
         }
 
         if self.plan.options.warm_start {
-            if let Some(sol) = self.try_warm(&qbd, model, worker) {
+            if let Some(sol) = self.try_warm(&qbd, model, worker, cost) {
                 return Ok(sol);
             }
         }
@@ -860,12 +897,20 @@ impl<'a> ExecContext<'a> {
         // down where the hardened schedule still converges. The retry
         // can only turn an error into a solution, so bit-identity of
         // successful points is unaffected.
-        let sol = match qbd.solve() {
-            Ok(sol) => sol,
+        cost.source = CostSource::Cold;
+        cost.strategy = "logred";
+        let sol = match qbd.solve_with_count(SolveOptions::default()) {
+            Ok((sol, iters)) => {
+                cost.iterations = iters as u64;
+                sol
+            }
             Err(e) if retryable(&e) => {
                 self.retries.fetch_add(1, Ordering::Relaxed);
                 performa_obs::counter_add("sweep.retry", 1);
-                qbd.solve_with(SolveOptions::hardened())?
+                cost.source = CostSource::Retry;
+                let (sol, iters) = qbd.solve_with_count(SolveOptions::hardened())?;
+                cost.iterations = iters as u64;
+                sol
             }
             Err(e) => return Err(e.into()),
         };
@@ -885,6 +930,7 @@ impl<'a> ExecContext<'a> {
         qbd: &Qbd,
         model: &ClusterModel,
         worker: &mut WorkerState,
+        cost: &mut PointCost,
     ) -> Option<ClusterSolution> {
         let seed = worker
             .last_g
@@ -893,8 +939,8 @@ impl<'a> ExecContext<'a> {
         let opts = SolveOptions::default()
             .with_initial_g(seed.clone())
             .tap_budget(self.plan.options.warm_budget);
-        let g = match qbd.g_matrix_functional_with(opts) {
-            Ok(g) => g,
+        let (g, warm_iters) = match qbd.g_matrix_functional_with_count(opts) {
+            Ok(pair) => pair,
             Err(_) => {
                 self.warm_rejected.fetch_add(1, Ordering::Relaxed);
                 return None;
@@ -913,6 +959,9 @@ impl<'a> ExecContext<'a> {
         let sol = qbd
             .solve_from_g(g, performa_qbd::Hardening::default())
             .ok()?;
+        cost.source = CostSource::Warm;
+        cost.strategy = "functional";
+        cost.iterations = warm_iters as u64;
         Some(ClusterSolution::new(model.clone(), sol))
     }
 
@@ -933,6 +982,10 @@ impl<'a> ExecContext<'a> {
         }
         let elapsed = self.started.elapsed();
         let solved = out.iter().filter(|(_, r)| r.is_ok()).count();
+        let costs = match self.costs.lock() {
+            Ok(mut guard) => std::mem::take(&mut *guard),
+            Err(poisoned) => std::mem::take(&mut *poisoned.into_inner()),
+        };
         let stats = SweepStats {
             points: out.len(),
             solved,
@@ -944,13 +997,15 @@ impl<'a> ExecContext<'a> {
             store_hits: self.store_hits.load(Ordering::Relaxed),
             store_appends: self.store_appends.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
+            total_iterations: costs.iter().map(|c| c.iterations).sum(),
             threads: effective_threads(self.plan.options.threads, out.len()),
             elapsed,
         };
         performa_obs::gauge_set("sweep.points_per_sec", stats.points_per_sec());
         let points = out
             .into_iter()
-            .map(|(x, outcome)| SweepPoint { x, outcome })
+            .zip(costs)
+            .map(|((x, outcome), cost)| SweepPoint { x, outcome, cost })
             .collect();
         SweepResult { points, stats }
     }
@@ -968,13 +1023,67 @@ impl TapBudget for SolveOptions {
     }
 }
 
-/// One executed grid point: its coordinate and the typed outcome.
+/// Which solve path produced (or failed to produce) a point's result —
+/// together with [`PointCost::iterations`] the feature inputs for an
+/// adaptive sweep scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CostSource {
+    /// No solver ran: model-level error, or an analytic
+    /// [`SweepPlan::map_models`] pass.
+    #[default]
+    Skipped,
+    /// Replayed bit-exactly from the durable result store.
+    Store,
+    /// Warm-started functional iteration accepted by the residual gate.
+    Warm,
+    /// Cold solve on the default path (logarithmic reduction).
+    Cold,
+    /// Cold solve that needed the hardened retry of the ladder.
+    Retry,
+    /// Solved through the supervisor fallback chain.
+    Supervisor,
+}
+
+impl CostSource {
+    /// Short stable label (`store`, `warm`, `cold`, `retry`,
+    /// `supervisor`, `skipped`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CostSource::Skipped => "skipped",
+            CostSource::Store => "store",
+            CostSource::Warm => "warm",
+            CostSource::Cold => "cold",
+            CostSource::Retry => "retry",
+            CostSource::Supervisor => "supervisor",
+        }
+    }
+}
+
+/// Per-point solve cost record: wall clock, solver iterations, the
+/// `G`-strategy used and the path the result came from.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PointCost {
+    /// Wall clock spent on this point (including store/cache work).
+    pub elapsed: Duration,
+    /// Solver `G`-stage iterations (0 for replayed or analytic points).
+    pub iterations: u64,
+    /// `G`-strategy key (`logred`, `neuts`, `functional`, `replay`, or
+    /// empty when no solver ran).
+    pub strategy: &'static str,
+    /// The path that produced the outcome.
+    pub source: CostSource,
+}
+
+/// One executed grid point: its coordinate, the typed outcome and the
+/// solve cost record.
 #[derive(Debug)]
 pub struct SweepPoint<T> {
     /// The grid coordinate this point was solved at.
     pub x: f64,
     /// The projected result, or the typed per-point error.
     pub outcome: Result<T>,
+    /// What the point cost and which path produced it.
+    pub cost: PointCost,
 }
 
 /// Run statistics of a sweep, including both caching layers' hit
@@ -1002,6 +1111,8 @@ pub struct SweepStats {
     pub store_appends: u64,
     /// Cold solves that took the hardened retry of the ladder.
     pub retries: u64,
+    /// Summed solver `G`-stage iterations across all points.
+    pub total_iterations: u64,
     /// Worker threads used.
     pub threads: usize,
     /// Wall clock of the run.

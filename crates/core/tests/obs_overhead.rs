@@ -79,3 +79,31 @@ fn disabled_tracing_stays_within_documented_overhead_budget() {
          fully-traced solve ({on:?})"
     );
 }
+
+/// The flight recorder rides the same gate: at `TraceLevel::Off` it is
+/// never armed, so the supervised solve's per-iteration `note` calls
+/// reduce to one relaxed-atomic check and no `qbd.flight` record can
+/// reach a sink — even with a sink installed.
+#[test]
+fn flight_recorder_is_inert_at_level_off() {
+    let _guard = obs::test_lock();
+    let model = reference_model();
+
+    let sink = std::sync::Arc::new(obs::MemorySink::new());
+    let id = obs::add_sink(sink.clone());
+    obs::set_level(obs::TraceLevel::Off);
+    assert!(
+        !obs::flight::armed(),
+        "Off level must leave the flight recorder disarmed"
+    );
+
+    let (_, report) = model
+        .solve_supervised(SupervisorOptions::default())
+        .unwrap();
+    assert!(!report.degraded);
+    assert!(
+        sink.is_empty(),
+        "Off level must keep every record, flight dumps included, away from sinks"
+    );
+    obs::remove_sink(id);
+}

@@ -171,6 +171,60 @@ fn main() {
         format!("Erlang-4 UP {erlang_up:.2} vs exp UP {exp_up:.2}"),
     );
 
+    // --- Per-figure solver cost (sweep engine cost records) ----------
+    // Informational, not pass/fail: coarse verification grids through
+    // the sweep engine, summarised from the per-point `PointCost`
+    // records — where the reproduction spends its solves.
+    {
+        use performa_core::{Axis, Scenario, SweepOptions, SweepPlan};
+        println!("\n# solver cost per figure (coarse grids)\n");
+        println!(
+            "{:<26} {:>6} {:>10} {:>8}  strategy mix",
+            "figure", "points", "time", "iters"
+        );
+        let figures = [
+            (
+                "fig1 (N=2, T=10, rho)",
+                tpt_cluster(10, 0.5),
+                SweepPlan::grid(0.1, 0.9, 8).into_values(),
+            ),
+            (
+                "fig2 (N=2, T=9, rho)",
+                tpt_cluster(9, 0.5),
+                SweepPlan::grid(0.1, 0.7, 6).into_values(),
+            ),
+            (
+                "fig6 (N=5, T=1, rho)",
+                tpt_cluster_with(5, params::DELTA, 1, 0.5),
+                SweepPlan::grid(0.1, 0.9, 6).into_values(),
+            ),
+        ];
+        for (label, template, grid) in figures {
+            let result = Scenario::new(template, Axis::Rho(grid))
+                .compile()
+                .with_options(SweepOptions {
+                    warm_start: true,
+                    ..SweepOptions::default()
+                })
+                .run_map(|sol| sol.normalized_mean_queue_length());
+            let mut mix: std::collections::BTreeMap<&'static str, usize> =
+                std::collections::BTreeMap::new();
+            let mut time_s = 0.0f64;
+            for p in result.points() {
+                *mix.entry(p.cost.source.label()).or_insert(0) += 1;
+                time_s += p.cost.elapsed.as_secs_f64();
+            }
+            let mix: Vec<String> = mix.iter().map(|(k, v)| format!("{k}:{v}")).collect();
+            println!(
+                "{label:<26} {:>6} {:>8.1}ms {:>8}  {}",
+                result.points().len(),
+                time_s * 1e3,
+                result.stats().total_iterations,
+                mix.join(" ")
+            );
+        }
+    }
+
     println!("\n# {} passed, {} failed", s.passed, s.failed);
     if s.failed > 0 {
         std::process::exit(1);

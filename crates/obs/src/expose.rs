@@ -1,0 +1,315 @@
+//! Prometheus-style text exposition of a metrics [`Snapshot`] — the
+//! pull-format prerequisite for a future `performa serve` endpoint.
+//!
+//! The writer emits the subset of the Prometheus text format v0.0.4
+//! that a standard scraper accepts:
+//!
+//! * counters → `performa_<name>_total` with a `# TYPE ... counter` line,
+//! * gauges → `performa_<name>` with `# TYPE ... gauge` (non-finite
+//!   values are skipped — the format has no NaN/Inf literals a scraper
+//!   must accept),
+//! * histograms → `_bucket{le="..."}` cumulative series over the
+//!   non-empty log₂ buckets plus `le="+Inf"`, `_sum` and `_count`,
+//! * span timings → `performa_span_seconds_total` /
+//!   `performa_span_calls_total` / `performa_span_seconds_max{span=...}`
+//!   labelled families, so attribution survives scrape aggregation.
+//!
+//! Dotted metric names (`qbd.residual`) are sanitized to legal
+//! Prometheus names (`performa_qbd_residual`). [`validate`] is the
+//! matching format checker used by CI and the round-trip test: TYPE
+//! lines present and consistent, names and labels well-formed, counter
+//! samples non-negative and histogram buckets cumulative.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{bucket_upper, Snapshot};
+
+/// Prefix every exposed family carries.
+pub const NAMESPACE: &str = "performa";
+
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        let ok = ok && !(i == 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    out
+}
+
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn fmt_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:e}")
+    }
+}
+
+/// Renders the snapshot in Prometheus text exposition format.
+pub fn render(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let fam = format!("{NAMESPACE}_{}_total", sanitize(name));
+        let _ = writeln!(out, "# TYPE {fam} counter");
+        let _ = writeln!(out, "{fam} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        if !value.is_finite() {
+            continue;
+        }
+        let fam = format!("{NAMESPACE}_{}", sanitize(name));
+        let _ = writeln!(out, "# TYPE {fam} gauge");
+        let _ = writeln!(out, "{fam} {}", fmt_value(*value));
+    }
+    for (name, h) in &snapshot.histograms {
+        let fam = format!("{NAMESPACE}_{}", sanitize(name));
+        let _ = writeln!(out, "# TYPE {fam} histogram");
+        let mut cumulative = 0u64;
+        for (i, &c) in h.buckets().iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cumulative += c;
+            let _ = writeln!(
+                out,
+                "{fam}_bucket{{le=\"{:e}\"}} {cumulative}",
+                bucket_upper(i)
+            );
+        }
+        let _ = writeln!(out, "{fam}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let sum = if h.sum.is_finite() { h.sum } else { 0.0 };
+        let _ = writeln!(out, "{fam}_sum {}", fmt_value(sum));
+        let _ = writeln!(out, "{fam}_count {}", h.count);
+    }
+    if !snapshot.spans.is_empty() {
+        let sec = format!("{NAMESPACE}_span_seconds_total");
+        let calls = format!("{NAMESPACE}_span_calls_total");
+        let max = format!("{NAMESPACE}_span_seconds_max");
+        let _ = writeln!(out, "# TYPE {sec} counter");
+        for (name, t) in &snapshot.spans {
+            let _ = writeln!(
+                out,
+                "{sec}{{span=\"{}\"}} {}",
+                escape_label(name),
+                fmt_value(t.total_s)
+            );
+        }
+        let _ = writeln!(out, "# TYPE {calls} counter");
+        for (name, t) in &snapshot.spans {
+            let _ = writeln!(out, "{calls}{{span=\"{}\"}} {}", escape_label(name), t.count);
+        }
+        let _ = writeln!(out, "# TYPE {max} gauge");
+        for (name, t) in &snapshot.spans {
+            let _ = writeln!(
+                out,
+                "{max}{{span=\"{}\"}} {}",
+                escape_label(name),
+                fmt_value(t.max_s)
+            );
+        }
+    }
+    out
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .enumerate()
+            .all(|(i, c)| {
+                (c.is_ascii_alphabetic() || c == '_' || c == ':')
+                    || (i > 0 && c.is_ascii_digit())
+            })
+}
+
+/// Splits `name{labels}` into the metric name and the raw label body
+/// (without braces), validating label syntax.
+fn split_sample(token: &str) -> Result<(String, Vec<(String, String)>), String> {
+    let Some(open) = token.find('{') else {
+        return Ok((token.to_string(), Vec::new()));
+    };
+    if !token.ends_with('}') {
+        return Err(format!("unterminated label set in `{token}`"));
+    }
+    let name = token[..open].to_string();
+    let body = &token[open + 1..token.len() - 1];
+    let mut labels = Vec::new();
+    for pair in body.split(',').filter(|p| !p.is_empty()) {
+        let Some(eq) = pair.find('=') else {
+            return Err(format!("label without `=` in `{token}`"));
+        };
+        let key = pair[..eq].to_string();
+        let value = &pair[eq + 1..];
+        if !valid_name(&key) {
+            return Err(format!("bad label name `{key}`"));
+        }
+        if !(value.len() >= 2 && value.starts_with('"') && value.ends_with('"')) {
+            return Err(format!("unquoted label value in `{token}`"));
+        }
+        labels.push((key, value[1..value.len() - 1].to_string()));
+    }
+    Ok((name, labels))
+}
+
+/// Family name a sample belongs to, stripping histogram suffixes.
+fn family_of(name: &str) -> &str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stripped) = name.strip_suffix(suffix) {
+            return stripped;
+        }
+    }
+    name
+}
+
+/// Validates Prometheus text exposition output: every sample's family
+/// has a preceding `# TYPE` line, names and labels are well-formed,
+/// counter samples are finite and non-negative, and histogram bucket
+/// series are cumulative (non-decreasing, capped by `_count`).
+///
+/// # Errors
+///
+/// `(line_number, message)` for the first violation (1-based).
+pub fn validate(text: &str) -> Result<(), (usize, String)> {
+    use std::collections::BTreeMap;
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut last_bucket: BTreeMap<String, u64> = BTreeMap::new();
+    let err = |i: usize, m: String| Err((i + 1, m));
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (Some(name), Some(kind), None) = (parts.next(), parts.next(), parts.next())
+            else {
+                return err(i, format!("malformed TYPE line `{line}`"));
+            };
+            if !valid_name(name) {
+                return err(i, format!("bad metric name `{name}` in TYPE line"));
+            }
+            if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                return err(i, format!("unknown metric type `{kind}`"));
+            }
+            if types.insert(name.to_string(), kind.to_string()).is_some() {
+                return err(i, format!("duplicate TYPE line for `{name}`"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+        let Some((token, value)) = line.rsplit_once(' ') else {
+            return err(i, format!("sample without value `{line}`"));
+        };
+        let (name, labels) = match split_sample(token) {
+            Ok(parsed) => parsed,
+            Err(m) => return err(i, m),
+        };
+        if !valid_name(&name) {
+            return err(i, format!("bad sample name `{name}`"));
+        }
+        let Ok(value) = value.parse::<f64>() else {
+            return err(i, format!("unparseable sample value `{value}`"));
+        };
+        let family = family_of(&name).to_string();
+        let Some(kind) = types.get(&family).or_else(|| types.get(&name)) else {
+            return err(i, format!("sample `{name}` with no TYPE line"));
+        };
+        if kind == "counter" && !(value.is_finite() && value >= 0.0) {
+            return err(i, format!("counter `{name}` with non-monotone value {value}"));
+        }
+        if kind == "histogram" && name.ends_with("_bucket") {
+            if !labels.iter().any(|(k, _)| k == "le") {
+                return err(i, format!("histogram bucket `{name}` without le label"));
+            }
+            let prev = last_bucket.entry(family).or_insert(0);
+            let count = value as u64;
+            if count < *prev {
+                return err(i, format!("non-cumulative bucket series for `{name}`"));
+            }
+            *prev = count;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HistogramStats;
+    use crate::SpanTiming;
+
+    fn sample_snapshot() -> Snapshot {
+        let mut h = HistogramStats::default();
+        for v in [1e-6, 3e-6, 2e-4, 0.5, 0.5, 7.0] {
+            h.record(v);
+        }
+        let mut snap = Snapshot::default();
+        snap.counters.insert("qbd.gemm", 1234);
+        snap.counters.insert("sweep.cache_hit", 17);
+        snap.gauges.insert("qbd.residual", 3.2e-13);
+        snap.gauges.insert("sweep.points_per_sec", f64::NAN);
+        snap.histograms.insert("linalg.lu.factor_s", h);
+        snap.spans.insert(
+            "qbd.solve",
+            SpanTiming {
+                count: 3,
+                total_s: 0.75,
+                max_s: 0.5,
+            },
+        );
+        snap
+    }
+
+    #[test]
+    fn render_round_trips_through_validation() {
+        let text = render(&sample_snapshot());
+        validate(&text).expect("exposition must validate");
+        assert!(text.contains("# TYPE performa_qbd_gemm_total counter"));
+        assert!(text.contains("performa_qbd_gemm_total 1234"));
+        assert!(text.contains("# TYPE performa_qbd_residual gauge"));
+        assert!(text.contains("# TYPE performa_linalg_lu_factor_s histogram"));
+        assert!(text.contains("performa_linalg_lu_factor_s_count 6"));
+        assert!(text.contains("le=\"+Inf\"} 6"));
+        assert!(text.contains("performa_span_seconds_total{span=\"qbd.solve\"}"));
+        // Non-finite gauges are omitted, not emitted as NaN.
+        assert!(!text.contains("NaN"));
+    }
+
+    #[test]
+    fn validator_rejects_malformations() {
+        assert!(validate("performa_x 1").is_err(), "sample without TYPE");
+        assert!(
+            validate("# TYPE performa_x counter\nperforma_x -1").is_err(),
+            "negative counter"
+        );
+        assert!(
+            validate("# TYPE 9bad counter\n9bad 1").is_err(),
+            "name starting with a digit"
+        );
+        assert!(
+            validate("# TYPE performa_h histogram\nperforma_h_bucket{le=\"1\"} 5\nperforma_h_bucket{le=\"2\"} 3")
+                .is_err(),
+            "shrinking bucket series"
+        );
+        assert!(
+            validate("# TYPE performa_x counter\nperforma_x{le=1} 5").is_err(),
+            "unquoted label value"
+        );
+        let ok = "# TYPE performa_x counter\nperforma_x{case=\"a\"} 5\nperforma_x{case=\"b\"} 6\n";
+        validate(ok).expect("labelled counter family validates");
+    }
+}

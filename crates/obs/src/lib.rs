@@ -41,6 +41,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod agg;
+pub mod expose;
+pub mod flight;
 mod level;
 mod metrics;
 pub mod ndjson;
@@ -50,8 +53,8 @@ mod sink;
 mod value;
 
 pub use level::{ParseLevelError, TraceLevel};
-pub use metrics::{HistogramStats, Snapshot, SpanTiming};
-pub use ndjson::{NdjsonSink, SCHEMA_VERSION};
+pub use metrics::{bucket_index, bucket_upper, HistogramStats, Snapshot, SpanTiming, BUCKETS};
+pub use ndjson::{DropCause, NdjsonSink, SCHEMA_VERSION};
 pub use record::{MetricKind, Record};
 pub use recorder::{
     add_sink, counter_add, current_span, enabled, event, flush_sinks, gauge_set,

@@ -13,17 +13,25 @@ use std::sync::Mutex;
 
 /// Number of log₂ buckets in a [`HistogramStats`] (covering `2⁻⁴⁸ ..
 /// 2⁴⁸`, i.e. roughly `3.6e-15 .. 2.8e14`).
-const BUCKETS: usize = 96;
+pub const BUCKETS: usize = 96;
 /// Exponent offset of bucket 0 (`2^-OFFSET` is the smallest resolved
 /// magnitude).
-const BUCKET_OFFSET: i32 = 48;
+pub const BUCKET_OFFSET: i32 = 48;
 
-fn bucket_index(v: f64) -> usize {
+/// Index of the log₂ bucket that `v` falls into. Non-finite and
+/// non-positive samples land in bucket 0.
+pub fn bucket_index(v: f64) -> usize {
     if !(v.is_finite() && v > 0.0) {
         return 0;
     }
     let idx = v.log2().floor() as i32 + BUCKET_OFFSET;
     idx.clamp(0, BUCKETS as i32 - 1) as usize
+}
+
+/// Exclusive upper bound of bucket `i` (`2^(i−47)`), the `le` label
+/// value the Prometheus exposition uses.
+pub fn bucket_upper(i: usize) -> f64 {
+    2f64.powi(i as i32 + 1 - BUCKET_OFFSET)
 }
 
 /// Streaming summary of a histogram metric: moments, extrema and a
@@ -54,12 +62,32 @@ impl Default for HistogramStats {
 }
 
 impl HistogramStats {
-    fn record(&mut self, v: f64) {
+    /// Folds one sample into the summary.
+    pub fn record(&mut self, v: f64) {
         self.count += 1;
         self.sum += v;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
         self.buckets[bucket_index(v)] += 1;
+    }
+
+    /// Merges another summary into this one. Bucket counts add
+    /// exactly, so merging is associative and commutative — shard
+    /// histograms fold into the same sketch as a single-stream run.
+    pub fn merge(&mut self, other: &HistogramStats) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+
+    /// The raw log₂ bucket counts (length [`BUCKETS`]; bucket `i` covers
+    /// `[2^(i−48), 2^(i−47))`).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
     }
 
     /// Mean of the recorded samples (`NaN` when empty).

@@ -158,6 +158,17 @@ pub fn to_json_line(record: &Record) -> String {
 pub struct NdjsonSink {
     writer: Mutex<BufWriter<File>>,
     dropped: AtomicU64,
+    dropped_io: AtomicU64,
+    dropped_poisoned: AtomicU64,
+}
+
+/// Why an [`NdjsonSink`] dropped a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropCause {
+    /// The underlying write failed (full disk, broken pipe, …).
+    Io,
+    /// The writer lock was poisoned by a panicking writer.
+    LockPoisoned,
 }
 
 thread_local! {
@@ -188,6 +199,8 @@ impl NdjsonSink {
         Ok(NdjsonSink {
             writer: Mutex::new(BufWriter::new(file)),
             dropped: AtomicU64::new(0),
+            dropped_io: AtomicU64::new(0),
+            dropped_poisoned: AtomicU64::new(0),
         })
     }
 
@@ -197,12 +210,33 @@ impl NdjsonSink {
         self.dropped.load(Ordering::Relaxed)
     }
 
-    fn count_drop(&self) {
+    /// Records dropped because the underlying write failed.
+    pub fn dropped_io_errors(&self) -> u64 {
+        self.dropped_io.load(Ordering::Relaxed)
+    }
+
+    /// Records dropped because the writer lock was poisoned.
+    pub fn dropped_lock_poisoned(&self) -> u64 {
+        self.dropped_poisoned.load(Ordering::Relaxed)
+    }
+
+    fn count_drop(&self, cause: DropCause) {
         self.dropped.fetch_add(1, Ordering::Relaxed);
+        let cause_counter = match cause {
+            DropCause::Io => {
+                self.dropped_io.fetch_add(1, Ordering::Relaxed);
+                "obs.dropped.io_error"
+            }
+            DropCause::LockPoisoned => {
+                self.dropped_poisoned.fetch_add(1, Ordering::Relaxed);
+                "obs.dropped.lock_poisoned"
+            }
+        };
         COUNTING_DROP.with(|guard| {
             if !guard.get() {
                 guard.set(true);
                 crate::counter_add("obs.dropped_records", 1);
+                crate::counter_add(cause_counter, 1);
                 guard.set(false);
             }
         });
@@ -213,12 +247,12 @@ impl Sink for NdjsonSink {
     fn record(&self, record: &Record) {
         let line = to_json_line(record);
         let Ok(mut w) = self.writer.lock() else {
-            self.count_drop();
+            self.count_drop(DropCause::LockPoisoned);
             return;
         };
         if writeln!(w, "{line}").is_err() {
             drop(w);
-            self.count_drop();
+            self.count_drop(DropCause::Io);
         }
     }
 
@@ -783,5 +817,11 @@ mod tests {
             sink.dropped_records() > 0,
             "writes to /dev/full should have been counted as drops"
         );
+        assert_eq!(
+            sink.dropped_io_errors(),
+            sink.dropped_records(),
+            "every /dev/full drop is an I/O-error drop"
+        );
+        assert_eq!(sink.dropped_lock_poisoned(), 0);
     }
 }

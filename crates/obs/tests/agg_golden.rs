@@ -1,0 +1,77 @@
+//! Golden attribution test on a pinned Fig. 2-style trace: a supervised
+//! solve whose first `logred` attempt trips the watchdog (with a flight
+//! dump) and whose `neuts` retry converges. The fixture's timestamps
+//! and elapsed fields are hand-pinned, so every attribution number is
+//! exact and any change to the folding rules shows up here.
+
+use performa_obs::agg::Aggregate;
+
+const FIG2_TRACE: &str = include_str!("fixtures/fig2_trace.ndjson");
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-12
+}
+
+#[test]
+fn fig2_trace_attribution_is_exact() {
+    let agg = Aggregate::from_ndjson_str(FIG2_TRACE).expect("pinned trace parses");
+
+    // Tree shape: core.solve → qbd.solve → qbd.attempt.
+    let root = &agg.tree["core.solve"];
+    assert_eq!(root.count, 1);
+    assert!(close(root.total_s, 0.080));
+    let solve = &root.children["qbd.solve"];
+    assert!(close(solve.total_s, 0.060));
+    let attempt = &solve.children["qbd.attempt"];
+    assert_eq!(attempt.count, 2, "both attempts fold into one node");
+    assert!(close(attempt.total_s, 0.050), "0.020 + 0.030");
+    assert!(close(attempt.self_s, 0.050), "attempts have no children");
+    assert!(close(attempt.max_s, 0.030), "the neuts retry is the longer");
+
+    // self = total − children, at every level.
+    assert!(close(solve.self_s, 0.010));
+    assert!(close(root.self_s, 0.020));
+    assert!(close(root.self_s + solve.total_s, root.total_s));
+    assert!(close(solve.self_s + attempt.total_s, solve.total_s));
+
+    // The root accounts for all traced time; the trace wall clock spans
+    // first to last record.
+    assert!(close(agg.root_total(), 0.080));
+    assert!(close(agg.wall_clock(), 0.080100 - 0.000100));
+
+    // Counters fold by summing deltas.
+    assert!(close(agg.counters["qbd.iterations"], 120.0));
+    // Gauge envelope: last value is the converged residual.
+    let residual = agg.gauges["qbd.residual"];
+    assert_eq!(residual.count, 2);
+    assert!(close(residual.last, 4.2e-13));
+    assert!(close(residual.max, 0.125));
+
+    // The watchdog's flight dump is extracted with its iterations.
+    assert_eq!(agg.flights.len(), 1);
+    let dump = &agg.flights[0];
+    assert_eq!(dump.trigger, "watchdog");
+    assert_eq!(dump.strategy, "logred");
+    assert!(!dump.hardened);
+    assert_eq!(dump.iters.len(), 2);
+    assert_eq!(dump.iters[0].iteration, 44);
+    assert!(close(dump.iters[1].residual, 0.125));
+
+    // Clean stream: nothing dropped, nothing left open.
+    assert_eq!(agg.unmatched_closes, 0);
+    assert_eq!(agg.unclosed_spans, 0);
+    assert!(close(agg.dropped_records(), 0.0));
+}
+
+#[test]
+fn fig2_rendered_tree_is_golden() {
+    let agg = Aggregate::from_ndjson_str(FIG2_TRACE).expect("pinned trace parses");
+    let rendered = agg.render_tree();
+    let expected = "\
+span                                           count        total         self  %root
+core.solve                                         1     80.000ms     20.000ms 100.0%
+  qbd.solve                                        1     60.000ms     10.000ms  75.0%
+    qbd.attempt                                    2     50.000ms     50.000ms  62.5%
+";
+    assert_eq!(rendered, expected);
+}

@@ -1,0 +1,99 @@
+//! Property coverage of the mergeable log₂ histogram sketch.
+//!
+//! * The sketch quantile stays within one log₂ bucket (a factor of 2)
+//!   of the exact sample quantile.
+//! * Merging is associative and order-insensitive: shard histograms
+//!   fold into exactly the bucket counts of a single-stream run.
+
+use proptest::prelude::*;
+
+use performa_obs::HistogramStats;
+
+/// Exact `q`-quantile under the sketch's rank convention.
+fn exact_quantile(samples: &[f64], q: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank]
+}
+
+fn fold(samples: &[f64]) -> HistogramStats {
+    let mut h = HistogramStats::default();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantile_is_within_one_log_bucket_of_exact(
+        // Spread over ~9 decades so many distinct buckets are hit.
+        raw in prop::collection::vec(0.0f64..1.0, 1..200),
+        exponent in prop::collection::vec(-15i32..15, 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let samples: Vec<f64> = raw
+            .iter()
+            .zip(&exponent)
+            .map(|(&u, &e)| (0.5 + u) * 2f64.powi(e))
+            .collect();
+        let h = fold(&samples);
+        let approx = h.quantile(q);
+        let exact = exact_quantile(&samples, q);
+        // Same rank, same bucket; the geometric midpoint is off by at
+        // most √2 before the [min, max] clamp, so one full bucket
+        // (factor 2) bounds the error with margin.
+        prop_assert!(
+            approx <= exact * 2.0 && approx >= exact / 2.0,
+            "quantile({q}) = {approx} vs exact {exact}"
+        );
+        // The envelope is honored exactly.
+        prop_assert!(approx >= h.min && approx <= h.max);
+    }
+
+    #[test]
+    fn merge_is_associative_and_matches_single_stream(
+        a in prop::collection::vec(0.0f64..1.0, 0..50),
+        b in prop::collection::vec(0.0f64..1.0, 0..50),
+        c in prop::collection::vec(0.0f64..1.0, 0..50),
+        exponent in -12i32..12,
+    ) {
+        let scale = 2f64.powi(exponent);
+        let a: Vec<f64> = a.iter().map(|&v| (0.5 + v) * scale).collect();
+        let b: Vec<f64> = b.iter().map(|&v| (0.5 + v) * scale * 3.0).collect();
+        let c: Vec<f64> = c.iter().map(|&v| (0.5 + v) * scale / 5.0).collect();
+
+        // (a ⊕ b) ⊕ c
+        let mut left = fold(&a);
+        left.merge(&fold(&b));
+        left.merge(&fold(&c));
+        // a ⊕ (b ⊕ c)
+        let mut right_tail = fold(&b);
+        right_tail.merge(&fold(&c));
+        let mut right = fold(&a);
+        right.merge(&right_tail);
+        // Single stream over the concatenation.
+        let all: Vec<f64> = a.iter().chain(&b).chain(&c).copied().collect();
+        let single = fold(&all);
+
+        for (label, h) in [("left-assoc", &left), ("right-assoc", &right)] {
+            prop_assert_eq!(h.count, single.count, "{} count", label);
+            prop_assert_eq!(h.buckets(), single.buckets(), "{} buckets", label);
+            prop_assert_eq!(h.min, single.min, "{} min", label);
+            prop_assert_eq!(h.max, single.max, "{} max", label);
+            // Sums differ only by float addition order.
+            if single.count > 0 {
+                prop_assert!((h.sum - single.sum).abs() <= 1e-9 * single.sum.abs().max(1.0));
+            }
+        }
+        // Identical bucket counts mean identical quantiles.
+        if single.count > 0 {
+            for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+                prop_assert_eq!(left.quantile(q), single.quantile(q));
+            }
+        }
+    }
+}

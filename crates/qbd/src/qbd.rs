@@ -43,9 +43,11 @@ fn check_deadline(stage: &'static str, iterations: usize, deadline: Option<Insta
 }
 
 /// Per-iteration observability: residual gauge always (cheap no-op when
-/// metrics are off), plus a `qbd.iter` trace event at Debug.
+/// metrics are off), a flight-recorder note when armed, plus a
+/// `qbd.iter` trace event at Debug.
 fn iter_obs(stage: &'static str, iteration: usize, residual: f64) {
     performa_obs::gauge_set("qbd.residual", residual);
+    performa_obs::flight::note(stage, iteration as u64, residual);
     if performa_obs::enabled(performa_obs::TraceLevel::Debug) {
         performa_obs::event(
             performa_obs::TraceLevel::Debug,
@@ -59,14 +61,16 @@ fn iter_obs(stage: &'static str, iteration: usize, residual: f64) {
     }
 }
 
-/// The NaN/Inf watchdog tripped: emit the warning event before the
-/// [`QbdError::NumericalBreakdown`] unwinds to the supervisor.
+/// The NaN/Inf watchdog tripped: emit the warning event and dump the
+/// flight recorder (the last K iteration records at full detail) before
+/// the [`QbdError::NumericalBreakdown`] unwinds to the supervisor.
 fn watchdog_obs(stage: &'static str, iteration: usize) {
     performa_obs::event(
         performa_obs::TraceLevel::Warn,
         "qbd.watchdog_trip",
         vec![("stage", stage.into()), ("iteration", iteration.into())],
     );
+    performa_obs::flight::dump("watchdog");
 }
 
 /// Subtracts the rank-one shift term `(Mε)uᵀ` (`u = ε/m`) from `out`:
@@ -686,15 +690,24 @@ impl Qbd {
     /// [`QbdError::Unstable`] when a shift is requested on an unstable
     /// chain.
     pub fn g_matrix_functional_with(&self, opts: SolveOptions) -> Result<Matrix> {
-        Ok(self
-            .g_functional_counted(
-                opts.tolerance,
-                opts.max_iterations,
-                None,
-                opts.hardening,
-                opts.initial_g.as_ref(),
-            )?
-            .0)
+        Ok(self.g_matrix_functional_with_count(opts)?.0)
+    }
+
+    /// [`Qbd::g_matrix_functional_with`] returning the iteration count
+    /// alongside `G` — the sweep engine's per-point cost records use it
+    /// to price warm-started solves.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Qbd::g_matrix_functional_with`].
+    pub fn g_matrix_functional_with_count(&self, opts: SolveOptions) -> Result<(Matrix, usize)> {
+        self.g_functional_counted(
+            opts.tolerance,
+            opts.max_iterations,
+            None,
+            opts.hardening,
+            opts.initial_g.as_ref(),
+        )
     }
 
     /// Counted functional iteration with watchdogs (stage key
@@ -955,6 +968,17 @@ impl Qbd {
     ///
     /// See [`Qbd::solve`].
     pub fn solve_with(&self, opts: SolveOptions) -> Result<QbdSolution> {
+        Ok(self.solve_with_count(opts)?.0)
+    }
+
+    /// [`Qbd::solve_with`] returning the `G`-stage iteration count
+    /// alongside the solution — the number the sweep engine's per-point
+    /// cost records report for cold solves.
+    ///
+    /// # Errors
+    ///
+    /// See [`Qbd::solve`].
+    pub fn solve_with_count(&self, opts: SolveOptions) -> Result<(QbdSolution, usize)> {
         let (up, down) = self.drift()?;
         if up >= down {
             return Err(QbdError::Unstable {
@@ -972,15 +996,14 @@ impl Qbd {
             )
             .ok()
         });
-        let g = match warm {
-            Some((g, _)) => g,
+        let (g, iters) = match warm {
+            Some(pair) => pair,
             None => {
                 self.g_logred_counted(opts.tolerance, opts.max_iterations, None, opts.hardening)?
-                    .0
             }
         };
         let r = self.r_from_g_with_cond(&g, opts.hardening)?.0;
-        Ok(self.boundary_from_gr(g, r, opts.hardening)?.0)
+        Ok((self.boundary_from_gr(g, r, opts.hardening)?.0, iters))
     }
 
     /// Assembles the full stationary solution from an already-computed

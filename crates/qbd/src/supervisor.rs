@@ -698,6 +698,10 @@ impl SolverSupervisor {
                             ("hardened", hardening.any().into()),
                         ],
                     );
+                    // Arm the flight recorder for this attempt: if the
+                    // stage trips a watchdog or falls back, the last K
+                    // iteration records are dumped as qbd.flight events.
+                    performa_obs::flight::begin(stage.strategy.key(), hardening.any());
                     let outcome = self.run_stage(*stage, tol, deadline, hardening);
                     match outcome {
                         Ok((mut g, iters)) => {
@@ -722,6 +726,7 @@ impl SolverSupervisor {
                                         reason,
                                     },
                                 );
+                                performa_obs::flight::dump("stage_failed");
                                 continue 'stages;
                             }
                             if drift > tol * 10.0 {
@@ -770,6 +775,7 @@ impl SolverSupervisor {
                                     reason,
                                 },
                             );
+                            performa_obs::flight::dump("stage_failed");
                             continue 'stages;
                         }
                         Err(QbdError::DeadlineExceeded { iterations, .. }) => {
@@ -824,8 +830,13 @@ impl SolverSupervisor {
                                         cause: "numerical_breakdown",
                                     },
                                 );
+                                // A watchdog trip already dumped the ring
+                                // mid-stage; this covers hardening after a
+                                // non-watchdog breakdown path.
+                                performa_obs::flight::dump("hardened");
                                 continue;
                             }
+                            performa_obs::flight::dump("stage_failed");
                             continue 'stages;
                         }
                     }

@@ -132,6 +132,56 @@ fn injected_stall_under_deadline_returns_typed_deadline_error() {
 }
 
 #[test]
+fn forced_fallback_dumps_flight_recorder() {
+    // A stalled opening stage must leave a forensic trail: when the
+    // supervisor abandons it, the flight recorder dumps the last K
+    // iteration records it saw, as Warn-level events any sink receives.
+    let _obs_guard = performa_obs::test_lock();
+    let _guard = fault::arm(fault::FaultPlan {
+        stall: Some("neuts"),
+        ..Default::default()
+    });
+    let sink = std::sync::Arc::new(performa_obs::MemorySink::new());
+    let id = performa_obs::add_sink(sink.clone());
+    performa_obs::set_level(performa_obs::TraceLevel::Warn);
+    let options = SupervisorOptions {
+        chain: vec![
+            StageBudget::new(GStrategy::NeutsSubstitution, 500),
+            StageBudget::new(GStrategy::LogarithmicReduction, 200),
+        ],
+        ..SupervisorOptions::default()
+    };
+    let result = SolverSupervisor::with_options(mmpp2(1.0), options).solve();
+    performa_obs::set_level(performa_obs::TraceLevel::Off);
+    performa_obs::remove_sink(id);
+    let (_, report) = result.unwrap();
+    assert_eq!(report.strategy, GStrategy::LogarithmicReduction);
+
+    let dumps = sink.events_named("qbd.flight");
+    assert!(!dumps.is_empty(), "abandoning a stage must dump the ring");
+    let dump = &dumps[0];
+    assert_eq!(
+        dump.field("strategy").and_then(|v| v.as_str()),
+        Some("neuts")
+    );
+    assert!(matches!(
+        dump.field("trigger").and_then(|v| v.as_str()),
+        Some("stage_failed" | "watchdog")
+    ));
+
+    // The per-iteration extract: bounded by the ring capacity, carrying
+    // the stage key, iteration index and a residual per record.
+    let iters = sink.events_named("qbd.flight.iter");
+    assert!(!iters.is_empty(), "the stalled stage ran, so the ring was non-empty");
+    assert!(iters.len() <= performa_obs::flight::CAPACITY * dumps.len());
+    for rec in &iters {
+        assert_eq!(rec.field("stage").and_then(|v| v.as_str()), Some("neuts"));
+        assert!(rec.field("iteration").is_some());
+        assert!(rec.field("residual").is_some());
+    }
+}
+
+#[test]
 fn disarm_restores_clean_solves() {
     {
         let _guard = fault::arm(fault::FaultPlan {
