@@ -26,8 +26,9 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use performa_core::{
-    blowup, sensitivity, store_merge, store_verify, Axis, ClusterModel, GStrategy, Scenario,
-    StageBudget, StoreError, StoreHandle, SupervisorOptions, SweepOptions, SweepPlan,
+    blowup, install_sigint, sensitivity, store_merge, store_verify, Axis, CancelToken,
+    ClusterModel, CoreError, GStrategy, Scenario, StageBudget, StoreError, StoreHandle,
+    SupervisorOptions, SweepOptions, SweepPlan,
 };
 use performa_dist::{Dist, DistSpec};
 use performa_sim::{
@@ -103,9 +104,13 @@ SIMULATE OPTIONS: --task exp:0.5  --strategy discard|resume-front|resume-back|
                   --resume-penalty W (checkpoint-restore work)
                   --detection-delay SPEC (crash detection latency; default ideal)
 
-RESILIENCE OPTIONS (solve and simulate):
+RESILIENCE OPTIONS (solve, simulate and sweep):
   --deadline S           wall-clock budget in seconds; partial or degraded
-                         results are flagged, never silent
+                         results are flagged, never silent. On sweep this
+                         is the WHOLE-RUN budget: it is split into
+                         per-point deadlines (expensive-looking points get
+                         more, with a floor) and on exhaustion the run
+                         exits 40 with every completed point flushed
   --max-iter N           cap the iteration budget of every solver stage
   --fallback LIST        comma-separated G-matrix strategy chain, tried in
                          order: neuts|functional|logred
@@ -124,20 +129,50 @@ OBSERVABILITY OPTIONS (all commands):
 
 EXIT CODES:
   0   exact result
+  2   usage error (unknown flag, unparsable or out-of-domain value);
+      nothing was run
   10  degraded but bounded (fallback strategy, relaxed tolerance, or
       partial replication set — details are printed)
   20  failed (no usable result)
   30  result store corrupt beyond automatic recovery (interior damage;
       only a torn tail is repaired in place)
+  40  partial results: the sweep was interrupted (Ctrl-C) or ran out of
+      --deadline budget; completed points were emitted and flushed to
+      --store, so rerunning the same command resumes with zero re-solves
 ";
 
-/// Errors surfaced to the terminal with usage help.
+/// Errors surfaced to the terminal, each carrying the process exit
+/// code `main` reports: [`EXIT_FAILED`] for runtime failures,
+/// [`EXIT_USAGE`] for malformed invocations.
 #[derive(Debug)]
-pub struct CliError(pub String);
+pub struct CliError {
+    /// Human-readable diagnostic printed to stderr.
+    pub message: String,
+    /// Process exit code this error maps to.
+    pub code: u8,
+}
+
+impl CliError {
+    /// A runtime failure (no usable result): exits [`EXIT_FAILED`].
+    pub fn failed(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: EXIT_FAILED,
+        }
+    }
+
+    /// A malformed invocation (bad flag/value): exits [`EXIT_USAGE`].
+    pub fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: EXIT_USAGE,
+        }
+    }
+}
 
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.0)
+        write!(f, "{}", self.message)
     }
 }
 
@@ -145,19 +180,19 @@ impl std::error::Error for CliError {}
 
 impl From<performa_core::CoreError> for CliError {
     fn from(e: performa_core::CoreError) -> Self {
-        CliError(format!("model error: {e}"))
+        CliError::failed(format!("model error: {e}"))
     }
 }
 
 impl From<performa_dist::DistError> for CliError {
     fn from(e: performa_dist::DistError) -> Self {
-        CliError(format!("distribution error: {e}"))
+        CliError::failed(format!("distribution error: {e}"))
     }
 }
 
 impl From<performa_sim::SimError> for CliError {
     fn from(e: performa_sim::SimError) -> Self {
-        CliError(format!("simulator error: {e}"))
+        CliError::failed(format!("simulator error: {e}"))
     }
 }
 
@@ -166,6 +201,15 @@ pub type Result<T> = std::result::Result<T, CliError>;
 
 /// Exit code for runs that produced no usable result.
 pub const EXIT_FAILED: u8 = 20;
+
+/// Exit code for malformed invocations (unknown flags, unparsable or
+/// out-of-domain values) — the command never started running.
+pub const EXIT_USAGE: u8 = 2;
+
+/// Exit code for interrupted sweeps that exit with partial results
+/// (re-exported from the control fabric): every completed point is
+/// flushed to the `--store` log, so the run is resumable.
+pub use performa_core::EXIT_PARTIAL;
 
 /// Outcome quality of a successfully completed command, mapped to the
 /// CLI's structured exit codes.
@@ -181,16 +225,24 @@ pub enum RunStatus {
     /// repair (only a damaged *tail* is truncated in place). The store
     /// must be rebuilt or restored; no sweep work was started.
     StoreCorrupt,
+    /// The run was interrupted (Ctrl-C) or its `--deadline` budget ran
+    /// out: the completed prefix was emitted and — with `--store` —
+    /// flushed, so rerunning the same command resumes from the gap with
+    /// zero re-solves.
+    Partial,
 }
 
 impl RunStatus {
     /// Process exit code: `0` for exact, `10` for degraded, `30` for an
-    /// unrecoverable store. Failures exit with [`EXIT_FAILED`].
+    /// unrecoverable store, `40` ([`EXIT_PARTIAL`]) for an interrupted
+    /// run with resumable partial results. Failures exit with
+    /// [`EXIT_FAILED`]; malformed invocations with [`EXIT_USAGE`].
     pub fn exit_code(self) -> u8 {
         match self {
             RunStatus::Exact => 0,
             RunStatus::Degraded => 10,
             RunStatus::StoreCorrupt => 30,
+            RunStatus::Partial => EXIT_PARTIAL,
         }
     }
 }
@@ -213,14 +265,14 @@ impl Args {
         while let Some(tok) = it.next() {
             let key = tok
                 .strip_prefix("--")
-                .ok_or_else(|| CliError(format!("expected --option, got `{tok}`")))?;
+                .ok_or_else(|| CliError::usage(format!("expected --option, got `{tok}`")))?;
             if BOOL_FLAGS.contains(&key) {
                 map.insert(key.to_string(), "true".to_string());
                 continue;
             }
             let val = it
                 .next()
-                .ok_or_else(|| CliError(format!("option --{key} needs a value")))?;
+                .ok_or_else(|| CliError::usage(format!("option --{key} needs a value")))?;
             map.insert(key.to_string(), val);
         }
         Ok(Args { map })
@@ -232,7 +284,7 @@ impl Args {
             None => Ok(default),
             Some(v) => v
                 .parse()
-                .map_err(|_| CliError(format!("cannot parse --{key} value `{v}`"))),
+                .map_err(|_| CliError::usage(format!("cannot parse --{key} value `{v}`"))),
         }
     }
 
@@ -294,7 +346,7 @@ pub fn init_obs(args: &Args) -> Result<ObsSession> {
         let spec = args.get_str("trace-level", "info");
         let parsed = spec
             .parse::<performa_obs::TraceLevel>()
-            .map_err(|e| CliError(format!("bad --trace-level: {e}")))?;
+            .map_err(|e| CliError::failed(format!("bad --trace-level: {e}")))?;
         level = Some(parsed);
         if parsed != performa_obs::TraceLevel::Off {
             sinks.push(performa_obs::add_sink(std::sync::Arc::new(
@@ -306,7 +358,7 @@ pub fn init_obs(args: &Args) -> Result<ObsSession> {
     if args.has("trace-json") {
         let path = args.get_str("trace-json", "trace.ndjson");
         let sink = performa_obs::NdjsonSink::create(std::path::Path::new(&path))
-            .map_err(|e| CliError(format!("cannot open --trace-json `{path}`: {e}")))?;
+            .map_err(|e| CliError::failed(format!("cannot open --trace-json `{path}`: {e}")))?;
         let sink = std::sync::Arc::new(sink);
         sinks.push(performa_obs::add_sink(sink.clone()));
         json = Some((path, sink));
@@ -337,12 +389,12 @@ impl ObsSession {
         performa_obs::flush_sinks();
         if self.profile {
             let table = performa_obs::metrics_snapshot().profile_table();
-            write!(err, "{table}").map_err(|e| CliError(format!("output error: {e}")))?;
+            write!(err, "{table}").map_err(|e| CliError::failed(format!("output error: {e}")))?;
         }
         if let Some(path) = &self.metrics_out {
             let text = performa_obs::expose::render(&performa_obs::metrics_snapshot());
             std::fs::write(path, text).map_err(|e| {
-                CliError(format!("cannot write --metrics-out `{}`: {e}", path.display()))
+                CliError::failed(format!("cannot write --metrics-out `{}`: {e}", path.display()))
             })?;
         }
         if self.profile || self.metrics_out.is_some() {
@@ -361,7 +413,7 @@ impl ObsSession {
                     sink.dropped_io_errors(),
                     sink.dropped_lock_poisoned()
                 )
-                .map_err(|e| CliError(format!("output error: {e}")))?;
+                .map_err(|e| CliError::failed(format!("output error: {e}")))?;
             }
         }
         performa_obs::set_level(performa_obs::TraceLevel::Off);
@@ -402,7 +454,7 @@ fn parse_strategy(s: &str) -> Result<FailureStrategy> {
         .iter()
         .copied()
         .find(|f| f.label() == s)
-        .ok_or_else(|| CliError(format!("unknown strategy `{s}`")))
+        .ok_or_else(|| CliError::failed(format!("unknown strategy `{s}`")))
 }
 
 /// Parses `--fallback` into a stage chain; each strategy keeps its
@@ -414,7 +466,7 @@ fn parse_fallback(spec: &str) -> Result<Vec<StageBudget>> {
         .filter(|s| !s.is_empty())
         .map(|name| {
             let strategy = GStrategy::parse(name).ok_or_else(|| {
-                CliError(format!(
+                CliError::failed(format!(
                     "unknown G-matrix strategy `{name}` (neuts|functional|logred)"
                 ))
             })?;
@@ -435,7 +487,7 @@ fn parse_deadline(args: &Args) -> Result<Option<Duration>> {
     }
     let secs = args.get("deadline", 0.0_f64)?;
     if !(secs.is_finite() && secs >= 0.0) {
-        return Err(CliError(format!(
+        return Err(CliError::usage(format!(
             "--deadline {secs} must be a non-negative number of seconds"
         )));
     }
@@ -456,7 +508,7 @@ pub fn supervisor_options(args: &Args) -> Result<SupervisorOptions> {
     if args.has("max-iter") {
         let cap = args.get("max-iter", 0usize)?;
         if cap == 0 {
-            return Err(CliError("--max-iter must be at least 1".into()));
+            return Err(CliError::usage("--max-iter must be at least 1"));
         }
         for stage in &mut opts.chain {
             stage.max_iterations = stage.max_iterations.min(cap);
@@ -474,7 +526,7 @@ pub fn supervisor_options(args: &Args) -> Result<SupervisorOptions> {
 /// [`RunStatus::Degraded`]; `main` maps this (and errors) to the
 /// structured exit codes documented in [`USAGE`].
 pub fn run<W: std::io::Write>(command: &str, args: &Args, out: &mut W) -> Result<RunStatus> {
-    let io = |e: std::io::Error| CliError(format!("output error: {e}"));
+    let io = |e: std::io::Error| CliError::failed(format!("output error: {e}"));
     match command {
         "solve" => {
             let m = build_model(args)?;
@@ -495,7 +547,7 @@ pub fn run<W: std::io::Write>(command: &str, args: &Args, out: &mut W) -> Result
             writeln!(out, "P(empty)         : {:.6}", sol.empty_probability()).map_err(io)?;
             if let Ok(idc) = m.service_process().map_err(CliError::from).and_then(|p| {
                 p.asymptotic_idc()
-                    .map_err(|e| CliError(format!("IDC failure: {e}")))
+                    .map_err(|e| CliError::failed(format!("IDC failure: {e}")))
             }) {
                 writeln!(out, "service IDC(inf) : {:.3}", idc).map_err(io)?;
             }
@@ -570,7 +622,7 @@ pub fn run<W: std::io::Write>(command: &str, args: &Args, out: &mut W) -> Result
             let to = args.get("to", 0.95)?;
             let steps = args.get("steps", 20usize)?;
             if steps == 0 || from >= to {
-                return Err(CliError("need --from < --to and --steps > 0".into()));
+                return Err(CliError::usage("need --from < --to and --steps > 0"));
             }
             let metric = args.get_str("metric", "normalized");
             let mut plan = sweep_plan(args, &param, from, to, steps)?;
@@ -583,6 +635,14 @@ pub fn run<W: std::io::Write>(command: &str, args: &Args, out: &mut W) -> Result
                 retry_failed: args.has("retry-failed"),
                 ..SweepOptions::default()
             };
+            // Cooperative shutdown: first Ctrl-C trips the process-wide
+            // cancel flag and the sweep drains gracefully (flushes the
+            // store, exits 40); a second Ctrl-C kills the process.
+            install_sigint();
+            opts.cancel = Some(CancelToken::for_process());
+            // On sweep verbs --deadline is the whole-run budget, split
+            // into per-point deadlines by the cost-informed policy.
+            opts.run_budget = parse_deadline(args)?;
             if args.has("store") {
                 match open_store(args)? {
                     StoreOpen::Ready(handle) => opts.store = Some(handle),
@@ -592,8 +652,8 @@ pub fn run<W: std::io::Write>(command: &str, args: &Args, out: &mut W) -> Result
                     }
                 }
             } else if args.has("resume") || args.has("retry-failed") {
-                return Err(CliError(
-                    "--resume and --retry-failed need --store PATH".into(),
+                return Err(CliError::usage(
+                    "--resume and --retry-failed need --store PATH",
                 ));
             }
             writeln!(out, "{param},{metric}").map_err(io)?;
@@ -603,10 +663,23 @@ pub fn run<W: std::io::Write>(command: &str, args: &Args, out: &mut W) -> Result
             for point in result.points() {
                 let value = match &point.outcome {
                     Ok(Ok(v)) => *v,
-                    Ok(Err(e)) => return Err(CliError(e.to_string())),
+                    Ok(Err(e)) => return Err(CliError::failed(e.to_string())),
+                    // Cancelled points were never solved: omit their rows
+                    // (a resumed run fills the gap) instead of printing
+                    // NaN, which marks *solver* failures.
+                    Err(CoreError::Cancelled) => continue,
                     Err(_) => f64::NAN, // unstable probe points print NaN
                 };
                 writeln!(out, "{:.6},{value:.8e}", point.x).map_err(io)?;
+            }
+            let stats = result.stats();
+            if stats.interrupted() {
+                eprintln!(
+                    "sweep interrupted: {} of {} points solved ({} cancelled, \
+                     {} quarantined); rerun the same command with --store to resume",
+                    stats.solved, stats.points, stats.cancelled, stats.quarantined
+                );
+                return Ok(RunStatus::Partial);
             }
             Ok(RunStatus::Exact)
         }
@@ -705,7 +778,7 @@ pub fn run<W: std::io::Write>(command: &str, args: &Args, out: &mut W) -> Result
                     writeln!(out, "store corrupt: {e}").map_err(io)?;
                     Ok(RunStatus::StoreCorrupt)
                 }
-                Err(e) => Err(CliError(format!("store verify failed: {e}"))),
+                Err(e) => Err(CliError::failed(format!("store verify failed: {e}"))),
             }
         }
         "store-merge" => {
@@ -718,8 +791,8 @@ pub fn run<W: std::io::Write>(command: &str, args: &Args, out: &mut W) -> Result
                 .map(PathBuf::from)
                 .collect();
             if inputs.is_empty() {
-                return Err(CliError(
-                    "store merge needs --in A,B,... (comma-separated shard stores)".into(),
+                return Err(CliError::failed(
+                    "store merge needs --in A,B,... (comma-separated shard stores)",
                 ));
             }
             match store_merge(&inputs, &out_path) {
@@ -738,7 +811,7 @@ pub fn run<W: std::io::Write>(command: &str, args: &Args, out: &mut W) -> Result
                     writeln!(out, "store corrupt: {e}").map_err(io)?;
                     Ok(RunStatus::StoreCorrupt)
                 }
-                Err(e) => Err(CliError(format!("store merge failed: {e}"))),
+                Err(e) => Err(CliError::failed(format!("store merge failed: {e}"))),
             }
         }
         "obs-report" => {
@@ -780,7 +853,7 @@ pub fn run<W: std::io::Write>(command: &str, args: &Args, out: &mut W) -> Result
             writeln!(out, "{USAGE}").map_err(io)?;
             Ok(RunStatus::Exact)
         }
-        other => Err(CliError(format!("unknown command `{other}`\n\n{USAGE}"))),
+        other => Err(CliError::failed(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
 }
 
@@ -804,7 +877,7 @@ fn sweep_plan(args: &Args, param: &str, from: f64, to: f64, steps: usize) -> Res
         "delta" => from_model_at("delta"),
         "availability" => from_model_at("availability"),
         other => {
-            return Err(CliError(format!(
+            return Err(CliError::failed(format!(
                 "unknown sweep parameter `{other}` (rho|lambda|delta|availability)"
             )))
         }
@@ -859,7 +932,7 @@ fn model_at(args: &Args, param: &str, x: f64) -> Result<ClusterModel> {
             }
             Ok(b.build()?)
         }
-        other => Err(CliError(format!(
+        other => Err(CliError::failed(format!(
             "unknown sweep parameter `{other}` (rho|lambda|delta|availability)"
         ))),
     }
@@ -887,7 +960,7 @@ enum StoreOpen {
 fn open_store(args: &Args) -> Result<StoreOpen> {
     let path = require_path(args, "store")?;
     if args.has("resume") && !path.exists() {
-        return Err(CliError(format!(
+        return Err(CliError::failed(format!(
             "--resume: store `{}` does not exist (drop --resume to start fresh)",
             path.display()
         )));
@@ -895,7 +968,7 @@ fn open_store(args: &Args) -> Result<StoreOpen> {
     match StoreHandle::open(&path) {
         Ok((handle, _stats)) => Ok(StoreOpen::Ready(handle)),
         Err(e @ StoreError::Corrupt { .. }) => Ok(StoreOpen::Corrupt(e.to_string())),
-        Err(e) => Err(CliError(format!(
+        Err(e) => Err(CliError::failed(format!(
             "cannot open --store `{}`: {e}",
             path.display()
         ))),
@@ -906,19 +979,19 @@ fn open_store(args: &Args) -> Result<StoreOpen> {
 fn require_path(args: &Args, key: &str) -> Result<PathBuf> {
     let raw = args.get_str(key, "");
     if raw.is_empty() {
-        return Err(CliError(format!("--{key} PATH is required")));
+        return Err(CliError::failed(format!("--{key} PATH is required")));
     }
     Ok(PathBuf::from(raw))
 }
 
 /// Parses `--shard I/N` (0-based shard index out of N).
 fn parse_shard(spec: &str) -> Result<(usize, usize)> {
-    let bad = || CliError(format!("bad --shard `{spec}` (expected I/N, e.g. 0/4)"));
+    let bad = || CliError::failed(format!("bad --shard `{spec}` (expected I/N, e.g. 0/4)"));
     let (i, n) = spec.split_once('/').ok_or_else(bad)?;
     let i: usize = i.trim().parse().map_err(|_| bad())?;
     let n: usize = n.trim().parse().map_err(|_| bad())?;
     if n == 0 || i >= n {
-        return Err(CliError(format!(
+        return Err(CliError::failed(format!(
             "--shard {spec}: the index must satisfy 0 <= I < N"
         )));
     }
@@ -936,10 +1009,10 @@ fn metric_value(sol: &performa_core::ClusterSolution, metric: &str) -> Result<f6
     if let Some(k) = metric.strip_prefix("tail:") {
         let k: usize = k
             .parse()
-            .map_err(|_| CliError(format!("bad tail level in metric `{metric}`")))?;
+            .map_err(|_| CliError::failed(format!("bad tail level in metric `{metric}`")))?;
         return Ok(sol.at_least_probability(k));
     }
-    Err(CliError(format!(
+    Err(CliError::failed(format!(
         "unknown metric `{metric}` (mean|normalized|tail:K)"
     )))
 }
@@ -978,11 +1051,11 @@ pub fn fold_positionals(command: &str, argv: Vec<String>) -> Vec<String> {
 fn load_aggregate(path: &std::path::Path) -> Result<performa_obs::agg::Aggregate> {
     match performa_obs::agg::Aggregate::from_file(path) {
         Ok(Ok(agg)) => Ok(agg),
-        Ok(Err((line, msg))) => Err(CliError(format!(
+        Ok(Err((line, msg))) => Err(CliError::failed(format!(
             "{}:{line}: malformed trace line: {msg}",
             path.display()
         ))),
-        Err(e) => Err(CliError(format!("cannot read `{}`: {e}", path.display()))),
+        Err(e) => Err(CliError::failed(format!("cannot read `{}`: {e}", path.display()))),
     }
 }
 
@@ -1005,7 +1078,7 @@ fn render_report<W: std::io::Write>(
     top: usize,
     out: &mut W,
 ) -> Result<()> {
-    let io = |e: std::io::Error| CliError(format!("output error: {e}"));
+    let io = |e: std::io::Error| CliError::failed(format!("output error: {e}"));
     writeln!(out, "records           : {}", agg.records).map_err(io)?;
     writeln!(out, "trace wall clock  : {}", fmt_secs(agg.wall_clock())).map_err(io)?;
     let coverage = if agg.wall_clock() > 0.0 {
@@ -1082,7 +1155,7 @@ fn render_diff<W: std::io::Write>(
     threshold: f64,
     out: &mut W,
 ) -> Result<()> {
-    let io = |e: std::io::Error| CliError(format!("output error: {e}"));
+    let io = |e: std::io::Error| CliError::failed(format!("output error: {e}"));
     let changed =
         |rows: &[performa_obs::agg::DeltaRow]| -> Vec<performa_obs::agg::DeltaRow> {
             rows.iter()
@@ -1155,13 +1228,13 @@ struct BenchRun {
 fn load_bench_history(path: &std::path::Path) -> Result<Vec<BenchRun>> {
     use performa_obs::ndjson::{parse_json, Json};
     let content = std::fs::read_to_string(path)
-        .map_err(|e| CliError(format!("cannot read `{}`: {e}", path.display())))?;
+        .map_err(|e| CliError::failed(format!("cannot read `{}`: {e}", path.display())))?;
     let mut runs = Vec::new();
     for (i, line) in content.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        let bad = |msg: String| CliError(format!("{}:{}: {msg}", path.display(), i + 1));
+        let bad = |msg: String| CliError::failed(format!("{}:{}: {msg}", path.display(), i + 1));
         let doc = parse_json(line).map_err(|e| bad(format!("malformed history line: {e}")))?;
         let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
         if schema != "performa-bench-history/v1" {
@@ -1208,7 +1281,7 @@ fn render_bench_trend<W: std::io::Write>(
     threshold: f64,
     out: &mut W,
 ) -> Result<RunStatus> {
-    let io = |e: std::io::Error| CliError(format!("output error: {e}"));
+    let io = |e: std::io::Error| CliError::failed(format!("output error: {e}"));
     if runs.len() < 2 {
         writeln!(
             out,
@@ -1459,9 +1532,48 @@ mod tests {
     #[test]
     fn exit_code_contract() {
         assert_eq!(RunStatus::Exact.exit_code(), 0);
+        assert_eq!(EXIT_USAGE, 2);
         assert_eq!(RunStatus::Degraded.exit_code(), 10);
         assert_eq!(EXIT_FAILED, 20);
         assert_eq!(RunStatus::StoreCorrupt.exit_code(), 30);
+        assert_eq!(EXIT_PARTIAL, 40);
+        assert_eq!(RunStatus::Partial.exit_code(), EXIT_PARTIAL);
+        assert_eq!(CliError::failed("x").code, EXIT_FAILED);
+        assert_eq!(CliError::usage("x").code, EXIT_USAGE);
+    }
+
+    #[test]
+    fn sweep_rejects_invalid_deadline_as_usage_error() {
+        // `--deadline` on sweep verbs is the whole-run budget; a value
+        // that cannot mean one must fail loudly (exit 2), never be
+        // silently ignored.
+        for bad in ["-1", "soon", "inf", "nan"] {
+            let a = args(&[("steps", "3"), ("deadline", bad)]);
+            let mut buf = Vec::new();
+            let err = run("sweep", &a, &mut buf).unwrap_err();
+            assert_eq!(err.code, EXIT_USAGE, "--deadline {bad}: {err}");
+            assert!(err.to_string().contains("deadline"), "--deadline {bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn sweep_zero_deadline_exits_partial_with_header_only_csv() {
+        // A zero whole-run budget is exhausted before any point is
+        // issued: every point reports Cancelled, the CSV carries only
+        // its header (cancelled points are omitted, not NaN), and the
+        // run maps to the partial-results exit code.
+        let a = args(&[
+            ("from", "0.2"),
+            ("to", "0.5"),
+            ("steps", "4"),
+            ("deadline", "0"),
+        ]);
+        let mut buf = Vec::new();
+        let status = run("sweep", &a, &mut buf).unwrap();
+        assert_eq!(status, RunStatus::Partial);
+        assert_eq!(status.exit_code(), EXIT_PARTIAL);
+        let s = String::from_utf8(buf).unwrap();
+        assert_eq!(s.trim(), "rho,normalized", "expected header-only CSV: {s:?}");
     }
 
     #[test]

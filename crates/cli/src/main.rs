@@ -1,7 +1,8 @@
 //! `performa` command-line entry point (see `performa_cli` for the
 //! implementation and `--help` for usage).
 //!
-//! Exit codes: `0` exact result, `10` degraded but bounded, `20` failed.
+//! Exit codes: `0` exact result, `2` usage error, `10` degraded but
+//! bounded, `20` failed, `30` store corrupt, `40` partial (resumable).
 
 use std::process::ExitCode;
 
@@ -9,7 +10,7 @@ fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1);
     let Some(mut command) = argv.next() else {
         eprintln!("{}", performa_cli::USAGE);
-        return ExitCode::from(performa_cli::EXIT_FAILED);
+        return ExitCode::from(performa_cli::EXIT_USAGE);
     };
     // `store` takes a verb (`performa store verify ...`); fold it into
     // a single command word so the `--key value` parser never sees a
@@ -19,7 +20,7 @@ fn main() -> ExitCode {
             Some(verb) => command = format!("store-{verb}"),
             None => {
                 eprintln!("error: `store` needs a verb: verify | merge");
-                return ExitCode::from(performa_cli::EXIT_FAILED);
+                return ExitCode::from(performa_cli::EXIT_USAGE);
             }
         }
     }
@@ -31,7 +32,7 @@ fn main() -> ExitCode {
             Some(verb) => command = format!("obs-{verb}"),
             None => {
                 eprintln!("error: `obs` needs a verb: report | diff | bench-trend");
-                return ExitCode::from(performa_cli::EXIT_FAILED);
+                return ExitCode::from(performa_cli::EXIT_USAGE);
             }
         }
     }
@@ -40,14 +41,14 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::from(performa_cli::EXIT_FAILED);
+            return ExitCode::from(e.code);
         }
     };
     let obs = match performa_cli::init_obs(&args) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::from(performa_cli::EXIT_FAILED);
+            return ExitCode::from(e.code);
         }
     };
     let mut out = std::io::stdout();
@@ -55,7 +56,7 @@ fn main() -> ExitCode {
         Ok(status) => status.exit_code(),
         Err(e) => {
             eprintln!("error: {e}");
-            performa_cli::EXIT_FAILED
+            e.code
         }
     };
     if let Err(e) = obs.finish(&mut std::io::stderr()) {

@@ -1,0 +1,179 @@
+//! Run-level control: cooperative cancellation and budget splitting.
+//!
+//! [`CancelToken`] (re-exported from `performa-ctrl`) is the shared
+//! stop signal, checked at the sweep's work-pull, inside the solver
+//! supervisor between stages, and at the counted iteration loops'
+//! amortized check stride. [`RunBudget`] turns one whole-run wall-clock
+//! budget (the CLI's `--deadline` on sweep verbs) into per-point
+//! deadlines.
+//!
+//! # Budget split policy
+//!
+//! The grid's solve cost is wildly non-uniform: near the blow-up loads
+//! ρ_i a single point can cost orders of magnitude more iterations than
+//! the rest of the grid (the paper's Eq. 3 territory, and exactly what
+//! the sweep's `PointCost` records show). A naive `remaining / points`
+//! split would starve those points. Instead each allotment is
+//!
+//! * **fair share** — `remaining / points_left`, the baseline;
+//! * **cost-informed** — if the recent points' exponentially weighted
+//!   mean solve time exceeds the fair share, the allotment is raised to
+//!   `2 × ewma` (expensive-looking points get more), capped by the
+//!   remaining budget — over-spending points steal from the tail of the
+//!   grid rather than failing spuriously;
+//! * **floored** — never below the configured floor, so late points are
+//!   not handed degenerate microsecond deadlines.
+//!
+//! When the budget is exhausted [`RunBudget::allot`] returns `None` and
+//! the pool stops issuing points; completed points are untouched, so
+//! the run exits with accurate partial stats and a resumable store.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+pub use performa_ctrl::{install_sigint, CancelToken, EXIT_PARTIAL};
+
+/// Default per-point deadline floor: enough for any healthy point on
+/// paper-scale models, small enough that a stalled point cannot eat a
+/// meaningful slice of an interactive budget.
+pub const DEFAULT_POINT_FLOOR: Duration = Duration::from_millis(250);
+
+/// Smoothing of the per-point cost EWMA: `ewma ← (3·ewma + cost) / 4`.
+const EWMA_WEIGHT: u64 = 3;
+
+/// Splits one whole-run wall-clock budget into per-point deadlines (see
+/// the [module docs](self) for the policy). Thread-safe: workers call
+/// [`allot`](RunBudget::allot) / [`record`](RunBudget::record)
+/// concurrently without locks.
+#[derive(Debug)]
+pub struct RunBudget {
+    start: Instant,
+    total: Duration,
+    floor: Duration,
+    /// EWMA of observed per-point solve durations, in nanoseconds
+    /// (0 = no observation yet).
+    ewma_nanos: AtomicU64,
+}
+
+impl RunBudget {
+    /// A budget of `total` starting now, with the default floor.
+    #[must_use]
+    pub fn new(total: Duration) -> Self {
+        RunBudget::with_floor(total, DEFAULT_POINT_FLOOR)
+    }
+
+    /// A budget of `total` starting now with an explicit per-point
+    /// deadline floor.
+    #[must_use]
+    pub fn with_floor(total: Duration, floor: Duration) -> Self {
+        RunBudget {
+            start: Instant::now(),
+            total,
+            floor,
+            ewma_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Wall-clock budget remaining (zero once exhausted).
+    #[must_use]
+    pub fn remaining(&self) -> Duration {
+        self.total.saturating_sub(self.start.elapsed())
+    }
+
+    /// Whether the whole-run budget has been used up.
+    #[must_use]
+    pub fn exhausted(&self) -> bool {
+        self.remaining().is_zero()
+    }
+
+    /// Feeds one completed point's solve duration into the cost EWMA.
+    pub fn record(&self, elapsed: Duration) {
+        let cost = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+        // Lock-free EWMA: racing updates may each fold their cost into
+        // the same prior value; either result is a valid smoothing and
+        // the estimate only informs deadline grants.
+        let prior = self.ewma_nanos.load(Ordering::Relaxed);
+        let next = if prior == 0 {
+            cost
+        } else {
+            (EWMA_WEIGHT * (prior / (EWMA_WEIGHT + 1))).saturating_add(cost / (EWMA_WEIGHT + 1))
+        };
+        self.ewma_nanos.store(next.max(1), Ordering::Relaxed);
+    }
+
+    /// The per-point deadline for the next point, given how many grid
+    /// points are still unsolved, or `None` when the budget is
+    /// exhausted (the pool must stop issuing points).
+    #[must_use]
+    pub fn allot(&self, points_left: usize) -> Option<Instant> {
+        let remaining = self.remaining();
+        if remaining.is_zero() {
+            return None;
+        }
+        let fair = remaining / points_left.max(1) as u32;
+        let mut grant = fair.max(self.floor);
+        let ewma = Duration::from_nanos(self.ewma_nanos.load(Ordering::Relaxed));
+        if !ewma.is_zero() && ewma > grant {
+            // Recent points ran hotter than the fair share: grant twice
+            // the observed mean (headroom for the variance the paper is
+            // about), but never more than everything that is left.
+            grant = (ewma * 2).min(remaining).max(self.floor);
+        }
+        Some(Instant::now() + grant)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_budget_grants_fair_shares() {
+        let b = RunBudget::with_floor(Duration::from_secs(100), Duration::from_millis(1));
+        let d = b.allot(10).expect("budget not exhausted");
+        let grant = d - Instant::now();
+        // Fair share is ~10 s; allow slack for test-runner jitter.
+        assert!(grant > Duration::from_secs(8), "grant {grant:?}");
+        assert!(grant < Duration::from_secs(12), "grant {grant:?}");
+    }
+
+    #[test]
+    fn zero_budget_is_exhausted_immediately() {
+        let b = RunBudget::new(Duration::ZERO);
+        assert!(b.exhausted());
+        assert!(b.allot(5).is_none());
+    }
+
+    #[test]
+    fn floor_bounds_small_fair_shares() {
+        let b = RunBudget::with_floor(Duration::from_secs(1), Duration::from_millis(400));
+        // Fair share 1s/1000 = 1ms, far below the floor.
+        let d = b.allot(1000).expect("budget not exhausted");
+        let grant = d - Instant::now();
+        assert!(grant >= Duration::from_millis(300), "grant {grant:?}");
+    }
+
+    #[test]
+    fn expensive_history_raises_the_grant() {
+        let b = RunBudget::with_floor(Duration::from_secs(100), Duration::from_millis(1));
+        // Points have been costing ~20 s; fair share for 100 left is 1 s.
+        for _ in 0..8 {
+            b.record(Duration::from_secs(20));
+        }
+        let d = b.allot(100).expect("budget not exhausted");
+        let grant = d - Instant::now();
+        assert!(grant > Duration::from_secs(10), "grant {grant:?}");
+        // And the grant never exceeds what is left.
+        assert!(grant <= Duration::from_secs(100), "grant {grant:?}");
+    }
+
+    #[test]
+    fn record_is_monotone_smoothing_not_last_write() {
+        let b = RunBudget::new(Duration::from_secs(10));
+        b.record(Duration::from_secs(4));
+        b.record(Duration::from_millis(1));
+        let ewma = Duration::from_nanos(b.ewma_nanos.load(Ordering::Relaxed));
+        // One cheap point must not erase the expensive history.
+        assert!(ewma > Duration::from_secs(2), "ewma {ewma:?}");
+    }
+}

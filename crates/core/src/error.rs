@@ -41,6 +41,18 @@ pub enum CoreError {
         /// The store layer's rendered error.
         message: String,
     },
+    /// The sweep was cancelled (Ctrl-C or a tripped `CancelToken`) or
+    /// its run budget was exhausted before this point was solved. The
+    /// point is *not* persisted as a failure — a resumed run re-solves
+    /// it from scratch.
+    Cancelled,
+    /// The point tripped its per-point deadline twice (cold solve and
+    /// hardened retry) and was persisted as a quarantined failure so a
+    /// resumed run will not re-block a pool thread on it.
+    Quarantined {
+        /// What the point was doing when each deadline expired.
+        message: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -61,6 +73,12 @@ impl fmt::Display for CoreError {
                 write!(f, "replayed {kind} failure from result store: {message}")
             }
             CoreError::Store { message } => write!(f, "result store error: {message}"),
+            CoreError::Cancelled => {
+                write!(f, "sweep point cancelled before it was solved")
+            }
+            CoreError::Quarantined { message } => {
+                write!(f, "point quarantined after repeated deadline trips: {message}")
+            }
         }
     }
 }

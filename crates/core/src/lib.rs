@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod blowup;
+pub mod ctrl;
 pub mod sensitivity;
 pub mod sweep;
 pub mod telco;
@@ -67,6 +68,7 @@ mod performability;
 mod solution;
 
 pub use crash_discard::{CrashDiscardCluster, CrashDiscardSolution};
+pub use ctrl::{install_sigint, CancelToken, RunBudget, EXIT_PARTIAL};
 pub use error::CoreError;
 pub use finite_buffer::{FiniteBufferCluster, FiniteBufferSolution};
 pub use load_dep::{LoadDependentCluster, LoadDependentSolution};

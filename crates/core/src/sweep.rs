@@ -60,7 +60,7 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -72,6 +72,7 @@ use performa_qbd::{
 };
 use performa_store::{PointKey, PointRecord, StoreHandle};
 
+use crate::ctrl::{CancelToken, RunBudget};
 use crate::model::ClusterModel;
 use crate::solution::ClusterSolution;
 use crate::{CoreError, Result};
@@ -310,6 +311,26 @@ pub struct SweepOptions {
     /// replayed; a solver-version bump invalidates both kinds by
     /// changing the key.)
     pub retry_failed: bool,
+    /// Cooperative cancellation token. When tripped (Ctrl-C via
+    /// [`crate::install_sigint`], or programmatically) the pool stops
+    /// issuing points, in-flight solves abort at their next interrupt
+    /// check, and every unsolved point reports [`CoreError::Cancelled`]
+    /// — which is never persisted, so a resumed run with the same store
+    /// re-solves exactly the cancelled gap.
+    pub cancel: Option<CancelToken>,
+    /// Whole-run wall-clock budget, split into per-point deadlines by
+    /// [`RunBudget`] (fair share, raised for expensive-looking points,
+    /// floored — see [`crate::ctrl`]). When the budget runs out the
+    /// remaining points report [`CoreError::Cancelled`] and the run
+    /// returns partial results.
+    pub run_budget: Option<Duration>,
+    /// Fixed per-point deadline. A point that trips it twice — the
+    /// cold attempt and one hardened retry under a fresh deadline — is
+    /// persisted as a *quarantined* failure ([`CoreError::Quarantined`])
+    /// so a resumed run replays the failure instead of re-blocking a
+    /// pool thread on it. Combined with `run_budget`, the tighter of
+    /// the two deadlines applies.
+    pub point_deadline: Option<Duration>,
 }
 
 impl Default for SweepOptions {
@@ -322,6 +343,9 @@ impl Default for SweepOptions {
             warm_budget: 2000,
             store: None,
             retry_failed: false,
+            cancel: None,
+            run_budget: None,
+            point_deadline: None,
         }
     }
 }
@@ -496,7 +520,7 @@ impl SweepPlan {
         F: Fn(&ClusterSolution) -> T + Sync,
     {
         let ctx = ExecContext::new(self);
-        let out = self.execute(|i, worker| {
+        let out = self.execute(&ctx, |i, worker| {
             let point = &self.points[i];
             let _span = performa_obs::span_with(
                 "sweep.point",
@@ -508,8 +532,14 @@ impl SweepPlan {
             );
             let started = Instant::now();
             let mut cost = PointCost::default();
-            let outcome = ctx.solve_point(point, worker, &mut cost);
+            let outcome = ctx.solve_point(point, i, worker, &mut cost);
             cost.elapsed = started.elapsed();
+            if outcome.is_ok() && cost.source != CostSource::Store {
+                // Feed the budget's cost EWMA with real solve times only
+                // — store replays are microseconds and say nothing about
+                // what an unsolved point will cost.
+                ctx.record_budget(cost.elapsed);
+            }
             ctx.record_cost(i, cost);
             let sol = outcome?;
             Ok(f(&sol))
@@ -526,7 +556,7 @@ impl SweepPlan {
         F: Fn(&ClusterModel) -> Result<T> + Sync,
     {
         let ctx = ExecContext::new(self);
-        let out = self.execute(|i, _worker| {
+        let out = self.execute(&ctx, |i, _worker| {
             let point = &self.points[i];
             let _span = performa_obs::span_with(
                 "sweep.point",
@@ -557,7 +587,7 @@ impl SweepPlan {
 
     /// Work-stealing execution over the point indices with index-ordered
     /// collection — the worker pattern of `performa_sim::replicate`.
-    fn execute<T, F>(&self, job: F) -> Vec<(f64, Result<T>)>
+    fn execute<T, F>(&self, ctx: &ExecContext<'_>, job: F) -> Vec<(f64, Result<T>)>
     where
         T: Send,
         F: Fn(usize, &mut WorkerState) -> Result<T> + Sync,
@@ -577,6 +607,13 @@ impl SweepPlan {
                 scope.spawn(|| {
                     let mut worker = WorkerState::default();
                     loop {
+                        // Cancellation / budget-exhaustion checkpoint:
+                        // once the run is stopping no further points are
+                        // issued — their slots stay `Pending` and are
+                        // reported as `Cancelled` below.
+                        if ctx.should_stop() {
+                            break;
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
@@ -601,11 +638,13 @@ impl SweepPlan {
             }
         });
 
+        let stopped = ctx.stopped();
         slots
             .into_iter()
             .zip(&self.points)
             .map(|(slot, point)| match slot {
                 Slot::Done(out) => (point.x, out),
+                Slot::Pending if stopped => (point.x, Err(CoreError::Cancelled)),
                 Slot::Pending => (
                     point.x,
                     Err(CoreError::InvalidParameter {
@@ -639,13 +678,16 @@ fn retryable(e: &QbdError) -> bool {
 
 /// The persisted failure class of a point error — `None` for
 /// deterministic model-level errors (bad parameters, instability),
-/// which recompute for free and never enter the store log.
+/// which recompute for free and never enter the store log, and for
+/// [`CoreError::Cancelled`]: a cancelled point was never diagnosed, so
+/// persisting it would make the resumed run replay a phantom failure.
 fn failure_kind(e: &CoreError) -> Option<&'static str> {
     match e {
         CoreError::Qbd(QbdError::NumericalBreakdown { .. }) => Some("numerical_breakdown"),
         CoreError::Qbd(QbdError::NoConvergence { .. }) => Some("no_convergence"),
         CoreError::Qbd(QbdError::DeadlineExceeded { .. }) => Some("deadline_exceeded"),
         CoreError::Qbd(QbdError::Linalg(_)) => Some("linalg"),
+        CoreError::Quarantined { .. } => Some("quarantined"),
         _ => None,
     }
 }
@@ -681,6 +723,12 @@ struct ExecContext<'a> {
     store_hits: AtomicU64,
     store_appends: AtomicU64,
     retries: AtomicU64,
+    quarantined: AtomicU64,
+    /// Whole-run deadline budget, when the plan has one.
+    budget: Option<RunBudget>,
+    /// Latched once a worker observes cancellation or budget
+    /// exhaustion; unissued slots then map to [`CoreError::Cancelled`].
+    stopped: AtomicBool,
     /// Per-point cost records, indexed by grid position; workers write
     /// their slot once, after solving.
     costs: Mutex<Vec<PointCost>>,
@@ -699,6 +747,9 @@ impl<'a> ExecContext<'a> {
             store_hits: AtomicU64::new(0),
             store_appends: AtomicU64::new(0),
             retries: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            budget: plan.options.run_budget.map(RunBudget::new),
+            stopped: AtomicBool::new(false),
             costs: Mutex::new(vec![PointCost::default(); plan.points.len()]),
             started: Instant::now(),
         }
@@ -708,6 +759,95 @@ impl<'a> ExecContext<'a> {
     fn record_cost(&self, i: usize, cost: PointCost) {
         let mut costs = self.costs.lock().unwrap_or_else(|p| p.into_inner());
         costs[i] = cost;
+    }
+
+    /// Feeds one real solve duration into the budget's cost EWMA.
+    fn record_budget(&self, elapsed: Duration) {
+        if let Some(budget) = &self.budget {
+            budget.record(elapsed);
+        }
+    }
+
+    /// Whether the run is stopping (token tripped or budget exhausted).
+    /// Checked by every worker before pulling the next point; the first
+    /// observation latches the stop, emits the cancellation event and
+    /// dumps the flight recorder for the post-mortem.
+    fn should_stop(&self) -> bool {
+        if self.stopped.load(Ordering::Relaxed) {
+            return true;
+        }
+        if self
+            .plan
+            .options
+            .cancel
+            .as_ref()
+            .is_some_and(CancelToken::is_cancelled)
+        {
+            self.mark_stopped("cancelled");
+            return true;
+        }
+        if self.budget.as_ref().is_some_and(RunBudget::exhausted) {
+            self.mark_stopped("budget_exhausted");
+            return true;
+        }
+        false
+    }
+
+    /// Whether a stop was observed at any time during the run.
+    fn stopped(&self) -> bool {
+        self.stopped.load(Ordering::Relaxed)
+    }
+
+    /// Latches the stop flag; the first caller records why.
+    fn mark_stopped(&self, reason: &'static str) {
+        if !self.stopped.swap(true, Ordering::Relaxed) {
+            performa_obs::event(
+                performa_obs::TraceLevel::Warn,
+                "sweep.stopping",
+                vec![("axis", self.plan.label.into()), ("reason", reason.into())],
+            );
+            performa_obs::flight::dump("sweep_cancelled");
+        }
+    }
+
+    /// The deadline for one point attempt: the fixed per-point deadline
+    /// and/or a fresh budget allotment, whichever is tighter. An
+    /// exhausted budget latches the stop and cancels the point.
+    fn point_deadline(&self, index: usize) -> Result<Option<Instant>> {
+        let fixed = self
+            .plan
+            .options
+            .point_deadline
+            .map(|d| Instant::now() + d);
+        let Some(budget) = &self.budget else {
+            return Ok(fixed);
+        };
+        // Points are issued in index order, so the unissued remainder of
+        // the grid is a good estimate of how many ways the remaining
+        // budget must still stretch.
+        let points_left = self.plan.points.len().saturating_sub(index).max(1);
+        match budget.allot(points_left) {
+            Some(granted) => Ok(Some(fixed.map_or(granted, |f| f.min(granted)))),
+            None => {
+                self.mark_stopped("budget_exhausted");
+                Err(CoreError::Cancelled)
+            }
+        }
+    }
+
+    /// Counts and reports a quarantined point: the per-point deadline
+    /// tripped on both the first attempt and the hardened retry.
+    fn quarantine(&self, x: f64, first: &QbdError, second: &QbdError) -> CoreError {
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        performa_obs::counter_add("sweep.quarantined", 1);
+        performa_obs::event(
+            performa_obs::TraceLevel::Warn,
+            "sweep.quarantined",
+            vec![("axis", self.plan.label.into()), ("x", x.into())],
+        );
+        CoreError::Quarantined {
+            message: format!("first attempt: {first}; hardened retry: {second}"),
+        }
     }
 
     /// The lumped MMPP for this point, through the cache when enabled.
@@ -740,6 +880,7 @@ impl<'a> ExecContext<'a> {
     fn solve_point(
         &self,
         point: &PlanPoint,
+        index: usize,
         worker: &mut WorkerState,
         cost: &mut PointCost,
     ) -> Result<ClusterSolution> {
@@ -762,7 +903,7 @@ impl<'a> ExecContext<'a> {
             });
         }
         let Some(store) = &self.plan.options.store else {
-            return self.solve_point_fresh(point, model, worker, cost);
+            return self.solve_point_fresh(point, model, index, worker, cost);
         };
         let key = store_key(model, point.x);
         match store.get(&key) {
@@ -779,7 +920,7 @@ impl<'a> ExecContext<'a> {
                 Err(CoreError::ReplayedFailure { kind, message })
             }
             _ => {
-                let outcome = self.solve_point_fresh(point, model, worker, cost);
+                let outcome = self.solve_point_fresh(point, model, index, worker, cost);
                 self.persist(store, &key, &outcome)?;
                 outcome
             }
@@ -860,11 +1001,15 @@ impl<'a> ExecContext<'a> {
 
     /// The pre-store solve path: modulator (cached), then supervisor,
     /// warm start, or the plain cold solve with its bounded
-    /// retry-with-hardening ladder.
+    /// retry-with-hardening ladder. Per-point deadlines and the cancel
+    /// token are threaded into whichever solver runs; a point that
+    /// trips its deadline twice (first attempt + hardened retry under a
+    /// fresh allotment) is quarantined.
     fn solve_point_fresh(
         &self,
         point: &PlanPoint,
         model: &ClusterModel,
+        index: usize,
         worker: &mut WorkerState,
         cost: &mut PointCost,
     ) -> Result<ClusterSolution> {
@@ -875,17 +1020,52 @@ impl<'a> ExecContext<'a> {
         } else {
             model.to_qbd()?
         };
+        let cancel = self.plan.options.cancel.clone();
+        let deadline = self.point_deadline(index)?;
 
         if let Some(sup) = &self.plan.options.supervisor {
             cost.source = CostSource::Supervisor;
-            let (sol, report) = SolverSupervisor::with_options(qbd, sup.clone()).solve()?;
-            cost.strategy = report.strategy.key();
-            cost.iterations = report.total_iterations as u64;
-            return Ok(ClusterSolution::new(model.clone(), sol));
+            let attempt = |deadline: Option<Instant>,
+                           cost: &mut PointCost|
+             -> Result<ClusterSolution> {
+                let mut opts = sup.clone();
+                if let Some(token) = cancel.clone() {
+                    opts = opts.with_cancel(token);
+                }
+                if let Some(d) = deadline {
+                    let grant = d.saturating_duration_since(Instant::now());
+                    opts.deadline = Some(opts.deadline.map_or(grant, |user| user.min(grant)));
+                }
+                let (sol, report) = SolverSupervisor::with_options(qbd.clone(), opts).solve()?;
+                cost.strategy = report.strategy.key();
+                cost.iterations += report.total_iterations as u64;
+                Ok(ClusterSolution::new(model.clone(), sol))
+            };
+            return match attempt(deadline, cost) {
+                Err(CoreError::Qbd(QbdError::Cancelled { .. })) => Err(CoreError::Cancelled),
+                Err(CoreError::Qbd(first @ QbdError::DeadlineExceeded { .. }))
+                    if deadline.is_some() =>
+                {
+                    // The supervisor already escalates hardening
+                    // internally; the retry's value is the fresh
+                    // allotment (the first one may have been starved by
+                    // a noisy EWMA or a contended pool).
+                    match attempt(self.point_deadline(index)?, cost) {
+                        Err(CoreError::Qbd(ref second @ QbdError::DeadlineExceeded { .. })) => {
+                            Err(self.quarantine(point.x, &first, second))
+                        }
+                        Err(CoreError::Qbd(QbdError::Cancelled { .. })) => {
+                            Err(CoreError::Cancelled)
+                        }
+                        other => other,
+                    }
+                }
+                other => other,
+            };
         }
 
         if self.plan.options.warm_start {
-            if let Some(sol) = self.try_warm(&qbd, model, worker, cost) {
+            if let Some(sol) = self.try_warm(&qbd, model, deadline, &cancel, worker, cost)? {
                 return Ok(sol);
             }
         }
@@ -899,16 +1079,50 @@ impl<'a> ExecContext<'a> {
         // successful points is unaffected.
         cost.source = CostSource::Cold;
         cost.strategy = "logred";
-        let sol = match qbd.solve_with_count(SolveOptions::default()) {
+        let interruptible = |mut opts: SolveOptions, deadline: Option<Instant>| {
+            opts.deadline = deadline;
+            opts.cancel = cancel.clone();
+            opts
+        };
+        let sol = match qbd.solve_with_count(interruptible(SolveOptions::default(), deadline)) {
             Ok((sol, iters)) => {
                 cost.iterations = iters as u64;
                 sol
+            }
+            Err(QbdError::Cancelled { .. }) => return Err(CoreError::Cancelled),
+            Err(first @ QbdError::DeadlineExceeded { .. }) if deadline.is_some() => {
+                // First deadline trip: one hardened retry under a fresh
+                // allotment. A second trip quarantines the point — it
+                // is persisted as a failure so a resumed run does not
+                // re-block a pool thread on it.
+                self.retries.fetch_add(1, Ordering::Relaxed);
+                performa_obs::counter_add("sweep.retry", 1);
+                cost.source = CostSource::Retry;
+                let retry_deadline = self.point_deadline(index)?;
+                match qbd.solve_with_count(interruptible(SolveOptions::hardened(), retry_deadline))
+                {
+                    Ok((sol, iters)) => {
+                        cost.iterations += iters as u64;
+                        sol
+                    }
+                    Err(QbdError::Cancelled { .. }) => return Err(CoreError::Cancelled),
+                    Err(ref second @ QbdError::DeadlineExceeded { .. }) => {
+                        return Err(self.quarantine(point.x, &first, second))
+                    }
+                    Err(second) => return Err(second.into()),
+                }
             }
             Err(e) if retryable(&e) => {
                 self.retries.fetch_add(1, Ordering::Relaxed);
                 performa_obs::counter_add("sweep.retry", 1);
                 cost.source = CostSource::Retry;
-                let (sol, iters) = qbd.solve_with_count(SolveOptions::hardened())?;
+                let retry_deadline = self.point_deadline(index)?;
+                let (sol, iters) = qbd
+                    .solve_with_count(interruptible(SolveOptions::hardened(), retry_deadline))
+                    .map_err(|e| match e {
+                        QbdError::Cancelled { .. } => CoreError::Cancelled,
+                        other => other.into(),
+                    })?;
                 cost.iterations = iters as u64;
                 sol
             }
@@ -921,29 +1135,41 @@ impl<'a> ExecContext<'a> {
     }
 
     /// Attempts a warm-started solve from the worker's previous `G`.
-    /// Returns `None` (after counting the rejection) when there is no
-    /// usable seed, the seeded iteration fails to converge within the
-    /// budget, or the converged candidate's residual is above the
-    /// acceptance threshold — the caller then cold-starts.
+    /// Returns `Ok(None)` (after counting the rejection) when there is
+    /// no usable seed, the seeded iteration fails to converge within
+    /// the budget, or the converged candidate's residual is above the
+    /// acceptance threshold — the caller then cold-starts. A
+    /// cancellation aborts outright (`Err`); a deadline trip rejects
+    /// like any other warm failure, so the cold attempt trips the same
+    /// already-expired deadline at its first check and the quarantine
+    /// ladder proceeds normally.
     fn try_warm(
         &self,
         qbd: &Qbd,
         model: &ClusterModel,
+        deadline: Option<Instant>,
+        cancel: &Option<CancelToken>,
         worker: &mut WorkerState,
         cost: &mut PointCost,
-    ) -> Option<ClusterSolution> {
-        let seed = worker
+    ) -> Result<Option<ClusterSolution>> {
+        let Some(seed) = worker
             .last_g
             .as_ref()
-            .filter(|g| g.nrows() == qbd.phase_dim())?;
-        let opts = SolveOptions::default()
+            .filter(|g| g.nrows() == qbd.phase_dim())
+        else {
+            return Ok(None);
+        };
+        let mut opts = SolveOptions::default()
             .with_initial_g(seed.clone())
             .tap_budget(self.plan.options.warm_budget);
+        opts.deadline = deadline;
+        opts.cancel = cancel.clone();
         let (g, warm_iters) = match qbd.g_matrix_functional_with_count(opts) {
             Ok(pair) => pair,
+            Err(QbdError::Cancelled { .. }) => return Err(CoreError::Cancelled),
             Err(_) => {
                 self.warm_rejected.fetch_add(1, Ordering::Relaxed);
-                return None;
+                return Ok(None);
             }
         };
         let scale = qbd.a0().norm_inf() + qbd.a1().norm_inf() + qbd.a2().norm_inf();
@@ -951,18 +1177,18 @@ impl<'a> ExecContext<'a> {
         let residual = qbd.g_residual(&g);
         if residual.is_nan() || residual > WARM_ACCEPT_TOL * scale {
             self.warm_rejected.fetch_add(1, Ordering::Relaxed);
-            return None;
+            return Ok(None);
         }
         self.warm_accepted.fetch_add(1, Ordering::Relaxed);
         performa_obs::counter_add("sweep.warm_start_accepted", 1);
         worker.last_g = Some(g.clone());
-        let sol = qbd
-            .solve_from_g(g, performa_qbd::Hardening::default())
-            .ok()?;
+        let Ok(sol) = qbd.solve_from_g(g, performa_qbd::Hardening::default()) else {
+            return Ok(None);
+        };
         cost.source = CostSource::Warm;
         cost.strategy = "functional";
         cost.iterations = warm_iters as u64;
-        Some(ClusterSolution::new(model.clone(), sol))
+        Ok(Some(ClusterSolution::new(model.clone(), sol)))
     }
 
     /// Assembles the ordered results and the run statistics, flushes
@@ -982,6 +1208,10 @@ impl<'a> ExecContext<'a> {
         }
         let elapsed = self.started.elapsed();
         let solved = out.iter().filter(|(_, r)| r.is_ok()).count();
+        let cancelled = out
+            .iter()
+            .filter(|(_, r)| matches!(r, Err(CoreError::Cancelled)))
+            .count();
         let costs = match self.costs.lock() {
             Ok(mut guard) => std::mem::take(&mut *guard),
             Err(poisoned) => std::mem::take(&mut *poisoned.into_inner()),
@@ -990,6 +1220,8 @@ impl<'a> ExecContext<'a> {
             points: out.len(),
             solved,
             failed: out.len() - solved,
+            cancelled,
+            quarantined: self.quarantined.load(Ordering::Relaxed) as usize,
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             warm_accepted: self.warm_accepted.load(Ordering::Relaxed),
@@ -1001,6 +1233,9 @@ impl<'a> ExecContext<'a> {
             threads: effective_threads(self.plan.options.threads, out.len()),
             elapsed,
         };
+        if stats.cancelled > 0 {
+            performa_obs::counter_add("sweep.cancelled", stats.cancelled as u64);
+        }
         performa_obs::gauge_set("sweep.points_per_sec", stats.points_per_sec());
         let points = out
             .into_iter()
@@ -1096,6 +1331,15 @@ pub struct SweepStats {
     pub solved: usize,
     /// Points that recorded a typed error.
     pub failed: usize,
+    /// Points that were never solved because the run was cancelled or
+    /// its budget ran out (a subset of `failed`). These points are not
+    /// persisted — a resumed run re-solves exactly this gap.
+    pub cancelled: usize,
+    /// Points quarantined by this run: the per-point deadline tripped
+    /// on both the first attempt and the hardened retry, and the
+    /// failure was persisted so a resume replays it instead of
+    /// re-blocking a pool thread (a subset of `failed`).
+    pub quarantined: usize,
     /// Modulator-cache hits (points that reused a lumped MMPP).
     pub cache_hits: u64,
     /// Modulator-cache misses (points that built a lumped MMPP).
@@ -1120,6 +1364,13 @@ pub struct SweepStats {
 }
 
 impl SweepStats {
+    /// Whether the run stopped early (cancellation or budget
+    /// exhaustion) and these are partial results — the condition under
+    /// which a CLI run exits with [`crate::EXIT_PARTIAL`].
+    pub fn interrupted(&self) -> bool {
+        self.cancelled > 0
+    }
+
     /// Throughput over the whole run.
     pub fn points_per_sec(&self) -> f64 {
         let secs = self.elapsed.as_secs_f64();

@@ -1,0 +1,219 @@
+//! Cooperative cancellation primitives shared by every layer of the
+//! workspace.
+//!
+//! The crate is deliberately tiny and std-only: a [`CancelToken`] is a
+//! cloneable handle over one shared `AtomicBool`, and the solver /
+//! simulation / sweep hot loops poll it at the same amortized strides
+//! they already use for wall-clock deadlines. Nothing here blocks,
+//! allocates after construction, or takes a lock, so a token check is
+//! cheap enough for inner iteration loops.
+//!
+//! The one piece of platform glue lives here too: [`install_sigint`]
+//! registers a minimal async-signal-safe `SIGINT` handler (a single
+//! atomic store into a process-global flag). Tokens created with
+//! [`CancelToken::for_process`] observe that flag in addition to their
+//! own, which is how `Ctrl-C` turns into a graceful drain of a sweep:
+//! the pool stops issuing points, in-flight solves return a typed
+//! `Cancelled`, the store flushes, and the run exits with
+//! [`EXIT_PARTIAL`].
+//!
+//! The handler is registered with the venerable `signal(2)` entry point
+//! rather than `sigaction` — the only thing the handler does is an
+//! atomic store, so none of `sigaction`'s extra control (masks,
+//! `SA_SIGINFO`) is needed, and `signal` avoids declaring a
+//! platform-layout struct by hand. A second `SIGINT` restores the
+//! default disposition and re-raises, so an impatient operator can
+//! still kill a wedged process the usual way.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Exit code for a run that was cancelled (or ran out of budget) but
+/// still produced durable, resumable partial results.
+///
+/// Sits between "degraded" (10/20/30 family: the process finished its
+/// grid, some points are suspect) and a hard kill (no exit code at
+/// all): a `40` means the store holds every point that completed, the
+/// stats printed are accurate, and `--resume` picks up exactly where
+/// the run stopped.
+pub const EXIT_PARTIAL: u8 = 40;
+
+/// Process-global flag set by the `SIGINT` handler.
+///
+/// A `static AtomicBool` is the only state a signal handler can touch
+/// safely; tokens built via [`CancelToken::for_process`] fold it into
+/// their [`CancelToken::is_cancelled`] answer.
+static SIGINT_FLAG: AtomicBool = AtomicBool::new(false);
+
+/// Whether [`install_sigint`] has already run (second call is a no-op).
+static SIGINT_INSTALLED: AtomicBool = AtomicBool::new(false);
+
+/// A cloneable cancellation handle.
+///
+/// All clones share one flag: any holder calling [`cancel`] makes every
+/// clone's [`is_cancelled`] return `true`, permanently (there is no
+/// reset — a cancelled run drains and exits). Checks are a single
+/// relaxed atomic load, cheap enough for iteration-loop strides.
+///
+/// [`cancel`]: CancelToken::cancel
+/// [`is_cancelled`]: CancelToken::is_cancelled
+#[derive(Clone, Debug)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    /// Tokens from [`CancelToken::for_process`] also observe the
+    /// process-global SIGINT flag, so library tests can use isolated
+    /// tokens while the CLI gets Ctrl-C for free.
+    sigint: bool,
+}
+
+impl CancelToken {
+    /// A fresh, isolated token (ignores SIGINT). This is what tests and
+    /// embedded callers want.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            sigint: false,
+        }
+    }
+
+    /// A token that is also tripped by the process-global SIGINT flag
+    /// (see [`install_sigint`]). This is what the CLI and the figure
+    /// binaries want.
+    #[must_use]
+    pub fn for_process() -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            sigint: true,
+        }
+    }
+
+    /// Trips the token. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the token (or, for process tokens, SIGINT) has tripped.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+            || (self.sigint && SIGINT_FLAG.load(Ordering::Relaxed))
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+/// Trips the process-global SIGINT flag by hand.
+///
+/// Lets tests (and non-unix builds) exercise the exact code path a real
+/// `Ctrl-C` takes without delivering a signal.
+pub fn trip_process_flag() {
+    SIGINT_FLAG.store(true, Ordering::Release);
+}
+
+/// Whether the process-global SIGINT flag has tripped.
+#[must_use]
+pub fn process_flag_tripped() -> bool {
+    SIGINT_FLAG.load(Ordering::Relaxed)
+}
+
+#[cfg(unix)]
+mod sys {
+    use super::{Ordering, SIGINT_FLAG};
+
+    const SIGINT: i32 = 2;
+    /// `SIG_DFL` is the null handler pointer on every unix libc.
+    const SIG_DFL: usize = 0;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+        fn raise(signum: i32) -> i32;
+    }
+
+    /// The handler body is async-signal-safe: one atomic store on the
+    /// first delivery; on the second, restore the default disposition
+    /// and re-raise so the process dies like an unhandled Ctrl-C.
+    extern "C" fn on_sigint(signum: i32) {
+        if SIGINT_FLAG.swap(true, Ordering::AcqRel) {
+            unsafe {
+                signal(signum, SIG_DFL);
+                raise(signum);
+            }
+        }
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_sigint as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    /// No signal plumbing off unix; `trip_process_flag` still works.
+    pub fn install() {}
+}
+
+/// Installs the graceful-`SIGINT` handler (first `Ctrl-C` trips the
+/// process flag; the second restores default disposition and re-raises).
+/// Idempotent; a no-op on non-unix targets.
+pub fn install_sigint() {
+    if !SIGINT_INSTALLED.swap(true, Ordering::AcqRel) {
+        sys::install();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_not_cancelled() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        t.cancel();
+        assert!(u.is_cancelled());
+        // Idempotent.
+        u.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn isolated_tokens_do_not_observe_each_other() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        a.cancel();
+        assert!(!b.is_cancelled());
+    }
+
+    #[test]
+    fn process_token_observes_the_global_flag() {
+        // NOTE: trips process-global state; fine because every
+        // assertion below expects the tripped state and isolated
+        // tokens (above) never consult it.
+        let t = CancelToken::for_process();
+        assert!(!t.flag.load(Ordering::Relaxed));
+        trip_process_flag();
+        assert!(t.is_cancelled());
+        assert!(process_flag_tripped());
+        // Isolated tokens stay isolated even with the flag tripped.
+        assert!(!CancelToken::new().is_cancelled());
+    }
+
+    #[test]
+    fn install_is_idempotent() {
+        install_sigint();
+        install_sigint();
+    }
+}

@@ -11,7 +11,8 @@
 
 use performa_core::{Axis, Scenario, SweepPlan};
 use performa_experiments::{
-    ascii_plot_logy, base_thresholds, print_row, sweep_options_from_args, tpt_cluster, write_csv,
+    ascii_plot_logy, base_thresholds, exit_if_partial, print_row, sweep_options_from_args,
+    tpt_cluster, write_csv,
 };
 
 fn main() {
@@ -37,14 +38,17 @@ fn main() {
     );
 
     // One sweep per truncation level; every sweep shares the ρ grid.
+    // A Ctrl-C (or an exhausted --deadline) exits 40 here with every
+    // completed point flushed to --store, resumable with zero re-solves.
     let curves: Vec<Vec<f64>> = ts
         .iter()
         .map(|&t| {
-            Scenario::new(tpt_cluster(t, 0.5), Axis::Rho(grid.clone()))
+            let result = Scenario::new(tpt_cluster(t, 0.5), Axis::Rho(grid.clone()))
                 .compile()
                 .with_options(opts.clone())
-                .run_map(|sol| sol.normalized_mean_queue_length())
-                .expect_values("stable for rho < 1")
+                .run_map(|sol| sol.normalized_mean_queue_length());
+            exit_if_partial(result.stats());
+            result.expect_values("stable for rho < 1")
         })
         .collect();
 

@@ -235,7 +235,15 @@ pub fn arg_or<T: std::str::FromStr>(key: &str, default: T) -> T {
 ///   bit-identically, so a re-run after a crash (or a parameter-subset
 ///   run) only solves what is missing,
 /// * `--retry-failed` — re-attempt points whose stored record is a
-///   persisted failure.
+///   persisted failure,
+/// * `--deadline S` — whole-run wall-clock budget in seconds, split
+///   into per-point deadlines by the cost-informed policy.
+///
+/// Every binary also gets the graceful-shutdown fabric: the first
+/// Ctrl-C trips the process-wide [`CancelToken`], the sweep drains and
+/// flushes the store, and [`exit_if_partial`] maps the interrupted run
+/// to [`performa_core::EXIT_PARTIAL`]; a second Ctrl-C kills the
+/// process.
 ///
 /// Binaries that run several plans (one per curve) should `clone()` the
 /// returned options so every curve shares the one open store handle.
@@ -243,13 +251,24 @@ pub fn arg_or<T: std::str::FromStr>(key: &str, default: T) -> T {
 /// # Panics
 ///
 /// Panics if `--store` cannot be opened (experiment binaries want loud
-/// failures); a corrupt store's diagnostic names the damaged offset.
+/// failures) or `--deadline` is not a non-negative number of seconds;
+/// a corrupt store's diagnostic names the damaged offset.
 pub fn sweep_options_from_args() -> SweepOptions {
+    performa_core::install_sigint();
     let mut opts = SweepOptions {
         threads: arg_or("--threads", 0),
         retry_failed: std::env::args().any(|a| a == "--retry-failed"),
+        cancel: Some(performa_core::CancelToken::for_process()),
         ..SweepOptions::default()
     };
+    if std::env::args().any(|a| a == "--deadline") {
+        let secs: f64 = arg_or("--deadline", -1.0);
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "--deadline must be a non-negative number of seconds"
+        );
+        opts.run_budget = Some(std::time::Duration::from_secs_f64(secs));
+    }
     let argv: Vec<String> = std::env::args().collect();
     let store_path = argv
         .iter()
@@ -271,6 +290,26 @@ pub fn sweep_options_from_args() -> SweepOptions {
         opts.store = Some(handle);
     }
     opts
+}
+
+/// Exits the process with [`performa_core::EXIT_PARTIAL`] if the sweep
+/// behind `stats` was interrupted (Ctrl-C or `--deadline` exhaustion),
+/// printing the partial tally and a resume hint to stderr first.
+///
+/// Figure binaries call this after each plan run, **before**
+/// interpreting the values: an interrupted run's unsolved points would
+/// otherwise panic the figure's `expect_values` with a misleading
+/// diagnostic. Completed points are already flushed to `--store`, so
+/// rerunning the same command resumes with zero re-solves.
+pub fn exit_if_partial(stats: &performa_core::SweepStats) {
+    if stats.interrupted() {
+        eprintln!(
+            "sweep interrupted: {} of {} points solved ({} cancelled, {} quarantined); \
+             rerun the same command with --store to resume",
+            stats.solved, stats.points, stats.cancelled, stats.quarantined
+        );
+        std::process::exit(i32::from(performa_core::EXIT_PARTIAL));
+    }
 }
 
 /// Writes a CSV file under `results/`, creating the directory if needed.

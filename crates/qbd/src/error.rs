@@ -47,6 +47,16 @@ pub enum QbdError {
         /// Iterations completed across all attempted stages.
         iterations: usize,
     },
+    /// A cooperative cancellation request (`CancelToken`) arrived before
+    /// any solver stage converged. Unlike [`QbdError::DeadlineExceeded`]
+    /// this says nothing about the point's difficulty — the run was
+    /// told to stop.
+    Cancelled {
+        /// Stage that was running (or about to run) when the token tripped.
+        stage: &'static str,
+        /// Iterations completed across all attempted stages.
+        iterations: usize,
+    },
     /// An underlying linear-algebra operation failed.
     Linalg(performa_linalg::LinalgError),
 }
@@ -77,6 +87,10 @@ impl fmt::Display for QbdError {
             QbdError::DeadlineExceeded { stage, iterations } => write!(
                 f,
                 "deadline expired in {stage} after {iterations} iterations"
+            ),
+            QbdError::Cancelled { stage, iterations } => write!(
+                f,
+                "cancelled in {stage} after {iterations} iterations"
             ),
             QbdError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
         }
@@ -134,6 +148,13 @@ mod tests {
             message: "rho".into(),
         };
         assert!(e.to_string().contains("rho"));
+
+        let e = QbdError::Cancelled {
+            stage: "logred",
+            iterations: 3,
+        };
+        assert!(e.to_string().contains("cancelled"));
+        assert!(e.to_string().contains("logred"));
     }
 
     #[test]

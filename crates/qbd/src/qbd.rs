@@ -1,5 +1,6 @@
 use std::time::Instant;
 
+use performa_ctrl::CancelToken;
 use performa_linalg::{
     lu::{FactorOptions, Lu, LuWorkspace},
     Matrix, Vector,
@@ -40,6 +41,26 @@ fn check_deadline(stage: &'static str, iterations: usize, deadline: Option<Insta
         }
     }
     Ok(())
+}
+
+/// Combined interrupt check, run at the amortized [`CHECK_STRIDE`]: a
+/// tripped [`CancelToken`] wins over an expired deadline, so a Ctrl-C
+/// under a per-point deadline reports [`QbdError::Cancelled`] (the run
+/// was told to stop) rather than [`QbdError::DeadlineExceeded`] (the
+/// point looked too expensive).
+fn check_interrupt(
+    stage: &'static str,
+    iterations: usize,
+    deadline: Option<Instant>,
+    cancel: Option<&CancelToken>,
+) -> Result<()> {
+    if cancel.is_some_and(CancelToken::is_cancelled) {
+        return Err(QbdError::Cancelled {
+            stage,
+            iterations,
+        });
+    }
+    check_deadline(stage, iterations, deadline)
 }
 
 /// Per-iteration observability: residual gauge always (cheap no-op when
@@ -191,6 +212,14 @@ pub struct SolveOptions {
     /// solvable problem fail. A seed whose dimension does not match the
     /// phase dimension is ignored.
     pub initial_g: Option<Matrix>,
+    /// Optional wall-clock deadline for the `G` stages, checked at the
+    /// amortized [`CHECK_STRIDE`]; expiry yields
+    /// [`QbdError::DeadlineExceeded`]. `None` (the default) disables
+    /// the check.
+    pub deadline: Option<Instant>,
+    /// Optional cooperative cancellation token, checked alongside the
+    /// deadline; a tripped token yields [`QbdError::Cancelled`].
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for SolveOptions {
@@ -200,6 +229,8 @@ impl Default for SolveOptions {
             max_iterations: 200,
             hardening: Hardening::default(),
             initial_g: None,
+            deadline: None,
+            cancel: None,
         }
     }
 }
@@ -219,6 +250,20 @@ impl SolveOptions {
     #[must_use]
     pub fn with_initial_g(mut self, g: Matrix) -> Self {
         self.initial_g = Some(g);
+        self
+    }
+
+    /// The same options with a wall-clock deadline for the `G` stages.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The same options with a cooperative cancellation token.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
         self
     }
 }
@@ -551,7 +596,13 @@ impl Qbd {
     /// [`QbdError::Linalg`] on singular intermediate systems.
     pub fn g_matrix(&self, opts: SolveOptions) -> Result<Matrix> {
         Ok(self
-            .g_logred_counted(opts.tolerance, opts.max_iterations, None, opts.hardening)?
+            .g_logred_counted(
+                opts.tolerance,
+                opts.max_iterations,
+                opts.deadline,
+                opts.cancel.as_ref(),
+                opts.hardening,
+            )?
             .0)
     }
 
@@ -571,6 +622,7 @@ impl Qbd {
         tolerance: f64,
         max_iterations: usize,
         deadline: Option<Instant>,
+        cancel: Option<&CancelToken>,
         hardening: Hardening,
     ) -> Result<(Matrix, usize)> {
         self.shift_gate(hardening)?;
@@ -615,7 +667,7 @@ impl Qbd {
             for it in 0..max_iterations {
                 let checking = checked_iteration(it, max_iterations);
                 if checking {
-                    check_deadline("logred", it, deadline)?;
+                    check_interrupt("logred", it, deadline, cancel)?;
                 }
                 // U = H·L + L·H, then t1 ← I − U and factor in place.
                 gemm(1.0, &ws.k1, &ws.k2, 0.0, &mut ws.t1);
@@ -676,7 +728,14 @@ impl Qbd {
     /// needed in practice.
     pub fn g_matrix_functional(&self, tolerance: f64, max_iterations: usize) -> Result<Matrix> {
         Ok(self
-            .g_functional_counted(tolerance, max_iterations, None, Hardening::default(), None)?
+            .g_functional_counted(
+                tolerance,
+                max_iterations,
+                None,
+                None,
+                Hardening::default(),
+                None,
+            )?
             .0)
     }
 
@@ -704,7 +763,8 @@ impl Qbd {
         self.g_functional_counted(
             opts.tolerance,
             opts.max_iterations,
-            None,
+            opts.deadline,
+            opts.cancel.as_ref(),
             opts.hardening,
             opts.initial_g.as_ref(),
         )
@@ -725,6 +785,7 @@ impl Qbd {
         tolerance: f64,
         max_iterations: usize,
         deadline: Option<Instant>,
+        cancel: Option<&CancelToken>,
         hardening: Hardening,
         initial_g: Option<&Matrix>,
     ) -> Result<(Matrix, usize)> {
@@ -777,7 +838,7 @@ impl Qbd {
             for it in 0..max_iterations {
                 let checking = checked_iteration(it, max_iterations);
                 if checking {
-                    check_deadline("functional", it, deadline)?;
+                    check_interrupt("functional", it, deadline, cancel)?;
                 }
                 // next = base + up·G² assembled in t2.
                 gemm(1.0, &ws.x1, &ws.x1, 0.0, &mut ws.t1);
@@ -829,7 +890,7 @@ impl Qbd {
     /// Same conditions as [`Qbd::g_matrix`].
     pub fn g_matrix_neuts(&self, tolerance: f64, max_iterations: usize) -> Result<Matrix> {
         Ok(self
-            .g_neuts_counted(tolerance, max_iterations, None, Hardening::default())?
+            .g_neuts_counted(tolerance, max_iterations, None, None, Hardening::default())?
             .0)
     }
 
@@ -845,7 +906,13 @@ impl Qbd {
     /// chain.
     pub fn g_matrix_neuts_with(&self, opts: SolveOptions) -> Result<Matrix> {
         Ok(self
-            .g_neuts_counted(opts.tolerance, opts.max_iterations, None, opts.hardening)?
+            .g_neuts_counted(
+                opts.tolerance,
+                opts.max_iterations,
+                opts.deadline,
+                opts.cancel.as_ref(),
+                opts.hardening,
+            )?
             .0)
     }
 
@@ -857,6 +924,7 @@ impl Qbd {
         tolerance: f64,
         max_iterations: usize,
         deadline: Option<Instant>,
+        cancel: Option<&CancelToken>,
         hardening: Hardening,
     ) -> Result<(Matrix, usize)> {
         self.shift_gate(hardening)?;
@@ -867,7 +935,7 @@ impl Qbd {
             for it in 0..max_iterations {
                 let checking = checked_iteration(it, max_iterations);
                 if checking {
-                    check_deadline("neuts", it, deadline)?;
+                    check_interrupt("neuts", it, deadline, cancel)?;
                 }
                 // t1 ← −(A1 + A0·G), factored in place; next = t2.
                 ws.t1.copy_from(&self.a1);
@@ -986,21 +1054,35 @@ impl Qbd {
                 down_rate: down,
             });
         }
-        let warm = opts.initial_g.as_ref().and_then(|seed| {
-            self.g_functional_counted(
+        // A warm-start failure still falls back to cold logred — except
+        // for an interrupt, which must not be retried (the fallback
+        // would spin until its own next check, wasting the drain).
+        let warm = match opts.initial_g.as_ref() {
+            Some(seed) => match self.g_functional_counted(
                 opts.tolerance,
                 opts.max_iterations,
-                None,
+                opts.deadline,
+                opts.cancel.as_ref(),
                 opts.hardening,
                 Some(seed),
-            )
-            .ok()
-        });
+            ) {
+                Ok(pair) => Some(pair),
+                Err(e @ (QbdError::Cancelled { .. } | QbdError::DeadlineExceeded { .. })) => {
+                    return Err(e)
+                }
+                Err(_) => None,
+            },
+            None => None,
+        };
         let (g, iters) = match warm {
             Some(pair) => pair,
-            None => {
-                self.g_logred_counted(opts.tolerance, opts.max_iterations, None, opts.hardening)?
-            }
+            None => self.g_logred_counted(
+                opts.tolerance,
+                opts.max_iterations,
+                opts.deadline,
+                opts.cancel.as_ref(),
+                opts.hardening,
+            )?,
         };
         let r = self.r_from_g_with_cond(&g, opts.hardening)?.0;
         Ok((self.boundary_from_gr(g, r, opts.hardening)?.0, iters))
@@ -1349,12 +1431,42 @@ mod tests {
         let qbd = mmpp2(1.0);
         let past = Some(std::time::Instant::now() - std::time::Duration::from_millis(1));
         for result in [
-            qbd.g_neuts_counted(1e-12, 100, past, Hardening::default()),
-            qbd.g_functional_counted(1e-12, 100, past, Hardening::default(), None),
-            qbd.g_logred_counted(1e-12, 100, past, Hardening::default()),
+            qbd.g_neuts_counted(1e-12, 100, past, None, Hardening::default()),
+            qbd.g_functional_counted(1e-12, 100, past, None, Hardening::default(), None),
+            qbd.g_logred_counted(1e-12, 100, past, None, Hardening::default()),
         ] {
             assert!(matches!(result, Err(QbdError::DeadlineExceeded { .. })));
         }
+    }
+
+    #[test]
+    fn tripped_token_aborts_every_strategy() {
+        let qbd = mmpp2(1.0);
+        let token = performa_ctrl::CancelToken::new();
+        token.cancel();
+        let t = Some(&token);
+        for result in [
+            qbd.g_neuts_counted(1e-12, 100, None, t, Hardening::default()),
+            qbd.g_functional_counted(1e-12, 100, None, t, Hardening::default(), None),
+            qbd.g_logred_counted(1e-12, 100, None, t, Hardening::default()),
+        ] {
+            assert!(matches!(result, Err(QbdError::Cancelled { .. })));
+        }
+    }
+
+    #[test]
+    fn cancel_outranks_deadline_when_both_fire() {
+        let qbd = mmpp2(1.0);
+        let past = std::time::Instant::now() - std::time::Duration::from_millis(1);
+        let token = performa_ctrl::CancelToken::new();
+        token.cancel();
+        let opts = SolveOptions::default()
+            .with_deadline(past)
+            .with_cancel(token);
+        assert!(matches!(
+            qbd.solve_with(opts),
+            Err(QbdError::Cancelled { .. })
+        ));
     }
 
     #[test]
@@ -1418,7 +1530,7 @@ mod tests {
             tolerance: 1e-13,
             max_iterations: 100_000,
             hardening: Hardening::full(),
-            initial_g: None,
+            ..SolveOptions::default()
         };
         let shifted = qbd.g_matrix_functional_with(opts).unwrap();
         assert!(plain.max_abs_diff(&shifted) < 1e-10);
@@ -1432,7 +1544,7 @@ mod tests {
             tolerance: 1e-13,
             max_iterations: 50_000,
             hardening: Hardening::full(),
-            initial_g: None,
+            ..SolveOptions::default()
         };
         let hardened = qbd.g_matrix_neuts_with(opts).unwrap();
         assert!(plain.max_abs_diff(&hardened) < 1e-10);

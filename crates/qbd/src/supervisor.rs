@@ -30,6 +30,7 @@
 use std::fmt;
 use std::time::{Duration, Instant};
 
+use performa_ctrl::CancelToken;
 use performa_linalg::Matrix;
 
 use crate::qbd::{all_finite, Hardening, Qbd};
@@ -132,6 +133,12 @@ pub struct SupervisorOptions {
     pub renormalization_cap: f64,
     /// Optional wall-clock budget for the whole solve.
     pub deadline: Option<Duration>,
+    /// Optional cooperative cancellation token, checked between stages
+    /// and inside every counted iteration loop (at the amortized check
+    /// stride). A tripped token aborts the solve with
+    /// [`QbdError::Cancelled`] — unlike a deadline it says nothing
+    /// about the point's difficulty, so it is never retried.
+    pub cancel: Option<CancelToken>,
     /// Baseline numerical hardening for every stage. Independent of
     /// this setting the supervisor escalates to [`Hardening::full`] —
     /// always reported via [`SolveWarning::Hardened`] — when the drift
@@ -164,6 +171,7 @@ impl Default for SupervisorOptions {
             condition_threshold: 1e12,
             renormalization_cap: 1e-2,
             deadline: None,
+            cancel: None,
             hardening: Hardening::default(),
         }
     }
@@ -194,6 +202,12 @@ impl SupervisorOptions {
     /// Sets the wall-clock deadline.
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the cooperative cancellation token.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
         self
     }
 
@@ -483,6 +497,8 @@ pub enum StageOutcome {
     Converged,
     /// The wall-clock budget expired during the attempt.
     DeadlineExceeded,
+    /// A cooperative cancellation request arrived during the attempt.
+    Cancelled,
     /// The stage was rejected for the attached reason.
     Failed(StageFailureReason),
 }
@@ -492,6 +508,7 @@ impl fmt::Display for StageOutcome {
         match self {
             StageOutcome::Converged => f.write_str("converged"),
             StageOutcome::DeadlineExceeded => f.write_str("deadline exceeded"),
+            StageOutcome::Cancelled => f.write_str("cancelled"),
             StageOutcome::Failed(reason) => reason.fmt(f),
         }
     }
@@ -674,11 +691,17 @@ impl SolverSupervisor {
         let mut accepted: Option<(Matrix, GStrategy, usize, f64, f64)> = None;
         let mut best_residual = f64::INFINITY;
         let mut deadline_hit = false;
+        let mut cancel_hit = false;
+        let cancel = self.options.cancel.as_ref();
 
         let mut accepted_hardening = base_hardening;
         'levels: for level in 0..=self.options.max_relaxations {
             let tol = self.options.tolerance * self.options.relaxation_factor.powi(level as i32);
             'stages: for stage in &self.options.chain {
+                if cancel.is_some_and(|t| t.is_cancelled()) {
+                    cancel_hit = true;
+                    break 'levels;
+                }
                 if deadline.is_some_and(|d| Instant::now() >= d) {
                     deadline_hit = true;
                     break 'levels;
@@ -702,7 +725,7 @@ impl SolverSupervisor {
                     // stage trips a watchdog or falls back, the last K
                     // iteration records are dumped as qbd.flight events.
                     performa_obs::flight::begin(stage.strategy.key(), hardening.any());
-                    let outcome = self.run_stage(*stage, tol, deadline, hardening);
+                    let outcome = self.run_stage(*stage, tol, deadline, cancel, hardening);
                     match outcome {
                         Ok((mut g, iters)) => {
                             let drift = renormalize_g(&mut g);
@@ -798,6 +821,30 @@ impl SolverSupervisor {
                             deadline_hit = true;
                             break 'levels;
                         }
+                        Err(QbdError::Cancelled { iterations, .. }) => {
+                            performa_obs::event(
+                                performa_obs::TraceLevel::Warn,
+                                "qbd.cancelled",
+                                vec![
+                                    ("strategy", stage.strategy.key().into()),
+                                    ("iterations", iterations.into()),
+                                ],
+                            );
+                            attempts.push(StageAttempt {
+                                strategy: stage.strategy,
+                                tolerance: tol,
+                                iterations,
+                                hardened: hardening.any(),
+                                converged: false,
+                                outcome: StageOutcome::Cancelled,
+                            });
+                            // Preserve the abandoned attempt's tail for
+                            // the post-mortem before the drain discards
+                            // this point.
+                            performa_obs::flight::dump("cancelled");
+                            cancel_hit = true;
+                            break 'levels;
+                        }
                         Err(e) => {
                             let iterations = match e {
                                 QbdError::NoConvergence { iterations, .. } => iterations,
@@ -846,7 +893,12 @@ impl SolverSupervisor {
 
         let total_iterations: usize = attempts.iter().map(|a| a.iterations).sum();
         let Some((g, strategy, iterations, residual, tol_used)) = accepted else {
-            return Err(if deadline_hit {
+            return Err(if cancel_hit {
+                QbdError::Cancelled {
+                    stage: "solver supervisor",
+                    iterations: total_iterations,
+                }
+            } else if deadline_hit {
                 QbdError::DeadlineExceeded {
                     stage: "solver supervisor",
                     iterations: total_iterations,
@@ -940,20 +992,25 @@ impl SolverSupervisor {
         stage: StageBudget,
         tolerance: f64,
         deadline: Option<Instant>,
+        cancel: Option<&CancelToken>,
         hardening: Hardening,
     ) -> Result<(Matrix, usize)> {
         match stage.strategy {
             GStrategy::NeutsSubstitution => {
                 self.qbd
-                    .g_neuts_counted(tolerance, stage.max_iterations, deadline, hardening)
+                    .g_neuts_counted(tolerance, stage.max_iterations, deadline, cancel, hardening)
             }
-            GStrategy::FunctionalIteration => {
-                self.qbd
-                    .g_functional_counted(tolerance, stage.max_iterations, deadline, hardening, None)
-            }
+            GStrategy::FunctionalIteration => self.qbd.g_functional_counted(
+                tolerance,
+                stage.max_iterations,
+                deadline,
+                cancel,
+                hardening,
+                None,
+            ),
             GStrategy::LogarithmicReduction => {
                 self.qbd
-                    .g_logred_counted(tolerance, stage.max_iterations, deadline, hardening)
+                    .g_logred_counted(tolerance, stage.max_iterations, deadline, cancel, hardening)
             }
         }
     }
@@ -1117,6 +1174,34 @@ mod tests {
         assert!(matches!(
             SolverSupervisor::with_options(qbd, options).solve(),
             Err(QbdError::DeadlineExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn tripped_token_yields_cancelled_error() {
+        let qbd = mmpp2(1.0);
+        let token = CancelToken::new();
+        token.cancel();
+        let options = SupervisorOptions::default().with_cancel(token);
+        assert!(matches!(
+            SolverSupervisor::with_options(qbd, options).solve(),
+            Err(QbdError::Cancelled { .. })
+        ));
+    }
+
+    #[test]
+    fn cancel_outranks_deadline_in_the_supervisor() {
+        // Both interrupts armed: the typed outcome must say "told to
+        // stop", not "point too expensive".
+        let qbd = mmpp2(1.0);
+        let token = CancelToken::new();
+        token.cancel();
+        let options = SupervisorOptions::default()
+            .with_deadline(Duration::ZERO)
+            .with_cancel(token);
+        assert!(matches!(
+            SolverSupervisor::with_options(qbd, options).solve(),
+            Err(QbdError::Cancelled { .. })
         ));
     }
 

@@ -29,6 +29,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use performa_ctrl::CancelToken;
+
 use crate::stats::{confidence_interval, ConfidenceInterval};
 use crate::{Result, SimError};
 
@@ -48,6 +50,11 @@ pub struct ReplicationOptions {
     pub deadline: Option<Duration>,
     /// Offset added to a replication's seed per retry attempt.
     pub reseed_stride: u64,
+    /// Optional cooperative cancellation token, checked at the same
+    /// amortized stride as the deadline; on a tripped token the runner
+    /// stops handing out work and returns whatever completed, flagged
+    /// via [`ReplicationOutcome::cancelled`].
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for ReplicationOptions {
@@ -57,6 +64,7 @@ impl Default for ReplicationOptions {
             max_retries: 2,
             deadline: None,
             reseed_stride: DEFAULT_RESEED_STRIDE,
+            cancel: None,
         }
     }
 }
@@ -79,6 +87,12 @@ impl ReplicationOptions {
     /// Sets the retry budget.
     pub fn with_max_retries(mut self, max_retries: u32) -> Self {
         self.max_retries = max_retries;
+        self
+    }
+
+    /// Sets the cooperative cancellation token.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
         self
     }
 }
@@ -114,6 +128,8 @@ pub struct ReplicationOutcome {
     pub skipped: u64,
     /// Whether the wall-clock deadline cut the sweep short.
     pub deadline_hit: bool,
+    /// Whether a cooperative cancellation request cut the sweep short.
+    pub cancelled: bool,
 }
 
 impl ReplicationOutcome {
@@ -122,7 +138,7 @@ impl ReplicationOutcome {
     /// valid, but callers should surface the degradation (the CLI maps
     /// this to exit code 10).
     pub fn degraded(&self) -> bool {
-        self.deadline_hit || self.skipped > 0 || !self.failures.is_empty()
+        self.deadline_hit || self.cancelled || self.skipped > 0 || !self.failures.is_empty()
     }
 
     /// One-line human-readable summary.
@@ -134,7 +150,9 @@ impl ReplicationOutcome {
             self.retried,
             self.failures.len(),
             self.skipped,
-            if self.deadline_hit {
+            if self.cancelled {
+                ", cancelled"
+            } else if self.deadline_hit {
                 ", deadline hit"
             } else {
                 ""
@@ -170,28 +188,48 @@ const DEADLINE_SLACK: Duration = Duration::from_millis(5);
 /// `sim.deadline` warning event.
 struct StridedDeadline {
     deadline: Option<Instant>,
+    /// Optional cooperative cancellation token, checked on every probe
+    /// (a relaxed atomic load — cheaper than the amortized clock read,
+    /// so it needs no stride of its own).
+    cancel: Option<CancelToken>,
     /// Probes remaining until the next clock read.
     countdown: AtomicI64,
     /// Current probes-per-clock-read stride.
     stride: AtomicU64,
     expired: AtomicBool,
+    cancelled: AtomicBool,
 }
 
 impl StridedDeadline {
-    fn new(deadline: Option<Instant>) -> Self {
+    fn new(deadline: Option<Instant>, cancel: Option<CancelToken>) -> Self {
         if deadline.is_some() {
             performa_obs::gauge_set("sim.deadline.stride", 1.0);
         }
         StridedDeadline {
             deadline,
+            cancel,
             countdown: AtomicI64::new(1),
             stride: AtomicU64::new(1),
             expired: AtomicBool::new(false),
+            cancelled: AtomicBool::new(false),
         }
     }
 
-    /// `true` once the wall-clock deadline has passed.
+    /// Whether a probe has observed a tripped cancellation token.
+    fn was_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// `true` once the wall-clock deadline has passed or the token
+    /// tripped; cancellation is checked first so a Ctrl-C is honoured
+    /// even under a comfortable deadline stride.
     fn probe(&self) -> bool {
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            if !self.cancelled.swap(true, Ordering::Relaxed) {
+                performa_obs::event(performa_obs::TraceLevel::Warn, "sim.cancelled", vec![]);
+            }
+            return true;
+        }
         let Some(deadline) = self.deadline else {
             return false;
         };
@@ -276,7 +314,10 @@ where
             message: "need at least one replication".into(),
         });
     }
-    let deadline = StridedDeadline::new(options.deadline.map(|d| Instant::now() + d));
+    let deadline = StridedDeadline::new(
+        options.deadline.map(|d| Instant::now() + d),
+        options.cancel.clone(),
+    );
     let threads = options.threads.max(1).min(replications as usize);
 
     let next = AtomicU64::new(0);
@@ -381,6 +422,9 @@ where
         });
     }
     let completed = values.len() as u64;
+    // A probe that observed the token reports "cancelled", not
+    // "deadline hit" — the stop was commanded, not earned.
+    let cancelled = deadline.was_cancelled();
     Ok(ReplicationOutcome {
         values,
         requested: replications,
@@ -388,7 +432,8 @@ where
         retried: retried.load(Ordering::Relaxed),
         failures,
         skipped,
-        deadline_hit: deadline_hit.load(Ordering::Relaxed),
+        deadline_hit: deadline_hit.load(Ordering::Relaxed) && !cancelled,
+        cancelled,
     })
 }
 
@@ -712,6 +757,47 @@ mod tests {
         .unwrap();
         assert_eq!(ci.replications, outcome.completed);
         assert!(ci.mean.is_finite());
+    }
+
+    #[test]
+    fn cancellation_returns_partial_results_with_cancelled_flag() {
+        // The token trips from inside replication 5; the runner finishes
+        // that unit of work, then stops handing out replications.
+        let token = CancelToken::new();
+        let options = ReplicationOptions::with_threads(1).with_cancel(token.clone());
+        let outcome = run_replications_robust(50, 0, &options, |seed| {
+            if seed == 5 {
+                token.cancel();
+            }
+            seed as f64
+        })
+        .unwrap();
+        assert!(outcome.completed >= 6);
+        assert!(outcome.completed < 50, "completed {}", outcome.completed);
+        assert!(outcome.cancelled);
+        assert!(!outcome.deadline_hit);
+        assert!(outcome.skipped > 0);
+        assert!(outcome.degraded());
+        assert!(outcome.summary().contains("cancelled"));
+    }
+
+    #[test]
+    fn cancellation_outranks_deadline_flag() {
+        // Token pre-tripped AND a generous deadline: the outcome must
+        // report cancelled, not deadline_hit — but only after at least
+        // one value exists, so trip the token from replication 0.
+        let token = CancelToken::new();
+        let options = ReplicationOptions::with_threads(1)
+            .with_deadline(Duration::from_secs(3600))
+            .with_cancel(token.clone());
+        let outcome = run_replications_robust(50, 0, &options, |seed| {
+            token.cancel();
+            seed as f64
+        })
+        .unwrap();
+        assert!(outcome.cancelled);
+        assert!(!outcome.deadline_hit);
+        assert!(outcome.degraded());
     }
 
     #[test]

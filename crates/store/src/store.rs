@@ -372,6 +372,26 @@ impl Store {
     }
 }
 
+impl Drop for Store {
+    /// Best-effort flush of the unsynced fsync batch. Appends already
+    /// reached the file (writes are unbuffered), so this only narrows
+    /// the kernel-death window for up to [`SYNC_EVERY`] − 1 batched
+    /// records; a failure is logged, never panicked — drop runs on
+    /// unwind paths where a second panic would abort the process.
+    fn drop(&mut self) {
+        if let Err(e) = self.flush() {
+            performa_obs::event(
+                performa_obs::TraceLevel::Warn,
+                "store.drop_flush_failed",
+                vec![
+                    ("path", self.path.display().to_string().into()),
+                    ("error", e.to_string().into()),
+                ],
+            );
+        }
+    }
+}
+
 /// Scans forward from `start` looking for a checksum-valid, decodable
 /// frame; returns its offset if one exists. The scan slides one byte at
 /// a time rather than hopping frame-aligned: a corrupted length field

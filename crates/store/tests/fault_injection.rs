@@ -140,3 +140,23 @@ fn injected_fsync_failure_surfaces_from_flush() {
     assert!(!stats.recovered_truncation);
     assert_eq!(store.get(&key(0)), Some(&rec(0)));
 }
+
+#[test]
+fn injected_fsync_failure_during_drop_does_not_panic() {
+    // The Drop flush is best-effort: a failing fsync is logged, never
+    // panicked — a panic in drop on an unwind path would abort.
+    let scratch = Scratch::new("syncdrop");
+    let (mut store, _) = Store::open(&scratch.0).unwrap();
+    store.append(&key(0), &rec(0)).unwrap();
+    {
+        let _armed = arm(FaultPlan {
+            fail_sync: true,
+            ..FaultPlan::default()
+        });
+        drop(store);
+    }
+    // The append itself still reached the file (writes are unbuffered),
+    // so a reopen sees the record even though the sync was suppressed.
+    let (store, _) = Store::open(&scratch.0).unwrap();
+    assert_eq!(store.get(&key(0)), Some(&rec(0)));
+}

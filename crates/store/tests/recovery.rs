@@ -65,6 +65,29 @@ fn populate(path: &std::path::Path, n: u64) {
 }
 
 #[test]
+fn drop_mid_batch_flushes_and_reopens_complete() {
+    // Fewer appends than SYNC_EVERY, no explicit flush: the Drop impl
+    // must sync the batch so a clean exit (scope end, early return,
+    // unwind) never strands records in the page cache.
+    let scratch = Scratch::new("dropflush");
+    {
+        let (mut store, _) = Store::open(&scratch.0).unwrap();
+        for i in 0..5 {
+            store.append(&key(i), &solved(i)).unwrap();
+        }
+        const { assert!(5 < performa_store::SYNC_EVERY) };
+        // No flush() — the store is dropped mid-batch here.
+    }
+    let (store, stats) = Store::open(&scratch.0).unwrap();
+    assert_eq!(stats.records, 5);
+    assert!(!stats.recovered_truncation);
+    for i in 0..5 {
+        assert_eq!(store.get(&key(i)), Some(&solved(i)));
+    }
+    assert!(verify(&scratch.0).is_ok());
+}
+
+#[test]
 fn round_trip_across_reopen() {
     let scratch = Scratch::new("roundtrip");
     populate(&scratch.0, 5);
