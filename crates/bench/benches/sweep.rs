@@ -49,10 +49,7 @@ fn bench_sweep(c: &mut Criterion) {
         b.iter(|| {
             let res = Scenario::new(model.clone(), Axis::Rho(grid.clone()))
                 .compile()
-                .with_options(SweepOptions {
-                    threads: 1,
-                    ..SweepOptions::default()
-                })
+                .with_options(SweepOptions::default().with_threads(1))
                 .run_map(|sol| sol.normalized_mean_queue_length());
             black_box(res.expect_values("stable").iter().sum::<f64>())
         })

@@ -89,13 +89,21 @@ struct Case {
     dim: usize,
     ns_per_iter: f64,
     naive_ns_per_iter: Option<f64>,
+    /// Serial-kernel wall clock of the same case (`g_solve` cases):
+    /// when the run is threaded (`PERFORMA_THREADS`), the solve is
+    /// re-timed at one kernel thread so `speedup_vs_naive` reports the
+    /// real parallel gain; on a serial run it equals `ns_per_iter` and
+    /// the ratio is 1.
+    baseline_ns: Option<f64>,
     /// ∞-norm of `A2 + A1·G + A0·G²` for `g_solve` cases.
     residual: Option<f64>,
 }
 
 impl Case {
     fn speedup(&self) -> Option<f64> {
-        self.naive_ns_per_iter.map(|n| n / self.ns_per_iter)
+        self.naive_ns_per_iter
+            .or(self.baseline_ns)
+            .map(|n| n / self.ns_per_iter)
     }
 }
 
@@ -207,6 +215,9 @@ fn history_line(cases: &[Case], samples: usize, smoke: bool) -> String {
             c.dim,
             c.ns_per_iter
         );
+        if let Some(bn) = c.baseline_ns {
+            let _ = write!(line, ",\"baseline_ns\":{bn:.1}");
+        }
         if let Some(speedup) = c.speedup() {
             let _ = write!(line, ",\"speedup_vs_naive\":{speedup:.3}");
         }
@@ -255,6 +266,7 @@ fn main() {
             dim,
             ns_per_iter: blocked,
             naive_ns_per_iter: Some(naive),
+            baseline_ns: None,
             residual: None,
         });
     }
@@ -285,16 +297,31 @@ fn main() {
         // still records the case with a single sample so the JSON schema
         // is complete.
         let g_samples = if smoke && m > 200 { 1 } else { samples };
+        let threads = performa_linalg::threading::threads();
         let ns = median_ns(g_samples, || qbd.g_matrix(opts.clone()).unwrap());
+        // Serial baseline for the parallel-speedup column; identical
+        // bits come out either way, only the wall clock moves.
+        let baseline = if threads > 1 {
+            performa_linalg::threading::set_threads(1);
+            let b = median_ns(g_samples, || qbd.g_matrix(opts.clone()).unwrap());
+            performa_linalg::threading::set_threads(threads);
+            b
+        } else {
+            ns
+        };
         let g = qbd.g_matrix(opts).unwrap();
         let residual = (qbd.a2() + &(qbd.a1() * &g) + &(qbd.a0() * &(&g * &g))).norm_inf();
-        eprintln!("g_solve {label} (m={m}): {ns:>14.0} ns  residual {residual:.2e}");
+        eprintln!(
+            "g_solve {label} (m={m}): {ns:>14.0} ns  serial {baseline:>14.0} ns \
+             ({threads} thread(s))  residual {residual:.2e}"
+        );
         cases.push(Case {
             name: format!("g_solve_{label}"),
             kind: "g_solve",
             dim: m,
             ns_per_iter: ns,
             naive_ns_per_iter: None,
+            baseline_ns: Some(baseline),
             residual: Some(residual),
         });
     }
@@ -329,10 +356,7 @@ fn main() {
         let engine = median_ns(samples, || {
             Scenario::new(template.clone(), Axis::Rho(grid.clone()))
                 .compile()
-                .with_options(SweepOptions {
-                    threads: 4,
-                    ..SweepOptions::default()
-                })
+                .with_options(SweepOptions::default().with_threads(4))
                 .run_map(|sol| sol.normalized_mean_queue_length())
                 .expect_values("grid is stable")
                 .iter()
@@ -343,11 +367,7 @@ fn main() {
         // fixed-point equation to the same standard.
         let gs = Scenario::new(template.clone(), Axis::Rho(grid.clone()))
             .compile()
-            .with_options(SweepOptions {
-                threads: 4,
-                warm_start: true,
-                ..SweepOptions::default()
-            })
+            .with_options(SweepOptions::default().with_threads(4).with_warm_start(true))
             .run_map(|sol| sol.qbd().g_matrix().clone())
             .expect_values("grid is stable");
         let residual = grid
@@ -368,6 +388,7 @@ fn main() {
             dim: grid.len(),
             ns_per_iter: engine,
             naive_ns_per_iter: Some(serial),
+            baseline_ns: None,
             residual: Some(residual),
         });
     }
@@ -390,11 +411,7 @@ fn main() {
             let (handle, _) = StoreHandle::open(path).expect("bench store opens");
             Scenario::new(template.clone(), Axis::Rho(grid.clone()))
                 .compile()
-                .with_options(SweepOptions {
-                    threads: 4,
-                    store: Some(handle),
-                    ..SweepOptions::default()
-                })
+                .with_options(SweepOptions::default().with_threads(4).with_store(handle))
                 .run_map(|sol| sol.normalized_mean_queue_length())
                 .expect_values("grid is stable")
                 .iter()
@@ -420,6 +437,7 @@ fn main() {
             dim: grid.len(),
             ns_per_iter: warm,
             naive_ns_per_iter: Some(cold),
+            baseline_ns: None,
             residual: None,
         });
     }
@@ -437,15 +455,23 @@ fn main() {
         let _ = writeln!(json, "      \"kind\": \"{}\",", c.kind);
         let _ = writeln!(json, "      \"dim\": {},", c.dim);
         let _ = writeln!(json, "      \"ns_per_iter\": {:.1},", c.ns_per_iter);
-        match (c.naive_ns_per_iter, c.speedup()) {
-            (Some(naive), Some(speedup)) => {
+        match c.naive_ns_per_iter {
+            Some(naive) => {
                 let _ = writeln!(json, "      \"naive_ns_per_iter\": {naive:.1},");
+            }
+            None => json.push_str("      \"naive_ns_per_iter\": null,\n"),
+        }
+        match c.baseline_ns {
+            Some(bn) => {
+                let _ = writeln!(json, "      \"baseline_ns\": {bn:.1},");
+            }
+            None => json.push_str("      \"baseline_ns\": null,\n"),
+        }
+        match c.speedup() {
+            Some(speedup) => {
                 let _ = writeln!(json, "      \"speedup_vs_naive\": {speedup:.3},");
             }
-            _ => {
-                json.push_str("      \"naive_ns_per_iter\": null,\n");
-                json.push_str("      \"speedup_vs_naive\": null,\n");
-            }
+            None => json.push_str("      \"speedup_vs_naive\": null,\n"),
         }
         match c.residual {
             Some(r) => {

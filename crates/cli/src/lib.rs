@@ -64,8 +64,12 @@ DISTRIBUTION SPECS:
   pareto:ALPHA:MEAN (simulate only) | weibull:SHAPE:MEAN (simulate only)
 
 SOLVE OPTIONS:    --tail K (report Pr(Q >= K))   --delay-bound D (report Pr(S > D))
+                  --threads N (kernel threads for this solve; 0 = all cores,
+                  bitwise identical to serial)
 SWEEP OPTIONS:    --param rho|lambda|delta|availability  --from F --to T --steps N
                   --metric mean|normalized|tail:K  --threads N (0 = all cores)
+                  --kernel-threads N (in-solve linear-algebra threads;
+                  0 = all cores; results identical at any count)
 
 SWEEP STORE OPTIONS (crash-safe resume):
   --store PATH           durable result store (append-only, checksummed
@@ -115,6 +119,9 @@ RESILIENCE OPTIONS (solve, simulate and sweep):
   --fallback LIST        comma-separated G-matrix strategy chain, tried in
                          order: neuts|functional|logred
                          (default logred,neuts,functional)
+  --hardening SPEC       numerical hardening for every stage: none|full or
+                         a '+'-joined list of shift|equilibrate|refine
+                         (default none; failing stages auto-harden)
   --tolerance T          target solver tolerance (default 1e-10)
 
 OBSERVABILITY OPTIONS (all commands):
@@ -465,11 +472,9 @@ fn parse_fallback(spec: &str) -> Result<Vec<StageBudget>> {
         .map(str::trim)
         .filter(|s| !s.is_empty())
         .map(|name| {
-            let strategy = GStrategy::parse(name).ok_or_else(|| {
-                CliError::failed(format!(
-                    "unknown G-matrix strategy `{name}` (neuts|functional|logred)"
-                ))
-            })?;
+            let strategy: GStrategy = name
+                .parse()
+                .map_err(|e: performa_qbd::QbdError| CliError::failed(e.to_string()))?;
             let budget = defaults
                 .chain
                 .iter()
@@ -505,6 +510,12 @@ pub fn supervisor_options(args: &Args) -> Result<SupervisorOptions> {
     if args.has("fallback") {
         opts.chain = parse_fallback(&args.get_str("fallback", ""))?;
     }
+    if args.has("hardening") {
+        opts.hardening = args
+            .get_str("hardening", "none")
+            .parse()
+            .map_err(|e: performa_qbd::QbdError| CliError::usage(e.to_string()))?;
+    }
     if args.has("max-iter") {
         let cap = args.get("max-iter", 0usize)?;
         if cap == 0 {
@@ -529,6 +540,13 @@ pub fn run<W: std::io::Write>(command: &str, args: &Args, out: &mut W) -> Result
     let io = |e: std::io::Error| CliError::failed(format!("output error: {e}"));
     match command {
         "solve" => {
+            if args.has("threads") {
+                // On the single-solve verb the thread budget goes to the
+                // linear-algebra kernels (parallel GEMM row panels and
+                // LU stripes) — bitwise identical to serial at any
+                // count. `0` means all cores.
+                performa_linalg::threading::set_threads(args.get("threads", 0usize)?);
+            }
             let m = build_model(args)?;
             let (sol, report) = m.solve_supervised(supervisor_options(args)?)?;
             writeln!(out, "servers          : {}", m.servers()).map_err(io)?;
@@ -573,6 +591,7 @@ pub fn run<W: std::io::Write>(command: &str, args: &Args, out: &mut W) -> Result
                 report.residual
             )
             .map_err(io)?;
+            writeln!(out, "kernel           : {}", report.kernel).map_err(io)?;
             for w in &report.warnings {
                 writeln!(out, "solver warning   : {w}").map_err(io)?;
             }
@@ -630,11 +649,12 @@ pub fn run<W: std::io::Write>(command: &str, args: &Args, out: &mut W) -> Result
                 let (i, n) = parse_shard(&args.get_str("shard", ""))?;
                 plan = plan.shard(i, n);
             }
-            let mut opts = SweepOptions {
-                threads: args.get("threads", 0usize)?,
-                retry_failed: args.has("retry-failed"),
-                ..SweepOptions::default()
-            };
+            let mut opts = SweepOptions::default()
+                .with_threads(args.get("threads", 0usize)?)
+                .with_retry_failed(args.has("retry-failed"));
+            if args.has("kernel-threads") {
+                opts = opts.with_kernel_threads(args.get("kernel-threads", 0usize)?);
+            }
             // Cooperative shutdown: first Ctrl-C trips the process-wide
             // cancel flag and the sweep drains gracefully (flushes the
             // store, exits 40); a second Ctrl-C kills the process.

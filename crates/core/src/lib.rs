@@ -96,3 +96,30 @@ pub use performa_qbd::{
 
 /// Result alias for fallible model operations.
 pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// One-line import for experiment binaries and downstream tools.
+///
+/// Pulls in the model builders, the sweep machinery, the supervised
+/// solver configuration (including the [`GStrategy`]/[`Hardening`]
+/// string round-trips) and the distribution specs — everything a
+/// typical figure-reproduction `main` touches:
+///
+/// ```
+/// use performa_core::prelude::*;
+///
+/// let opts = SweepOptions::default().with_threads(1);
+/// assert_eq!(opts.threads, 1);
+/// ```
+pub mod prelude {
+    pub use crate::{blowup, sensitivity, telco};
+    pub use crate::{
+        install_sigint, store_key, Axis, CancelToken, ClusterBuilder, ClusterModel,
+        ClusterSolution, CoreError, CrashDiscardCluster, CrashDiscardSolution, FiniteBufferCluster,
+        FiniteBufferSolution, GStrategy, Grid, LoadDependentCluster, LoadDependentSolution,
+        MeArrivalCluster, MeArrivalSolution, RunBudget, Scenario, SolveReport, SolverSupervisor,
+        StageBudget, StoreHandle, SupervisorOptions, SweepOptions, SweepPlan, SweepResult,
+        SweepStats, TransientAnalysis, EXIT_PARTIAL,
+    };
+    pub use performa_dist::DistSpec;
+    pub use performa_qbd::{Hardening, SolveOptions};
+}

@@ -273,7 +273,12 @@ impl Scenario {
 }
 
 /// Execution knobs of a [`SweepPlan`].
+///
+/// Marked `#[non_exhaustive]`: construct with [`SweepOptions::default`]
+/// and the `with_*` builders so new knobs can be added without breaking
+/// downstream crates.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct SweepOptions {
     /// Worker threads; `0` means all available parallelism. The thread
     /// count never changes results — collection is index-ordered.
@@ -331,6 +336,16 @@ pub struct SweepOptions {
     /// pool thread on it. Combined with `run_budget`, the tighter of
     /// the two deadlines applies.
     pub point_deadline: Option<Duration>,
+    /// Threads for the *linear-algebra kernels inside one solve*
+    /// (parallel GEMM row panels and multi-RHS LU stripes), applied
+    /// process-wide via [`performa_linalg::threading::set_threads`]
+    /// when the plan runs. Independent of `threads` (the per-point
+    /// worker pool): a wide sweep wants many point workers and serial
+    /// kernels; a single huge point wants the opposite. `0` means all
+    /// cores, `None` leaves the process setting untouched. Kernel
+    /// threading never changes results — the parallel schedules are
+    /// bitwise identical to serial.
+    pub kernel_threads: Option<usize>,
 }
 
 impl Default for SweepOptions {
@@ -346,7 +361,87 @@ impl Default for SweepOptions {
             cancel: None,
             run_budget: None,
             point_deadline: None,
+            kernel_threads: None,
         }
+    }
+}
+
+impl SweepOptions {
+    /// Sets the per-point worker thread count (`0` = all cores).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Enables or disables neighbor warm-starting.
+    #[must_use]
+    pub fn with_warm_start(mut self, on: bool) -> Self {
+        self.warm_start = on;
+        self
+    }
+
+    /// Enables or disables modulator sharing between like points.
+    #[must_use]
+    pub fn with_reuse_modulator(mut self, on: bool) -> Self {
+        self.reuse_modulator = on;
+        self
+    }
+
+    /// Routes every point through the resilient supervisor.
+    #[must_use]
+    pub fn with_supervisor(mut self, supervisor: SupervisorOptions) -> Self {
+        self.supervisor = Some(supervisor);
+        self
+    }
+
+    /// Sets the warm-started attempt's iteration budget.
+    #[must_use]
+    pub fn with_warm_budget(mut self, budget: usize) -> Self {
+        self.warm_budget = budget;
+        self
+    }
+
+    /// Attaches a durable result store.
+    #[must_use]
+    pub fn with_store(mut self, store: StoreHandle) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Re-attempts points whose store record is a persisted failure.
+    #[must_use]
+    pub fn with_retry_failed(mut self, on: bool) -> Self {
+        self.retry_failed = on;
+        self
+    }
+
+    /// Attaches a cooperative cancellation token.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Sets the whole-run wall-clock budget.
+    #[must_use]
+    pub fn with_run_budget(mut self, budget: Duration) -> Self {
+        self.run_budget = Some(budget);
+        self
+    }
+
+    /// Sets the fixed per-point deadline.
+    #[must_use]
+    pub fn with_point_deadline(mut self, deadline: Duration) -> Self {
+        self.point_deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the in-solve kernel thread count (`0` = all cores).
+    #[must_use]
+    pub fn with_kernel_threads(mut self, threads: usize) -> Self {
+        self.kernel_threads = Some(threads);
+        self
     }
 }
 
@@ -598,6 +693,9 @@ impl SweepPlan {
         }
         let n = self.points.len();
         let threads = effective_threads(self.options.threads, n);
+        if let Some(kt) = self.options.kernel_threads {
+            performa_linalg::threading::set_threads(kt);
+        }
         let next = AtomicUsize::new(0);
         let mut slots: Vec<Slot<T>> = (0..n).map(|_| Slot::Pending).collect();
         let slots_mx = Mutex::new(&mut slots);

@@ -61,13 +61,9 @@ fn rho_plan(rhos: Vec<f64>) -> SweepPlan {
 fn opts_with_store(path: &Path) -> (SweepOptions, StoreHandle) {
     let (handle, _) = StoreHandle::open(path).unwrap();
     (
-        SweepOptions {
-            store: Some(handle.clone()),
-            // One worker issues points in index order, which makes the
-            // "cancel after the k-th solve" scripts deterministic.
-            threads: 1,
-            ..SweepOptions::default()
-        },
+        // One worker issues points in index order, which makes the
+        // "cancel after the k-th solve" scripts deterministic.
+        SweepOptions::default().with_store(handle.clone()).with_threads(1),
         handle,
     )
 }
@@ -184,10 +180,7 @@ fn zero_run_budget_cancels_everything_before_issuing_points() {
     let _guard = obs::test_lock();
     let rhos = vec![0.2, 0.4, 0.6];
     let n = rhos.len();
-    let mut opts = SweepOptions {
-        threads: 1,
-        ..SweepOptions::default()
-    };
+    let mut opts = SweepOptions::default().with_threads(1);
     opts.run_budget = Some(Duration::ZERO);
     let result = rho_plan(rhos)
         .with_options(opts)
@@ -403,12 +396,10 @@ mod faults {
         assert!(open_stats.recovered_truncation, "torn tail must be recovered");
         assert_eq!(handle.len(), 5);
         let token = CancelToken::new();
-        let opts = SweepOptions {
-            store: Some(handle.clone()),
-            threads: 1,
-            cancel: Some(token.clone()),
-            ..SweepOptions::default()
-        };
+        let opts = SweepOptions::default()
+            .with_store(handle.clone())
+            .with_threads(1)
+            .with_cancel(token.clone());
         let replayed = AtomicUsize::new(0);
         let interrupted = rho_plan(rhos.clone()).with_options(opts).run_map(|sol| {
             if replayed.fetch_add(1, Ordering::SeqCst) + 1 == 2 {

@@ -54,10 +54,7 @@ fn one_point_plan() -> SweepPlan {
 }
 
 fn serial_opts() -> SweepOptions {
-    SweepOptions {
-        threads: 1,
-        ..SweepOptions::default()
-    }
+    SweepOptions::default().with_threads(1)
 }
 
 #[test]
@@ -95,11 +92,7 @@ fn stalled_solver_exhausts_the_ladder_and_persists_the_failure() {
     let scratch = Scratch::new("stall");
     let open = || {
         let (handle, _) = StoreHandle::open(&scratch.0).unwrap();
-        SweepOptions {
-            threads: 1,
-            store: Some(handle),
-            ..SweepOptions::default()
-        }
+        SweepOptions::default().with_threads(1).with_store(handle)
     };
 
     {

@@ -55,10 +55,7 @@ fn rho_plan(rhos: Vec<f64>) -> SweepPlan {
 fn opts_with_store(path: &Path) -> (SweepOptions, StoreHandle) {
     let (handle, _) = StoreHandle::open(path).unwrap();
     (
-        SweepOptions {
-            store: Some(handle.clone()),
-            ..SweepOptions::default()
-        },
+        SweepOptions::default().with_store(handle.clone()),
         handle,
     )
 }

@@ -4,7 +4,7 @@
 
 use std::time::Instant;
 
-use performa_core::ClusterModel;
+use performa_core::prelude::*;
 use performa_dist::{Exponential, TruncatedPowerTail};
 use performa_experiments::params;
 use performa_markov::aggregate;

@@ -12,7 +12,7 @@
 //! with the scv inflated to the *completion-time* variability measured by
 //! simulation.
 
-use performa_core::ClusterModel;
+use performa_core::prelude::*;
 use performa_dist::{Exponential, TruncatedPowerTail};
 use performa_experiments::{params, print_row, write_csv};
 use performa_qbd::{mg1, mm1};

@@ -7,7 +7,7 @@
 //! 90 — while keeping the heavy-tailed repair distribution fixed, and
 //! compare the normalized mean queue length and a deep tail probability.
 
-use performa_core::ClusterModel;
+use performa_core::prelude::*;
 use performa_dist::{Dist, Erlang, Exponential, HyperExponential, TruncatedPowerTail};
 use performa_experiments::{params, print_row, write_csv};
 

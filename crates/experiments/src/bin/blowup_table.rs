@@ -6,7 +6,7 @@
 //! per-size threshold analysis is pure model arithmetic, so it runs
 //! through [`performa_core::SweepPlan::map_models`] without solving.
 
-use performa_core::{blowup, Axis, Scenario};
+use performa_core::prelude::*;
 use performa_experiments::{params, tpt_cluster_with, write_csv};
 
 fn main() {

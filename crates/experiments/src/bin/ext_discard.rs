@@ -4,7 +4,7 @@
 //!
 //! CLI: `--cycles <n>` (default 30000).
 
-use performa_core::{ClusterModel, CrashDiscardCluster};
+use performa_core::prelude::*;
 use performa_dist::{Exponential, TruncatedPowerTail};
 use performa_experiments::{arg_or, params, print_row, write_csv};
 use performa_sim::{ClusterSim, ClusterSimConfig, FailureStrategy, StopCriterion};

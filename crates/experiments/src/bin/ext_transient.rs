@@ -2,7 +2,7 @@
 //! capacity, interval availability and simultaneous-failure probabilities
 //! over a finite horizon (uniformization on the server-state modulator).
 
-use performa_core::{ClusterModel, TransientAnalysis};
+use performa_core::prelude::*;
 use performa_dist::{Exponential, TruncatedPowerTail};
 use performa_experiments::{params, print_row, write_csv};
 

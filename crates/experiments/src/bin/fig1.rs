@@ -9,7 +9,7 @@
 //! MMPP is built once per curve (modulator cache) and the points run on
 //! the worker pool.
 
-use performa_core::{Axis, Scenario, SweepPlan};
+use performa_core::prelude::*;
 use performa_experiments::{
     ascii_plot_logy, base_thresholds, exit_if_partial, print_row, sweep_options_from_args,
     tpt_cluster, write_csv,

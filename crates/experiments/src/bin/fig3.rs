@@ -5,7 +5,7 @@
 //! visible as jumps; the exponential case (T = 1) only shows
 //! non-negligible tail mass for ρ close to 1.
 
-use performa_core::{Axis, Scenario, SweepPlan};
+use performa_core::prelude::*;
 use performa_experiments::{
     base_thresholds, print_row, sweep_options_from_args, tpt_cluster, write_csv,
 };

@@ -5,7 +5,7 @@
 //! rightmost region the values closely match the TPT results, in the
 //! intermediate region they are slightly lower.
 
-use performa_core::{Axis, Scenario, SweepPlan};
+use performa_core::prelude::*;
 use performa_experiments::{
     base_thresholds, fit_error, hyp2_cluster, params, print_row, sweep_options_from_args,
     tpt_cluster, write_csv,

@@ -10,7 +10,7 @@
 //! [`performa_core::Axis`], so the plan is compiled through
 //! [`SweepPlan::from_builder`].
 
-use performa_core::{blowup, SweepPlan};
+use performa_core::prelude::*;
 use performa_experiments::{
     ascii_plot_logy, hyp2_cluster_with_availability, print_row, sweep_options_from_args, write_csv,
 };

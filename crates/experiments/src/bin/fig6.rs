@@ -4,7 +4,7 @@
 //! The 2-phase HYP-2 keeps the lumped modulator at C(7,2) = 21 states,
 //! which is what makes N = 5 cheap (paper Sect. 3.2).
 
-use performa_core::{blowup, Axis, Scenario, SweepPlan};
+use performa_core::prelude::*;
 use performa_experiments::{
     hyp2_cluster, params, print_row, sweep_options_from_args, write_csv,
 };

@@ -10,7 +10,7 @@
 //!
 //! CLI: `--cycles <n>` (default 40000), `--reps <n>` (default 5).
 
-use performa_core::ClusterModel;
+use performa_core::prelude::*;
 use performa_dist::{Exponential, TruncatedPowerTail};
 use performa_experiments::{arg_or, params, print_row, write_csv};
 use performa_qbd::mm1;

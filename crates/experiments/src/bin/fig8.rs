@@ -8,7 +8,7 @@
 //!
 //! CLI: `--cycles <n>` (default 20000), `--reps <n>` (default 10).
 
-use performa_core::ClusterModel;
+use performa_core::prelude::*;
 use performa_dist::{Exponential, TruncatedPowerTail};
 use performa_experiments::{arg_or, params, write_csv};
 use performa_qbd::mm1;

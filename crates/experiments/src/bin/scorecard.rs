@@ -2,7 +2,8 @@
 //! paper's key quantitative claims (the "shape criteria" of DESIGN.md),
 //! printable in a few seconds. Run this first after any change.
 
-use performa_core::{blowup, blowup::BlowupRegion, ClusterModel};
+use performa_core::prelude::*;
+use performa_core::blowup::BlowupRegion;
 use performa_dist::{fit, Exponential, Moments, TruncatedPowerTail};
 use performa_experiments::{hyp2_cluster, params, tpt_cluster, tpt_cluster_with};
 
@@ -202,10 +203,7 @@ fn main() {
         for (label, template, grid) in figures {
             let result = Scenario::new(template, Axis::Rho(grid))
                 .compile()
-                .with_options(SweepOptions {
-                    warm_start: true,
-                    ..SweepOptions::default()
-                })
+                .with_options(SweepOptions::default().with_warm_start(true))
                 .run_map(|sol| sol.normalized_mean_queue_length());
             let mut mix: std::collections::BTreeMap<&'static str, usize> =
                 std::collections::BTreeMap::new();

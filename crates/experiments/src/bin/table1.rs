@@ -3,7 +3,7 @@
 //! instantiated with the paper's base parameters, plus a numerical
 //! verification that the dual constructions coincide.
 
-use performa_core::{telco, ClusterModel};
+use performa_core::prelude::*;
 use performa_dist::{Exponential, TruncatedPowerTail};
 use performa_experiments::params;
 

@@ -231,6 +231,9 @@ pub fn arg_or<T: std::str::FromStr>(key: &str, default: T) -> T {
 /// command line:
 ///
 /// * `--threads N` — worker pool size (`0` = all cores),
+/// * `--kernel-threads N` — linear-algebra kernel threads inside one
+///   solve (`0` = all cores; default leaves the process setting, i.e.
+///   `PERFORMA_THREADS` or serial),
 /// * `--store PATH` — durable result store; cached points replay
 ///   bit-identically, so a re-run after a crash (or a parameter-subset
 ///   run) only solves what is missing,
@@ -255,12 +258,13 @@ pub fn arg_or<T: std::str::FromStr>(key: &str, default: T) -> T {
 /// a corrupt store's diagnostic names the damaged offset.
 pub fn sweep_options_from_args() -> SweepOptions {
     performa_core::install_sigint();
-    let mut opts = SweepOptions {
-        threads: arg_or("--threads", 0),
-        retry_failed: std::env::args().any(|a| a == "--retry-failed"),
-        cancel: Some(performa_core::CancelToken::for_process()),
-        ..SweepOptions::default()
-    };
+    let mut opts = SweepOptions::default()
+        .with_threads(arg_or("--threads", 0))
+        .with_retry_failed(std::env::args().any(|a| a == "--retry-failed"))
+        .with_cancel(performa_core::CancelToken::for_process());
+    if std::env::args().any(|a| a == "--kernel-threads") {
+        opts = opts.with_kernel_threads(arg_or("--kernel-threads", 0));
+    }
     if std::env::args().any(|a| a == "--deadline") {
         let secs: f64 = arg_or("--deadline", -1.0);
         assert!(

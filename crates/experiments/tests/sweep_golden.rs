@@ -31,10 +31,7 @@ fn fig1_grid_matches_pre_engine_serial_loop() {
 
     let engine = Scenario::new(template.clone(), Axis::Rho(grid.clone()))
         .compile()
-        .with_options(SweepOptions {
-            threads: 4,
-            ..SweepOptions::default()
-        })
+        .with_options(SweepOptions::default().with_threads(4))
         .run_map(|sol| sol.normalized_mean_queue_length())
         .expect_values("stable for rho < 1");
 

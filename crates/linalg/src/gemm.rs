@@ -1,4 +1,4 @@
-//! Cache-blocked general matrix multiply (GEMM).
+//! Cache-blocked general matrix multiply (GEMM), serial and parallel.
 //!
 //! The QBD fixed-point iterations (logarithmic reduction, Neuts
 //! substitution, functional iteration) spend almost all of their time in
@@ -16,8 +16,22 @@
 //! Both operands are repacked into tile-major scratch buffers so the
 //! micro-kernel sees perfectly contiguous data regardless of the original
 //! row-major strides. The scratch buffers live in thread-local storage
-//! and only ever grow, so steady-state calls perform **zero heap
+//! and only ever grow, so steady-state serial calls perform **zero heap
 //! allocations** — the property the QBD workspace arena relies on.
+//!
+//! # Parallel macro-kernel
+//!
+//! When the configured kernel thread count ([`crate::threading`]) exceeds
+//! one and the product is large enough to amortize thread startup, the
+//! row dimension is partitioned into contiguous runs of [`MC`]-aligned
+//! row blocks, each owned by **exactly one** scoped thread. Every thread
+//! runs the identical `(jc, pc, ic)` loop nest over its own rows with its
+//! own packing scratch, so each element of `C` is produced by the same
+//! FMA sequence as in the serial schedule — parallel results are
+//! **bitwise identical** to serial at any thread count (pinned by the
+//! `parallel_determinism` property tests). [`gemm_into_threaded`] exposes
+//! the thread count explicitly for those tests and for callers that must
+//! not consult the global setting.
 //!
 //! The naive triple loop is retained as [`Matrix::mul_naive`] both as the
 //! correctness oracle for the property tests and as the reference point
@@ -25,6 +39,7 @@
 
 use std::cell::RefCell;
 
+use crate::threading;
 use crate::Matrix;
 
 /// Micro-kernel tile height (rows of `C` updated per inner call).
@@ -36,12 +51,18 @@ use crate::Matrix;
 pub const MR: usize = 6;
 /// Micro-kernel tile width (columns of `C` updated per inner call).
 pub const NR: usize = 8;
-/// Row-block size: rows of packed `A` kept hot in L2.
-const MC: usize = 128;
-/// Depth-block size: the `k` extent of one packed panel pair.
-const KC: usize = 256;
+/// Row-block size: rows of packed `A` kept hot in L2. Also the
+/// granularity of the parallel row partition — each output row block is
+/// owned by exactly one thread.
+pub const MC: usize = 128;
+/// Depth-block size: the `k` extent of one packed panel pair. Each
+/// depth panel contributes one `C += α·acc` update per output element;
+/// the structured kernels in [`crate::storage`] replicate this panel
+/// split exactly to stay bit-identical to the dense path.
+pub const KC: usize = 256;
 /// Column-block size: columns of packed `B` processed per outer sweep.
 const NC: usize = 1024;
+
 
 thread_local! {
     /// Reusable packing scratch `(a_pack, b_pack)`; grows to the high-water
@@ -54,7 +75,8 @@ thread_local! {
 /// Grows during the first products on a thread and then plateaus; the
 /// QBD workspace gauge folds this in so the `qbd.workspace_bytes`
 /// observability test can prove the inner loops stop allocating after
-/// warm-up.
+/// warm-up. Scoped worker threads of the parallel path carry their own
+/// short-lived scratch, which is not visible here.
 pub fn pack_bytes() -> usize {
     PACK.with(|pack| {
         let pack = pack.borrow();
@@ -71,10 +93,47 @@ pub fn pack_bytes() -> usize {
 /// `β = 0` overwrites `C` outright (existing `NaN`s do not propagate, as
 /// in BLAS); `β = 1` skips the scaling pass entirely.
 ///
+/// Runs on the process-wide kernel thread count
+/// ([`crate::threading::threads`]) when the product is large enough;
+/// parallel results are bitwise identical to serial.
+///
 /// # Panics
 ///
 /// Panics if the shapes disagree (`A: m×k`, `B: k×n`, `C: m×n`).
 pub fn gemm_into(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
+    let (m, ka) = a.shape();
+    let n = b.ncols();
+    let workers = if 2usize
+        .saturating_mul(m)
+        .saturating_mul(n)
+        .saturating_mul(ka)
+        >= threading::par_min_flops()
+    {
+        threading::threads()
+    } else {
+        1
+    };
+    gemm_into_threaded(alpha, a, b, beta, c, workers);
+}
+
+/// [`gemm_into`] with an explicit worker count, bypassing both the
+/// process-wide setting and the size threshold.
+///
+/// Exists so the determinism property tests (and benchmarks) can compare
+/// thread counts directly without mutating global state; `threads ≤ 1`
+/// is the serial schedule.
+///
+/// # Panics
+///
+/// Panics if the shapes disagree (`A: m×k`, `B: k×n`, `C: m×n`).
+pub fn gemm_into_threaded(
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    c: &mut Matrix,
+    threads: usize,
+) {
     let (m, ka) = a.shape();
     let (kb, n) = b.shape();
     assert_eq!(
@@ -98,23 +157,83 @@ pub fn gemm_into(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) 
         return;
     }
 
-    PACK.with(|pack| {
-        let mut pack = pack.borrow_mut();
-        let (a_pack, b_pack) = &mut *pack;
+    let row_blocks = m.div_ceil(MC);
+    let workers = threads.max(1).min(row_blocks);
+    if workers <= 1 {
+        PACK.with(|pack| {
+            let mut pack = pack.borrow_mut();
+            let (a_pack, b_pack) = &mut *pack;
+            gemm_rows(alpha, a, b, 0, m, c.as_mut_slice(), n, a_pack, b_pack);
+        });
+        return;
+    }
 
-        for jc in (0..n).step_by(NC) {
-            let nc = NC.min(n - jc);
-            for pc in (0..ka).step_by(KC) {
-                let kc = KC.min(ka - pc);
-                pack_b(b, pc, kc, jc, nc, b_pack);
-                for ic in (0..m).step_by(MC) {
-                    let mc = MC.min(m - ic);
-                    pack_a(a, ic, mc, pc, kc, a_pack);
-                    macro_kernel(alpha, a_pack, b_pack, mc, nc, kc, c, ic, jc);
-                }
-            }
+    // Contiguous MC-aligned row regions, one scoped thread each. Region
+    // boundaries fall exactly on the serial schedule's `ic` steps, so
+    // every thread packs and multiplies the same blocks the serial code
+    // would — same FMA order, bitwise-identical C.
+    let bounds = threading::partition_blocks(row_blocks, workers);
+    let mut regions: Vec<(usize, usize, &mut [f64])> = Vec::with_capacity(bounds.len() - 1);
+    let mut rest = c.as_mut_slice();
+    let mut row = 0;
+    for w in bounds.windows(2) {
+        let row_end = (w[1] * MC).min(m);
+        let (head, tail) = rest.split_at_mut((row_end - row) * n);
+        regions.push((row, row_end, head));
+        rest = tail;
+        row = row_end;
+    }
+    std::thread::scope(|scope| {
+        for (row0, row_end, c_rows) in regions {
+            scope.spawn(move || {
+                let (mut a_pack, mut b_pack) = (Vec::new(), Vec::new());
+                gemm_rows(
+                    alpha,
+                    a,
+                    b,
+                    row0,
+                    row_end,
+                    c_rows,
+                    n,
+                    &mut a_pack,
+                    &mut b_pack,
+                );
+            });
         }
     });
+}
+
+/// The full `(jc, pc, ic)` blocked loop nest over the row range
+/// `[row0, row_end)` of the output. `c_rows` is the sub-slice of `C`
+/// holding exactly those rows (row-major, `ncols` wide).
+#[allow(clippy::too_many_arguments)] // block geometry plus scratch: all are needed
+fn gemm_rows(
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    row0: usize,
+    row_end: usize,
+    c_rows: &mut [f64],
+    ncols: usize,
+    a_pack: &mut Vec<f64>,
+    b_pack: &mut Vec<f64>,
+) {
+    let ka = a.ncols();
+    let n = ncols;
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..ka).step_by(KC) {
+            let kc = KC.min(ka - pc);
+            pack_b(b, pc, kc, jc, nc, b_pack);
+            for ic in (row0..row_end).step_by(MC) {
+                let mc = MC.min(row_end - ic);
+                pack_a(a, ic, mc, pc, kc, a_pack);
+                macro_kernel(
+                    alpha, a_pack, b_pack, mc, nc, kc, c_rows, row0, ncols, ic, jc,
+                );
+            }
+        }
+    }
 }
 
 /// Packs `A[ic..ic+mc, pc..pc+kc]` into `MR`-tall row panels, each stored
@@ -172,7 +291,8 @@ fn pack_b(b: &Matrix, pc: usize, kc: usize, jc: usize, nc: usize, buf: &mut Vec<
 }
 
 /// Walks the packed panels tile by tile and dispatches the micro-kernel.
-#[allow(clippy::too_many_arguments)] // block geometry: all six extents are needed
+/// `c_rows` holds rows `[c_row0, …)` of the output, `ncols` wide.
+#[allow(clippy::too_many_arguments)] // block geometry: all extents are needed
 fn macro_kernel(
     alpha: f64,
     a_pack: &[f64],
@@ -180,7 +300,9 @@ fn macro_kernel(
     mc: usize,
     nc: usize,
     kc: usize,
-    c: &mut Matrix,
+    c_rows: &mut [f64],
+    c_row0: usize,
+    ncols: usize,
     ic: usize,
     jc: usize,
 ) {
@@ -198,7 +320,8 @@ fn macro_kernel(
             // Scatter the register tile back into C, clipping the
             // zero-padded edges.
             for (r, acc_row) in acc.iter().enumerate().take(rows) {
-                let crow = &mut c.row_mut(i0 + r)[j0..j0 + cols];
+                let at = (i0 - c_row0 + r) * ncols + j0;
+                let crow = &mut c_rows[at..at + cols];
                 for (dst, &v) in crow.iter_mut().zip(acc_row) {
                     *dst += alpha * v;
                 }
@@ -276,6 +399,27 @@ mod tests {
                 "({m},{k},{n}): diff {}",
                 c.max_abs_diff(&expect)
             );
+        }
+    }
+
+    #[test]
+    fn parallel_is_bitwise_identical_to_serial() {
+        // Shapes straddling the MC row-block boundary, including a
+        // ragged tail block and more threads than row blocks.
+        for &(m, k, n) in &[(MC, 64, 40), (MC + 1, 300, 33), (3 * MC - 5, 37, 50)] {
+            let a = probe(m, k, 3);
+            let b = probe(k, n, 4);
+            let mut serial = probe(m, n, 5);
+            let mut parallel = serial.clone();
+            gemm_into_threaded(0.75, &a, &b, 1.0, &mut serial, 1);
+            for t in [2usize, 4, 7] {
+                let mut c = probe(m, n, 5);
+                gemm_into_threaded(0.75, &a, &b, 1.0, &mut c, t);
+                parallel.copy_from(&c);
+                for (x, y) in serial.as_slice().iter().zip(parallel.as_slice()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "({m},{k},{n}) at {t} threads");
+                }
+            }
         }
     }
 

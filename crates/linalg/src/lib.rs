@@ -33,6 +33,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 mod error;
 mod matrix;
@@ -44,9 +45,12 @@ pub mod gemm;
 pub mod kron;
 pub mod lu;
 pub mod spectral;
+pub mod storage;
+pub mod threading;
 
 pub use error::LinalgError;
 pub use matrix::Matrix;
+pub use storage::{ClassifiedMatrix, MatRead, MatStorage, StorageKind};
 pub use vector::Vector;
 
 /// Workspace-wide numeric tolerance used as a default by iterative routines.

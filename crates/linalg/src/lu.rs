@@ -128,12 +128,28 @@ fn factor_in_place(lu: &mut Matrix, perm: &mut [usize]) -> Result<f64> {
     Ok(sign)
 }
 
+/// The multi-right-hand-side solves stay serial below half the GEMM
+/// flop gate (substitution reuses data less than a product of the same
+/// flop count), even when more kernel threads are configured.
+fn par_min_solve_flops() -> usize {
+    crate::threading::par_min_flops() / 2
+}
+
 /// Row-blocked substitution for `A · X = B` on already-permuted rows:
 /// `out` must hold `P·B`; on return it holds `X`.
 fn substitute_rows_in_place(lu: &Matrix, out: &mut Matrix) {
-    let n = lu.nrows();
     let w = out.ncols();
-    let data = out.as_mut_slice();
+    substitute_rows_slice(lu, out.as_mut_slice(), w);
+}
+
+/// Substitution core on a raw row-major buffer of width `w`.
+///
+/// Each right-hand-side column is processed independently — the row
+/// loops fix the operation order per column and never mix columns —
+/// which is what makes the column-striped parallel variant bitwise
+/// identical to the serial one.
+fn substitute_rows_slice(lu: &Matrix, data: &mut [f64], w: usize) {
+    let n = lu.nrows();
     // Forward: L y = P b.
     for i in 1..n {
         let (above, current) = data.split_at_mut(i * w);
@@ -164,6 +180,96 @@ fn substitute_rows_in_place(lu: &Matrix, out: &mut Matrix) {
         let inv = 1.0 / urow[i];
         for x in xi.iter_mut() {
             *x *= inv;
+        }
+    }
+}
+
+/// Column-striped parallel substitution: each scoped thread copies a
+/// contiguous stripe of right-hand-side columns into a private
+/// contiguous buffer, substitutes there, and the stripes are copied
+/// back. The per-column arithmetic is untouched, so results are bitwise
+/// identical to the serial schedule at any worker count.
+fn substitute_rows_threaded(lu: &Matrix, out: &mut Matrix, workers: usize) {
+    let n = lu.nrows();
+    let w = out.ncols();
+    let workers = workers.max(1).min(w);
+    if workers <= 1 {
+        substitute_rows_in_place(lu, out);
+        return;
+    }
+    let bounds = crate::threading::partition_blocks(w, workers);
+    let mut stripes: Vec<(usize, usize, Vec<f64>)> = bounds
+        .windows(2)
+        .map(|b| {
+            let (c0, c1) = (b[0], b[1]);
+            let wt = c1 - c0;
+            let mut buf = vec![0.0; n * wt];
+            for i in 0..n {
+                buf[i * wt..(i + 1) * wt].copy_from_slice(&out.row(i)[c0..c1]);
+            }
+            (c0, c1, buf)
+        })
+        .collect();
+    std::thread::scope(|scope| {
+        for (c0, c1, buf) in stripes.iter_mut() {
+            let wt = *c1 - *c0;
+            scope.spawn(move || substitute_rows_slice(lu, buf, wt));
+        }
+    });
+    for (c0, c1, buf) in &stripes {
+        let wt = c1 - c0;
+        for i in 0..n {
+            out.row_mut(i)[*c0..*c1].copy_from_slice(&buf[i * wt..(i + 1) * wt]);
+        }
+    }
+}
+
+/// One left solve `x·A = b` on the transposed factors: forward on
+/// `Uᵀ`, backward on `Lᵀ` in place (in `y`, a length-`n` scratch), then
+/// scatter through `P`.
+///
+/// For equilibrated factors (`x·R⁻¹AₛC⁻¹ = b`) the right-hand side is
+/// prescaled by the column scales on the way in and the solution
+/// postscaled by the row scales on the way out.
+///
+/// A free function (rather than a method) so the row-parallel
+/// [`LuWorkspace::solve_left_mat_into_threaded`] can run it from scoped
+/// threads with per-thread scratch.
+#[allow(clippy::too_many_arguments)] // factored data plus scratch: all are needed
+fn solve_left_row_with(
+    lut: &Matrix,
+    perm: &[usize],
+    row_scale: &[f64],
+    col_scale: &[f64],
+    equilibrated: bool,
+    b: &[f64],
+    x: &mut [f64],
+    y: &mut [f64],
+) {
+    let n = lut.nrows();
+    for i in 0..n {
+        let row = lut.row(i);
+        let mut acc = if equilibrated { b[i] * col_scale[i] } else { b[i] };
+        for (&u, &yj) in row[..i].iter().zip(y[..i].iter()) {
+            acc -= u * yj;
+        }
+        y[i] = acc / row[i];
+    }
+    for i in (0..n).rev() {
+        let row = lut.row(i);
+        let mut acc = y[i];
+        for (&l, &zj) in row[i + 1..].iter().zip(y[i + 1..].iter()) {
+            acc -= l * zj;
+        }
+        y[i] = acc;
+    }
+    if equilibrated {
+        for (i, &p) in perm.iter().enumerate() {
+            x[p] = y[i] * row_scale[p];
+        }
+    } else {
+        for (i, &p) in perm.iter().enumerate() {
+            x[p] = y[i];
         }
     }
 }
@@ -751,13 +857,43 @@ impl LuWorkspace {
         }
     }
 
-    /// Solves `A · X = B` into `out` (row-blocked, allocation-free).
+    /// Solves `A · X = B` into `out` (row-blocked; allocation-free when
+    /// serial).
+    ///
+    /// Large right-hand sides run the substitution on the process-wide
+    /// kernel thread count ([`crate::threading::threads`]); parallel
+    /// results are bitwise identical to serial.
     ///
     /// # Errors
     ///
     /// [`LinalgError::ShapeMismatch`] on shape disagreement;
     /// [`LinalgError::InvalidArgument`] if nothing has been factored.
     pub fn solve_mat_into(&self, b: &Matrix, out: &mut Matrix) -> Result<()> {
+        let n = self.dim();
+        let flops = 2usize
+            .saturating_mul(n)
+            .saturating_mul(n)
+            .saturating_mul(b.ncols());
+        let workers = if flops >= par_min_solve_flops() {
+            crate::threading::threads()
+        } else {
+            1
+        };
+        self.solve_mat_into_threaded(b, out, workers)
+    }
+
+    /// [`LuWorkspace::solve_mat_into`] with an explicit worker count,
+    /// bypassing both the process-wide setting and the size threshold.
+    ///
+    /// # Errors
+    ///
+    /// See [`LuWorkspace::solve_mat_into`].
+    pub fn solve_mat_into_threaded(
+        &self,
+        b: &Matrix,
+        out: &mut Matrix,
+        workers: usize,
+    ) -> Result<()> {
         self.require_factored("solve_mat_into")?;
         let n = self.dim();
         if b.nrows() != n || out.shape() != b.shape() {
@@ -776,7 +912,7 @@ impl LuWorkspace {
                 }
             }
         }
-        substitute_rows_in_place(&self.lu, out);
+        substitute_rows_threaded(&self.lu, out, workers);
         if self.equilibrated {
             for (i, &c) in self.col_scale.iter().enumerate() {
                 for v in out.row_mut(i).iter_mut() {
@@ -787,13 +923,44 @@ impl LuWorkspace {
         Ok(())
     }
 
-    /// Solves `X · A = B` into `out` (allocation-free; uses the
-    /// transposed factors so every inner product is unit-stride).
+    /// Solves `X · A = B` into `out` (uses the transposed factors so
+    /// every inner product is unit-stride; allocation-free when serial).
+    ///
+    /// Large right-hand sides distribute independent rows over the
+    /// process-wide kernel thread count
+    /// ([`crate::threading::threads`]); parallel results are bitwise
+    /// identical to serial.
     ///
     /// # Errors
     ///
     /// See [`LuWorkspace::solve_mat_into`].
     pub fn solve_left_mat_into(&mut self, b: &Matrix, out: &mut Matrix) -> Result<()> {
+        let n = self.dim();
+        let flops = 2usize
+            .saturating_mul(n)
+            .saturating_mul(n)
+            .saturating_mul(b.nrows());
+        let workers = if flops >= par_min_solve_flops() {
+            crate::threading::threads()
+        } else {
+            1
+        };
+        self.solve_left_mat_into_threaded(b, out, workers)
+    }
+
+    /// [`LuWorkspace::solve_left_mat_into`] with an explicit worker
+    /// count, bypassing both the process-wide setting and the size
+    /// threshold.
+    ///
+    /// # Errors
+    ///
+    /// See [`LuWorkspace::solve_mat_into`].
+    pub fn solve_left_mat_into_threaded(
+        &mut self,
+        b: &Matrix,
+        out: &mut Matrix,
+        workers: usize,
+    ) -> Result<()> {
         self.require_factored("solve_left_mat_into")?;
         let n = self.dim();
         if b.ncols() != n || out.shape() != b.shape() {
@@ -803,50 +970,57 @@ impl LuWorkspace {
                 right: out.shape(),
             });
         }
-        for r in 0..b.nrows() {
-            self.solve_left_row(b.row(r), out.row_mut(r));
+        let rows = b.nrows();
+        let workers = workers.max(1).min(rows);
+        if workers <= 1 {
+            for r in 0..rows {
+                solve_left_row_with(
+                    &self.lut,
+                    &self.perm,
+                    &self.row_scale,
+                    &self.col_scale,
+                    self.equilibrated,
+                    b.row(r),
+                    out.row_mut(r),
+                    &mut self.scratch,
+                );
+            }
+            return Ok(());
         }
+        // Each output row is produced by exactly one thread via the same
+        // single-row routine the serial path uses, so the parallel split
+        // cannot change any result bits.
+        let (lut, perm) = (&self.lut, &self.perm[..]);
+        let (row_scale, col_scale) = (&self.row_scale[..], &self.col_scale[..]);
+        let equilibrated = self.equilibrated;
+        let bounds = crate::threading::partition_blocks(rows, workers);
+        let mut regions: Vec<(usize, &mut [f64])> = Vec::with_capacity(bounds.len() - 1);
+        let mut rest = out.as_mut_slice();
+        for w in bounds.windows(2) {
+            let (head, tail) = rest.split_at_mut((w[1] - w[0]) * n);
+            regions.push((w[0], head));
+            rest = tail;
+        }
+        std::thread::scope(|scope| {
+            for (r0, rows_slice) in regions {
+                scope.spawn(move || {
+                    let mut scratch = vec![0.0; n];
+                    for (ri, xrow) in rows_slice.chunks_exact_mut(n).enumerate() {
+                        solve_left_row_with(
+                            lut,
+                            perm,
+                            row_scale,
+                            col_scale,
+                            equilibrated,
+                            b.row(r0 + ri),
+                            xrow,
+                            &mut scratch,
+                        );
+                    }
+                });
+            }
+        });
         Ok(())
-    }
-
-    /// One left solve `x·A = b` on the transposed factors: forward on
-    /// `Uᵀ`, backward on `Lᵀ` in place, then scatter through `P`.
-    ///
-    /// For equilibrated factors (`x·R⁻¹AₛC⁻¹ = b`) the right-hand side
-    /// is prescaled by the column scales on the way in and the solution
-    /// postscaled by the row scales on the way out.
-    fn solve_left_row(&mut self, b: &[f64], x: &mut [f64]) {
-        let n = self.dim();
-        let y = &mut self.scratch;
-        for i in 0..n {
-            let row = self.lut.row(i);
-            let mut acc = if self.equilibrated {
-                b[i] * self.col_scale[i]
-            } else {
-                b[i]
-            };
-            for (&u, &yj) in row[..i].iter().zip(y[..i].iter()) {
-                acc -= u * yj;
-            }
-            y[i] = acc / row[i];
-        }
-        for i in (0..n).rev() {
-            let row = self.lut.row(i);
-            let mut acc = y[i];
-            for (&l, &zj) in row[i + 1..].iter().zip(y[i + 1..].iter()) {
-                acc -= l * zj;
-            }
-            y[i] = acc;
-        }
-        if self.equilibrated {
-            for (i, &p) in self.perm.iter().enumerate() {
-                x[p] = y[i] * self.row_scale[p];
-            }
-        } else {
-            for (i, &p) in self.perm.iter().enumerate() {
-                x[p] = y[i];
-            }
-        }
     }
 
     /// Solves `A · x = b` into `out` (allocation-free).

@@ -1,14 +1,16 @@
+use std::fmt;
+use std::str::FromStr;
 use std::time::Instant;
 
 use performa_ctrl::CancelToken;
 use performa_linalg::{
     lu::{FactorOptions, Lu, LuWorkspace},
-    Matrix, Vector,
+    ClassifiedMatrix, Matrix, Vector,
 };
 
 use crate::fault;
 use crate::solution::QbdSolution;
-use crate::workspace::{self, gemm};
+use crate::workspace::{self, gemm, gemm_left, gemm_right};
 use crate::{QbdError, Result};
 
 /// Tolerance for generator row-sum validation, scaled by the largest rate.
@@ -122,6 +124,7 @@ fn undo_shift(g: &mut Matrix, um: f64) {
 /// [`Hardening::full`] when a stage breaks down or the drift
 /// classifier reports a near-null-recurrent chain.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct Hardening {
     /// Spectral shift: deflate the unit eigenvalue of `A0+A1+A2` with
     /// the rank-one update `Ã1 = A1 + (A0ε)uᵀ`, `Ã2 = A2 − (A2ε)uᵀ`
@@ -145,6 +148,12 @@ pub struct Hardening {
 }
 
 impl Hardening {
+    /// No mitigations — identical to [`Hardening::default`], spelled as
+    /// a constructor for builder chains.
+    pub fn none() -> Self {
+        Hardening::default()
+    }
+
     /// Every mitigation enabled — the top rung of the recovery ladder.
     pub fn full() -> Self {
         Hardening {
@@ -152,6 +161,27 @@ impl Hardening {
             equilibrate: true,
             refine: true,
         }
+    }
+
+    /// The same hardening with the spectral shift set to `enabled`.
+    #[must_use]
+    pub fn with_shift(mut self, enabled: bool) -> Self {
+        self.shift = enabled;
+        self
+    }
+
+    /// The same hardening with LU equilibration set to `enabled`.
+    #[must_use]
+    pub fn with_equilibrate(mut self, enabled: bool) -> Self {
+        self.equilibrate = enabled;
+        self
+    }
+
+    /// The same hardening with iterative refinement set to `enabled`.
+    #[must_use]
+    pub fn with_refine(mut self, enabled: bool) -> Self {
+        self.refine = enabled;
+        self
     }
 
     /// `true` when any mitigation is enabled.
@@ -177,6 +207,67 @@ impl Hardening {
     }
 }
 
+impl fmt::Display for Hardening {
+    /// Round-trippable spelling (mirrors `DistSpec`): `"none"`,
+    /// `"full"`, or the enabled flags joined with `+` — e.g.
+    /// `"shift+refine"`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.any() {
+            return f.write_str("none");
+        }
+        if *self == Hardening::full() {
+            return f.write_str("full");
+        }
+        let mut first = true;
+        for (on, name) in [
+            (self.shift, "shift"),
+            (self.equilibrate, "equilibrate"),
+            (self.refine, "refine"),
+        ] {
+            if on {
+                if !first {
+                    f.write_str("+")?;
+                }
+                f.write_str(name)?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Hardening {
+    type Err = QbdError;
+
+    /// Parses the [`fmt::Display`] spelling: `"none"`, `"full"`, or
+    /// `+`-joined flags from `{shift, equilibrate, refine}`.
+    fn from_str(s: &str) -> Result<Self> {
+        let spec = s.trim().to_ascii_lowercase();
+        match spec.as_str() {
+            "none" | "" => return Ok(Hardening::default()),
+            "full" | "all" => return Ok(Hardening::full()),
+            _ => {}
+        }
+        let mut h = Hardening::default();
+        for flag in spec.split('+') {
+            match flag.trim() {
+                "shift" => h.shift = true,
+                "equilibrate" | "equil" => h.equilibrate = true,
+                "refine" => h.refine = true,
+                other => {
+                    return Err(QbdError::InvalidParameter {
+                        message: format!(
+                            "unknown hardening flag '{other}' (expected \
+                             none, full, or '+'-joined shift/equilibrate/refine)"
+                        ),
+                    })
+                }
+            }
+        }
+        Ok(h)
+    }
+}
+
 /// Drift classification of a QBD, produced by [`Qbd::classify_drift`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DriftClass {
@@ -192,7 +283,12 @@ pub enum DriftClass {
 }
 
 /// Options controlling the iterative stages of [`Qbd::solve`].
+///
+/// `#[non_exhaustive]` — construct via [`SolveOptions::default`] (or
+/// [`SolveOptions::hardened`]) and the `with_*` builders, so new knobs
+/// can be added without breaking downstream crates.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct SolveOptions {
     /// Convergence tolerance on the `G` iteration (infinity norm).
     pub tolerance: f64,
@@ -245,6 +341,27 @@ impl SolveOptions {
         }
     }
 
+    /// The same options with a different convergence tolerance.
+    #[must_use]
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// The same options with a different iteration cap.
+    #[must_use]
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// The same options with the given [`Hardening`] mitigations.
+    #[must_use]
+    pub fn with_hardening(mut self, hardening: Hardening) -> Self {
+        self.hardening = hardening;
+        self
+    }
+
     /// The same options with a warm-start seed for `G` (see
     /// [`SolveOptions::initial_g`]).
     #[must_use]
@@ -277,9 +394,13 @@ impl SolveOptions {
 /// For the paper's M/MMPP/1 cluster queue, use [`Qbd::m_mmpp1`].
 #[derive(Debug, Clone)]
 pub struct Qbd {
-    a0: Matrix,
-    a1: Matrix,
-    a2: Matrix,
+    /// Interior blocks, probed for structure at construction
+    /// ([`ClassifiedMatrix::classify`]): for the paper's models `A0` and
+    /// `A2` are diagonal, so their products run on the structured
+    /// kernels — bitwise identical to dense, markedly cheaper.
+    a0: ClassifiedMatrix,
+    a1: ClassifiedMatrix,
+    a2: ClassifiedMatrix,
     b00: Matrix,
     b01: Matrix,
     b10: Matrix,
@@ -388,9 +509,9 @@ impl Qbd {
         check("A2+A1+A0", worst_row_sum(&[&a2, &a1, &a0]))?;
 
         Ok(Qbd {
-            a0,
-            a1,
-            a2,
+            a0: ClassifiedMatrix::classify(a0),
+            a1: ClassifiedMatrix::classify(a1),
+            a2: ClassifiedMatrix::classify(a2),
             b00,
             b01,
             b10,
@@ -480,22 +601,34 @@ impl Qbd {
 
     /// Phase-space dimension `m`.
     pub fn phase_dim(&self) -> usize {
-        self.a1.nrows()
+        self.a1.dense().nrows()
     }
 
     /// The up (arrival) block `A0`.
     pub fn a0(&self) -> &Matrix {
-        &self.a0
+        self.a0.dense()
     }
 
     /// The local block `A1`.
     pub fn a1(&self) -> &Matrix {
-        &self.a1
+        self.a1.dense()
     }
 
     /// The down (service) block `A2`.
     pub fn a2(&self) -> &Matrix {
-        &self.a2
+        self.a2.dense()
+    }
+
+    /// Kernel classification tag, e.g. `"a0:diagonal,a1:dense,a2:diagonal"`
+    /// — the `qbd.kernel` strategy tag the supervisor reports and the
+    /// observatory attributes speedups to.
+    pub fn kernel_tag(&self) -> String {
+        format!(
+            "a0:{},a1:{},a2:{}",
+            self.a0.kernel_name(),
+            self.a1.kernel_name(),
+            self.a2.kernel_name()
+        )
     }
 
     /// Stationary distribution `φ` of the phase process `A = A0+A1+A2`.
@@ -504,7 +637,7 @@ impl Qbd {
     ///
     /// [`QbdError::Linalg`] for a reducible phase process.
     pub fn phase_steady_state(&self) -> Result<Vector> {
-        let a = &(&self.a0 + &self.a1) + &self.a2;
+        let a = &(self.a0.dense() + self.a1.dense()) + self.a2.dense();
         // Solve φ·A = 0 with normalization (same construction as
         // performa-markov's steady_state; duplicated to keep the crate
         // dependency graph a simple chain).
@@ -529,8 +662,8 @@ impl Qbd {
     pub fn drift(&self) -> Result<(f64, f64)> {
         let phi = self.phase_steady_state()?;
         Ok((
-            phi.dot(&self.a0.row_sums()),
-            phi.dot(&self.a2.row_sums()),
+            phi.dot(&self.a0.dense().row_sums()),
+            phi.dot(&self.a2.dense().row_sums()),
         ))
     }
 
@@ -635,30 +768,30 @@ impl Qbd {
             // k1 = H = (−Ã1)⁻¹·A0 (up), k2 = L = (−Ã1)⁻¹·Ã2 (down);
             // iterates x1 = G (seeded from L), x2 = T (seeded from H).
             // Unshifted, Ã1 = A1 and Ã2 = A2.
-            ws.t1.copy_from(&self.a1);
+            ws.t1.copy_from(self.a1.dense());
             ws.t1.scale_mut(-1.0);
             if hardening.shift {
                 // −Ã1 = −A1 − (A0ε)uᵀ.
-                subtract_rank_one_rowsum(&mut ws.t1, &self.a0.row_sums(), um);
+                subtract_rank_one_rowsum(&mut ws.t1, &self.a0.dense().row_sums(), um);
             }
             ws.lu.factor_with(&ws.t1, hardening.setup_factor())?;
             let down_block = if hardening.shift {
                 // Ã2 = A2 − (A2ε)uᵀ, staged in t2 (free until the loop).
-                ws.t2.copy_from(&self.a2);
-                subtract_rank_one_rowsum(&mut ws.t2, &self.a2.row_sums(), um);
+                ws.t2.copy_from(self.a2.dense());
+                subtract_rank_one_rowsum(&mut ws.t2, &self.a2.dense().row_sums(), um);
                 &ws.t2
             } else {
-                &self.a2
+                self.a2.dense()
             };
             if hardening.refine {
-                let s1 = ws.lu.solve_mat_refined_into(&self.a0, &mut ws.k1)?;
+                let s1 = ws.lu.solve_mat_refined_into(self.a0.dense(), &mut ws.k1)?;
                 let s2 = ws.lu.solve_mat_refined_into(down_block, &mut ws.k2)?;
                 performa_obs::counter_add(
                     "qbd.refine_iters",
                     (s1.iterations + s2.iterations) as u64,
                 );
             } else {
-                ws.lu.solve_mat_into(&self.a0, &mut ws.k1)?;
+                ws.lu.solve_mat_into(self.a0.dense(), &mut ws.k1)?;
                 ws.lu.solve_mat_into(down_block, &mut ws.k2)?;
             }
             ws.x1.copy_from(&ws.k2);
@@ -798,29 +931,29 @@ impl Qbd {
         workspace::with(m, |ws| {
             // k1 = base = (−Ã1)⁻¹·Ã2, k2 = up = (−Ã1)⁻¹·A0; iterate
             // x1 = Ĝ seeded from base (Ã1 = A1, Ã2 = A2 unshifted).
-            ws.t1.copy_from(&self.a1);
+            ws.t1.copy_from(self.a1.dense());
             ws.t1.scale_mut(-1.0);
             if hardening.shift {
-                subtract_rank_one_rowsum(&mut ws.t1, &self.a0.row_sums(), um);
+                subtract_rank_one_rowsum(&mut ws.t1, &self.a0.dense().row_sums(), um);
             }
             ws.lu.factor_with(&ws.t1, hardening.setup_factor())?;
             let down_block = if hardening.shift {
-                ws.t2.copy_from(&self.a2);
-                subtract_rank_one_rowsum(&mut ws.t2, &self.a2.row_sums(), um);
+                ws.t2.copy_from(self.a2.dense());
+                subtract_rank_one_rowsum(&mut ws.t2, &self.a2.dense().row_sums(), um);
                 &ws.t2
             } else {
-                &self.a2
+                self.a2.dense()
             };
             if hardening.refine {
                 let s1 = ws.lu.solve_mat_refined_into(down_block, &mut ws.k1)?;
-                let s2 = ws.lu.solve_mat_refined_into(&self.a0, &mut ws.k2)?;
+                let s2 = ws.lu.solve_mat_refined_into(self.a0.dense(), &mut ws.k2)?;
                 performa_obs::counter_add(
                     "qbd.refine_iters",
                     (s1.iterations + s2.iterations) as u64,
                 );
             } else {
                 ws.lu.solve_mat_into(down_block, &mut ws.k1)?;
-                ws.lu.solve_mat_into(&self.a0, &mut ws.k2)?;
+                ws.lu.solve_mat_into(self.a0.dense(), &mut ws.k2)?;
             }
             match initial_g {
                 Some(seed) if seed.nrows() == m && seed.ncols() == m => {
@@ -938,11 +1071,11 @@ impl Qbd {
                     check_interrupt("neuts", it, deadline, cancel)?;
                 }
                 // t1 ← −(A1 + A0·G), factored in place; next = t2.
-                ws.t1.copy_from(&self.a1);
-                gemm(1.0, &self.a0, &ws.x1, 1.0, &mut ws.t1);
+                ws.t1.copy_from(self.a1.dense());
+                gemm_left(1.0, &self.a0, &ws.x1, 1.0, &mut ws.t1);
                 ws.t1.scale_mut(-1.0);
                 ws.lu.factor_with(&ws.t1, hardening.inner_factor())?;
-                ws.lu.solve_mat_into(&self.a2, &mut ws.t2)?;
+                ws.lu.solve_mat_into(self.a2.dense(), &mut ws.t2)?;
                 fault::poison("neuts", it, &mut ws.t2);
                 if checking {
                     if !all_finite(&ws.t2) {
@@ -996,18 +1129,18 @@ impl Qbd {
         let m = self.phase_dim();
         workspace::with(m, |ws| {
             // t1 ← −(A1 + A0·G), factored into the reusable workspace.
-            ws.t1.copy_from(&self.a1);
-            gemm(1.0, &self.a0, g, 1.0, &mut ws.t1);
+            ws.t1.copy_from(self.a1.dense());
+            gemm_left(1.0, &self.a0, g, 1.0, &mut ws.t1);
             ws.t1.scale_mut(-1.0);
             ws.lu.factor_with(&ws.t1, hardening.setup_factor())?;
             let cond = ws.lu.condition_estimate();
             // R = A0·(−U)⁻¹ ⇔ solve X·(−U) = A0.
             let mut r = Matrix::zeros(m, m);
             if hardening.refine {
-                let stats = ws.lu.solve_left_mat_refined_into(&self.a0, &mut r)?;
+                let stats = ws.lu.solve_left_mat_refined_into(self.a0.dense(), &mut r)?;
                 performa_obs::counter_add("qbd.refine_iters", stats.iterations as u64);
             } else {
-                ws.lu.solve_left_mat_into(&self.a0, &mut r)?;
+                ws.lu.solve_left_mat_into(self.a0.dense(), &mut r)?;
             }
             Ok((r, cond))
         })
@@ -1108,7 +1241,13 @@ impl Qbd {
     /// acceptance metric used by the supervisor and by warm-started
     /// sweeps.
     pub fn g_residual(&self, g: &Matrix) -> f64 {
-        (self.a2() + &(self.a1() * g) + &(self.a0() * &(g * g))).norm_inf()
+        // A0·G² on the structured kernel — bitwise identical to the
+        // dense product it replaces, so the acceptance metric is
+        // unchanged by classification.
+        let gg = g * g;
+        let mut a0gg = Matrix::zeros(g.nrows(), g.ncols());
+        gemm_left(1.0, &self.a0, &gg, 0.0, &mut a0gg);
+        (self.a2() + &(self.a1() * g) + &a0gg).norm_inf()
     }
 
     /// Assembles the boundary vectors `(π₀, π₁)` and the full solution
@@ -1146,8 +1285,8 @@ impl Qbd {
             let mut geo_eps = Vector::zeros(m);
             ws.lu.solve_vec_into(&Vector::ones(m), &mut geo_eps)?;
             // a1_ra2 = A1 + R·A2.
-            let mut a1_ra2 = self.a1.clone();
-            gemm(1.0, &r, &self.a2, 1.0, &mut a1_ra2);
+            let mut a1_ra2 = self.a1.dense().clone();
+            gemm_right(1.0, &r, &self.a2, 1.0, &mut a1_ra2);
             Ok::<_, QbdError>((geo_eps, a1_ra2))
         })?;
 
@@ -1492,10 +1631,12 @@ mod tests {
         let r0 = &qbd.b00.vec_mul(&pi0) + &qbd.b10.vec_mul(&pi1);
         assert!(r0.norm_inf() < 1e-12, "level 0 residual {}", r0.norm_inf());
         // Level 1: π0·B01 + π1·A1 + π2·A2 = 0.
-        let r1 = &(&qbd.b01.vec_mul(&pi0) + &qbd.a1.vec_mul(&pi1)) + &qbd.a2.vec_mul(&pi2);
+        let r1 =
+            &(&qbd.b01.vec_mul(&pi0) + &qbd.a1().vec_mul(&pi1)) + &qbd.a2().vec_mul(&pi2);
         assert!(r1.norm_inf() < 1e-12, "level 1 residual {}", r1.norm_inf());
         // Level 2: π1·A0 + π2·A1 + π3·A2 = 0.
-        let r2 = &(&qbd.a0.vec_mul(&pi1) + &qbd.a1.vec_mul(&pi2)) + &qbd.a2.vec_mul(&pi3);
+        let r2 =
+            &(&qbd.a0().vec_mul(&pi1) + &qbd.a1().vec_mul(&pi2)) + &qbd.a2().vec_mul(&pi3);
         assert!(r2.norm_inf() < 1e-12, "level 2 residual {}", r2.norm_inf());
     }
 

@@ -85,8 +85,22 @@ impl GStrategy {
 }
 
 impl fmt::Display for GStrategy {
+    /// Displays the machine-readable key (round-trips through
+    /// [`FromStr`]); use [`GStrategy::name`] for human-facing text.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
+        f.write_str(self.key())
+    }
+}
+
+impl std::str::FromStr for GStrategy {
+    type Err = QbdError;
+
+    /// Parses a strategy key or alias (see [`GStrategy::parse`]); the
+    /// inverse of [`Display`](fmt::Display).
+    fn from_str(s: &str) -> Result<GStrategy> {
+        GStrategy::parse(s).ok_or_else(|| QbdError::InvalidParameter {
+            message: format!("unknown strategy '{s}' (expected neuts, functional or logred)"),
+        })
     }
 }
 
@@ -560,6 +574,9 @@ pub struct SolveReport {
     pub attempts: Vec<StageAttempt>,
     /// Wall-clock time of the whole solve.
     pub elapsed: Duration,
+    /// Storage kernels the repeating blocks were classified into, as a
+    /// `"a0:…,a1:…,a2:…"` tag (see [`Qbd::kernel_tag`]).
+    pub kernel: String,
 }
 
 impl SolveReport {
@@ -567,7 +584,7 @@ impl SolveReport {
     pub fn summary(&self) -> String {
         format!(
             "{} in {} iteration(s), residual {:.3e}{}{}",
-            self.strategy,
+            self.strategy.name(),
             self.iterations,
             self.residual,
             if self.degraded { " [degraded]" } else { "" },
@@ -645,6 +662,7 @@ impl SolverSupervisor {
                 ("phases", self.qbd.phase_dim().into()),
                 ("stages", self.options.chain.len().into()),
                 ("tolerance", self.options.tolerance.into()),
+                ("kernel", self.qbd.kernel_tag().into()),
             ],
         );
         let start = Instant::now();
@@ -983,6 +1001,7 @@ impl SolverSupervisor {
             warnings,
             attempts,
             elapsed: start.elapsed(),
+            kernel: self.qbd.kernel_tag(),
         };
         Ok((solution, report))
     }

@@ -1,0 +1,77 @@
+//! End-to-end determinism of G-matrix solves under kernel threading.
+//!
+//! The kernel-level property tests (`parallel_determinism` in
+//! `performa-linalg`) pin down bitwise-identical GEMM and LU solves via
+//! the explicit `*_threaded` entry points. This test closes the loop at
+//! the solver level: a full logarithmic-reduction G solve, run through
+//! the process-wide thread setting at 1, 2 and 4 workers, must produce
+//! a bitwise-identical G matrix.
+//!
+//! The phase dimension (132) exceeds the `MC = 128` row panel so the
+//! parallel GEMM macro-kernel genuinely splits the iterate products,
+//! and the dispatch flop gate is lowered so debug builds cross it. Both
+//! process-wide knobs are mutated here, which is why this file holds a
+//! single `#[test]` — no intra-binary interference is possible, and
+//! cargo runs test binaries one at a time.
+
+use performa_linalg::threading::{set_par_min_flops, set_threads, DEFAULT_PAR_MIN_FLOPS};
+use performa_linalg::{Matrix, Vector};
+use performa_qbd::{Qbd, SolveOptions};
+
+/// M/MMPP/1 with an `m`-phase birth–death modulating chain: large
+/// enough to engage the parallel row panels, stable (`λ = 1` against
+/// service rates ≥ 1.6), and convergent in a handful of logarithmic
+/// reduction steps.
+fn model(m: usize) -> Qbd {
+    let q = Matrix::from_fn(m, m, |i, j| {
+        let up = if j == i + 1 { 1.0 } else { 0.0 };
+        let down = if i > 0 && j == i - 1 { 1.5 } else { 0.0 };
+        if i == j {
+            -(if i + 1 < m { 1.0 } else { 0.0 }) - (if i > 0 { 1.5 } else { 0.0 })
+        } else {
+            up + down
+        }
+    });
+    let rates = Vector::from(
+        (0..m)
+            .map(|i| 1.6 + 0.8 * (i as f64) / (m as f64))
+            .collect::<Vec<_>>(),
+    );
+    Qbd::m_mmpp1(1.0, &q, &rates).expect("valid MMPP model")
+}
+
+#[test]
+fn g_solve_bitwise_identical_across_thread_counts() {
+    // Let the m = 132 per-iteration products cross the dispatch gate
+    // even in debug builds; the gate only picks a schedule, results are
+    // bitwise identical on either side of it.
+    set_par_min_flops(10_000);
+    let qbd = model(132);
+    let opts = SolveOptions::default().with_tolerance(1e-10);
+
+    set_threads(1);
+    let serial = qbd.g_matrix(opts.clone()).expect("serial G solve");
+    assert!(
+        qbd.g_residual(&serial) <= 1e-8,
+        "serial G residual {}",
+        qbd.g_residual(&serial)
+    );
+
+    let mut parallel = Vec::new();
+    for workers in [2usize, 4] {
+        set_threads(workers);
+        parallel.push((workers, qbd.g_matrix(opts.clone()).expect("parallel G solve")));
+    }
+    set_threads(1);
+    set_par_min_flops(DEFAULT_PAR_MIN_FLOPS);
+
+    for (workers, g) in &parallel {
+        for (i, (p, s)) in g.as_slice().iter().zip(serial.as_slice()).enumerate() {
+            assert_eq!(
+                p.to_bits(),
+                s.to_bits(),
+                "threads={workers}: G element {i} differs: {p} vs {s}"
+            );
+        }
+    }
+}

@@ -74,10 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let grid = SweepPlan::grid(0.05, 0.95, 20).refine_near(&thresholds);
     let swept = Scenario::new(model, Axis::Rho(grid.into_values()))
         .compile()
-        .with_options(SweepOptions {
-            threads: 4,
-            ..Default::default()
-        })
+        .with_options(SweepOptions::default().with_threads(4))
         .run_map(|sol| sol.normalized_mean_queue_length());
     println!();
     println!("rho sweep (every 6th point):");
